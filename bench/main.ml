@@ -1,0 +1,454 @@
+(* Benchmark harness — regenerates every experiment of the evaluation
+   index in DESIGN.md (the paper has no empirical tables; its "evaluation"
+   is the formal development plus the practicality claims of Sections 1,
+   2 and 6, each of which maps to a group below):
+
+   fig1   the preferred-shape relation over the Figure 1 diagram
+   fig2   the csh join table (Figures 2 and 4), as executable output
+   loc    Section 1's conciseness claim: hand-written vs provided access
+   infer  inference scalability: S(d) and multi-sample csh folding (B2)
+   parse  parser throughput for JSON / XML / CSV (B3)
+   access provided-access overhead: raw match vs generated code vs the
+          Foo-interpreted provider (B4)
+   shape  hasShape / validation cost (B5)
+
+   Usage: main.exe [group ...] — no arguments runs everything. *)
+
+open Bechamel
+open Toolkit
+module Dv = Fsdata_data.Data_value
+module Shape = Fsdata_core.Shape
+module Infer = Fsdata_core.Infer
+module Csh = Fsdata_core.Csh
+module P = Fsdata_core.Preference
+module Provide = Fsdata_provider.Provide
+module Typed = Fsdata_runtime.Typed
+module Ops = Fsdata_runtime.Ops
+
+(* ----- tiny driver around bechamel ----- *)
+
+let run_group name tests =
+  let tests = Test.make_grouped ~name ~fmt:"%s/%s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~stabilize:true ~quota:(Time.second 0.5) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let pretty ns =
+    if ns >= 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+    else Printf.sprintf "%8.2f ns" ns
+  in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "  %-58s %s/run\n%!" name (pretty est)
+      | _ -> Printf.printf "  %-58s (no estimate)\n%!" name)
+    rows
+
+let stage = Staged.stage
+
+(* ----- fig1: the preferred-shape relation table ----- *)
+
+let fig1 () =
+  print_endline "== fig1: the preferred shape relation (Figure 1) ==";
+  print_endline
+    "   rows \xe2\x8a\x91 columns; the matrix reproduces the diagram's edges\n\
+    \   (plus transitive closure), bit/date from Section 6.2 included.";
+  let shapes =
+    [
+      ("bot", Shape.Bottom);
+      ("bit0", Shape.Primitive Shape.Bit0);
+      ("bit", Shape.Primitive Shape.Bit);
+      ("int", Shape.Primitive Shape.Int);
+      ("float", Shape.Primitive Shape.Float);
+      ("bool", Shape.Primitive Shape.Bool);
+      ("date", Shape.Primitive Shape.Date);
+      ("string", Shape.Primitive Shape.String);
+      ("rec", Shape.record "p" [ ("x", Shape.Primitive Shape.Int) ]);
+      ("null", Shape.Null);
+      ("int?", Shape.Nullable (Shape.Primitive Shape.Int));
+      ("float?", Shape.Nullable (Shape.Primitive Shape.Float));
+      ("rec?", Shape.Nullable (Shape.record "p" [ ("x", Shape.Primitive Shape.Int) ]));
+      ("[int]", Shape.collection (Shape.Primitive Shape.Int));
+      ("any", Shape.any);
+    ]
+  in
+  Printf.printf "  %8s" "";
+  List.iter (fun (n, _) -> Printf.printf "%7s" n) shapes;
+  print_newline ();
+  List.iter
+    (fun (rn, rs) ->
+      Printf.printf "  %8s" rn;
+      List.iter
+        (fun (_, cs) -> Printf.printf "%7s" (if P.is_preferred rs cs then "x" else "."))
+        shapes;
+      print_newline ())
+    shapes;
+  print_newline ()
+
+(* ----- fig2: the csh join table ----- *)
+
+let fig2 () =
+  print_endline "== fig2: common preferred shapes (Figures 2 and 4) ==";
+  let s = Shape.to_string in
+  let cases =
+    [
+      (Shape.Primitive Shape.Int, Shape.Primitive Shape.Float);
+      (Shape.Primitive Shape.Bit0, Shape.Primitive Shape.Bit1);
+      (Shape.Primitive Shape.Bit, Shape.Primitive Shape.Bool);
+      (Shape.Primitive Shape.Date, Shape.Primitive Shape.String);
+      (Shape.Null, Shape.Primitive Shape.Int);
+      (Shape.Bottom, Shape.Primitive Shape.String);
+      (Shape.Primitive Shape.Int, Shape.Primitive Shape.Bool);
+      ( Shape.record "p" [ ("x", Shape.Primitive Shape.Int) ],
+        Shape.record "p" [ ("y", Shape.Primitive Shape.Bool) ] );
+      (Shape.collection (Shape.Primitive Shape.Int), Shape.collection Shape.Null);
+      ( Shape.top [ Shape.Primitive Shape.Int; Shape.Primitive Shape.Bool ],
+        Shape.Primitive Shape.Float );
+      (Shape.top [ Shape.Primitive Shape.Int ], Shape.record "p" []);
+    ]
+  in
+  List.iter
+    (fun (a, b) ->
+      Printf.printf "  csh(%s, %s) = %s\n" (s a) (s b) (s (Csh.csh a b)))
+    cases;
+  print_newline ()
+
+(* ----- loc: Section 1's conciseness claim ----- *)
+
+let weather_sample =
+  {|{ "coord": {"lon": 14.42, "lat": 50.09},
+     "main": { "temp": 5, "pressure": 1010, "humidity": 100 },
+     "name": "Prague", "cod": 200 }|}
+
+let hand_written_temp doc =
+  (* the Section 1 triple pattern match, 9 lines of matching logic *)
+  match doc with
+  | Dv.Record (_, root) -> (
+      match List.assoc_opt "main" root with
+      | Some (Dv.Record (_, main)) -> (
+          match List.assoc_opt "temp" main with
+          | Some (Dv.Int n) -> float_of_int n
+          | Some (Dv.Float n) -> n
+          | _ -> failwith "Incorrect format")
+      | _ -> failwith "Incorrect format")
+  | _ -> failwith "Incorrect format"
+
+let loc () =
+  print_endline "== loc: Section 1, hand-written vs provided (B1) ==";
+  print_endline
+    "   code size: hand-written matcher = 9 lines of matching logic;\n\
+    \   provided access = 2 lines (provider invocation + member access).\n\
+    \   Run-time cost of each alternative on the same document:";
+  let doc = Fsdata_data.Primitive.normalize (Fsdata_data.Json.parse weather_sample) in
+  let p = Result.get_ok (Provide.provide_json ~root_name:"W" weather_sample) in
+  let w = Typed.load p doc in
+  let generated_temp doc =
+    (* generated-code style: Ops composition, what fsdata codegen emits *)
+    Ops.conv_float
+      (Ops.conv_field ~record:Dv.json_record_name ~field:"temp"
+         (Ops.conv_field ~record:Dv.json_record_name ~field:"main" doc))
+  in
+  run_group "loc"
+    [
+      Test.make ~name:"hand-written match" (stage (fun () -> hand_written_temp doc));
+      Test.make ~name:"generated code (static Ops)"
+        (stage (fun () -> generated_temp doc));
+      Test.make ~name:"typed runtime (Foo interpreter)"
+        (stage (fun () -> Typed.(get_float (member (member w "Main") "Temp"))));
+      Test.make ~name:"provider invocation (compile-time analogue)"
+        (stage (fun () -> Provide.provide_json ~root_name:"W" weather_sample));
+    ];
+  print_newline ()
+
+(* ----- infer: inference scalability (B2) ----- *)
+
+let infer () =
+  print_endline "== infer: shape inference scalability (B2) ==";
+  let sizes = [ 10; 100; 1000 ] in
+  let tests_rows =
+    List.map
+      (fun n ->
+        let d = Workloads.people_array n in
+        Test.make ~name:(Printf.sprintf "S(people array), n=%4d" n)
+          (stage (fun () -> Infer.shape_of_value ~mode:`Practical d)))
+      sizes
+  in
+  let tests_width =
+    List.map
+      (fun w ->
+        let d = Workloads.wide_record w in
+        Test.make ~name:(Printf.sprintf "S(wide record), width=%4d" w)
+          (stage (fun () -> Infer.shape_of_value ~mode:`Practical d)))
+      [ 10; 100; 1000 ]
+  in
+  let tests_depth =
+    List.map
+      (fun dep ->
+        let d = Workloads.deep_record dep in
+        Test.make ~name:(Printf.sprintf "S(deep record), depth=%4d" dep)
+          (stage (fun () -> Infer.shape_of_value ~mode:`Practical d)))
+      [ 10; 100; 1000 ]
+  in
+  let tests_samples =
+    List.map
+      (fun k ->
+        let samples = Workloads.sample_set k 50 in
+        Test.make ~name:(Printf.sprintf "csh fold over %2d samples of 50 rows" k)
+          (stage (fun () -> Infer.shape_of_samples ~mode:`Practical samples)))
+      [ 2; 8; 32 ]
+  in
+  let hetero =
+    let d = Workloads.worldbank_like 200 in
+    [
+      Test.make ~name:"S(worldbank-like), 200 rows, hetero"
+        (stage (fun () -> Infer.shape_of_value ~mode:`Practical d));
+      Test.make ~name:"S(worldbank-like), 200 rows, paper mode"
+        (stage (fun () -> Infer.shape_of_value ~mode:`Paper d));
+    ]
+  in
+  run_group "infer" (tests_rows @ tests_width @ tests_depth @ tests_samples @ hetero);
+  print_newline ()
+
+(* ----- parse: parser throughput (B3) ----- *)
+
+let parse () =
+  print_endline "== parse: parser throughput (B3) ==";
+  let sizes = [ 10; 100; 1000 ] in
+  let json_tests =
+    List.map
+      (fun n ->
+        let text = Workloads.json_text (Workloads.people_array n) in
+        Test.make
+          ~name:
+            (Printf.sprintf "JSON parse, %4d records (%6d B)" n (String.length text))
+          (stage (fun () -> Fsdata_data.Json.parse text)))
+      sizes
+  in
+  let xml_tests =
+    List.map
+      (fun n ->
+        let text = Workloads.xml_text n in
+        Test.make
+          ~name:
+            (Printf.sprintf "XML parse, %4d elements (%6d B)" n (String.length text))
+          (stage (fun () -> Fsdata_data.Xml.parse text)))
+      sizes
+  in
+  let csv_tests =
+    List.map
+      (fun n ->
+        let text = Workloads.csv_text n in
+        Test.make
+          ~name:(Printf.sprintf "CSV parse, %4d rows (%6d B)" n (String.length text))
+          (stage (fun () -> Fsdata_data.Csv.parse text)))
+      sizes
+  in
+  let print_tests =
+    let d = Workloads.people_array 100 in
+    [
+      Test.make ~name:"JSON print, 100 records"
+        (stage (fun () -> Fsdata_data.Json.to_string d));
+    ]
+  in
+  run_group "parse" (json_tests @ xml_tests @ csv_tests @ print_tests);
+  print_newline ()
+
+(* ----- access: provided-access overhead (B4) ----- *)
+
+let access () =
+  print_endline "== access: provided access overhead (B4) ==";
+  let n = 100 in
+  let data = Workloads.people_array n in
+  let text = Workloads.json_text data in
+  let p = Result.get_ok (Provide.provide_json text) in
+  let v = Typed.load p data in
+  let raw_sum doc =
+    match doc with
+    | Dv.List items ->
+        List.fold_left
+          (fun acc item ->
+            match item with
+            | Dv.Record (_, fields) -> (
+                match List.assoc_opt "age" fields with
+                | Some (Dv.Int a) -> acc +. float_of_int a
+                | Some (Dv.Float a) -> acc +. a
+                | _ -> acc)
+            | _ -> acc)
+          0. items
+    | _ -> 0.
+  in
+  let ops_sum doc =
+    List.fold_left
+      (fun acc item ->
+        match
+          Ops.conv_null Ops.conv_float
+            (Ops.conv_field ~record:Dv.json_record_name ~field:"age" item)
+        with
+        | Some a -> acc +. a
+        | None -> acc)
+      0.
+      (Ops.conv_elements (fun d -> d) doc)
+  in
+  let typed_sum root =
+    List.fold_left
+      (fun acc item ->
+        match Typed.get_option (Typed.member item "Age") with
+        | Some a -> acc +. Typed.get_float a
+        | None -> acc)
+      0. (Typed.get_list root)
+  in
+  (* the big-step evaluator over the same provided classes *)
+  let module Fast = Fsdata_foo.Eval_fast in
+  let fast_root = Fast.eval p.Provide.classes [] (Provide.apply p data) in
+  let fast_sum root =
+    let rec go acc = function
+      | Fast.VNil -> acc
+      | Fast.VCons (item, rest) ->
+          let acc =
+            match Fast.member p.Provide.classes item "Age" with
+            | Fast.VSome (Fast.VData (Dv.Float a)) -> acc +. a
+            | Fast.VSome (Fast.VData (Dv.Int a)) -> acc +. float_of_int a
+            | _ -> acc
+          in
+          go acc rest
+      | _ -> acc
+    in
+    go 0. root
+  in
+  run_group "access"
+    [
+      Test.make ~name:(Printf.sprintf "raw pattern match, %d rows" n)
+        (stage (fun () -> raw_sum data));
+      Test.make ~name:(Printf.sprintf "generated code (Ops), %d rows" n)
+        (stage (fun () -> ops_sum data));
+      Test.make ~name:(Printf.sprintf "big-step Foo evaluator, %d rows" n)
+        (stage (fun () -> fast_sum fast_root));
+      Test.make ~name:(Printf.sprintf "small-step Foo interpreter, %d rows" n)
+        (stage (fun () -> typed_sum v));
+    ];
+  print_newline ()
+
+(* ----- shape: hasShape / validation cost (B5) ----- *)
+
+let shape_bench () =
+  print_endline "== shape: runtime shape tests (B5) ==";
+  let tests =
+    List.concat_map
+      (fun n ->
+        let d = Workloads.people_array n in
+        let s = Infer.shape_of_value ~mode:`Practical d in
+        [
+          Test.make ~name:(Printf.sprintf "hasShape(S(d), d), %4d rows" n)
+            (stage (fun () -> Fsdata_core.Shape_check.has_shape s d));
+          Test.make ~name:(Printf.sprintf "is_preferred(S(d), S(d)), %4d rows" n)
+            (stage (fun () -> P.is_preferred s s));
+        ])
+      [ 10; 100; 1000 ]
+  in
+  let top =
+    Shape.top
+      [ Shape.Primitive Shape.Int; Shape.record "p" [ ("x", Shape.Primitive Shape.Int) ] ]
+  in
+  let hit = Dv.Record ("p", [ ("x", Dv.Int 1) ]) in
+  let miss = Dv.String "unknown" in
+  let tests =
+    tests
+    @ [
+        Test.make ~name:"labelled-top test, matching record"
+          (stage (fun () -> Fsdata_core.Shape_check.has_shape top hit));
+        Test.make ~name:"labelled-top test, unknown value"
+          (stage (fun () -> Fsdata_core.Shape_check.has_shape top miss));
+      ]
+  in
+  run_group "shape" tests;
+  print_newline ()
+
+(* ----- provider: the "compile-time" pipeline costs ----- *)
+
+let provider_bench () =
+  print_endline "== provider: provision, codegen and schema export ==";
+  let shapes =
+    List.map
+      (fun w ->
+        let d = Workloads.wide_record w in
+        (w, Infer.shape_of_value ~mode:`Practical d))
+      [ 10; 100; 1000 ]
+  in
+  let provide_tests =
+    List.map
+      (fun (w, s) ->
+        Test.make ~name:(Printf.sprintf "provide, %4d-field record" w)
+          (stage (fun () -> Provide.provide s)))
+      shapes
+  in
+  let codegen_tests =
+    List.map
+      (fun (w, s) ->
+        let p = Provide.provide s in
+        Test.make ~name:(Printf.sprintf "codegen, %4d-field record" w)
+          (stage (fun () -> Fsdata_codegen.Codegen.generate p)))
+      shapes
+  in
+  let schema_tests =
+    List.map
+      (fun (w, s) ->
+        Test.make ~name:(Printf.sprintf "json-schema export, %4d fields" w)
+          (stage (fun () -> Fsdata_codegen.Json_schema.to_string s)))
+      shapes
+  in
+  let parser_tests =
+    let p =
+      Provide.provide
+        (Infer.shape_of_value ~mode:`Practical (Workloads.worldbank_like 10))
+    in
+    let printed =
+      String.concat "\n"
+        (List.map (Fmt.str "%a" Fsdata_foo.Syntax.pp_class) p.Provide.classes)
+    in
+    [
+      Test.make ~name:"parse provided classes back (Foo parser)"
+        (stage (fun () -> Fsdata_foo.Parser.parse_classes printed));
+      Test.make ~name:"shape notation round-trip"
+        (stage (fun () ->
+             Fsdata_core.Shape_parser.parse (Shape.to_string p.Provide.shape)));
+    ]
+  in
+  run_group "provider" (provide_tests @ codegen_tests @ schema_tests @ parser_tests);
+  print_newline ()
+
+let groups =
+  [
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("loc", loc);
+    ("infer", infer);
+    ("parse", parse);
+    ("access", access);
+    ("shape", shape_bench);
+    ("provider", provider_bench);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst groups
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name groups with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown bench group %s (available: %s)\n" name
+            (String.concat ", " (List.map fst groups));
+          exit 1)
+    requested

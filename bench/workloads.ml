@@ -1,0 +1,115 @@
+(* Deterministic synthetic workloads for the benchmark harness.
+
+   The sealed environment has no live services (DESIGN.md substitution
+   rule), so the corpora the paper's library would meet in the wild are
+   modelled synthetically: wide/deep JSON documents with controlled field
+   optionality and value heterogeneity, CSV tables, and XML trees. A tiny
+   deterministic PRNG keeps runs reproducible. *)
+
+module Dv = Fsdata_data.Data_value
+
+(* xorshift64* — deterministic, dependency-free *)
+type rng = { mutable state : int64 }
+
+let rng seed = { state = Int64.of_int (if seed = 0 then 88172645463325252 else seed) }
+
+let next r =
+  let x = r.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  r.state <- x;
+  Int64.to_int (Int64.logand x 0x3FFFFFFFFFFFFFFFL)
+
+let pick r n = next r mod n
+
+(* A people-like array: n records, [optional_every] records miss the age
+   field, [float_every] records carry a float age (drives nullable/float
+   inference exactly like Section 2.1). *)
+let people_array ?(optional_every = 3) ?(float_every = 5) n =
+  let r = rng 42 in
+  Dv.List
+    (List.init n (fun i ->
+         let base = [ ("name", Dv.String (Printf.sprintf "person%d" i)) ] in
+         let fields =
+           if i mod optional_every = 1 then base
+           else if i mod float_every = 2 then
+             base @ [ ("age", Dv.Float (float_of_int (pick r 90) +. 0.5)) ]
+           else base @ [ ("age", Dv.Int (pick r 90)) ]
+         in
+         Dv.Record (Dv.json_record_name, fields)))
+
+(* A record with [width] primitive fields. *)
+let wide_record width =
+  let r = rng 7 in
+  Dv.Record
+    ( Dv.json_record_name,
+      List.init width (fun i ->
+          ( Printf.sprintf "field%d" i,
+            match i mod 4 with
+            | 0 -> Dv.Int (pick r 1000)
+            | 1 -> Dv.Float (float_of_int (pick r 1000) /. 10.)
+            | 2 -> Dv.String (Printf.sprintf "value%d" (pick r 100))
+            | _ -> Dv.Bool (pick r 2 = 0) )) )
+
+(* A nested record chain of the given depth, ending in an int. *)
+let rec deep_record depth =
+  if depth = 0 then Dv.Int 1
+  else Dv.Record (Dv.json_record_name, [ ("nested", deep_record (depth - 1)) ])
+
+(* A heterogeneous collection in the World Bank style: one metadata
+   record and one data array of n rows. *)
+let worldbank_like n =
+  let r = rng 9 in
+  Dv.List
+    [
+      Dv.Record (Dv.json_record_name, [ ("pages", Dv.Int (1 + pick r 50)) ]);
+      Dv.List
+        (List.init n (fun i ->
+             Dv.Record
+               ( Dv.json_record_name,
+                 [
+                   ("indicator", Dv.String "GC.DOD.TOTL.GD.ZS");
+                   ("date", Dv.String (string_of_int (1990 + (i mod 30))));
+                   ( "value",
+                     if pick r 4 = 0 then Dv.Null
+                     else Dv.String (Printf.sprintf "%d.%04d" (pick r 100) (pick r 10000))
+                   );
+                 ] )));
+    ]
+
+let json_text d = Fsdata_data.Json.to_string d
+
+(* CSV text with n rows over the ozone-style columns. *)
+let csv_text n =
+  let r = rng 3 in
+  let buf = Buffer.create (n * 24) in
+  Buffer.add_string buf "Ozone,Temp,Date,Autofilled\n";
+  for i = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%d.%d,%s,%04d-%02d-%02d,%d\n" (pick r 100) (pick r 10)
+         (if pick r 10 = 0 then "#N/A" else string_of_int (50 + pick r 40))
+         (1990 + (i mod 30))
+         (1 + (i mod 12))
+         (1 + (i mod 28))
+         (pick r 2))
+  done;
+  Buffer.contents buf
+
+(* XML text with n children drawn from three element kinds (the open-world
+   document format of Section 2.2). *)
+let xml_text n =
+  let r = rng 5 in
+  let buf = Buffer.create (n * 32) in
+  Buffer.add_string buf "<doc>";
+  for i = 0 to n - 1 do
+    match pick r 3 with
+    | 0 -> Buffer.add_string buf (Printf.sprintf "<heading>Section %d</heading>" i)
+    | 1 -> Buffer.add_string buf (Printf.sprintf "<p>Paragraph number %d with text.</p>" i)
+    | _ -> Buffer.add_string buf (Printf.sprintf "<image source=\"img%d.png\"/>" i)
+  done;
+  Buffer.add_string buf "</doc>";
+  Buffer.contents buf
+
+(* k samples of the same people-ish shape, for multi-sample csh folding. *)
+let sample_set k n = List.init k (fun i -> people_array ~optional_every:(2 + i) n)

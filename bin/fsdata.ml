@@ -1,0 +1,401 @@
+(* fsdata — command-line frontend for the F# Data reproduction.
+
+   Subcommands:
+     infer    infer and print the shape of sample documents (--paper for
+              the core algebra, --global for per-element XML signatures)
+     provide  print the provided type (F#-style signatures, Figure 8;
+              --code for the generated member bodies)
+     codegen  emit an OCaml module with typed access to the inferred shape
+     check    validate a document against samples or a --shape expression,
+              explaining any mismatch
+     schema   export the inferred shape as a JSON Schema document
+     sample   generate representative documents from a shape
+     migrate  rewrite a user program for a provider re-run with added
+              samples (Remark 1's three transformations) *)
+
+open Cmdliner
+module Infer = Fsdata_core.Infer
+module Shape = Fsdata_core.Shape
+module Preference = Fsdata_core.Preference
+module Provide = Fsdata_provider.Provide
+module Signature = Fsdata_provider.Signature
+module Codegen = Fsdata_codegen.Codegen
+
+type format = Json | Xml | Csv
+
+let read_file path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+let detect_format path =
+  match String.lowercase_ascii (Filename.extension path) with
+  | ".json" -> Ok Json
+  | ".xml" -> Ok Xml
+  | ".csv" -> Ok Csv
+  | ext -> Error (`Msg (Printf.sprintf "cannot detect format from extension %S (use --format)" ext))
+
+let format_conv =
+  Arg.enum [ ("json", Json); ("xml", Xml); ("csv", Csv) ]
+
+let format_arg =
+  Arg.(
+    value
+    & opt (some format_conv) None
+    & info [ "f"; "format" ] ~docv:"FORMAT"
+        ~doc:"Input format: $(b,json), $(b,xml) or $(b,csv). Defaults to the
+              file extension.")
+
+let samples_arg =
+  Arg.(
+    non_empty
+    & pos_all file []
+    & info [] ~docv:"SAMPLE"
+        ~doc:"Sample document(s); multiple samples are merged with the
+              common preferred shape, as with the provider's multi-sample
+              static parameter.")
+
+let root_name_arg =
+  Arg.(
+    value
+    & opt string "Root"
+    & info [ "root-name" ] ~docv:"NAME" ~doc:"Name seed for provided classes.")
+
+let global_arg =
+  Arg.(
+    value & flag
+    & info [ "g"; "global" ]
+        ~doc:
+          "XML only: use global inference — unify all elements with the
+           same name across the samples (Section 6.2), allowing recursive
+           document shapes.")
+
+let csv_schema_arg =
+  Arg.(
+    value
+    & opt string ""
+    & info [ "csv-schema" ] ~docv:"SCHEMA"
+        ~doc:"CSV only: column-type overrides, e.g.
+              'Temp=float, Flag=bool?' (the CsvProvider Schema
+              parameter).")
+
+let resolve_format format paths =
+  match format with
+  | Some f -> Ok f
+  | None -> ( match paths with [] -> Error (`Msg "no samples") | p :: _ -> detect_format p)
+
+let infer_shape ?(csv_schema = "") format paths =
+  match resolve_format format paths with
+  | Error e -> Error e
+  | Ok f -> (
+      let texts = List.map read_file paths in
+      let result =
+        match f with
+        | Json -> Infer.of_json_samples texts
+        | Xml -> Infer.of_xml_samples texts
+        | Csv -> (
+            match texts with
+            | [ one ] -> Fsdata_core.Csv_schema.infer_csv ~schema:csv_schema one
+            | _ -> Error "csv: exactly one sample file is supported")
+      in
+      match result with
+      | Ok shape -> Ok (f, shape)
+      | Error msg -> Error (`Msg msg))
+
+let provider_format = function Json -> `Json | Xml -> `Xml | Csv -> `Csv
+
+(* --- infer --- *)
+
+let infer_cmd =
+  let paper_arg =
+    Arg.(
+      value & flag
+      & info [ "paper" ]
+          ~doc:
+            "Use the paper's core algebra (Figure 3 verbatim): no literal
+             classification, homogeneous collections. The default is the
+             practical mode the library ships (Sections 6.2, 6.4).")
+  in
+  let run format global paper csv_schema paths =
+    if global then
+      match List.map read_file paths |> Fsdata_core.Xml_global.of_strings with
+      | Ok g ->
+          Format.printf "%a@." Fsdata_core.Xml_global.pp g;
+          `Ok ()
+      | Error m -> `Error (false, m)
+    else
+      if paper then
+        match resolve_format format paths with
+        | Error (`Msg m) -> `Error (false, m)
+        | Ok Json -> (
+            match Infer.of_json_samples ~mode:`Paper (List.map read_file paths) with
+            | Ok shape ->
+                Format.printf "%a@." Shape.pp shape;
+                `Ok ()
+            | Error m -> `Error (false, m))
+        | Ok _ -> `Error (false, "--paper applies to JSON samples")
+      else
+        match infer_shape ~csv_schema format paths with
+        | Ok (_, shape) ->
+            Format.printf "%a@." Shape.pp shape;
+            `Ok ()
+        | Error (`Msg m) -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "infer" ~doc:"Infer the shape of sample documents (Figure 3).")
+    Term.(
+      ret
+        (const run $ format_arg $ global_arg $ paper_arg $ csv_schema_arg
+       $ samples_arg))
+
+(* --- provide --- *)
+
+let provide_cmd =
+  let code_arg =
+    Arg.(
+      value & flag
+      & info [ "code" ]
+          ~doc:
+            "Print the full provided classes including the generated member
+             bodies (the Foo-calculus code of Figure 8) instead of the
+             signature summary.")
+  in
+  let print_provided ~code ~root_name (p : Provide.t) =
+    if code then
+      List.iter
+        (fun c -> Format.printf "%a@.@." Fsdata_foo.Syntax.pp_class c)
+        p.Provide.classes
+    else print_endline (Signature.to_string ~root_name p)
+  in
+  let run format global code csv_schema root_name paths =
+    if global then
+      match List.map read_file paths |> Provide.provide_xml_global with
+      | Ok p ->
+          print_provided ~code ~root_name p;
+          `Ok ()
+      | Error m -> `Error (false, m)
+    else
+      match infer_shape ~csv_schema format paths with
+      | Ok (f, shape) ->
+          let p = Provide.provide ~format:(provider_format f) ~root_name shape in
+          if not code then Format.printf "// shape: %a@.@." Shape.pp shape;
+          print_provided ~code ~root_name p;
+          `Ok ()
+      | Error (`Msg m) -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "provide"
+       ~doc:"Show the type a provider generates for the samples (Figure 8).")
+    Term.(
+      ret
+        (const run $ format_arg $ global_arg $ code_arg $ csv_schema_arg
+       $ root_name_arg $ samples_arg))
+
+(* --- sample --- *)
+
+let sample_cmd =
+  let shape_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "s"; "shape" ] ~docv:"SHAPE"
+          ~doc:"Shape expression in the paper notation.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of documents to emit.")
+  in
+  let run shape count =
+    match Fsdata_core.Shape_parser.parse_result shape with
+    | Error m -> `Error (false, m)
+    | Ok s -> (
+        match Fsdata_core.Shape_gen.samples ~count s with
+        | docs ->
+            List.iter
+              (fun d ->
+                print_endline (Fsdata_data.Json.to_string ~indent:2 d))
+              docs;
+            `Ok ()
+        | exception Invalid_argument m -> `Error (false, m))
+  in
+  Cmd.v
+    (Cmd.info "sample"
+       ~doc:"Generate representative JSON documents conforming to a shape —
+             the inverse of inference.")
+    Term.(ret (const run $ shape_arg $ count_arg))
+
+(* --- codegen --- *)
+
+let codegen_cmd =
+  let run format csv_schema root_name paths =
+    match infer_shape ~csv_schema format paths with
+    | Ok (f, shape) ->
+        let p = Provide.provide ~format:(provider_format f) ~root_name shape in
+        print_string
+          (Codegen.generate
+             ~module_comment:
+               (Printf.sprintf "Generated by fsdata codegen from %s — do not edit."
+                  (String.concat ", " paths))
+             p);
+        `Ok ()
+    | Error (`Msg m) -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Emit an OCaml module giving statically typed access to data of
+             the samples' shape.")
+    Term.(
+      ret (const run $ format_arg $ csv_schema_arg $ root_name_arg $ samples_arg))
+
+(* --- check --- *)
+
+let check_cmd =
+  let input_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Document to validate.")
+  in
+  let shape_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "s"; "shape" ] ~docv:"SHAPE"
+          ~doc:
+            "Check against this shape expression (paper notation, e.g.
+             '[• {name: string, age: nullable float}]') instead of
+             inferring it from sample files.")
+  in
+  let run format shape input paths =
+    let sample_shape =
+      match shape with
+      | Some text -> (
+          match Fsdata_core.Shape_parser.parse_result text with
+          | Ok s -> Ok (None, s)
+          | Error m -> Error (`Msg m))
+      | None -> (
+          match paths with
+          | [] -> Error (`Msg "provide sample files or --shape")
+          | _ -> (
+              match infer_shape format paths with
+              | Ok (f, s) -> Ok (Some f, s)
+              | Error e -> Error e))
+    in
+    match sample_shape with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok (f, sample_shape) -> (
+        match infer_shape (match f with Some f -> Some f | None -> format) [ input ] with
+        | Error (`Msg m) -> `Error (false, m)
+        | Ok (_, input_shape) ->
+            if Preference.is_preferred input_shape sample_shape then begin
+              print_endline
+                "OK: the input's shape is preferred over the samples' shape;";
+              print_endline
+                "by relative safety (Theorem 3) all provided accesses are safe.";
+              `Ok ()
+            end
+            else begin
+              print_endline "MISMATCH:";
+              Format.printf "  input:   %a@." Shape.pp input_shape;
+              Format.printf "  samples: %a@." Shape.pp sample_shape;
+              List.iter
+                (fun m -> Format.printf "  - %a@." Fsdata_core.Explain.pp_mismatch m)
+                (Fsdata_core.Explain.explain input_shape sample_shape);
+              print_endline "Provided accesses may throw on this input.";
+              Stdlib.exit 1
+            end)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check that a document conforms to the shape inferred from the
+             samples (the premise of relative type safety).")
+    Term.(
+      ret
+        (const run $ format_arg $ shape_arg $ input_arg
+        $ Arg.(
+            value & pos_all file []
+            & info [] ~docv:"SAMPLE" ~doc:"Sample document(s).")))
+
+(* --- schema --- *)
+
+let schema_cmd =
+  let run format paths =
+    match infer_shape format paths with
+    | Ok (_, shape) ->
+        print_endline (Fsdata_codegen.Json_schema.to_string shape);
+        `Ok ()
+    | Error (`Msg m) -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "schema"
+       ~doc:"Export the inferred shape of the samples as a JSON Schema
+             (draft-07) document.")
+    Term.(ret (const run $ format_arg $ samples_arg))
+
+(* --- migrate --- *)
+
+let migrate_cmd =
+  let program_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "e"; "program" ] ~docv:"EXPR"
+          ~doc:
+            "User program over the old provided type, in the Foo concrete
+             syntax, with the free variable $(b,y) standing for the
+             provided root value (e.g. 'y.Name = y.Name').")
+  in
+  let old_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "old" ] ~docv:"SAMPLE" ~doc:"The original sample document.")
+  in
+  let new_arg =
+    Arg.(
+      non_empty
+      & opt_all file []
+      & info [ "new" ] ~docv:"SAMPLE"
+          ~doc:"Additional sample(s) the provider is re-run with.")
+  in
+  let run format program old_path new_paths =
+    match
+      ( infer_shape format [ old_path ],
+        infer_shape format (old_path :: new_paths) )
+    with
+    | Error (`Msg m), _ | _, Error (`Msg m) -> `Error (false, m)
+    | Ok (f, old_shape), Ok (_, new_shape) -> (
+        let old_provided = Provide.provide ~format:(provider_format f) old_shape in
+        let new_provided = Provide.provide ~format:(provider_format f) new_shape in
+        match Fsdata_foo.Parser.parse_expr_result program with
+        | Error m -> `Error (false, m)
+        | Ok e -> (
+            match
+              Fsdata_provider.Migrate.migrate ~old_provided ~new_provided e
+            with
+            | Ok e' ->
+                Format.printf "%a@." Fsdata_foo.Syntax.pp_expr e';
+                `Ok ()
+            | Error err ->
+                `Error (false, Fmt.str "%a" Fsdata_provider.Migrate.pp_error err)))
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:"Rewrite a user program for a provider re-run with additional
+             samples, applying the three local transformations of
+             Section 6.5 (Remark 1) automatically.")
+    Term.(ret (const run $ format_arg $ program_arg $ old_arg $ new_arg))
+
+let main =
+  Cmd.group
+    (Cmd.info "fsdata" ~version:"1.0.0"
+       ~doc:"Types from data: shape inference and type providers for JSON, \
+             XML and CSV (PLDI 2016 reproduction).")
+    [
+      infer_cmd; provide_cmd; codegen_cmd; check_cmd; schema_cmd; sample_cmd;
+      migrate_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,18 @@
+(* The static half of the type-provider substitution: generate an OCaml
+   module from a sample (what `fsdata codegen` does on the command line).
+
+   Prints the module generated for people.json; the same text is committed
+   as examples/generated/people_j.ml and compiled as part of this project,
+   so the generated code is known to type-check — the OCaml analogue of
+   the F# compiler accepting the provided types. *)
+
+open Fsdata_provider
+module Codegen = Fsdata_codegen.Codegen
+
+let () =
+  let sample = Samples.read "people.json" in
+  let p = Result.get_ok (Provide.provide_json ~root_name:"People" sample) in
+  print_string
+    (Codegen.generate
+       ~module_comment:
+         "Generated from people.json by fsdata codegen — do not edit." p)

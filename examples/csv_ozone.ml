@@ -1,0 +1,29 @@
+(* Section 6.2 — reading CSV data.
+
+   CSV literals carry no types, so the shapes of primitive values are
+   inferred: Ozone mixes 41 and 36.3 and becomes float; Temp has a #N/A
+   cell and becomes an optional int; Date mixes formats ("3 kveten" is not
+   a recognized date) and falls back to string; Autofilled contains only
+   0 and 1 — the bit shape — and is provided as bool. *)
+
+open Fsdata_provider
+open Fsdata_runtime
+
+let () =
+  let sample = Samples.read "ozone.csv" in
+  let csv = Result.get_ok (Provide.provide_csv sample) in
+
+  List.iter
+    (fun row ->
+      let ozone = Typed.(get_float (member row "Ozone")) in
+      let temp =
+        match Typed.get_option (Typed.member row "Temp") with
+        | Some t -> string_of_int (Typed.get_int t)
+        | None -> "n/a"
+      in
+      let autofilled = Typed.(get_bool (member row "Autofilled")) in
+      Printf.printf "ozone %5.1f  temp %3s  autofilled %b\n" ozone temp autofilled)
+    (Typed.get_list (Typed.parse csv sample));
+
+  print_newline ();
+  print_endline (Signature.to_string ~root_name:"Observations" csv)

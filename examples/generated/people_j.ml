@@ -1,0 +1,33 @@
+(* Generated from people.json by fsdata codegen — do not edit. *)
+
+[@@@warning "-39"] (* converter blocks are emitted with let rec *)
+
+module Ops = Fsdata_runtime.Ops
+module Shape = Fsdata_core.Shape
+
+let _ = Shape.Bottom (* silence unused-module warnings in tiny schemas *)
+
+type person = {
+  name : string;
+  age : float option;
+}
+
+let rec person_of_data (d : Fsdata_data.Data_value.t) : person =
+  {
+    name = ((fun v_1 -> Ops.conv_string (v_1))) (Ops.conv_field ~record:"\226\128\162" ~field:"name" (d));
+    age = ((fun v_1 -> Ops.conv_null ((fun v_2 -> Ops.conv_float (v_2))) (v_1))) (Ops.conv_field ~record:"\226\128\162" ~field:"age" (d));
+  }
+
+type t = person list
+
+let of_data (d : Fsdata_data.Data_value.t) : t =
+  ((fun v_0 -> Ops.conv_elements ((fun v_1 -> person_of_data (v_1))) (v_0))) d
+
+let parse (text : string) : t =
+  of_data (Fsdata_data.Primitive.normalize (Fsdata_data.Json.parse text))
+
+let load (path : string) : t =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  parse text

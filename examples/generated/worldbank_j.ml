@@ -1,0 +1,55 @@
+(* Generated from worldbank.json by fsdata codegen — do not edit. *)
+
+[@@@warning "-39"] (* converter blocks are emitted with let rec *)
+
+module Ops = Fsdata_runtime.Ops
+module Shape = Fsdata_core.Shape
+
+let _ = Shape.Bottom (* silence unused-module warnings in tiny schemas *)
+
+type record = {
+  pages : int;
+}
+
+and item = {
+  indicator : string;
+  date : int;
+  value : float option;
+}
+
+and worldBank = {
+  record : record;
+  array : item list;
+}
+
+let rec record_of_data (d : Fsdata_data.Data_value.t) : record =
+  {
+    pages = ((fun v_1 -> Ops.conv_int (v_1))) (Ops.conv_field ~record:"\226\128\162" ~field:"pages" (d));
+  }
+
+and item_of_data (d : Fsdata_data.Data_value.t) : item =
+  {
+    indicator = ((fun v_1 -> Ops.conv_string (v_1))) (Ops.conv_field ~record:"\226\128\162" ~field:"indicator" (d));
+    date = ((fun v_1 -> Ops.conv_int (v_1))) (Ops.conv_field ~record:"\226\128\162" ~field:"date" (d));
+    value = ((fun v_1 -> Ops.conv_null ((fun v_2 -> Ops.conv_float (v_2))) (v_1))) (Ops.conv_field ~record:"\226\128\162" ~field:"value" (d));
+  }
+
+and worldBank_of_data (d : Fsdata_data.Data_value.t) : worldBank =
+  {
+    record = Ops.select_single (Shape.record "\226\128\162" [("pages", Shape.Primitive Shape.Int)]) ((fun v_1 -> record_of_data (v_1))) (d);
+    array = Ops.select_single (Shape.hetero [(Shape.record "\226\128\162" [("indicator", Shape.Primitive Shape.String); ("date", Shape.Primitive Shape.Int); ("value", Shape.nullable (Shape.Primitive Shape.Float))], Fsdata_core.Multiplicity.Multiple)]) ((fun v_1 -> Ops.conv_elements ((fun v_2 -> item_of_data (v_2))) (v_1))) (d);
+  }
+
+type t = worldBank
+
+let of_data (d : Fsdata_data.Data_value.t) : t =
+  ((fun v_0 -> worldBank_of_data (v_0))) d
+
+let parse (text : string) : t =
+  of_data (Fsdata_data.Primitive.normalize (Fsdata_data.Json.parse text))
+
+let load (path : string) : t =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  parse text

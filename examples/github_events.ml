@@ -1,0 +1,53 @@
+(* A realistic API feed: GitHub-style events.
+
+   This is the kind of service the paper's introduction motivates — a
+   JSON endpoint with no schema, deep nesting, heterogeneous payloads
+   (push / watch / issues events carry different fields), nulls and ISO
+   timestamps. One sample gives typed access to all of it; the payload
+   fields that only some events carry come back as options, and the
+   created_at strings are recognized as dates. *)
+
+open Fsdata_provider
+open Fsdata_runtime
+
+let () =
+  let sample = Samples.read "events.json" in
+  let p = Result.get_ok (Provide.provide_json ~root_name:"Events" sample) in
+
+  let events = Typed.get_list (Typed.parse p sample) in
+  Printf.printf "%d events\n\n" (List.length events);
+
+  List.iter
+    (fun ev ->
+      let typ = Typed.(get_string (member ev "Type")) in
+      let login = Typed.(get_string (member (member ev "Actor") "Login")) in
+      let repo = Typed.(get_string (member (member ev "Repo") "Name")) in
+      let date = Typed.(get_date (member ev "CreatedAt")) in
+      Printf.printf "%s  %-12s %-12s %s\n"
+        (Fsdata_data.Date.to_iso8601 date)
+        typ login repo;
+      let payload = Typed.member ev "Payload" in
+      (* push events: list the commit messages. A collection field that is
+         missing from other samples stays a plain list — null reads as the
+         empty collection (Section 3.1), no option wrapper needed. *)
+      List.iter
+        (fun c ->
+          Printf.printf "    - %s\n" Typed.(get_string (member c "Message")))
+        (Typed.get_list (Typed.member payload "Commits"));
+      (* issue events: the title and labels *)
+      match Typed.get_option (Typed.member payload "Issue") with
+      | Some issue ->
+          let labels =
+            List.map
+              (fun l -> Typed.(get_string (member l "Name")))
+              (Typed.get_list (Typed.member issue "Labels"))
+          in
+          Printf.printf "    #%d %s [%s]\n"
+            Typed.(get_int (member issue "Number"))
+            Typed.(get_string (member issue "Title"))
+            (String.concat ", " labels)
+      | None -> ())
+    events;
+
+  print_newline ();
+  print_endline (Signature.to_string ~root_name:"Events" p)

@@ -1,0 +1,46 @@
+(* The HTML provider (the paper's footnote 10): "the same mechanism has
+   later been used by the HTML type provider, which provides similarly
+   easy access to data in HTML tables and lists."
+
+   A scraped page is tag soup — unquoted attributes, unclosed elements,
+   scripts containing fake markup. The lenient parser extracts the real
+   <table>s and the Section 6.2 CSV inference types their columns. *)
+
+module Csv = Fsdata_data.Csv
+open Fsdata_provider
+open Fsdata_runtime
+
+let page =
+  {|<html><body>
+      <h1>Station data</h1>
+      <p>As scraped from the report page
+      <table id="stations">
+        <tr><th>Station</th><th>Elevation</th><th>Active</th><th>Since</th></tr>
+        <tr><td>Praha-Libus</td><td>303</td><td>1</td><td>1970-01-01</td></tr>
+        <tr><td>Kosetice</td><td>534</td><td>0</td><td>1988-05-01</td></tr>
+        <tr><td>Lysa hora</td><td>1322</td><td>1</td><td>1897-07-01</td></tr>
+      </table>
+    </body></html>|}
+
+let () =
+  match Provide.provide_html page with
+  | Error e -> failwith e
+  | Ok tables ->
+      List.iter
+        (fun (name, p, table) ->
+          Printf.printf "== %s ==\n" name;
+          let rows =
+            Typed.get_list (Typed.load p (Csv.to_data ~convert_primitives:true table))
+          in
+          List.iter
+            (fun row ->
+              Printf.printf "%-12s %5dm  active=%b  since %s\n"
+                Typed.(get_string (member row "Station"))
+                Typed.(get_int (member row "Elevation"))
+                Typed.(get_bool (member row "Active"))
+                (Fsdata_data.Date.to_iso8601
+                   Typed.(get_date (member row "Since"))))
+            rows;
+          print_newline ();
+          print_endline (Signature.to_string ~root_name:name p))
+        tables

@@ -1,0 +1,38 @@
+(* Section 2.1 — people.json.
+
+   The paper's F#:
+
+     type People = JsonProvider<"people.json">
+     for item in People.Parse(data) do
+       printf "%s " item.Name
+       Option.iter (printf "(%f)") item.Age
+
+   The field Name is available on every sample record and is a string; Age
+   is missing on one record, so it is provided as an optional float (25
+   and 3.5 join as float). We then parse *different* data of the same
+   shape, exactly as the paper does. *)
+
+open Fsdata_provider
+open Fsdata_runtime
+
+let data =
+  {|[ { "name":"Jane", "age":33 },
+      { "name":"Dan", "age":50, "city":"Cambridge" },
+      { "name":"Newborn" } ]|}
+
+let () =
+  let sample = Samples.read "people.json" in
+  let people = Result.get_ok (Provide.provide_json ~root_name:"People" sample) in
+
+  let items = Typed.get_list (Typed.parse people data) in
+  List.iter
+    (fun item ->
+      Printf.printf "%s " (Typed.get_string (Typed.member item "Name"));
+      match Typed.get_option (Typed.member item "Age") with
+      | Some age -> Printf.printf "(%f) " (Typed.get_float age)
+      | None -> ())
+    items;
+  print_newline ();
+
+  (* The provided type, as displayed in the paper. *)
+  print_endline (Signature.to_string ~root_name:"People" people)

@@ -1,0 +1,20 @@
+(* Statically typed access through the *generated* module (see
+   codegen_demo.ml and examples/generated/people_j.ml): here the field
+   accesses are ordinary OCaml record fields, checked by the OCaml
+   compiler — the closest OCaml equivalent of the F# experience where the
+   compiler checks `item.Name` against the provided type. *)
+
+module People = Fsdata_examples_generated.People_j
+
+let data =
+  {|[ { "name":"Jane", "age":33 },
+      { "name":"Dan", "age":50 },
+      { "name":"Newborn" } ]|}
+
+let () =
+  List.iter
+    (fun (item : People.person) ->
+      Printf.printf "%s " item.name;
+      Option.iter (Printf.printf "(%f) ") item.age)
+    (People.parse data);
+  print_newline ()

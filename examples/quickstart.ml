@@ -1,0 +1,39 @@
+(* Quickstart — the paper's opening example (Section 1).
+
+   The hand-written version needs three levels of pattern matching to dig
+   the temperature out of the OpenWeatherMap response; with the provider
+   the same program is two lines:
+
+     type W = JsonProvider<"http://api.owm.org/?q=NYC">
+     printfn "Lovely %f!" (W.GetSample().Main.Temp)
+
+   Here the sample is the vendored Appendix A response, and the provider
+   call happens at program start instead of compile time. *)
+
+open Fsdata_provider
+open Fsdata_runtime
+
+let () =
+  let sample = Samples.read "weather.json" in
+
+  (* -------- the weakly typed version from the introduction -------- *)
+  let module Dv = Fsdata_data.Data_value in
+  (match Fsdata_data.Json.parse sample with
+  | Dv.Record (_, root) -> (
+      match List.assoc_opt "main" root with
+      | Some (Dv.Record (_, main)) -> (
+          match List.assoc_opt "temp" main with
+          | Some (Dv.Int n) -> Printf.printf "Lovely %f! (hand-written)\n" (float_of_int n)
+          | Some (Dv.Float n) -> Printf.printf "Lovely %f! (hand-written)\n" n
+          | _ -> failwith "Incorrect format")
+      | _ -> failwith "Incorrect format")
+  | _ -> failwith "Incorrect format");
+
+  (* -------- the provided version -------- *)
+  let w = Result.get_ok (Provide.provide_json ~root_name:"Weather" sample) in
+  Printf.printf "Lovely %f!\n"
+    Typed.(get_float (member (member (parse w sample) "Main") "Temp"));
+
+  (* What the provider generated (the paper prints these F# signatures): *)
+  print_newline ();
+  print_endline (Signature.to_string ~root_name:"W" w)

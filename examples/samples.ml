@@ -1,0 +1,24 @@
+(* Locating the vendored sample documents under examples/data, whether the
+   example is run from the project root, from a subdirectory, or straight
+   out of _build. *)
+
+let rec search_up dir name =
+  let candidate = Filename.concat dir (Filename.concat "examples/data" name) in
+  if Sys.file_exists candidate then Some candidate
+  else
+    let parent = Filename.dirname dir in
+    if String.equal parent dir then None else search_up parent name
+
+let path name =
+  let roots =
+    [ Sys.getcwd (); Filename.dirname Sys.executable_name ]
+  in
+  match List.find_map (fun root -> search_up root name) roots with
+  | Some p -> p
+  | None -> failwith (Printf.sprintf "sample file %s not found" name)
+
+let read name =
+  let ic = open_in_bin (path name) in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text

@@ -1,0 +1,30 @@
+(* Section 2.3 — a real-world JSON service with all three frequent
+   problems: missing data ("value": null), inconsistently encoded
+   primitives (numbers as string literals), and a heterogeneous top-level
+   collection (a metadata record next to the data array).
+
+   The provider infers a heterogeneous collection with multiplicities:
+   exactly one record and exactly one array, exposed as the members
+   Record and Array (the paper's WorldBank type). *)
+
+open Fsdata_provider
+open Fsdata_runtime
+
+let () =
+  let sample = Samples.read "worldbank.json" in
+  let wb = Result.get_ok (Provide.provide_json ~root_name:"WorldBank" sample) in
+  let root = Typed.parse wb sample in
+
+  let pages = Typed.(get_int (member (member root "Record") "Pages")) in
+  Printf.printf "total pages: %d\n" pages;
+
+  List.iter
+    (fun item ->
+      let date = Typed.(get_int (member item "Date")) in
+      match Typed.get_option (Typed.member item "Value") with
+      | Some v -> Printf.printf "  %d: debt %.5f%% of GDP\n" date (Typed.get_float v)
+      | None -> Printf.printf "  %d: no data\n" date)
+    (Typed.get_list (Typed.member root "Array"));
+
+  print_newline ();
+  print_endline (Signature.to_string ~root_name:"WorldBank" wb)

@@ -1,0 +1,58 @@
+(* Global XML inference (Section 6.2).
+
+   "The XML type provider also includes an option to use global inference.
+   In that case, the inference from values unifies the shapes of all
+   records with the same name. This is useful because, for example, in
+   XHTML all <table> elements will be treated as values of the same type."
+
+   The document below nests one table directly under <body> and another
+   inside a <div>; with global inference both are the same Table class,
+   and <div> may contain <div> recursively — a shape local inference
+   cannot express at all. *)
+
+module G = Fsdata_core.Xml_global
+module Provide = Fsdata_provider.Provide
+module Typed = Fsdata_runtime.Typed
+
+let page =
+  {|<html>
+      <body>
+        <table border="1"><row>spring</row><row>summer</row></table>
+        <div>
+          <div>
+            <table><row>autumn</row></table>
+          </div>
+        </div>
+      </body>
+    </html>|}
+
+let () =
+  (* the inferred per-element signatures *)
+  (match G.of_strings [ page ] with
+  | Ok g -> Format.printf "%a@.@." G.pp g
+  | Error e -> failwith e);
+
+  let p = Result.get_ok (Provide.provide_xml_global [ page ]) in
+  let root = Typed.parse p page in
+  let body = Typed.member root "Body" in
+
+  let print_table label t =
+    let rows =
+      List.map
+        (fun r -> Typed.get_string (Typed.member r "Value"))
+        (Typed.get_list (Typed.member t "Rows"))
+    in
+    Printf.printf "%s: [%s]%s\n" label
+      (String.concat "; " rows)
+      (match Typed.get_option (Typed.member t "Border") with
+      | Some _ -> " (with border)"
+      | None -> "")
+  in
+  print_table "table under <body>" (Typed.member body "Table");
+
+  (* walk the recursive divs to the nested table; the self-reference and
+     the table are optional, since not every <div> in the sample has them *)
+  let div1 = Typed.member body "Div" in
+  let div2 = Option.get (Typed.get_option (Typed.member div1 "Div")) in
+  print_table "table inside <div><div>"
+    (Option.get (Typed.get_option (Typed.member div2 "Table")))

@@ -1,0 +1,37 @@
+(** OCaml code generation from provided types.
+
+    OCaml has no compile-time type providers, so alongside the dynamic
+    {!Fsdata_runtime.Typed} runtime this module offers the static half of
+    the substitution (see DESIGN.md): it compiles the classes produced by
+    {!Fsdata_provider.Provide} into the source text of a self-contained
+    OCaml module — one record type per provided class, [option] for
+    nullable members, conversion functions that bottom out in
+    {!Fsdata_runtime.Ops}, and a [parse] entry point, so that typed access
+    is ordinary (statically type-checked) OCaml field access:
+
+    {[
+      (* generated from people.json *)
+      type entity = { name : string; age : float option }
+      type t = entity list
+      val parse : string -> t
+    ]}
+
+    The compiler accepts exactly the expression fragment the provider
+    emits (conversion ops, lambdas, [if hasShape ... then Some ... else
+    None], class construction); anything else raises [Invalid_argument] —
+    it would indicate a provider bug. *)
+
+val ml_type_name : string -> string
+(** Map a provided class name to an OCaml type name: lowercase the first
+    letter and escape OCaml keywords by appending ["_"]. *)
+
+val ml_field_name : string -> string
+(** Map a provided member name to an OCaml record field name. *)
+
+val shape_literal : Fsdata_core.Shape.t -> string
+(** An OCaml expression (as source text) that rebuilds the shape at
+    runtime, used for the [hasShape] guards and heterogeneous-collection
+    selectors in generated code. *)
+
+val generate : ?module_comment:string -> Fsdata_provider.Provide.t -> string
+(** The full module source. *)

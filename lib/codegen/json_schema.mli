@@ -1,0 +1,35 @@
+(** Exporting inferred shapes as JSON Schema.
+
+    Shapes are the paper's schema-free answer to typed data access; many
+    downstream tools, however, speak JSON Schema. This module renders a
+    shape as a draft-07-style schema document so inferred shapes can flow
+    into validators, editors and generators outside this library.
+
+    The mapping is the natural one, with the paper's semantics preserved:
+
+    - primitives map to JSON Schema types ([bit0]/[bit1]/[bit] map to the
+      enum of values they admit; [date] to a string with
+      ["format": "date-time"]);
+    - [nullable s] maps to [anyOf [s; {"type":"null"}]];
+    - records map to [object] with [properties]; non-nullable fields are
+      [required]. [additionalProperties] stays true — the open world;
+    - homogeneous collections map to [array]/[items]; heterogeneous
+      collections to an array whose items match [anyOf] of the entries
+      (multiplicities have no JSON Schema counterpart and are recorded in
+      a [description]);
+    - [any] (with or without labels) maps to the empty schema [{}], which
+      accepts everything — labels are advisory and go to [anyOf] inside a
+      non-asserting [description]-bearing wrapper? No: labels are listed
+      in [anyOf] together with the catch-all [true] schema, keeping the
+      schema permissive while documenting the known cases;
+    - [null] maps to [{"type":"null"}] and [⊥] to [false] (the schema
+      rejecting everything — nothing was observed).
+
+    Guarantee (tested): if [Shape_check.has_shape s d] then the schema of
+    [s] accepts the JSON rendering of [d] under the semantics above. *)
+
+val of_shape : Fsdata_core.Shape.t -> Fsdata_data.Data_value.t
+(** The schema as a data value (render with {!Fsdata_data.Json.to_string}). *)
+
+val to_string : ?indent:int -> Fsdata_core.Shape.t -> string
+(** Render directly to JSON text; default [indent] is 2. *)

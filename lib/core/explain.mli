@@ -1,0 +1,25 @@
+(** Explaining preference failures.
+
+    {!Preference.is_preferred} answers yes/no; this module answers {e why
+    not}: it mirrors the relation and collects, for every place where the
+    input shape fails to be preferred over the consumer shape, the path to
+    the offending position, the two shapes there, and which rule of
+    Definition 1 failed. [fsdata check] prints these.
+
+    Paths use a JSONPath-ish notation: [.field] for record fields, [\[\]]
+    for collection elements, [?] for the payload of a nullable. *)
+
+type mismatch = {
+  at : string;  (** path from the root *)
+  input : Shape.t;
+  expected : Shape.t;
+  reason : string;  (** which rule failed, in words *)
+}
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+val explain : Shape.t -> Shape.t -> mismatch list
+(** [explain input consumer] is empty iff
+    [Preference.is_preferred input consumer] (property-tested); otherwise
+    every reported mismatch pinpoints an actual violation. Reports all
+    independent violations, not just the first. *)

@@ -1,0 +1,124 @@
+open Fsdata_data
+
+type mode = [ `Paper | `Practical | `Xml ]
+
+let classify_string s : Shape.t =
+  match Primitive.classify s with
+  | Primitive.Hint_null -> Null
+  | Primitive.Hint_bit0 -> Primitive Bit0
+  | Primitive.Hint_bit1 -> Primitive Bit1
+  | Primitive.Hint_int -> Primitive Int
+  | Primitive.Hint_float -> Primitive Float
+  | Primitive.Hint_bool -> Primitive Bool
+  | Primitive.Hint_date -> Primitive Date
+  | Primitive.Hint_string -> Primitive String
+
+let rec shape_of_value ?(mode : mode = `Practical) (d : Data_value.t) : Shape.t =
+  match d with
+  | Null -> Null
+  | Bool _ -> Primitive Bool
+  | Int _ -> Primitive Int
+  | Float _ -> Primitive Float
+  | String s -> (
+      match mode with
+      | `Paper -> Primitive String
+      | `Practical | `Xml -> classify_string s)
+  | List ds -> infer_collection ~mode ds
+  | Record (name, fields) ->
+      Shape.record name
+        (List.map (fun (n, v) -> (n, shape_of_value ~mode v)) fields)
+
+and infer_collection ~mode ds =
+  let shapes = List.map (fun d -> shape_of_value ~mode d) ds in
+  match mode with
+  | `Paper ->
+      (* Figure 3: S([d1; ...; dn]) = [S(d1, ..., dn)] *)
+      Shape.collection (Csh.csh_all ~mode:`Core shapes)
+  | (`Practical | `Xml) as mode ->
+      (* Section 6.4: group element shapes by tag; per tag, join shapes
+         and record the observed multiplicity. Element shapes produced by
+         S are never nullable or tops, so same-tag joins preserve the tag
+         and a single grouping pass suffices. *)
+      let cmode = csh_mode mode in
+      let groups : (Tag.t * (Shape.t * int)) list ref = ref [] in
+      List.iter
+        (fun s ->
+          let t = Shape.tagof s in
+          match List.assoc_opt t !groups with
+          | Some (s0, n) ->
+              groups :=
+                (t, (Csh.csh ~mode:cmode s0 s, n + 1))
+                :: List.remove_assoc t !groups
+          | None -> groups := (t, (s, 1)) :: !groups)
+        shapes;
+      let pairs =
+        List.rev_map (fun (_, (s, n)) -> (s, Multiplicity.of_count n)) !groups
+      in
+      let pairs =
+        match (mode, pairs) with
+        | `Xml, _ :: _ :: _ ->
+            (* Section 2.2: several element kinds under one parent join
+               into a single labelled-top entry — the Element type with
+               optional members — rather than per-tag accessors. *)
+            let shape = Csh.csh_all ~mode:cmode (List.map fst pairs) in
+            (* at least two element kinds means at least two elements *)
+            [ (shape, Multiplicity.Multiple) ]
+        | _ -> pairs
+      in
+      if pairs = [] then Shape.collection Shape.Bottom else Shape.hetero pairs
+
+and csh_mode : mode -> Csh.mode = function
+  | `Paper -> `Core
+  | `Practical -> `Hetero
+  | `Xml -> `Xml
+
+let shape_of_samples ?(mode : mode = `Practical) ds =
+  Csh.csh_all ~mode:(csh_mode mode)
+    (List.map (fun d -> shape_of_value ~mode d) ds)
+
+(* ----- Format entry points ----- *)
+
+let of_json_samples ?mode samples =
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+        match Json.parse_result s with
+        | Ok d -> parse (d :: acc) rest
+        | Error _ as e -> e)
+  in
+  match parse [] samples with
+  | Ok ds -> Ok (shape_of_samples ?mode ds)
+  | Error e -> Error e
+
+let of_json ?mode src =
+  match Json.parse_many src with
+  | [] -> Error "no JSON sample documents found"
+  | ds -> Ok (shape_of_samples ?mode ds)
+  | exception Json.Parse_error { line; column; message } ->
+      Error
+        (Printf.sprintf "JSON parse error at line %d, column %d: %s" line column
+           message)
+
+let of_xml_samples ?(mode : mode = `Xml) samples =
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+        match Xml.parse_result s with
+        | Ok tree ->
+            (* Inference classifies the raw attribute/body strings itself,
+               so keep them unconverted here. *)
+            parse (Xml.to_data ~convert_primitives:false tree :: acc) rest
+        | Error m -> Error m)
+  in
+  match parse [] samples with
+  | Ok ds -> Ok (shape_of_samples ~mode ds)
+  | Error e -> Error e
+
+let of_xml ?mode src = of_xml_samples ?mode [ src ]
+
+let of_csv ?separator ?has_headers src =
+  match Csv.parse_result ?separator ?has_headers src with
+  | Error _ as e -> e
+  | Ok table ->
+      let data = Csv.to_data ~convert_primitives:false table in
+      Ok (shape_of_value ~mode:`Practical data)

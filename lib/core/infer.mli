@@ -1,0 +1,57 @@
+(** Shape inference from sample data (Figure 3).
+
+    [S(d)] maps a data value to its most specific shape; [S(d1, ..., dn)]
+    folds the common preferred shape over several samples starting from
+    bottom. Records are handled with the row-variable mechanism of the
+    paper: the minimal ground substitution surfaces as the
+    make-one-sided-fields-nullable rule inside {!Csh.csh}.
+
+    Two axes of configuration mirror the paper:
+
+    - [`Paper] inference is Figure 3 verbatim: integers are [int], strings
+      are [string], collections are homogeneous (rule (list) of Figure 2).
+      This is the algebra used by the formal development of Sections 3-5.
+    - [`Practical] inference (the default; what F# Data ships) additionally
+      (a) classifies string literals with {!Fsdata_data.Primitive} — so
+      ["35.14229"] infers as [float], ["2012"] as [int], ["2012-05-01"] as
+      [date], ["0"]/["1"] as [bit], missing-value markers as [null]
+      (Section 6.2) — and (b) infers heterogeneous collections with
+      multiplicities (Section 6.4).
+    - [`Xml] is [`Practical] except that collections follow the XML
+      discipline of Section 2.2: the elements of a body are joined into a
+      single entry (a labelled top when several element kinds occur), so
+      that the provider exposes an element type with optional members
+      rather than per-tag accessors. *)
+
+type mode = [ `Paper | `Practical | `Xml ]
+
+val shape_of_value : ?mode:mode -> Fsdata_data.Data_value.t -> Shape.t
+(** [S(d)]. Default mode is [`Practical]. *)
+
+val shape_of_samples : ?mode:mode -> Fsdata_data.Data_value.t list -> Shape.t
+(** [S(d1, ..., dn)] — bottom when the list is empty. *)
+
+val classify_string : string -> Shape.t
+(** The shape a string literal infers to in practical mode. *)
+
+(** {1 Format entry points}
+
+    Each parses its input and infers the shape of the samples it contains,
+    the way the corresponding F# Data type provider does. *)
+
+val of_json : ?mode:mode -> string -> (Shape.t, string) result
+(** One or more whitespace-separated JSON sample documents. *)
+
+val of_json_samples : ?mode:mode -> string list -> (Shape.t, string) result
+(** Several separate JSON sample strings (the multi-sample static
+    parameter of the provider). *)
+
+val of_xml : ?mode:mode -> string -> (Shape.t, string) result
+(** A single XML sample document; the default mode here is [`Xml]. *)
+
+val of_xml_samples : ?mode:mode -> string list -> (Shape.t, string) result
+
+val of_csv : ?separator:char -> ?has_headers:bool -> string -> (Shape.t, string) result
+(** A CSV sample; the shape is the collection of row-record shapes
+    (Section 6.2). CSV inference is always practical: its literals carry
+    no types. *)

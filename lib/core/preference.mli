@@ -1,0 +1,42 @@
+(** The preferred shape relation [s1 ⊑ s2] (Definition 1, Figure 1).
+
+    [is_preferred s1 s2] decides whether [s1] is preferred over [s2], i.e.
+    whether data of shape [s1] can safely be consumed by code generated for
+    shape [s2]. The relation is the reflexive-transitive closure of:
+
+    + [int ⊑ float] — and, from Section 6.2, [bit ⊑ int], [bit ⊑ bool]
+      and [date ⊑ string];
+    + [null ⊑ s] for every nullable [s] (everything except primitives and
+      records);
+    + [s^ ⊑ nullable s^] and nullable covariance;
+    + collection covariance, extended to heterogeneous collections: each
+      entry of the consumer shape must either be matched (same tag,
+      preferred element shape, preferred multiplicity) or be absent with a
+      multiplicity that tolerates absence ([1?] or [*]); entries of the
+      input with tags unknown to the consumer are permitted (the runtime
+      ignores them — the open-world reading of Section 6.4);
+    + [⊥ ⊑ s] and [s ⊑ any] — labelled tops are tops regardless of their
+      labels (Section 3.5);
+    + record covariance and width: the consumer's fields must each be
+      matched by a preferred field of the input, or be nullable when the
+      input lacks them. The latter clause is the "null-field extension"
+      closure of rules (8)-(9): a record without field [f] is
+      observationally equal to one with [f ↦ null], because [convField]
+      (Figure 6) passes [null] to the continuation for missing fields.
+      This is exactly what the relative-safety statement of Section 5
+      requires ("records in the input can have fewer fields ... provided
+      that the sample also contains records that do not have the field").
+
+    The relation restricted to ground shapes without labelled tops is a
+    partial order (antisymmetric up to {!Shape.equal}); labelled tops are
+    all equivalent to [any], so on the full algebra it is a preorder. *)
+
+val is_preferred : Shape.t -> Shape.t -> bool
+
+val is_preferred_primitive : Shape.primitive -> Shape.primitive -> bool
+(** The primitive fragment of the relation:
+    [bit ⊑ {bit,bool,int,float}], [int ⊑ {int,float}], [date ⊑ {date,string}],
+    and reflexivity. *)
+
+val equivalent : Shape.t -> Shape.t -> bool
+(** Mutual preference. On top-free shapes this implies {!Shape.equal}. *)

@@ -1,0 +1,204 @@
+type primitive = Bit0 | Bit1 | Bit | Bool | Int | Float | String | Date
+
+type t =
+  | Bottom
+  | Null
+  | Primitive of primitive
+  | Record of record
+  | Nullable of t
+  | Collection of entry list
+  | Top of t list
+
+and record = { name : string; fields : (string * t) list }
+
+and entry = { shape : t; mult : Multiplicity.t }
+
+let primitive_rank = function
+  | Bit0 -> 0
+  | Bit1 -> 1
+  | Bit -> 2
+  | Bool -> 3
+  | Int -> 4
+  | Float -> 5
+  | String -> 6
+  | Date -> 7
+
+let is_non_nullable = function Primitive _ | Record _ -> true | _ -> false
+
+let tagof = function
+  | Bottom -> invalid_arg "Shape.tagof: bottom has no tag"
+  | Null -> Tag.Null
+  | Primitive (Bit0 | Bit1 | Bit | Int | Float) -> Tag.Number
+  | Primitive Bool -> Tag.Bool
+  | Primitive String -> Tag.String
+  | Primitive Date -> Tag.Date
+  | Record { name; _ } -> Tag.Record name
+  | Nullable _ -> Tag.Nullable
+  | Collection _ -> Tag.Collection
+  | Top _ -> Tag.Top
+
+let sort_fields fields =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) fields
+
+let rec compare a b =
+  match (a, b) with
+  | Bottom, Bottom -> 0
+  | Bottom, _ -> -1
+  | _, Bottom -> 1
+  | Null, Null -> 0
+  | Null, _ -> -1
+  | _, Null -> 1
+  | Primitive x, Primitive y -> Int.compare (primitive_rank x) (primitive_rank y)
+  | Primitive _, _ -> -1
+  | _, Primitive _ -> 1
+  | Record r1, Record r2 -> compare_records r1 r2
+  | Record _, _ -> -1
+  | _, Record _ -> 1
+  | Nullable x, Nullable y -> compare x y
+  | Nullable _, _ -> -1
+  | _, Nullable _ -> 1
+  | Collection e1, Collection e2 -> compare_entries e1 e2
+  | Collection _, _ -> -1
+  | _, Collection _ -> 1
+  | Top l1, Top l2 -> compare_list l1 l2
+
+and compare_records r1 r2 =
+  match String.compare r1.name r2.name with
+  | 0 -> compare_fields (sort_fields r1.fields) (sort_fields r2.fields)
+  | c -> c
+
+and compare_fields f g =
+  match (f, g) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | (n1, s1) :: f, (n2, s2) :: g -> (
+      match String.compare n1 n2 with
+      | 0 -> ( match compare s1 s2 with 0 -> compare_fields f g | c -> c)
+      | c -> c)
+
+and compare_entries e f =
+  match (e, f) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | e1 :: e, f1 :: f -> (
+      match compare e1.shape f1.shape with
+      | 0 ->
+          if e1.mult = f1.mult then compare_entries e f
+          else Stdlib.compare e1.mult f1.mult
+      | c -> c)
+
+and compare_list l1 l2 =
+  match (l1, l2) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: l1, y :: l2 -> ( match compare x y with 0 -> compare_list l1 l2 | c -> c)
+
+let equal a b = compare a b = 0
+
+let record name fields =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (n, _) ->
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Shape.record: duplicate field %S" n)
+      else Hashtbl.add seen n ())
+    fields;
+  Record { name; fields }
+
+let nullable s = if is_non_nullable s then Nullable s else s
+let strip_nullable = function Nullable s -> s | s -> s
+
+let check_entry_shape s =
+  match s with
+  | Bottom -> invalid_arg "Shape.hetero: bottom entry"
+  | _ -> ()
+
+let sort_by_tag key xs =
+  let xs = List.sort (fun a b -> Tag.compare (key a) (key b)) xs in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if Tag.equal (key a) (key b) then
+          invalid_arg
+            (Fmt.str "Shape: duplicate tag %a in labelled top or collection"
+               Tag.pp (key a))
+        else check rest
+    | _ -> ()
+  in
+  check xs;
+  xs
+
+let hetero pairs =
+  let entries = List.map (fun (shape, mult) -> check_entry_shape shape; { shape; mult }) pairs in
+  Collection (sort_by_tag (fun e -> tagof e.shape) entries)
+
+let collection s =
+  (* [collection Bottom] is the paper's [⊥] element shape arising from an
+     empty sample collection; represented as an entry-less collection. *)
+  if s = Bottom then Collection [] else hetero [ (s, Multiplicity.Multiple) ]
+
+let check_label s =
+  match s with
+  | Bottom | Null | Nullable _ | Top _ ->
+      invalid_arg (Fmt.str "Shape.top: invalid label")
+  | _ -> ()
+
+let top labels =
+  List.iter check_label labels;
+  Top (sort_by_tag tagof labels)
+
+let any = Top []
+
+let collection_element = function
+  | Collection [] -> Some Bottom
+  | Collection [ { shape; _ } ] -> Some shape
+  | _ -> None
+
+let rec size = function
+  | Bottom | Null | Primitive _ -> 1
+  | Record { fields; _ } ->
+      1 + List.fold_left (fun acc (_, s) -> acc + size s) 0 fields
+  | Nullable s -> 1 + size s
+  | Collection entries ->
+      1 + List.fold_left (fun acc e -> acc + size e.shape) 0 entries
+  | Top labels -> 1 + List.fold_left (fun acc s -> acc + size s) 0 labels
+
+let pp_primitive ppf p =
+  Fmt.string ppf
+    (match p with
+    | Bit0 -> "bit0"
+    | Bit1 -> "bit1"
+    | Bit -> "bit"
+    | Bool -> "bool"
+    | Int -> "int"
+    | Float -> "float"
+    | String -> "string"
+    | Date -> "date")
+
+let rec pp ppf = function
+  | Bottom -> Fmt.string ppf "\xe2\x8a\xa5"
+  | Null -> Fmt.string ppf "null"
+  | Primitive p -> pp_primitive ppf p
+  | Record { name; fields } ->
+      Fmt.pf ppf "%s {@[<hov>%a@]}" name
+        Fmt.(list ~sep:(any ",@ ") pp_field)
+        fields
+  | Nullable s -> Fmt.pf ppf "nullable %a" pp s
+  | Collection [] -> Fmt.string ppf "[\xe2\x8a\xa5]"
+  | Collection [ { shape; mult = Multiplicity.Multiple } ] ->
+      Fmt.pf ppf "[%a]" pp shape
+  | Collection entries ->
+      Fmt.pf ppf "[@[<hov>%a@]]" Fmt.(list ~sep:(any " |@ ") pp_entry) entries
+  | Top [] -> Fmt.string ppf "any"
+  | Top labels ->
+      Fmt.pf ppf "any\xe2\x9f\xa8@[<hov>%a@]\xe2\x9f\xa9"
+        Fmt.(list ~sep:(any ",@ ") pp)
+        labels
+
+and pp_field ppf (name, s) = Fmt.pf ppf "%s: %a" name pp s
+
+and pp_entry ppf { shape; mult } = Fmt.pf ppf "%a, %a" pp shape Multiplicity.pp mult
+
+let to_string s = Fmt.str "%a" pp s

@@ -1,0 +1,116 @@
+(** The shape algebra of Section 3.1, with the extensions of Sections 3.5
+    (labelled top shapes), 6.2 (bit and date primitives) and 6.4
+    (heterogeneous collections with multiplicities).
+
+    {v
+      sigma^ = nu {nu1:s1, ..., nun:sn} | float | int | bool | string
+      sigma  = sigma^ | nullable sigma^ | [sigma] | any | null | bot
+             | any<s1, ..., sn>                     (labelled top, 3.5)
+             | [s1,psi1 | ... | sn,psin]            (heterogeneous, 6.4)
+      plus the bit and date primitives               (6.2)
+    v}
+
+    The representation is canonical: labels of a top and entries of a
+    collection are sorted by {!Tag.t} and contain at most one shape per
+    tag, so structural equality coincides with shape equality. Record
+    fields keep their sample order (the provided types list members in
+    that order) but {!equal} ignores it, matching the paper's "we assume
+    that record fields can be freely reordered".
+
+    A homogeneous collection [[sigma]] of the core calculus is represented
+    as a heterogeneous collection with a single [Multiple] entry; use
+    {!collection} to build one and {!collection_element} to observe it. *)
+
+type primitive =
+  | Bit0  (** the lone literal 0 — provided as [int] *)
+  | Bit1  (** the lone literal 1 — provided as [int] *)
+  | Bit
+      (** Section 6.2: preferred below both [int] and [bool]; the join of
+          [Bit0] and [Bit1], provided as [bool] ("we also infer Autofilled
+          as Boolean, because the sample contains only 0 and 1") *)
+  | Bool
+  | Int
+  | Float
+  | String
+  | Date  (** Section 6.2: preferred below [string] *)
+
+type t =
+  | Bottom
+  | Null
+  | Primitive of primitive
+  | Record of record
+  | Nullable of t
+      (** invariant: the payload is non-nullable, i.e. [Primitive] or
+          [Record] — collections and tops already permit null *)
+  | Collection of entry list
+      (** invariant: sorted by tag, one entry per tag; entry shapes are
+          never [Bottom]. [Collection []] is the paper's [[⊥]], the shape
+          of a sample collection with no elements. Heterogeneous inference
+          never creates [Nullable] entries (null elements get their own
+          [Tag.Null] entry), but core-mode homogeneous collections may
+          carry one, e.g. [[nullable int]] inferred from [[1; null]]. *)
+  | Top of t list
+      (** labelled top; [Top []] is the plain [any]. Invariant: labels are
+          sorted by tag, one per tag, and are non-nullable, non-null,
+          non-bottom and not tops themselves. *)
+
+and record = { name : string; fields : (string * t) list }
+
+and entry = { shape : t; mult : Multiplicity.t }
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** {1 Constructors} *)
+
+val record : string -> (string * t) list -> t
+(** Raises [Invalid_argument] on duplicate field names. *)
+
+val collection : t -> t
+(** [collection s] is the paper's homogeneous [[s]]; [collection Bottom]
+    is the empty-collection shape [[⊥]], i.e. [Collection []]. *)
+
+val hetero : (t * Multiplicity.t) list -> t
+(** Build a heterogeneous collection; raises [Invalid_argument] if two
+    entries share a tag or an entry violates the invariants. *)
+
+val top : t list -> t
+(** Build a labelled top from labels; normalizes order and raises
+    [Invalid_argument] on duplicate tags or invalid labels. *)
+
+val any : t
+(** The unlabelled top shape. *)
+
+val nullable : t -> t
+(** The paper's ceiling operator [⌈s⌉]: wraps non-nullable shapes, leaves
+    every other shape unchanged. *)
+
+val strip_nullable : t -> t
+(** The paper's floor operator [⌊s⌋]: unwraps [Nullable], identity
+    otherwise. *)
+
+(** {1 Observations} *)
+
+val is_non_nullable : t -> bool
+(** True for the [sigma^] shapes: primitives and records. *)
+
+val tagof : t -> Tag.t
+(** The [tagof] function of Figure 4. [Bottom] has no tag and raises
+    [Invalid_argument]; [Null] is given the [Tag.Null] tag used by
+    heterogeneous collections. *)
+
+val collection_element : t -> t option
+(** [collection_element (collection s)] is [Some s]; [None] when the shape
+    is not a collection or has several entries. The element of a
+    heterogeneous singleton entry is returned whatever its multiplicity. *)
+
+val size : t -> int
+(** Number of shape constructors; used by benchmarks and test generators. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Paper-style notation: [nu {a: int, b: nullable string}],
+    [\[int\]], [any<float, bool>], [\[• {..}, 1 | \[..\], 1\]]. *)
+
+val to_string : t -> string

@@ -1,0 +1,34 @@
+(** The runtime shape test [hasShape] (Figure 6, Part I).
+
+    [has_shape s d] decides whether the data value [d] has shape [s]. The
+    provided code uses it to guard the members of labelled top shapes
+    (Section 4.2) and to select elements of heterogeneous collections
+    (Section 6.4).
+
+    The implementation follows Figure 6 with two documented closures of
+    gaps in the published rules:
+
+    - Figure 6 gives no rule for [nullable s], yet record fields of label
+      shapes are routinely nullable; we use
+      [has_shape (nullable s) d = (d = null) ∨ has_shape s d].
+    - The record rule as printed requires every shape field to be present
+      in the value; a value record missing field [f] is observationally
+      identical to one with [f ↦ null] (that is what [convField] passes to
+      the continuation), so a missing field passes iff its shape admits
+      null.
+
+    Both closures only make the test accept more values whose subsequent
+    conversions cannot get stuck, so Lemma 2 is preserved.
+
+    For heterogeneous collections the test mirrors the provider's reading
+    (see {!Preference}): a single non-null entry checks every element
+    homogeneously; several entries check elements that match some entry's
+    tag and ignore unknown-tag and null elements (open world). *)
+
+val has_shape : Shape.t -> Fsdata_data.Data_value.t -> bool
+
+val tag_of_data : Fsdata_data.Data_value.t -> Tag.t
+(** The tag a data value exhibits at runtime: numbers are [Number],
+    records their name, lists [Collection], etc. Strings are [String]
+    regardless of content — runtime dispatch never re-classifies literals.
+*)

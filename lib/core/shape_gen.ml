@@ -1,0 +1,44 @@
+module Dv = Fsdata_data.Data_value
+
+let words = [| "alpha"; "bravo"; "charlie"; "delta"; "echo"; "foxtrot" |]
+
+let rec sample ?(seed = 0) (s : Shape.t) : Dv.t =
+  match s with
+  | Shape.Bottom -> invalid_arg "Shape_gen.sample: bottom has no witness"
+  | Shape.Null -> Dv.Null
+  | Shape.Primitive p -> primitive seed p
+  | Shape.Nullable inner ->
+      if seed mod 2 = 1 then Dv.Null else sample ~seed inner
+  | Shape.Record { name; fields } ->
+      Dv.Record
+        (name, List.mapi (fun i (f, fs) -> (f, sample ~seed:(seed + i) fs)) fields)
+  | Shape.Collection entries ->
+      let elements =
+        List.concat_map
+          (fun (e : Shape.entry) ->
+            if e.shape = Shape.Null then [ Dv.Null ]
+            else
+              match e.mult with
+              | Multiplicity.Single | Multiplicity.Optional_single ->
+                  [ sample ~seed e.shape ]
+              | Multiplicity.Multiple ->
+                  [ sample ~seed e.shape; sample ~seed:(seed + 1) e.shape ])
+          entries
+      in
+      Dv.List elements
+  | Shape.Top [] -> Dv.Null
+  | Shape.Top (label :: _) -> sample ~seed label
+
+and primitive seed (p : Shape.primitive) : Dv.t =
+  match p with
+  | Shape.Bit0 -> Dv.Int 0
+  | Shape.Bit1 -> Dv.Int 1
+  | Shape.Bit -> Dv.Int (seed mod 2)
+  | Shape.Bool -> Dv.Bool (seed mod 2 = 0)
+  | Shape.Int -> Dv.Int (7 + seed)
+  | Shape.Float -> Dv.Float (0.5 +. float_of_int seed)
+  | Shape.String -> Dv.String words.(abs seed mod Array.length words)
+  | Shape.Date ->
+      Dv.String (Printf.sprintf "2016-%02d-%02d" (1 + (seed mod 12)) (1 + (seed mod 28)))
+
+let samples ?(count = 3) s = List.init count (fun i -> sample ~seed:i s)

@@ -1,0 +1,29 @@
+(** Generating representative documents from shapes — the inverse of
+    inference.
+
+    [sample s] produces a data value that conforms to [s]:
+    [Shape_check.has_shape s (sample s)] holds, and the inferred shape of
+    the sample is preferred over [s] (both property-tested). Useful for
+    producing documentation examples and test fixtures from a shape
+    written in the paper notation, and for the [fsdata sample] command.
+
+    Deterministic: the same shape always yields the same document (a
+    small counter drives value variety, no global randomness). *)
+
+val sample : ?seed:int -> Shape.t -> Fsdata_data.Data_value.t
+(** Choices made:
+    - primitives get simple witnesses ([bit0] ↦ 0, [date] ↦ an ISO date,
+      [string] ↦ a short word varying with [seed]);
+    - [nullable s] alternates between a witness of [s] and null;
+    - records get a witness per field;
+    - homogeneous collections get two elements (so repeated structure is
+      visible); heterogeneous entries are witnessed per multiplicity —
+      one element for [1], one for [1?], two for [*];
+    - labelled tops are witnessed by their first label, or null when
+      label-free;
+    - [⊥] has no witness: it only occurs as the element of an empty
+      collection, which is sampled as the empty list. [sample Bottom]
+      itself raises [Invalid_argument]. *)
+
+val samples : ?count:int -> Shape.t -> Fsdata_data.Data_value.t list
+(** [count] (default 3) documents with varying seeds. *)

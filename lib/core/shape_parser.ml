@@ -1,0 +1,224 @@
+exception Parse_error of { position : int; message : string }
+
+type state = { src : string; len : int; mutable pos : int }
+
+let error st fmt =
+  Printf.ksprintf
+    (fun message -> raise (Parse_error { position = st.pos; message }))
+    fmt
+
+(* multi-byte symbols *)
+let sym_bottom = "\xe2\x8a\xa5" (* ⊥ *)
+let sym_langle = "\xe2\x9f\xa8" (* ⟨ *)
+let sym_rangle = "\xe2\x9f\xa9" (* ⟩ *)
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= st.len && String.sub st.src st.pos n = s
+
+let skip st s = st.pos <- st.pos + String.length s
+
+let skip_ws st =
+  while
+    st.pos < st.len
+    && (match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let is_delim_at st =
+  looking_at st sym_langle || looking_at st sym_rangle
+  ||
+  match st.src.[st.pos] with
+  | '[' | ']' | '{' | '}' | ',' | ':' | '|' | '<' | '>' | ' ' | '\t' | '\n'
+  | '\r' ->
+      true
+  | _ -> false
+
+(* an identifier: a maximal run of non-delimiter bytes (so •, •row and
+   namespaced XML names all work) *)
+let ident st =
+  skip_ws st;
+  let start = st.pos in
+  while st.pos < st.len && not (is_delim_at st) do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then error st "expected an identifier";
+  String.sub st.src start (st.pos - start)
+
+let expect st c =
+  skip_ws st;
+  if st.pos < st.len && st.src.[st.pos] = c then st.pos <- st.pos + 1
+  else error st "expected %C" c
+
+let primitive_of_string = function
+  | "bit0" -> Some Shape.Bit0
+  | "bit1" -> Some Shape.Bit1
+  | "bit" -> Some Shape.Bit
+  | "bool" -> Some Shape.Bool
+  | "int" -> Some Shape.Int
+  | "float" -> Some Shape.Float
+  | "string" -> Some Shape.String
+  | "date" -> Some Shape.Date
+  | _ -> None
+
+let rec parse_shape st : Shape.t =
+  skip_ws st;
+  if looking_at st sym_bottom then begin
+    skip st sym_bottom;
+    Shape.Bottom
+  end
+  else if looking_at st "_|_" then begin
+    skip st "_|_";
+    Shape.Bottom
+  end
+  else if st.pos < st.len && st.src.[st.pos] = '[' then parse_collection st
+  else if st.pos < st.len && st.src.[st.pos] = '{' then
+    (* anonymous record: the JSON record name *)
+    Shape.record Fsdata_data.Data_value.json_record_name (parse_fields st)
+  else begin
+    let name = ident st in
+    match name with
+    | "bot" -> Shape.Bottom
+    | "null" -> Shape.Null
+    | "nullable" ->
+        let inner = parse_shape st in
+        if Shape.is_non_nullable inner then Shape.Nullable inner
+        else error st "nullable expects a primitive or record shape"
+    | "any" ->
+        skip_ws st;
+        if looking_at st sym_langle then begin
+          skip st sym_langle;
+          let labels = parse_label_list st sym_rangle in
+          Shape.top labels
+        end
+        else if st.pos < st.len && st.src.[st.pos] = '<' then begin
+          st.pos <- st.pos + 1;
+          let labels = parse_label_list st ">" in
+          Shape.top labels
+        end
+        else Shape.any
+    | _ -> (
+        match primitive_of_string name with
+        | Some p -> Shape.Primitive p
+        | None ->
+            (* a named record *)
+            skip_ws st;
+            if st.pos < st.len && st.src.[st.pos] = '{' then
+              Shape.record name (parse_fields st)
+            else error st "unknown shape %S" name)
+  end
+
+and parse_fields st =
+  expect st '{';
+  skip_ws st;
+  if st.pos < st.len && st.src.[st.pos] = '}' then begin
+    st.pos <- st.pos + 1;
+    []
+  end
+  else begin
+    let rec fields acc =
+      let name = ident st in
+      expect st ':';
+      let s = parse_shape st in
+      let acc = (name, s) :: acc in
+      skip_ws st;
+      if st.pos < st.len && st.src.[st.pos] = ',' then begin
+        st.pos <- st.pos + 1;
+        fields acc
+      end
+      else begin
+        expect st '}';
+        List.rev acc
+      end
+    in
+    fields []
+  end
+
+and parse_label_list st closer =
+  let rec labels acc =
+    let s = parse_shape st in
+    skip_ws st;
+    if st.pos < st.len && st.src.[st.pos] = ',' then begin
+      st.pos <- st.pos + 1;
+      labels (s :: acc)
+    end
+    else begin
+      skip_ws st;
+      if looking_at st closer then begin
+        skip st closer;
+        List.rev (s :: acc)
+      end
+      else error st "expected %s or ',' in labelled top" closer
+    end
+  in
+  labels []
+
+and parse_mult st : Multiplicity.t =
+  skip_ws st;
+  if looking_at st "1?" then begin
+    skip st "1?";
+    Multiplicity.Optional_single
+  end
+  else if looking_at st "1" then begin
+    skip st "1";
+    Multiplicity.Single
+  end
+  else if looking_at st "*" then begin
+    skip st "*";
+    Multiplicity.Multiple
+  end
+  else error st "expected a multiplicity (1, 1? or *)"
+
+and parse_collection st =
+  expect st '[';
+  skip_ws st;
+  if st.pos < st.len && st.src.[st.pos] = ']' then begin
+    st.pos <- st.pos + 1;
+    Shape.collection Shape.Bottom
+  end
+  else begin
+    let rec entries acc =
+      let s = parse_shape st in
+      skip_ws st;
+      let mult =
+        if st.pos < st.len && st.src.[st.pos] = ',' then begin
+          st.pos <- st.pos + 1;
+          parse_mult st
+        end
+        else Multiplicity.Multiple
+      in
+      let acc = (s, mult) :: acc in
+      skip_ws st;
+      if st.pos < st.len && st.src.[st.pos] = '|' then begin
+        st.pos <- st.pos + 1;
+        entries acc
+      end
+      else begin
+        expect st ']';
+        List.rev acc
+      end
+    in
+    match entries [] with
+    | [ (Shape.Bottom, _) ] -> Shape.collection Shape.Bottom
+    | [ (s, Multiplicity.Multiple) ] -> Shape.collection s
+    | pairs ->
+        if List.exists (fun (s, _) -> s = Shape.Bottom) pairs then
+          error st "bottom cannot appear as a collection entry"
+        else Shape.hetero pairs
+  end
+
+let parse src =
+  let st = { src; len = String.length src; pos = 0 } in
+  let s = parse_shape st in
+  skip_ws st;
+  if st.pos < st.len then error st "trailing input after shape";
+  s
+
+let parse_result src =
+  match parse src with
+  | s -> Ok s
+  | exception Parse_error { position; message } ->
+      Error (Printf.sprintf "shape parse error at offset %d: %s" position message)
+  | exception Invalid_argument message ->
+      Error (Printf.sprintf "invalid shape: %s" message)

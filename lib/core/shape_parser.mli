@@ -1,0 +1,28 @@
+(** Parsing the paper's shape notation.
+
+    Accepts exactly the notation {!Shape.pp} prints — so shapes round-trip
+    through text — plus ASCII spellings for the symbols:
+
+    {v
+      ⊥ | _|_ | bot          bottom
+      null                   the null shape
+      bit0 bit1 bit bool int float string date
+      nullable s             ⌈s⌉
+      name {f1: s1, f2: s2}  records (the name may be •, •row, or any
+                             identifier; an empty name is the JSON record)
+      [s]                    homogeneous collections
+      [⊥]                    the empty collection
+      [s1, m1 | s2, m2]      heterogeneous collections, m ::= 1 | 1? | *
+      any                    the unlabelled top
+      any⟨s1, s2⟩ / any<s1, s2>   labelled tops
+    v}
+
+    Useful for writing shapes in tests and on the [fsdata check] command
+    line, and for the round-trip property [parse (to_string s) = s]. *)
+
+exception Parse_error of { position : int; message : string }
+
+val parse : string -> Shape.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_result : string -> (Shape.t, string) result

@@ -1,0 +1,53 @@
+type t =
+  | Null
+  | Bool
+  | Number
+  | String
+  | Date
+  | Record of string
+  | Collection
+  | Nullable
+  | Top
+
+let rank = function
+  | Null -> 0
+  | Bool -> 1
+  | Number -> 2
+  | String -> 3
+  | Date -> 4
+  | Record _ -> 5
+  | Collection -> 6
+  | Nullable -> 7
+  | Top -> 8
+
+let compare a b =
+  match (a, b) with
+  | Record x, Record y -> String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let to_member_name = function
+  | Null -> "Null"
+  | Bool -> "Boolean"
+  | Number -> "Number"
+  | String -> "String"
+  | Date -> "Date"
+  | Record name ->
+      if name = Fsdata_data.Data_value.json_record_name then "Record" else name
+  | Collection -> "Array"
+  | Nullable -> "Nullable"
+  | Top -> "Any"
+
+let pp ppf t =
+  Fmt.string ppf
+    (match t with
+    | Null -> "null"
+    | Bool -> "bool"
+    | Number -> "number"
+    | String -> "string"
+    | Date -> "date"
+    | Record name -> name
+    | Collection -> "collection"
+    | Nullable -> "nullable"
+    | Top -> "any")

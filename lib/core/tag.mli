@@ -1,0 +1,30 @@
+(** Shape tags (Figure 4 of the paper).
+
+    A tag identifies a group of shapes that have a common preferred shape
+    other than the top shape. Labelled top shapes and heterogeneous
+    collections keep at most one label per tag: rather than inferring
+    [any<int, any<bool, float>>], the algorithm joins [int] and [float]
+    (both tagged [number]) and produces [any<float, bool>]. *)
+
+type t =
+  | Null  (** used only for null elements inside heterogeneous collections *)
+  | Bool
+  | Number  (** int, float and the bit shape of Section 6.2 *)
+  | String
+  | Date  (** the date shape of Section 6.2; joins with [string] *)
+  | Record of string  (** the paper's [nu] tag: records are tagged by name *)
+  | Collection
+  | Nullable
+  | Top
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_member_name : t -> string
+(** The name a type provider uses for the member corresponding to a label
+    with this tag (Section 4.2: "we can use the tag for the name of the
+    generated member"; Section 2.3 uses [Record] and [Array]). Record tags
+    use their name (the anonymous JSON record name becomes ["Record"]),
+    collections become ["Array"], primitives their capitalized kind. *)
+
+val pp : Format.formatter -> t -> unit

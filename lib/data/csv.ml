@@ -1,0 +1,159 @@
+type table = { headers : string list; rows : string list list }
+
+exception Parse_error of { line : int; message : string }
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* Split the input into rows of raw cells, honouring RFC 4180 quoting. *)
+let split_rows ~separator src =
+  let len = String.length src in
+  let rows = ref [] in
+  let cells = ref [] in
+  let buf = Buffer.create 16 in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let row_nonempty = ref false in
+  let flush_cell () =
+    cells := Buffer.contents buf :: !cells;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_cell ();
+    (* A completely empty line is skipped rather than read as a row with a
+       single empty cell. *)
+    (match !cells with
+    | [ "" ] when not !row_nonempty -> ()
+    | cs -> rows := List.rev cs :: !rows);
+    cells := [];
+    row_nonempty := false
+  in
+  while !pos < len do
+    let c = src.[!pos] in
+    if c = '"' then begin
+      row_nonempty := true;
+      incr pos;
+      let closed = ref false in
+      while not !closed do
+        if !pos >= len then error !line "unterminated quoted cell"
+        else begin
+          let c = src.[!pos] in
+          if c = '"' then
+            if !pos + 1 < len && src.[!pos + 1] = '"' then begin
+              Buffer.add_char buf '"';
+              pos := !pos + 2
+            end
+            else begin
+              closed := true;
+              incr pos
+            end
+          else begin
+            if c = '\n' then incr line;
+            Buffer.add_char buf c;
+            incr pos
+          end
+        end
+      done
+    end
+    else if c = separator then begin
+      row_nonempty := true;
+      flush_cell ();
+      incr pos
+    end
+    else if c = '\r' && !pos + 1 < len && src.[!pos + 1] = '\n' then begin
+      flush_row ();
+      incr line;
+      pos := !pos + 2
+    end
+    else if c = '\n' || c = '\r' then begin
+      flush_row ();
+      incr line;
+      incr pos
+    end
+    else begin
+      row_nonempty := true;
+      Buffer.add_char buf c;
+      incr pos
+    end
+  done;
+  if Buffer.length buf > 0 || !cells <> [] then flush_row ();
+  List.rev !rows
+
+let default_header i = Printf.sprintf "Column%d" (i + 1)
+
+let parse ?(separator = ',') ?(has_headers = true) src =
+  match split_rows ~separator src with
+  | [] -> { headers = []; rows = [] }
+  | first :: rest ->
+      let headers, data_rows =
+        if has_headers then
+          ( List.mapi
+              (fun i h -> if String.trim h = "" then default_header i else String.trim h)
+              first,
+            rest )
+        else (List.mapi (fun i _ -> default_header i) first, first :: rest)
+      in
+      let width = List.length headers in
+      let rows =
+        List.mapi
+          (fun i row ->
+            let n = List.length row in
+            if n > width then
+              error
+                (i + if has_headers then 2 else 1)
+                "row has %d cells but the header has %d columns" n width
+            else if n < width then
+              row @ List.init (width - n) (fun _ -> "")
+            else row)
+          data_rows
+      in
+      { headers; rows }
+
+let parse_result ?separator ?has_headers src =
+  match parse ?separator ?has_headers src with
+  | t -> Ok t
+  | exception Parse_error { line; message } ->
+      Error (Printf.sprintf "CSV parse error at line %d: %s" line message)
+
+let row_to_data ?(convert_primitives = true) table row =
+  (* Unquoted cells keep the whitespace around separators; conversion
+     normalizes it away, matching how classification trims literals. *)
+  let conv s =
+    if convert_primitives then fst (Primitive.to_value (String.trim s))
+    else Data_value.String s
+  in
+  Data_value.Record
+    (Data_value.csv_record_name, List.map2 (fun h c -> (h, conv c)) table.headers row)
+
+let to_data ?convert_primitives table =
+  Data_value.List (List.map (row_to_data ?convert_primitives table) table.rows)
+
+let needs_quoting ~separator s =
+  String.exists (fun c -> c = separator || c = '"' || c = '\n' || c = '\r') s
+
+let quote_cell ~separator s =
+  if needs_quoting ~separator s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let to_string ?(separator = ',') table =
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_char buf separator;
+        Buffer.add_string buf (quote_cell ~separator cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row table.headers;
+  List.iter emit_row table.rows;
+  Buffer.contents buf

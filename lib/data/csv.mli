@@ -1,0 +1,39 @@
+(** CSV parsing and the CSV-to-data mapping of Section 6.2.
+
+    "We treat CSV files as lists of records (with a field for each column)
+    and so CSV is handled directly by our inference algorithm."
+
+    The parser implements RFC 4180 quoting (double quotes, escaped quotes
+    by doubling, embedded separators and newlines inside quotes), accepts
+    both LF and CRLF line endings, a configurable separator, and an
+    optional header row (the default; without headers, columns are named
+    [Column1..ColumnN] as F# Data does).
+
+    Each row becomes an unnamed record ({!Data_value.csv_record_name});
+    cell values are converted with {!Primitive.to_value} by default, so
+    ["#N/A"] becomes null, ["0"] the integer 0 and so on, and the whole
+    file becomes a collection of rows. *)
+
+type table = {
+  headers : string list;
+  rows : string list list;  (** raw cells, one list per row, padded/truncated to the header width *)
+}
+
+exception Parse_error of { line : int; message : string }
+
+val parse : ?separator:char -> ?has_headers:bool -> string -> table
+(** @raise Parse_error on unterminated quoted cells or inconsistent input.
+    Rows shorter than the header are padded with empty cells; longer rows
+    are an error. An entirely empty input yields an empty table. *)
+
+val parse_result : ?separator:char -> ?has_headers:bool -> string -> (table, string) result
+
+val to_data : ?convert_primitives:bool -> table -> Data_value.t
+(** The collection-of-row-records view used for shape inference. *)
+
+val row_to_data : ?convert_primitives:bool -> table -> string list -> Data_value.t
+(** Convert one raw row to a record using the table's headers. *)
+
+val to_string : ?separator:char -> table -> string
+(** Serialize, quoting cells that contain the separator, quotes or
+    newlines. *)

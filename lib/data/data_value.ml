@@ -1,0 +1,108 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Record of string * (string * t) list
+
+let json_record_name = "\xe2\x80\xa2" (* UTF-8 bullet, the paper's • *)
+let csv_record_name = "\xe2\x80\xa2row"
+let body_field = "\xe2\x80\xa2"
+
+let sort_fields fields =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) fields
+
+let rec compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Null, _ -> -1
+  | _, Null -> 1
+  | Bool x, Bool y -> Bool.compare x y
+  | Bool _, _ -> -1
+  | _, Bool _ -> 1
+  | Int x, Int y -> Int.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Float x, Float y -> Float.compare x y
+  | Float _, _ -> -1
+  | _, Float _ -> 1
+  | String x, String y -> String.compare x y
+  | String _, _ -> -1
+  | _, String _ -> 1
+  | List xs, List ys -> compare_lists xs ys
+  | List _, _ -> -1
+  | _, List _ -> 1
+  | Record (n1, f1), Record (n2, f2) -> (
+      match String.compare n1 n2 with
+      | 0 -> compare_fields (sort_fields f1) (sort_fields f2)
+      | c -> c)
+
+and compare_lists xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs, y :: ys -> ( match compare x y with 0 -> compare_lists xs ys | c -> c)
+
+and compare_fields fs gs =
+  match (fs, gs) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | (n1, v1) :: fs, (n2, v2) :: gs -> (
+      match String.compare n1 n2 with
+      | 0 -> ( match compare v1 v2 with 0 -> compare_fields fs gs | c -> c)
+      | c -> c)
+
+let equal a b = compare a b = 0
+
+let record name fields =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (n, _) ->
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Data_value.record: duplicate field %S" n)
+      else Hashtbl.add seen n ())
+    fields;
+  Record (name, fields)
+
+let record_field name = function
+  | Record (_, fields) -> List.assoc_opt name fields
+  | _ -> None
+
+let is_primitive = function
+  | Null | Bool _ | Int _ | Float _ | String _ -> true
+  | List _ | Record _ -> false
+
+let rec pp ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f ->
+      (* Keep a trailing ".0" so floats are visually distinct from ints. *)
+      if Float.is_integer f && Float.abs f < 1e16 then Fmt.pf ppf "%.1f" f
+      else Fmt.pf ppf "%.12g" f
+  | String s -> Fmt.pf ppf "%S" s
+  | List ds -> Fmt.pf ppf "[@[<hov>%a@]]" Fmt.(list ~sep:(any ";@ ") pp) ds
+  | Record (name, fields) ->
+      Fmt.pf ppf "%s {@[<hov>%a@]}" name
+        Fmt.(list ~sep:(any ",@ ") pp_field)
+        fields
+
+and pp_field ppf (name, d) = Fmt.pf ppf "%s \xe2\x86\xa6 %a" name pp d
+
+let to_string d = Fmt.str "%a" pp d
+
+let rec size = function
+  | Null | Bool _ | Int _ | Float _ | String _ -> 1
+  | List ds -> 1 + List.fold_left (fun acc d -> acc + size d) 0 ds
+  | Record (_, fields) ->
+      1 + List.fold_left (fun acc (_, d) -> acc + size d) 0 fields
+
+let rec depth = function
+  | Null | Bool _ | Int _ | Float _ | String _ -> 1
+  | List ds -> 1 + List.fold_left (fun acc d -> max acc (depth d)) 0 ds
+  | Record (_, fields) ->
+      1 + List.fold_left (fun acc (_, d) -> max acc (depth d)) 0 fields

@@ -1,0 +1,325 @@
+(* A pragmatic tag-soup parser: tokenize into tags/text/comments, then
+   build a tree with a recovery stack. *)
+
+type token =
+  | Open of string * (string * string) list * bool (* name, attrs, self-closing *)
+  | Close of string
+  | Text of string
+
+let void_elements =
+  [ "area"; "base"; "br"; "col"; "embed"; "hr"; "img"; "input"; "link";
+    "meta"; "param"; "source"; "track"; "wbr" ]
+
+let raw_text_elements = [ "script"; "style" ]
+
+(* entity decoding reuses the XML entity table, leniently: unknown
+   entities are kept verbatim *)
+let decode_entities s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '&' then begin
+      match String.index_from_opt s !i ';' with
+      | Some j when j - !i <= 10 -> (
+          let name = String.sub s (!i + 1) (j - !i - 1) in
+          let known =
+            match name with
+            | "amp" -> Some "&"
+            | "lt" -> Some "<"
+            | "gt" -> Some ">"
+            | "quot" -> Some "\""
+            | "apos" -> Some "'"
+            | "nbsp" -> Some " "
+            | _ ->
+                if String.length name > 1 && name.[0] = '#' then
+                  let num =
+                    if name.[1] = 'x' || name.[1] = 'X' then
+                      int_of_string_opt
+                        ("0x" ^ String.sub name 2 (String.length name - 2))
+                    else int_of_string_opt (String.sub name 1 (String.length name - 1))
+                  in
+                  match num with
+                  | Some u when u > 0 && u < 128 -> Some (String.make 1 (Char.chr u))
+                  | Some _ -> Some "?" (* out-of-ASCII references degrade *)
+                  | None -> None
+                else None
+          in
+          match known with
+          | Some repl ->
+              Buffer.add_string buf repl;
+              i := j + 1
+          | None ->
+              Buffer.add_char buf '&';
+              incr i)
+      | _ ->
+          Buffer.add_char buf '&';
+          incr i
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '-' || c = '_' || c = ':'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let text_buf = Buffer.create 64 in
+  let flush_text () =
+    if Buffer.length text_buf > 0 then begin
+      tokens := Text (Buffer.contents text_buf) :: !tokens;
+      Buffer.clear text_buf
+    end
+  in
+  let i = ref 0 in
+  let read_name () =
+    let start = !i in
+    while !i < n && is_name_char src.[!i] do incr i done;
+    String.lowercase_ascii (String.sub src start (!i - start))
+  in
+  let skip_ws () =
+    while
+      !i < n && (match src.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do incr i done
+  in
+  let read_until sub =
+    (* advance past the next occurrence of [sub]; to end of input if absent *)
+    let rec find k =
+      if k + String.length sub > n then n
+      else if String.sub src k (String.length sub) = sub then k + String.length sub
+      else find (k + 1)
+    in
+    i := find !i
+  in
+  while !i < n do
+    if src.[!i] = '<' then begin
+      if !i + 3 < n && String.sub src !i 4 = "<!--" then begin
+        flush_text ();
+        i := !i + 4;
+        read_until "-->"
+      end
+      else if !i + 1 < n && (src.[!i + 1] = '!' || src.[!i + 1] = '?') then begin
+        (* doctype / processing instruction: skip to '>' *)
+        flush_text ();
+        read_until ">"
+      end
+      else if !i + 1 < n && src.[!i + 1] = '/' then begin
+        flush_text ();
+        i := !i + 2;
+        let name = read_name () in
+        read_until ">";
+        if name <> "" then tokens := Close name :: !tokens
+      end
+      else if !i + 1 < n && is_name_char src.[!i + 1] then begin
+        flush_text ();
+        incr i;
+        let name = read_name () in
+        (* attributes *)
+        let attrs = ref [] in
+        let self = ref false in
+        let stop = ref false in
+        while not !stop do
+          skip_ws ();
+          if !i >= n then stop := true
+          else
+            match src.[!i] with
+            | '>' ->
+                incr i;
+                stop := true
+            | '/' ->
+                incr i;
+                self := true
+            | c when is_name_char c ->
+                let attr = read_name () in
+                skip_ws ();
+                let value =
+                  if !i < n && src.[!i] = '=' then begin
+                    incr i;
+                    skip_ws ();
+                    if !i < n && (src.[!i] = '"' || src.[!i] = '\'') then begin
+                      let q = src.[!i] in
+                      incr i;
+                      let start = !i in
+                      while !i < n && src.[!i] <> q do incr i done;
+                      let v = String.sub src start (!i - start) in
+                      if !i < n then incr i;
+                      v
+                    end
+                    else begin
+                      let start = !i in
+                      while
+                        !i < n
+                        && (match src.[!i] with
+                           | ' ' | '\t' | '\n' | '\r' | '>' | '/' -> false
+                           | _ -> true)
+                      do incr i done;
+                      String.sub src start (!i - start)
+                    end
+                  end
+                  else "" (* boolean attribute *)
+                in
+                if not (List.mem_assoc attr !attrs) then
+                  attrs := (attr, decode_entities value) :: !attrs
+            | _ -> incr i (* stray character inside a tag: skip *)
+        done;
+        let attrs = List.rev !attrs in
+        if List.mem name raw_text_elements && not !self then begin
+          (* swallow raw text up to the matching close tag *)
+          tokens := Open (name, attrs, false) :: !tokens;
+          read_until ("</" ^ name);
+          read_until ">";
+          tokens := Close name :: !tokens
+        end
+        else
+          tokens :=
+            Open (name, attrs, !self || List.mem name void_elements) :: !tokens
+      end
+      else begin
+        (* a lone '<': literal text *)
+        Buffer.add_char text_buf '<';
+        incr i
+      end
+    end
+    else begin
+      Buffer.add_char text_buf src.[!i];
+      incr i
+    end
+  done;
+  flush_text ();
+  List.rev !tokens
+
+(* tree building with recovery: an unmatched close tag pops the stack up
+   to the matching open element if one exists, otherwise it is dropped. *)
+let parse src : Xml.tree =
+  let make name attributes children : Xml.tree =
+    { Xml.name; attributes; children = List.rev children }
+  in
+  (* stack of (name, attrs, reversed children) *)
+  let stack : (string * (string * string) list * Xml.node list) list ref =
+    ref [ ("#root", [], []) ]
+  in
+  let push_node node =
+    match !stack with
+    | (name, attrs, children) :: rest ->
+        stack := (name, attrs, node :: children) :: rest
+    | [] -> assert false
+  in
+  let close_one () =
+    match !stack with
+    | (name, attrs, children) :: rest ->
+        stack := rest;
+        push_node (Xml.Element (make name attrs children))
+    | [] -> assert false
+  in
+  List.iter
+    (fun token ->
+      match token with
+      | Text t ->
+          let decoded = decode_entities t in
+          if String.trim decoded <> "" then push_node (Xml.Text decoded)
+      | Open (name, attrs, true) -> push_node (Xml.Element (make name attrs []))
+      | Open (name, attrs, false) -> stack := (name, attrs, []) :: !stack
+      | Close name ->
+          if List.exists (fun (n, _, _) -> n = name) !stack then begin
+            while (match !stack with (n, _, _) :: _ -> n <> name | [] -> false) do
+              close_one ()
+            done;
+            close_one ()
+          end
+          (* else: stray close tag, dropped *))
+    (tokenize src);
+  (* close everything still open *)
+  while List.length !stack > 1 do
+    close_one ()
+  done;
+  let root_children =
+    match !stack with [ (_, _, children) ] -> List.rev children | _ -> []
+  in
+  (* root at <html> if present, else wrap in a synthetic body *)
+  match
+    List.find_map
+      (function
+        | Xml.Element e when e.Xml.name = "html" -> Some e
+        | _ -> None)
+      root_children
+  with
+  | Some html -> html
+  | None -> { Xml.name = "body"; attributes = []; children = root_children }
+
+(* ----- table extraction ----- *)
+
+type table = { caption : string option; id : string option; table : Csv.table }
+
+let cell_text (e : Xml.tree) = String.trim (Xml.text_content e)
+
+let rec find_elements name (e : Xml.tree) : Xml.tree list =
+  let here = if e.Xml.name = name then [ e ] else [] in
+  here
+  @ List.concat_map
+      (function Xml.Element c -> find_elements name c | _ -> [])
+      e.Xml.children
+
+let child_elements name (e : Xml.tree) =
+  (* descendant rows/cells that are not inside a *nested* table *)
+  let rec go (e : Xml.tree) =
+    List.concat_map
+      (function
+        | Xml.Element c when c.Xml.name = name -> [ c ]
+        | Xml.Element c when c.Xml.name = "table" -> []
+        | Xml.Element c -> go c
+        | _ -> [])
+      e.Xml.children
+  in
+  go e
+
+let extract_table (t : Xml.tree) : table =
+  let rows = child_elements "tr" t in
+  let cells row =
+    List.filter_map
+      (function
+        | Xml.Element c when c.Xml.name = "td" || c.Xml.name = "th" -> Some c
+        | _ -> None)
+      row.Xml.children
+  in
+  let is_header_row row =
+    let cs = cells row in
+    cs <> [] && List.for_all (fun (c : Xml.tree) -> c.Xml.name = "th") cs
+  in
+  let headers, data_rows =
+    match rows with
+    | first :: rest when is_header_row first ->
+        (List.map cell_text (cells first), rest)
+    | first :: rest ->
+        (* no <th> header: use the first row's text, like the HtmlProvider *)
+        (List.map cell_text (cells first), rest)
+    | [] -> ([], [])
+  in
+  let width = List.length headers in
+  let pad row =
+    let row = List.map cell_text (cells row) in
+    let n = List.length row in
+    if n >= width then List.filteri (fun i _ -> i < width) row
+    else row @ List.init (width - n) (fun _ -> "")
+  in
+  let headers =
+    List.mapi
+      (fun i h -> if String.trim h = "" then Printf.sprintf "Column%d" (i + 1) else h)
+      headers
+  in
+  {
+    caption =
+      (match find_elements "caption" t with
+      | c :: _ -> Some (cell_text c)
+      | [] -> None);
+    id = List.assoc_opt "id" t.Xml.attributes;
+    table = { Csv.headers; rows = List.map pad data_rows };
+  }
+
+let tables tree = List.map extract_table (find_elements "table" tree)
+let tables_of_string s = tables (parse s)

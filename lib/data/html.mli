@@ -1,0 +1,36 @@
+(** Lenient HTML parsing and table extraction.
+
+    Footnote 10 of the paper: "The same mechanism has later been used by
+    the HTML type provider, which provides similarly easy access to data
+    in HTML tables and lists." This module supplies the substrate: a
+    tag-soup parser tolerant of real-world HTML — case-insensitive tag
+    names, unquoted attributes, void elements ([<br>], [<img>], ...),
+    unclosed elements recovered by stack unwinding, raw-text [<script>]
+    and [<style>] contents — producing the same {!Xml.tree} type as the
+    XML parser, plus extraction of [<table>]s into {!Csv.table}s so the
+    CSV inference of Section 6.2 applies to them unchanged.
+
+    The parser never fails on text input: tag soup degrades to text or
+    gets dropped, as browsers do. *)
+
+val parse : string -> Xml.tree
+(** Parse an HTML document. The result is rooted at the [<html>] element
+    if present, otherwise at a synthetic [body] element wrapping the
+    top-level nodes. Tag and attribute names are lowercased. *)
+
+type table = {
+  caption : string option;  (** [<caption>], if present *)
+  id : string option;  (** the [id] attribute, if present *)
+  table : Csv.table;
+      (** headers from [<th>] cells (or the first row when there are
+          none, as the HtmlProvider does); cell text is concatenated,
+          entity-decoded and trimmed *)
+}
+
+val tables : Xml.tree -> table list
+(** All tables in document order, including nested ones. Ragged rows are
+    padded to the header width; rows longer than the header are
+    truncated (tag soup again). *)
+
+val tables_of_string : string -> table list
+(** [tables_of_string s] = [tables (parse s)]. *)

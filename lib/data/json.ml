@@ -1,0 +1,374 @@
+exception Parse_error of { line : int; column : int; message : string }
+
+type state = {
+  src : string;
+  len : int;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of the beginning of the current line *)
+  mutable depth : int; (* current nesting depth, bounded by [max_depth] *)
+}
+
+(* The parser is recursive-descent; bounding the nesting keeps adversarial
+   inputs from overflowing the OCaml stack. 10_000 levels is far beyond
+   any data document and well within the default stack. *)
+let max_depth = 10_000
+
+let make_state src =
+  { src; len = String.length src; pos = 0; line = 1; bol = 0; depth = 0 }
+
+let enter st =
+  st.depth <- st.depth + 1;
+  if st.depth > max_depth then
+    raise
+      (Parse_error
+         {
+           line = st.line;
+           column = st.pos - st.bol + 1;
+           message = Printf.sprintf "nesting deeper than %d levels" max_depth;
+         })
+
+let leave st = st.depth <- st.depth - 1
+
+let error st fmt =
+  Printf.ksprintf
+    (fun message ->
+      raise (Parse_error { line = st.line; column = st.pos - st.bol + 1; message }))
+    fmt
+
+let peek st = if st.pos < st.len then Some st.src.[st.pos] else None
+
+let advance st =
+  (if st.pos < st.len && st.src.[st.pos] = '\n' then begin
+     st.line <- st.line + 1;
+     st.bol <- st.pos + 1
+   end);
+  st.pos <- st.pos + 1
+
+let skip_ws st =
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance st
+    | _ -> continue := false
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> error st "expected %C but found %C" c c'
+  | None -> error st "expected %C but found end of input" c
+
+(* Encode a Unicode scalar value as UTF-8 into [buf]. *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let hex_digit st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> error st "invalid hexadecimal digit %C in \\u escape" c
+
+let parse_hex4 st =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    match peek st with
+    | Some c ->
+        v := (!v * 16) + hex_digit st c;
+        advance st
+    | None -> error st "unterminated \\u escape"
+  done;
+  !v
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' ->
+        advance st;
+        Buffer.contents buf
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> error st "unterminated escape sequence"
+        | Some c -> (
+            advance st;
+            match c with
+            | '"' -> Buffer.add_char buf '"'; loop ()
+            | '\\' -> Buffer.add_char buf '\\'; loop ()
+            | '/' -> Buffer.add_char buf '/'; loop ()
+            | 'b' -> Buffer.add_char buf '\b'; loop ()
+            | 'f' -> Buffer.add_char buf '\012'; loop ()
+            | 'n' -> Buffer.add_char buf '\n'; loop ()
+            | 'r' -> Buffer.add_char buf '\r'; loop ()
+            | 't' -> Buffer.add_char buf '\t'; loop ()
+            | 'u' ->
+                let u = parse_hex4 st in
+                if u >= 0xD800 && u <= 0xDBFF then begin
+                  (* high surrogate: require a low surrogate escape next *)
+                  if peek st = Some '\\' then begin
+                    advance st;
+                    if peek st = Some 'u' then begin
+                      advance st;
+                      let lo = parse_hex4 st in
+                      if lo >= 0xDC00 && lo <= 0xDFFF then
+                        add_utf8 buf
+                          (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+                      else error st "invalid low surrogate \\u%04X" lo
+                    end
+                    else error st "expected \\u escape after high surrogate"
+                  end
+                  else error st "expected \\u escape after high surrogate"
+                end
+                else if u >= 0xDC00 && u <= 0xDFFF then
+                  error st "unexpected low surrogate \\u%04X" u
+                else add_utf8 buf u;
+                loop ()
+            | c -> error st "invalid escape character %C" c))
+    | Some c when Char.code c < 0x20 ->
+        error st "unescaped control character %C in string" c
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  if peek st = Some '-' then advance st;
+  let digits () =
+    let n = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match peek st with
+      | Some ('0' .. '9') ->
+          incr n;
+          advance st
+      | _ -> continue := false
+    done;
+    !n
+  in
+  (match peek st with
+  | Some '0' -> advance st
+  | Some ('1' .. '9') -> ignore (digits ())
+  | _ -> error st "invalid number");
+  (match peek st with
+  | Some '.' ->
+      is_float := true;
+      advance st;
+      if digits () = 0 then error st "expected digits after decimal point"
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      if digits () = 0 then error st "expected digits in exponent"
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then Data_value.Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Data_value.Int i
+    | None -> Data_value.Float (float_of_string text)
+
+let parse_literal st word value =
+  String.iter (fun c -> expect st c) word;
+  value
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '{' -> parse_object st
+  | Some '[' -> parse_array st
+  | Some '"' -> Data_value.String (parse_string st)
+  | Some 't' -> parse_literal st "true" (Data_value.Bool true)
+  | Some 'f' -> parse_literal st "false" (Data_value.Bool false)
+  | Some 'n' -> parse_literal st "null" Data_value.Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> error st "unexpected character %C" c
+
+and parse_object st =
+  enter st;
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    advance st;
+    leave st;
+    Data_value.Record (Data_value.json_record_name, [])
+  end
+  else begin
+    let fields = ref [] in
+    let rec members () =
+      skip_ws st;
+      let key = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      (* last binding wins on duplicate keys *)
+      fields := (key, v) :: List.remove_assoc key !fields;
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          members ()
+      | Some '}' -> advance st
+      | Some c -> error st "expected ',' or '}' in object but found %C" c
+      | None -> error st "unterminated object"
+    in
+    members ();
+    leave st;
+    Data_value.Record (Data_value.json_record_name, List.rev !fields)
+  end
+
+and parse_array st =
+  enter st;
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    advance st;
+    leave st;
+    Data_value.List []
+  end
+  else begin
+    let items = ref [] in
+    let rec elements () =
+      let v = parse_value st in
+      items := v :: !items;
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          skip_ws st;
+          elements ()
+      | Some ']' -> advance st
+      | Some c -> error st "expected ',' or ']' in array but found %C" c
+      | None -> error st "unterminated array"
+    in
+    elements ();
+    leave st;
+    Data_value.List (List.rev !items)
+  end
+
+let parse s =
+  let st = make_state s in
+  let v = parse_value st in
+  skip_ws st;
+  (match peek st with
+  | Some c -> error st "trailing content after JSON value: %C" c
+  | None -> ());
+  v
+
+let parse_result s =
+  match parse s with
+  | v -> Ok v
+  | exception Parse_error { line; column; message } ->
+      Error (Printf.sprintf "JSON parse error at line %d, column %d: %s" line column message)
+
+let parse_many s =
+  let st = make_state s in
+  let rec loop acc =
+    skip_ws st;
+    if st.pos >= st.len then List.rev acc else loop (parse_value st :: acc)
+  in
+  loop []
+
+(* ----- Printing ----- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_json f =
+  if Float.is_nan f || Float.is_integer f && Float.abs f < 1e16 then
+    (* JSON has no NaN; print NaN as 0 like many serializers reject — we
+       choose to fail loudly instead. *)
+    if Float.is_nan f then invalid_arg "Json.to_string: cannot print NaN"
+    else Printf.sprintf "%.1f" f
+  else if Float.is_integer f then Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.17g" f in
+    let shorter = Printf.sprintf "%.12g" f in
+    if float_of_string shorter = f then shorter else s
+
+let to_string ?indent d =
+  let buf = Buffer.create 256 in
+  let newline_and_pad level =
+    match indent with
+    | None -> ()
+    | Some n ->
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (n * level) ' ')
+  in
+  let rec go level (d : Data_value.t) =
+    match d with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_to_json f)
+    | String s -> escape_string buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            newline_and_pad (level + 1);
+            go (level + 1) item)
+          items;
+        newline_and_pad level;
+        Buffer.add_char buf ']'
+    | Record (_, []) -> Buffer.add_string buf "{}"
+    | Record (_, fields) ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            newline_and_pad (level + 1);
+            escape_string buf k;
+            Buffer.add_char buf ':';
+            if indent <> None then Buffer.add_char buf ' ';
+            go (level + 1) v)
+          fields;
+        newline_and_pad level;
+        Buffer.add_char buf '}'
+  in
+  go 0 d;
+  Buffer.contents buf
+
+let pp ppf d = Fmt.string ppf (to_string d)

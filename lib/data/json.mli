@@ -1,0 +1,34 @@
+(** JSON parsing and printing.
+
+    A self-contained RFC 8259 parser producing {!Data_value.t}. JSON
+    objects become records named {!Data_value.json_record_name} (the
+    paper's [•]); arrays become lists; numbers become [Int] when they are
+    written without fraction/exponent and fit a native [int], and [Float]
+    otherwise — this distinction is what lets shape inference prefer [int]
+    over [float] (rule (1) of the preferred shape relation).
+
+    The parser reports errors with line/column positions, handles the full
+    escape syntax including [\uXXXX] surrogate pairs (decoded to UTF-8),
+    and rejects trailing garbage. Duplicate object keys keep the last
+    binding, matching common JSON library behaviour. *)
+
+exception Parse_error of { line : int; column : int; message : string }
+
+val parse : string -> Data_value.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_result : string -> (Data_value.t, string) result
+(** Like {!parse} but returning the formatted error message. *)
+
+val parse_many : string -> Data_value.t list
+(** Parse a stream of whitespace-separated JSON documents (as used when a
+    sample file contains several samples). *)
+
+val to_string : ?indent:int -> Data_value.t -> string
+(** Print a data value as JSON. With [indent] (spaces per level) the output
+    is pretty-printed; default is compact. Record names are not printed
+    (JSON objects are anonymous); XML-derived values therefore lose their
+    element names when printed as JSON. *)
+
+val pp : Format.formatter -> Data_value.t -> unit
+(** Compact JSON printer usable with [%a]. *)

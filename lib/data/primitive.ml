@@ -1,0 +1,115 @@
+type hint =
+  | Hint_bit0
+  | Hint_bit1
+  | Hint_bool
+  | Hint_int
+  | Hint_float
+  | Hint_date
+  | Hint_string
+  | Hint_null
+
+let missing_markers = [ ""; "#N/A"; "NA"; "N/A"; ":"; "-" ]
+
+let is_missing s = List.mem (String.trim s) missing_markers
+
+let parse_int s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n = 0 then None
+  else
+    let start = if s.[0] = '-' || s.[0] = '+' then 1 else 0 in
+    if n = start then None
+    else
+      let ok = ref true in
+      for i = start to n - 1 do
+        if not (s.[i] >= '0' && s.[i] <= '9') then ok := false
+      done;
+      if not !ok then None else int_of_string_opt s
+
+let parse_float s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n = 0 then None
+  else
+    (* Accept: [sign] digits [. digits] [(e|E) [sign] digits]
+       with at least one digit somewhere around the point. *)
+    let i = ref (if s.[0] = '-' || s.[0] = '+' then 1 else 0) in
+    let digits_from j =
+      let k = ref j in
+      while !k < n && s.[!k] >= '0' && s.[!k] <= '9' do incr k done;
+      !k
+    in
+    let int_end = digits_from !i in
+    let saw_int = int_end > !i in
+    let frac_end, saw_frac =
+      if int_end < n && s.[int_end] = '.' then
+        let e = digits_from (int_end + 1) in
+        (e, e > int_end + 1)
+      else (int_end, false)
+    in
+    let pos_after_exp =
+      if frac_end < n && (s.[frac_end] = 'e' || s.[frac_end] = 'E') then begin
+        let j =
+          if frac_end + 1 < n && (s.[frac_end + 1] = '-' || s.[frac_end + 1] = '+')
+          then frac_end + 2
+          else frac_end + 1
+        in
+        let e = digits_from j in
+        if e > j then Some e else None
+      end
+      else Some frac_end
+    in
+    match pos_after_exp with
+    | Some e when e = n && (saw_int || saw_frac) -> float_of_string_opt s
+    | _ -> None
+
+let parse_bool s =
+  match String.lowercase_ascii (String.trim s) with
+  | "true" | "yes" -> Some true
+  | "false" | "no" -> Some false
+  | _ -> None
+
+let classify s =
+  let t = String.trim s in
+  if is_missing t then Hint_null
+  else if t = "0" then Hint_bit0
+  else if t = "1" then Hint_bit1
+  else
+    match parse_int t with
+    | Some _ -> Hint_int
+    | None -> (
+        match parse_float t with
+        | Some _ -> Hint_float
+        | None -> (
+            match parse_bool t with
+            | Some _ -> Hint_bool
+            | None -> if Date.is_date t then Hint_date else Hint_string))
+
+let to_value s =
+  let t = String.trim s in
+  match classify s with
+  | Hint_null -> (Data_value.Null, Hint_null)
+  | Hint_bit0 -> (Data_value.Int 0, Hint_bit0)
+  | Hint_bit1 -> (Data_value.Int 1, Hint_bit1)
+  | Hint_int -> (
+      match parse_int t with
+      | Some i -> (Data_value.Int i, Hint_int)
+      | None -> assert false)
+  | Hint_float -> (
+      match parse_float t with
+      | Some f -> (Data_value.Float f, Hint_float)
+      | None -> assert false)
+  | Hint_bool -> (
+      match parse_bool t with
+      | Some b -> (Data_value.Bool b, Hint_bool)
+      | None -> assert false)
+  | Hint_date -> (Data_value.String s, Hint_date)
+  | Hint_string -> (Data_value.String s, Hint_string)
+
+let rec normalize (d : Data_value.t) : Data_value.t =
+  match d with
+  | String s -> fst (to_value s)
+  | List ds -> List (List.map normalize ds)
+  | Record (name, fields) ->
+      Record (name, List.map (fun (k, v) -> (k, normalize v)) fields)
+  | Null | Bool _ | Int _ | Float _ -> d

@@ -1,0 +1,67 @@
+(** Inference of primitive values from unityped literals.
+
+    JSON distinguishes numbers, strings and booleans syntactically, but CSV
+    literals (and XML attribute/body text) are bare strings. Section 6.2 of
+    the paper describes how F# Data infers the shapes of such primitive
+    values:
+
+    - ["0"] and ["1"] support both [int] and [bool] readings; the paper
+      introduces a [bit] shape preferred below both,
+    - ["#N/A"] (and friends) denote missing values and are treated as null,
+    - date literals in supported formats are recognized as dates,
+    - anything else numeric is an [int] or [float], and the fallback is
+      [string].
+
+    This module classifies a literal and converts it into a typed
+    {!Data_value.t} plus an inference hint. The hint distinguishes cases
+    that the data value alone cannot carry (e.g. [Int 1] parsed from JSON is
+    a plain int, while ["1"] in a CSV cell is a bit; ["2012-05-01"] is a
+    string value but carries a date hint). *)
+
+type hint =
+  | Hint_bit0  (** the literal "0": readable as the int 0 or as false *)
+  | Hint_bit1  (** the literal "1": readable as the int 1 or as true *)
+  | Hint_bool
+  | Hint_int
+  | Hint_float
+  | Hint_date
+  | Hint_string
+  | Hint_null  (** empty cell or a missing-value marker such as "#N/A" *)
+
+val missing_markers : string list
+(** Literals treated as missing values: [""], ["#N/A"], ["NA"], ["N/A"],
+    [":"], ["-"] are the markers F# Data's CsvInference recognizes. *)
+
+val classify : string -> hint
+(** [classify s] returns the most specific reading of the literal [s]. The
+    priority order is: missing marker, bit0/bit1, int, float, bool, date,
+    string. Keeping bit0 and bit1 apart is what lets a lone ["1"] provide
+    an [int] (the [id="1"] attribute of Section 6.3) while a column mixing
+    0s and 1s provides a [bool] (the [Autofilled] column of Section 6.2):
+    their join is the [bit] shape, which maps to [bool]. *)
+
+val to_value : string -> Data_value.t * hint
+(** [to_value s] converts the literal to a data value together with its
+    hint: bits and ints become [Int], floats become [Float], booleans
+    become [Bool], missing markers become [Null], and dates stay [String]
+    (the shape layer records their date-ness through the hint). *)
+
+val parse_int : string -> int option
+(** Strict integer syntax: optional sign, decimal digits, no leading or
+    trailing junk, fits in a native [int]. Accepts surrounding whitespace. *)
+
+val parse_float : string -> float option
+(** Strict decimal float syntax including scientific notation; rejects
+    ["nan"]/["inf"] spellings (those read as strings, matching F# Data's
+    invariant-culture parsing of data files). *)
+
+val parse_bool : string -> bool option
+(** ["true"]/["false"] (any case), ["yes"]/["no"]. *)
+
+val normalize : Data_value.t -> Data_value.t
+(** Recursively replace string leaves by their {!to_value} conversion:
+    ["35.14229"] becomes the float, ["2012"] the int, missing-value markers
+    become null; date strings and other strings are left alone. This aligns
+    runtime documents with shapes inferred in practical mode (the paper's
+    World Bank example reads the string ["35.14229"] through a
+    [Value : option float] member). *)

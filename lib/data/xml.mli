@@ -1,0 +1,49 @@
+(** XML parsing and the XML-to-data mapping of Section 6.2.
+
+    The parser is a self-contained non-validating XML parser covering the
+    subset needed for data interchange: elements, attributes, character
+    data, CDATA sections, comments, processing instructions, an optional
+    XML declaration and DOCTYPE, and the predefined plus numeric character
+    entities. Namespaces are kept as literal prefixes in names (the paper's
+    open-world discussion notes that foreign-namespace elements simply
+    appear as unknown elements).
+
+    The data mapping follows Section 6.2: an element becomes a record named
+    after the element; each attribute becomes a field; the element body
+    becomes a field named {!Data_value.body_field} (printed [•]) holding
+    either the collection of child-element records, or the inferred
+    primitive value of the text content, or nothing for an empty element.
+    Text appearing in mixed content (next to child elements) is not exposed
+    through the provided types (Section 6.3) and is dropped here. *)
+
+type tree = {
+  name : string;
+  attributes : (string * string) list;
+  children : node list;
+}
+
+and node = Element of tree | Text of string | Cdata of string
+
+exception Parse_error of { line : int; column : int; message : string }
+
+val parse : string -> tree
+(** Parse a complete document; returns the root element.
+    @raise Parse_error on malformed input. *)
+
+val parse_result : string -> (tree, string) result
+
+val to_data : ?convert_primitives:bool -> tree -> Data_value.t
+(** Map an element tree to a data value. When [convert_primitives] is true
+    (the default), attribute values and text bodies are converted with
+    {!Primitive.to_value} so that e.g. [id="1"] becomes the integer [1] as
+    in the paper's example
+    [root {id ↦ 1, • ↦ [item {• ↦ "Hello!"}]}]. *)
+
+val text_content : tree -> string
+(** Concatenated character data of an element (entity-decoded), including
+    CDATA, ignoring child markup. *)
+
+val to_string : ?indent:int -> tree -> string
+(** Serialize back to XML, escaping as needed. *)
+
+val pp : Format.formatter -> tree -> unit

@@ -1,0 +1,218 @@
+open Syntax
+module Dv = Fsdata_data.Data_value
+module Shape = Fsdata_core.Shape
+module Mult = Fsdata_core.Multiplicity
+
+type value =
+  | VData of Dv.t
+  | VDate of Fsdata_data.Date.t
+  | VNone
+  | VSome of value
+  | VNil
+  | VCons of value * value
+  | VObj of string * value list
+  | VClosure of string * expr * env
+
+and env = (string * value) list
+
+exception Foo_exn
+exception Stuck of string
+
+let stuck fmt = Printf.ksprintf (fun m -> raise (Stuck m)) fmt
+
+let rec equal_value a b =
+  match (a, b) with
+  | VData d1, VData d2 -> Dv.equal d1 d2
+  | VDate d1, VDate d2 -> Fsdata_data.Date.equal d1 d2
+  | VNone, VNone | VNil, VNil -> true
+  | VSome x, VSome y -> equal_value x y
+  | VCons (a1, a2), VCons (b1, b2) -> equal_value a1 b1 && equal_value a2 b2
+  | VObj (c1, a1), VObj (c2, a2) ->
+      String.equal c1 c2
+      && List.length a1 = List.length a2
+      && List.for_all2 equal_value a1 a2
+  | VClosure (x1, e1, _), VClosure (x2, e2, _) -> x1 = x2 && e1 = e2
+  | _ -> false
+
+let rec eval classes env (e : expr) : value =
+  match e with
+  | EData d -> VData d
+  | EDate d -> VDate d
+  | EExn -> raise Foo_exn
+  | EVar x -> (
+      match List.assoc_opt x env with
+      | Some v -> v
+      | None -> stuck "unbound variable %s" x)
+  | ELam (x, _, body) -> VClosure (x, body, env)
+  | EApp (f, a) -> (
+      let fv = eval classes env f in
+      let av = eval classes env a in
+      match fv with
+      | VClosure (x, body, closure_env) ->
+          eval classes ((x, av) :: closure_env) body
+      | _ -> stuck "application of a non-function value")
+  | EMember (e1, n) -> member classes (eval classes env e1) n
+  | ENew (c, args) -> VObj (c, List.map (eval classes env) args)
+  | ENone _ -> VNone
+  | ESome e1 -> VSome (eval classes env e1)
+  | EMatchOption (e0, x, e1, e2) -> (
+      match eval classes env e0 with
+      | VNone -> eval classes env e2
+      | VSome v -> eval classes ((x, v) :: env) e1
+      | _ -> stuck "matching a non-option value")
+  | EEq (e1, e2) ->
+      let v1 = eval classes env e1 in
+      let v2 = eval classes env e2 in
+      VData (Dv.Bool (equal_value v1 v2))
+  | EIf (c, t, f) -> (
+      match eval classes env c with
+      | VData (Dv.Bool true) -> eval classes env t
+      | VData (Dv.Bool false) -> eval classes env f
+      | _ -> stuck "if on a non-boolean value")
+  | ENil _ -> VNil
+  | ECons (e1, e2) ->
+      let h = eval classes env e1 in
+      let t = eval classes env e2 in
+      VCons (h, t)
+  | EMatchList (e0, x1, x2, e1, e2) -> (
+      match eval classes env e0 with
+      | VNil -> eval classes env e2
+      | VCons (h, t) -> eval classes ((x1, h) :: (x2, t) :: env) e1
+      | _ -> stuck "matching a non-list value")
+  | EOp op -> eval_op classes env op
+
+and member classes obj n =
+  match obj with
+  | VObj (c, args) -> (
+      match find_class classes c with
+      | None -> stuck "unknown class %s" c
+      | Some cls -> (
+          match find_member cls n with
+          | None -> stuck "class %s has no member %s" c n
+          | Some m ->
+              if List.length args <> List.length cls.ctor_params then
+                stuck "constructor arity mismatch for %s" c
+              else
+                let env =
+                  List.map2 (fun (x, _) v -> (x, v)) cls.ctor_params args
+                in
+                eval classes env m.member_body))
+  | _ -> stuck "member access on a non-object value"
+
+and data_of v =
+  match v with VData d -> d | _ -> stuck "expected a data value"
+
+and apply classes f (d : Dv.t) =
+  match f with
+  | VClosure (x, body, env) -> eval classes ((x, VData d) :: env) body
+  | _ -> stuck "conversion continuation is not a function"
+
+and eval_op classes env (op : op) : value =
+  match op with
+  | ConvFloat (_, e1) -> (
+      match data_of (eval classes env e1) with
+      | Dv.Int i -> VData (Dv.Float (float_of_int i))
+      | Dv.Float _ as f -> VData f
+      | _ -> stuck "convFloat on a non-numeric value")
+  | ConvPrim (s, e1) -> (
+      match (s, data_of (eval classes env e1)) with
+      | Shape.Primitive Shape.Int, (Dv.Int _ as d)
+      | Shape.Primitive Shape.String, (Dv.String _ as d)
+      | Shape.Primitive Shape.Bool, (Dv.Bool _ as d) ->
+          VData d
+      | _ -> stuck "convPrim on a value of the wrong shape")
+  | ConvBool e1 -> (
+      match data_of (eval classes env e1) with
+      | Dv.Bool _ as d -> VData d
+      | Dv.Int 0 -> VData (Dv.Bool false)
+      | Dv.Int 1 -> VData (Dv.Bool true)
+      | _ -> stuck "convBool on a value that is not a boolean or 0/1")
+  | ConvDate e1 -> (
+      match data_of (eval classes env e1) with
+      | Dv.String s -> (
+          match Fsdata_data.Date.of_string s with
+          | Some d -> VDate d
+          | None -> stuck "convDate on a string that is not a date")
+      | _ -> stuck "convDate on a non-string value")
+  | ConvField (nu, nu', e1, e2) -> (
+      let k = eval classes env e2 in
+      match data_of (eval classes env e1) with
+      | Dv.Record (name, fields) when String.equal name nu ->
+          let d =
+            match List.assoc_opt nu' fields with Some d -> d | None -> Dv.Null
+          in
+          apply classes k d
+      | _ -> stuck "convField on a non-record value")
+  | ConvNull (e1, e2) -> (
+      let k = eval classes env e2 in
+      match data_of (eval classes env e1) with
+      | Dv.Null -> VNone
+      | d -> VSome (apply classes k d))
+  | ConvElements (e1, e2) -> (
+      let k = eval classes env e2 in
+      match data_of (eval classes env e1) with
+      | Dv.Null -> VNil
+      | Dv.List ds ->
+          List.fold_right (fun d acc -> VCons (apply classes k d, acc)) ds VNil
+      | _ -> stuck "convElements on a value that is not a collection or null")
+  | HasShape (s, e1) ->
+      VData
+        (Dv.Bool
+           (Fsdata_core.Shape_check.has_shape s (data_of (eval classes env e1))))
+  | ConvSelect (s, mult, e1, e2) -> (
+      let k = eval classes env e2 in
+      let ds =
+        match data_of (eval classes env e1) with
+        | Dv.Null -> []
+        | Dv.List ds -> ds
+        | _ -> stuck "convSelect on a value that is not a collection or null"
+      in
+      let matches =
+        List.filter (fun d -> Fsdata_core.Shape_check.has_shape s d) ds
+      in
+      match (mult, matches) with
+      | Mult.Single, d :: _ -> apply classes k d
+      | Mult.Single, [] -> stuck "convSelect: no element of the required shape"
+      | Mult.Optional_single, d :: _ -> VSome (apply classes k d)
+      | Mult.Optional_single, [] -> VNone
+      | Mult.Multiple, ds ->
+          List.fold_right (fun d acc -> VCons (apply classes k d, acc)) ds VNil)
+  | IntOfFloat e1 -> (
+      match data_of (eval classes env e1) with
+      | Dv.Float f -> VData (Dv.Int (int_of_float f))
+      | Dv.Int _ as d -> VData d
+      | _ -> stuck "int(e) on a non-numeric value")
+
+let rec of_expr_value (e : expr) : value option =
+  match e with
+  | EData d -> Some (VData d)
+  | EDate d -> Some (VDate d)
+  | ENone _ -> Some VNone
+  | ESome e1 -> Option.map (fun v -> VSome v) (of_expr_value e1)
+  | ENil _ -> Some VNil
+  | ECons (e1, e2) -> (
+      match (of_expr_value e1, of_expr_value e2) with
+      | Some h, Some t -> Some (VCons (h, t))
+      | _ -> None)
+  | ENew (c, args) ->
+      let rec go acc = function
+        | [] -> Some (VObj (c, List.rev acc))
+        | a :: rest -> (
+            match of_expr_value a with
+            | Some v -> go (v :: acc) rest
+            | None -> None)
+      in
+      go [] args
+  | ELam (x, _, body) -> Some (VClosure (x, body, []))
+  | _ -> None
+
+let rec pp ppf = function
+  | VData d -> Dv.pp ppf d
+  | VDate d -> Fmt.pf ppf "date(%a)" Fsdata_data.Date.pp d
+  | VNone -> Fmt.string ppf "None"
+  | VSome v -> Fmt.pf ppf "Some(%a)" pp v
+  | VNil -> Fmt.string ppf "nil"
+  | VCons (h, t) -> Fmt.pf ppf "%a :: %a" pp h pp t
+  | VObj (c, args) ->
+      Fmt.pf ppf "new %s(%a)" c Fmt.(list ~sep:(any ", ") pp) args
+  | VClosure (x, _, _) -> Fmt.pf ppf "<closure %s>" x

@@ -1,0 +1,609 @@
+open Syntax
+module Dv = Fsdata_data.Data_value
+
+exception Parse_error of { position : int; message : string }
+
+type state = { src : string; len : int; mutable pos : int }
+
+let error st fmt =
+  Printf.ksprintf
+    (fun message -> raise (Parse_error { position = st.pos; message }))
+    fmt
+
+(* unicode symbols used by the printers *)
+let sym_lambda = "\xce\xbb" (* λ *)
+let sym_arrow = "\xe2\x86\x92" (* → *)
+let sym_mapsto = "\xe2\x86\xa6" (* ↦ *)
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= st.len && String.sub st.src st.pos n = s
+
+let skip st s = st.pos <- st.pos + String.length s
+
+let skip_ws st =
+  while
+    st.pos < st.len
+    && (match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let eat st s =
+  skip_ws st;
+  if looking_at st s then begin
+    skip st s;
+    true
+  end
+  else false
+
+let expect st s =
+  skip_ws st;
+  if looking_at st s then skip st s else error st "expected %S" s
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  || Char.code c >= 0x80
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '%' || c = '\''
+
+(* identifiers may start with a multi-byte char (the bullet of • field
+   names) but must not swallow the unicode symbols *)
+let symbol_at st =
+  looking_at st sym_lambda || looking_at st sym_arrow || looking_at st sym_mapsto
+  || looking_at st "\xe2\x9f\xa8" (* ⟨ *)
+  || looking_at st "\xe2\x9f\xa9"
+  || looking_at st "\xe2\x8a\xa5"
+
+let peek_ident st =
+  skip_ws st;
+  if st.pos >= st.len then None
+  else if symbol_at st then None
+  else if not (is_ident_start st.src.[st.pos]) then None
+  else begin
+    let start = st.pos in
+    let p = ref st.pos in
+    while
+      !p < st.len
+      && (let st' = { st with pos = !p } in
+          not (symbol_at st'))
+      && is_ident_char st.src.[!p]
+    do
+      incr p
+    done;
+    Some (String.sub st.src start (!p - start), !p)
+  end
+
+let ident st =
+  match peek_ident st with
+  | Some (name, p) ->
+      st.pos <- p;
+      name
+  | None -> error st "expected an identifier"
+
+(* ----- numbers and strings (the Data_value/Json lexical forms) ----- *)
+
+let parse_number st =
+  skip_ws st;
+  let start = st.pos in
+  if st.pos < st.len && st.src.[st.pos] = '-' then st.pos <- st.pos + 1;
+  let digits () =
+    while st.pos < st.len && st.src.[st.pos] >= '0' && st.src.[st.pos] <= '9' do
+      st.pos <- st.pos + 1
+    done
+  in
+  digits ();
+  let is_float = ref false in
+  if st.pos < st.len && st.src.[st.pos] = '.' then begin
+    is_float := true;
+    st.pos <- st.pos + 1;
+    digits ()
+  end;
+  if st.pos < st.len && (st.src.[st.pos] = 'e' || st.src.[st.pos] = 'E') then begin
+    is_float := true;
+    st.pos <- st.pos + 1;
+    if st.pos < st.len && (st.src.[st.pos] = '+' || st.src.[st.pos] = '-') then
+      st.pos <- st.pos + 1;
+    digits ()
+  end;
+  let text = String.sub st.src start (st.pos - start) in
+  if text = "" || text = "-" then error st "expected a number";
+  if !is_float then Dv.Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Dv.Int i
+    | None -> Dv.Float (float_of_string text)
+
+let parse_ocaml_string st =
+  (* OCaml %S escaping, as printed by Data_value.pp *)
+  expect st "\"";
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if st.pos >= st.len then error st "unterminated string literal"
+    else
+      match st.src.[st.pos] with
+      | '"' -> st.pos <- st.pos + 1
+      | '\\' ->
+          st.pos <- st.pos + 1;
+          if st.pos >= st.len then error st "unterminated escape";
+          (match st.src.[st.pos] with
+          | 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1
+          | 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1
+          | 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1
+          | 'b' -> Buffer.add_char buf '\b'; st.pos <- st.pos + 1
+          | '\\' -> Buffer.add_char buf '\\'; st.pos <- st.pos + 1
+          | '"' -> Buffer.add_char buf '"'; st.pos <- st.pos + 1
+          | '\'' -> Buffer.add_char buf '\''; st.pos <- st.pos + 1
+          | '0' .. '9' ->
+              if st.pos + 2 < st.len then begin
+                let code =
+                  int_of_string (String.sub st.src st.pos 3)
+                in
+                Buffer.add_char buf (Char.chr code);
+                st.pos <- st.pos + 3
+              end
+              else error st "bad decimal escape"
+          | c -> error st "unknown escape \\%c" c);
+          loop ()
+      | c ->
+          Buffer.add_char buf c;
+          st.pos <- st.pos + 1;
+          loop ()
+  in
+  (try loop () with Invalid_argument _ -> error st "bad escape");
+  Buffer.contents buf
+
+(* ----- data values (the d grammar, as printed by Data_value.pp) ----- *)
+
+let rec parse_data st : Dv.t =
+  skip_ws st;
+  if st.pos >= st.len then error st "expected a data value"
+  else if looking_at st "\"" then Dv.String (parse_ocaml_string st)
+  else if st.src.[st.pos] = '[' then begin
+    skip st "[";
+    skip_ws st;
+    if eat st "]" then Dv.List []
+    else begin
+      let rec items acc =
+        let d = parse_data st in
+        if eat st ";" then items (d :: acc)
+        else begin
+          expect st "]";
+          List.rev (d :: acc)
+        end
+      in
+      Dv.List (items [])
+    end
+  end
+  else if st.src.[st.pos] = '-' || (st.src.[st.pos] >= '0' && st.src.[st.pos] <= '9')
+  then parse_number st
+  else begin
+    let name = ident st in
+    match name with
+    | "null" -> Dv.Null
+    | "true" -> Dv.Bool true
+    | "false" -> Dv.Bool false
+    | _ -> parse_data_record st name
+  end
+
+and parse_data_record st name =
+  expect st "{";
+  skip_ws st;
+  if eat st "}" then Dv.Record (name, [])
+  else begin
+    let rec fields acc =
+      let f = ident st in
+      skip_ws st;
+      if looking_at st sym_mapsto then skip st sym_mapsto
+      else if looking_at st "|->" then skip st "|->"
+      else error st "expected %s in record literal" sym_mapsto;
+      let d = parse_data st in
+      if eat st "," then fields ((f, d) :: acc)
+      else begin
+        expect st "}";
+        List.rev ((f, d) :: acc)
+      end
+    in
+    Dv.Record (name, fields [])
+  end
+
+(* ----- types ----- *)
+
+let rec parse_ty_expr st : ty =
+  let left = parse_ty_atom st in
+  skip_ws st;
+  if eat st "->" then TArrow (left, parse_ty_expr st)
+  else if looking_at st sym_arrow then begin
+    skip st sym_arrow;
+    TArrow (left, parse_ty_expr st)
+  end
+  else left
+
+and parse_ty_atom st : ty =
+  skip_ws st;
+  if eat st "(" then begin
+    let t = parse_ty_expr st in
+    expect st ")";
+    t
+  end
+  else
+    let name = ident st in
+    match name with
+    | "int" -> TInt
+    | "float" -> TFloat
+    | "bool" -> TBool
+    | "string" -> TString
+    | "date" -> TDate
+    | "Data" -> TData
+    | "list" -> TList (parse_ty_atom st)
+    | "option" -> TOption (parse_ty_atom st)
+    | c -> TClass c
+
+(* ----- shapes inside op arguments -----
+
+   A shape argument extends to the comma (or closing paren) at bracket
+   depth zero; the substring is handed to Shape_parser. *)
+
+let parse_shape_arg st : Fsdata_core.Shape.t =
+  skip_ws st;
+  let start = st.pos in
+  let depth = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if st.pos >= st.len then error st "unterminated shape argument"
+    else if looking_at st "\xe2\x9f\xa8" then begin incr depth; skip st "\xe2\x9f\xa8" end
+    else if looking_at st "\xe2\x9f\xa9" then begin decr depth; skip st "\xe2\x9f\xa9" end
+    else
+      match st.src.[st.pos] with
+      | '[' | '{' | '(' | '<' ->
+          incr depth;
+          st.pos <- st.pos + 1
+      | ']' | '}' | ')' | '>' ->
+          if !depth = 0 then continue := false
+          else begin
+            decr depth;
+            st.pos <- st.pos + 1
+          end
+      | ',' when !depth = 0 -> continue := false
+      | _ -> st.pos <- st.pos + 1
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match Fsdata_core.Shape_parser.parse_result text with
+  | Ok s -> s
+  | Error e -> error st "bad shape argument: %s" e
+
+let parse_mult st : Fsdata_core.Multiplicity.t =
+  skip_ws st;
+  if eat st "1?" then Fsdata_core.Multiplicity.Optional_single
+  else if eat st "1" then Fsdata_core.Multiplicity.Single
+  else if eat st "*" then Fsdata_core.Multiplicity.Multiple
+  else error st "expected a multiplicity"
+
+(* ----- expressions ----- *)
+
+let rec parse_expr st : expr =
+  skip_ws st;
+  if looking_at st sym_lambda || looking_at st "\\" then parse_lambda st
+  else if looking_at st "match " || looking_at st "match\n" then parse_match st
+  else if looking_at st "if " || looking_at st "if\n" then parse_if st
+  else parse_eq st
+
+and parse_lambda st =
+  if looking_at st sym_lambda then skip st sym_lambda else expect st "\\";
+  (* allow an optional "(" wrapping printed lambdas: the printer wraps the
+     whole lambda, which parse_atom handles; here the symbol is consumed *)
+  let x = ident st in
+  expect st ":";
+  let ty = parse_ty_expr st in
+  expect st ".";
+  let body = parse_expr st in
+  ELam (x, ty, body)
+
+and parse_match st =
+  expect st "match";
+  let scrutinee = parse_expr st in
+  expect st "with";
+  ignore (eat st "|");
+  skip_ws st;
+  if looking_at st "Some" then begin
+    expect st "Some";
+    expect st "(";
+    let x = ident st in
+    expect st ")";
+    arrow st;
+    let e1 = parse_expr st in
+    expect st "|";
+    expect st "None";
+    arrow st;
+    let e2 = parse_expr st in
+    EMatchOption (scrutinee, x, e1, e2)
+  end
+  else begin
+    let x1 = ident st in
+    expect st "::";
+    let x2 = ident st in
+    arrow st;
+    let e1 = parse_expr st in
+    expect st "|";
+    expect st "nil";
+    arrow st;
+    let e2 = parse_expr st in
+    EMatchList (scrutinee, x1, x2, e1, e2)
+  end
+
+and arrow st =
+  skip_ws st;
+  if looking_at st sym_arrow then skip st sym_arrow
+  else if looking_at st "->" then skip st "->"
+  else error st "expected an arrow"
+
+and parse_if st =
+  expect st "if";
+  let c = parse_expr st in
+  expect st "then";
+  let t = parse_expr st in
+  expect st "else";
+  let e = parse_expr st in
+  EIf (c, t, e)
+
+and parse_eq st =
+  let left = parse_cons st in
+  skip_ws st;
+  (* '=' but not '==' and not inside '↦' contexts *)
+  if st.pos < st.len && st.src.[st.pos] = '=' then begin
+    st.pos <- st.pos + 1;
+    EEq (left, parse_cons st)
+  end
+  else left
+
+and parse_cons st =
+  let left = parse_app st in
+  skip_ws st;
+  if looking_at st "::" then begin
+    skip st "::";
+    ECons (left, parse_cons st)
+  end
+  else left
+
+and parse_app st =
+  let head = parse_postfix st in
+  let rec loop acc =
+    skip_ws st;
+    if st.pos >= st.len then acc
+    else if starts_atom st then loop (EApp (acc, parse_postfix st))
+    else acc
+  in
+  loop head
+
+and starts_atom st =
+  skip_ws st;
+  if st.pos >= st.len then false
+  else if
+    looking_at st sym_arrow || looking_at st "->" || looking_at st "::"
+    || looking_at st sym_mapsto
+  then false
+  else
+    match st.src.[st.pos] with
+    | '(' | '[' | '"' -> true
+    | '-' | '0' .. '9' -> true
+    | c when is_ident_start c || looking_at st sym_lambda -> (
+        (* keywords that terminate an application *)
+        match peek_ident st with
+        | Some (("then" | "else" | "with" | "member" | "type" | "nil" | "None"), _)
+          -> (
+            match peek_ident st with
+            | Some (("nil" | "None"), _) -> true
+            | _ -> false)
+        | Some _ -> true
+        | None -> looking_at st sym_lambda)
+    | _ -> false
+
+and parse_postfix st =
+  let atom = parse_atom st in
+  let rec loop acc =
+    skip_ws st;
+    if st.pos < st.len && st.src.[st.pos] = '.' then begin
+      st.pos <- st.pos + 1;
+      let n = ident st in
+      loop (EMember (acc, n))
+    end
+    else acc
+  in
+  loop atom
+
+and parse_args st =
+  expect st "(";
+  skip_ws st;
+  if eat st ")" then []
+  else begin
+    let rec args acc =
+      let e = parse_expr st in
+      if eat st "," then args (e :: acc)
+      else begin
+        expect st ")";
+        List.rev (e :: acc)
+      end
+    in
+    args []
+  end
+
+and parse_atom st : expr =
+  skip_ws st;
+  if st.pos >= st.len then error st "expected an expression"
+  else if looking_at st sym_lambda || looking_at st "\\" then parse_lambda st
+  else if looking_at st "\"" then EData (Dv.String (parse_ocaml_string st))
+  else if st.src.[st.pos] = '(' then begin
+    skip st "(";
+    let e = parse_expr st in
+    expect st ")";
+    e
+  end
+  else if st.src.[st.pos] = '[' then EData (parse_data st)
+  else if st.src.[st.pos] = '-' || (st.src.[st.pos] >= '0' && st.src.[st.pos] <= '9')
+  then EData (parse_number st)
+  else begin
+    let name = ident st in
+    match name with
+    | "null" -> EData Dv.Null
+    | "true" -> EData (Dv.Bool true)
+    | "false" -> EData (Dv.Bool false)
+    | "None" -> ENone (TOption TData |> fun _ -> TData)
+    | "nil" -> ENil TData
+    | "exn" -> EExn
+    | "Some" ->
+        expect st "(";
+        let e = parse_expr st in
+        expect st ")";
+        ESome e
+    | "new" ->
+        let c = ident st in
+        ENew (c, parse_args st)
+    | "int" when (skip_ws st; looking_at st "(") ->
+        expect st "(";
+        let e = parse_expr st in
+        expect st ")";
+        EOp (IntOfFloat e)
+    | "date" when (skip_ws st; looking_at st "(") ->
+        expect st "(";
+        skip_ws st;
+        let start = st.pos in
+        while st.pos < st.len && st.src.[st.pos] <> ')' do
+          st.pos <- st.pos + 1
+        done;
+        let text = String.sub st.src start (st.pos - start) in
+        expect st ")";
+        (match Fsdata_data.Date.of_string text with
+        | Some d -> EDate d
+        | None -> error st "invalid date literal %S" text)
+    | "convFloat" -> op2_shape st (fun s e -> ConvFloat (s, e))
+    | "convPrim" -> op2_shape st (fun s e -> ConvPrim (s, e))
+    | "hasShape" -> op2_shape st (fun s e -> HasShape (s, e))
+    | "convBool" ->
+        expect st "(";
+        let e = parse_expr st in
+        expect st ")";
+        EOp (ConvBool e)
+    | "convDate" ->
+        expect st "(";
+        let e = parse_expr st in
+        expect st ")";
+        EOp (ConvDate e)
+    | "convNull" ->
+        expect st "(";
+        let e1 = parse_expr st in
+        expect st ",";
+        let e2 = parse_expr st in
+        expect st ")";
+        EOp (ConvNull (e1, e2))
+    | "convElements" ->
+        expect st "(";
+        let e1 = parse_expr st in
+        expect st ",";
+        let e2 = parse_expr st in
+        expect st ")";
+        EOp (ConvElements (e1, e2))
+    | "convField" ->
+        expect st "(";
+        let n1 = ident st in
+        expect st ",";
+        let n2 = ident st in
+        expect st ",";
+        let e1 = parse_expr st in
+        expect st ",";
+        let e2 = parse_expr st in
+        expect st ")";
+        EOp (ConvField (n1, n2, e1, e2))
+    | "convSelect" ->
+        expect st "(";
+        let s = parse_shape_arg st in
+        expect st ",";
+        let m = parse_mult st in
+        expect st ",";
+        let e1 = parse_expr st in
+        expect st ",";
+        let e2 = parse_expr st in
+        expect st ")";
+        EOp (ConvSelect (s, m, e1, e2))
+    | _ ->
+        (* a record data literal, or a variable *)
+        skip_ws st;
+        if st.pos < st.len && st.src.[st.pos] = '{' then
+          EData (parse_data_record st name)
+        else EVar name
+  end
+
+and op2_shape st build =
+  expect st "(";
+  let s = parse_shape_arg st in
+  expect st ",";
+  let e = parse_expr st in
+  expect st ")";
+  EOp (build s e)
+
+(* ----- classes ----- *)
+
+let parse_class st : class_def =
+  expect st "type";
+  let class_name = ident st in
+  expect st "(";
+  skip_ws st;
+  let ctor_params =
+    if eat st ")" then []
+    else begin
+      let rec params acc =
+        let x = ident st in
+        expect st ":";
+        let t = parse_ty_expr st in
+        if eat st "," then params ((x, t) :: acc)
+        else begin
+          expect st ")";
+          List.rev ((x, t) :: acc)
+        end
+      in
+      params []
+    end
+  in
+  expect st "=";
+  let rec members acc =
+    skip_ws st;
+    if looking_at st "member" then begin
+      skip st "member";
+      let member_name = ident st in
+      expect st ":";
+      let member_ty = parse_ty_expr st in
+      expect st "=";
+      let member_body = parse_expr st in
+      members ({ member_name; member_ty; member_body } :: acc)
+    end
+    else List.rev acc
+  in
+  { class_name; ctor_params; members = members [] }
+
+let wrap parse to_msg src =
+  let st = { src; len = String.length src; pos = 0 } in
+  let v = parse st in
+  skip_ws st;
+  if st.pos < st.len then error st "trailing input";
+  ignore to_msg;
+  v
+
+let parse_expr src = wrap parse_expr () src
+let parse_ty src = wrap parse_ty_expr () src
+
+let parse_classes src =
+  let st = { src; len = String.length src; pos = 0 } in
+  let rec loop acc =
+    skip_ws st;
+    if st.pos >= st.len then List.rev acc else loop (parse_class st :: acc)
+  in
+  loop []
+
+let result_of f src =
+  match f src with
+  | v -> Ok v
+  | exception Parse_error { position; message } ->
+      Error (Printf.sprintf "parse error at offset %d: %s" position message)
+
+let parse_expr_result src = result_of parse_expr src
+let parse_ty_result src = result_of parse_ty src
+let parse_classes_result src = result_of parse_classes src

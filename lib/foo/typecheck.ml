@@ -1,0 +1,265 @@
+open Syntax
+
+type error = { message : string; expr : expr }
+
+let pp_error ppf { message; expr } =
+  Fmt.pf ppf "%s@ in @[%a@]" message pp_expr expr
+
+let err expr fmt = Printf.ksprintf (fun message -> Error { message; expr }) fmt
+
+let ( let* ) r f = Result.bind r f
+
+(* The primitive type of a primitive data value, if any. *)
+let prim_ty_of_data (d : Fsdata_data.Data_value.t) =
+  match d with
+  | Int _ -> Some TInt
+  | Float _ -> Some TFloat
+  | Bool _ -> Some TBool
+  | String _ -> Some TString
+  | Null | List _ | Record _ -> None
+
+let conv_prim_ty expr (s : Fsdata_core.Shape.t) =
+  match s with
+  | Primitive Fsdata_core.Shape.Int -> Ok TInt
+  | Primitive Fsdata_core.Shape.String -> Ok TString
+  | Primitive Fsdata_core.Shape.Bool -> Ok TBool
+  | _ -> err expr "convPrim expects an int, string or bool shape"
+
+let rec synth classes gamma e =
+  match e with
+  | EData d -> (
+      (* d : Data for every d; primitive values also have their primitive
+         type, which we prefer when synthesizing. *)
+      match prim_ty_of_data d with Some t -> Ok t | None -> Ok TData)
+  | EDate _ -> Ok TDate
+  | EVar x -> (
+      match List.assoc_opt x gamma with
+      | Some t -> Ok t
+      | None -> err e "unbound variable %s" x)
+  | ELam (x, t1, body) ->
+      let* t2 = synth classes ((x, t1) :: gamma) body in
+      Ok (TArrow (t1, t2))
+  | EApp (e1, e2) -> (
+      let* t1 = synth classes gamma e1 in
+      match t1 with
+      | TArrow (ta, tb) ->
+          let* () = check classes gamma e2 ta in
+          Ok tb
+      | t -> err e "expected a function but found %s" (ty_to_string t))
+  | EMember (e1, n) -> (
+      let* t1 = synth classes gamma e1 in
+      match t1 with
+      | TClass c -> (
+          match find_class classes c with
+          | None -> err e "unknown class %s" c
+          | Some cls -> (
+              match find_member cls n with
+              | Some m -> Ok m.member_ty
+              | None -> err e "class %s has no member %s" c n))
+      | t -> err e "member access on non-class type %s" (ty_to_string t))
+  | ENew (c, args) -> (
+      match find_class classes c with
+      | None -> err e "unknown class %s" c
+      | Some cls ->
+          if List.length args <> List.length cls.ctor_params then
+            err e "class %s expects %d constructor arguments, got %d" c
+              (List.length cls.ctor_params) (List.length args)
+          else
+            let* () =
+              List.fold_left2
+                (fun acc arg (_, t) ->
+                  let* () = acc in
+                  check classes gamma arg t)
+                (Ok ()) args cls.ctor_params
+            in
+            Ok (TClass c))
+  | ENone t -> Ok (TOption t)
+  | ESome e1 ->
+      let* t = synth classes gamma e1 in
+      Ok (TOption t)
+  | EMatchOption (e0, x, e1, e2) -> (
+      let* t0 = synth classes gamma e0 in
+      match t0 with
+      | TOption t -> synth_branches classes ((x, t) :: gamma) e1 gamma e2
+      | t -> err e "matching an option against %s" (ty_to_string t))
+  | EEq (e1, e2) -> (
+      (* Equality at any (equal) type; exn never synthesizes, so try the
+         other side when one fails. *)
+      match synth classes gamma e1 with
+      | Ok t ->
+          let* () = check classes gamma e2 t in
+          Ok TBool
+      | Error _ ->
+          let* t = synth classes gamma e2 in
+          let* () = check classes gamma e1 t in
+          Ok TBool)
+  | EIf (e1, e2, e3) ->
+      let* () = check classes gamma e1 TBool in
+      synth_branches classes gamma e2 gamma e3
+  | ENil t -> Ok (TList t)
+  | ECons (e1, e2) -> (
+      match synth classes gamma e1 with
+      | Ok t ->
+          let* () = check classes gamma e2 (TList t) in
+          Ok (TList t)
+      | Error _ -> (
+          let* t2 = synth classes gamma e2 in
+          match t2 with
+          | TList t ->
+              let* () = check classes gamma e1 t in
+              Ok (TList t)
+          | t -> err e "cons onto non-list type %s" (ty_to_string t)))
+  | EMatchList (e0, x1, x2, e1, e2) -> (
+      let* t0 = synth classes gamma e0 in
+      match t0 with
+      | TList t ->
+          synth_branches classes
+            ((x1, t) :: (x2, TList t) :: gamma)
+            e1 gamma e2
+      | t -> err e "matching a list against %s" (ty_to_string t))
+  | EOp op -> synth_op classes gamma e op
+  | EExn -> err e "exn has no principal type (use check)"
+
+and synth_branches classes gamma1 e1 gamma2 e2 =
+  match synth classes gamma1 e1 with
+  | Ok t ->
+      let* () = check classes gamma2 e2 t in
+      Ok t
+  | Error _ ->
+      let* t = synth classes gamma2 e2 in
+      let* () = check classes gamma1 e1 t in
+      Ok t
+
+and synth_op classes gamma e op =
+  let data e1 = check classes gamma e1 TData in
+  match op with
+  | ConvFloat (s, e1) -> (
+      match s with
+      | Primitive Fsdata_core.Shape.Float | Primitive Fsdata_core.Shape.Int ->
+          let* () = data e1 in
+          Ok TFloat
+      | _ -> err e "convFloat expects an int or float shape")
+  | ConvPrim (s, e1) ->
+      let* t = conv_prim_ty e s in
+      let* () = data e1 in
+      Ok t
+  | ConvField (_, _, e1, e2) -> (
+      let* () = data e1 in
+      let* t2 = synth classes gamma e2 in
+      match t2 with
+      | TArrow (TData, t) -> Ok t
+      | t -> err e "convField continuation must have type Data -> _, found %s" (ty_to_string t))
+  | ConvNull (e1, e2) -> (
+      let* () = data e1 in
+      let* t2 = synth classes gamma e2 in
+      match t2 with
+      | TArrow (TData, t) -> Ok (TOption t)
+      | t -> err e "convNull continuation must have type Data -> _, found %s" (ty_to_string t))
+  | ConvElements (e1, e2) -> (
+      let* () = data e1 in
+      let* t2 = synth classes gamma e2 in
+      match t2 with
+      | TArrow (TData, t) -> Ok (TList t)
+      | t ->
+          err e "convElements continuation must have type Data -> _, found %s"
+            (ty_to_string t))
+  | HasShape (_, e1) ->
+      let* () = data e1 in
+      Ok TBool
+  | ConvBool e1 ->
+      let* () = data e1 in
+      Ok TBool
+  | ConvDate e1 ->
+      let* () = data e1 in
+      Ok TDate
+  | ConvSelect (_, mult, e1, e2) -> (
+      let* () = data e1 in
+      let* t2 = synth classes gamma e2 in
+      match t2 with
+      | TArrow (TData, t) ->
+          Ok
+            (match mult with
+            | Fsdata_core.Multiplicity.Single -> t
+            | Fsdata_core.Multiplicity.Optional_single -> TOption t
+            | Fsdata_core.Multiplicity.Multiple -> TList t)
+      | t ->
+          err e "convSelect continuation must have type Data -> _, found %s"
+            (ty_to_string t))
+  | IntOfFloat e1 ->
+      (* Remark 1's int(e): accepts the float the shape evolved into (and
+         int, making the coercion idempotent in rewritten programs). *)
+      let* t = synth classes gamma e1 in
+      if ty_equal t TFloat || ty_equal t TInt then Ok TInt
+      else err e "int(e) expects a numeric argument, found %s" (ty_to_string t)
+
+and check classes gamma e t =
+  match e with
+  | EExn -> Ok () (* exn inhabits every type; it propagates as an outcome *)
+  | EData d ->
+      if ty_equal t TData then Ok ()
+      else (
+        match prim_ty_of_data d with
+        | Some tp when ty_equal t tp -> Ok ()
+        | _ ->
+            err e "data value does not have type %s" (ty_to_string t))
+  | ENone t' ->
+      if ty_equal t (TOption t') then Ok ()
+      else err e "None has type %s, expected %s" (ty_to_string (TOption t')) (ty_to_string t)
+  | ENil t' ->
+      if ty_equal t (TList t') then Ok ()
+      else err e "nil has type %s, expected %s" (ty_to_string (TList t')) (ty_to_string t)
+  | ESome e1 -> (
+      match t with
+      | TOption t1 -> check classes gamma e1 t1
+      | _ -> err e "Some(_) cannot have type %s" (ty_to_string t))
+  | ECons (e1, e2) -> (
+      match t with
+      | TList t1 ->
+          let* () = check classes gamma e1 t1 in
+          check classes gamma e2 t
+      | _ -> err e "cons cannot have type %s" (ty_to_string t))
+  | ELam (x, t1, body) -> (
+      match t with
+      | TArrow (ta, tb) when ty_equal ta t1 ->
+          check classes ((x, t1) :: gamma) body tb
+      | _ ->
+          err e "lambda of argument type %s cannot have type %s"
+            (ty_to_string t1) (ty_to_string t))
+  | EIf (e1, e2, e3) ->
+      let* () = check classes gamma e1 TBool in
+      let* () = check classes gamma e2 t in
+      check classes gamma e3 t
+  | EMatchOption (e0, x, e1, e2) -> (
+      let* t0 = synth classes gamma e0 in
+      match t0 with
+      | TOption tx ->
+          let* () = check classes ((x, tx) :: gamma) e1 t in
+          check classes gamma e2 t
+      | t0 -> err e "matching an option against %s" (ty_to_string t0))
+  | EMatchList (e0, x1, x2, e1, e2) -> (
+      let* t0 = synth classes gamma e0 in
+      match t0 with
+      | TList tx ->
+          let* () = check classes ((x1, tx) :: (x2, TList tx) :: gamma) e1 t in
+          check classes gamma e2 t
+      | t0 -> err e "matching a list against %s" (ty_to_string t0))
+  | _ ->
+      let* t' = synth classes gamma e in
+      if ty_equal t t' then Ok ()
+      else
+        err e "expression has type %s but %s was expected" (ty_to_string t')
+          (ty_to_string t)
+
+let check_class classes (cls : class_def) =
+  List.fold_left
+    (fun acc (m : member_def) ->
+      let* () = acc in
+      check classes cls.ctor_params m.member_body m.member_ty)
+    (Ok ()) cls.members
+
+let check_classes classes =
+  List.fold_left
+    (fun acc cls ->
+      let* () = acc in
+      check_class classes cls)
+    (Ok ()) classes

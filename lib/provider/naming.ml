@@ -1,0 +1,106 @@
+let is_alnum c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_lower c = c >= 'a' && c <= 'z'
+let is_digit c = c >= '0' && c <= '9'
+
+(* Split a raw name into words: separators are non-alphanumeric characters;
+   camel humps (lower-to-upper transitions, and the last upper of an
+   acronym followed by a lower, as in "XMLFile" -> XML, File) also split. *)
+let words s =
+  let n = String.length s in
+  let words = ref [] in
+  let buf = Buffer.create 8 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      words := Buffer.contents buf :: !words;
+      Buffer.clear buf
+    end
+  in
+  for i = 0 to n - 1 do
+    let c = s.[i] in
+    if not (is_alnum c) then flush ()
+    else begin
+      let prev = if i > 0 then Some s.[i - 1] else None in
+      let next = if i < n - 1 then Some s.[i + 1] else None in
+      (match prev with
+      | Some p when is_alnum p ->
+          if is_upper c && (is_lower p || is_digit p) then flush ()
+          else if
+            is_upper c && is_upper p
+            && match next with Some nx -> is_lower nx | None -> false
+          then flush ()
+      | _ -> ());
+      Buffer.add_char buf c
+    end
+  done;
+  flush ();
+  List.rev !words
+
+let capitalize w =
+  if w = "" then w
+  else
+    String.mapi
+      (fun i c ->
+        if i = 0 then Char.uppercase_ascii c
+        else if String.for_all (fun c -> not (is_lower c)) w then
+          (* all-caps acronym: keep only the initial capital *)
+          Char.lowercase_ascii c
+        else c)
+      w
+
+let pascal_case s =
+  let name = String.concat "" (List.map capitalize (words s)) in
+  if name = "" then "Value"
+  else if is_digit name.[0] then "N" ^ name
+  else name
+
+let ends_with suffix s =
+  let ls = String.length suffix and ln = String.length s in
+  ln >= ls && String.sub s (ln - ls) ls = suffix
+
+let drop n s = String.sub s 0 (String.length s - n)
+
+let singularize s =
+  let low = String.lowercase_ascii s in
+  if low = "people" then String.sub s 0 1 |> fun c -> (if c = "P" then "Person" else "person")
+  else if ends_with "ies" low && String.length s > 3 then drop 3 s ^ "y"
+  else if ends_with "sses" low || ends_with "shes" low || ends_with "ches" low
+          || ends_with "xes" low || ends_with "zes" low
+  then drop 2 s
+  else if ends_with "ss" low then s
+  else if ends_with "s" low && String.length s > 1 then drop 1 s
+  else s
+
+let pluralize s =
+  let low = String.lowercase_ascii s in
+  if low = "person" then (if s.[0] = 'P' then "People" else "people")
+  else if ends_with "y" low && String.length s > 1
+          && not (List.mem low.[String.length low - 2] [ 'a'; 'e'; 'i'; 'o'; 'u' ])
+  then drop 1 s ^ "ies"
+  else if ends_with "s" low || ends_with "sh" low || ends_with "ch" low
+          || ends_with "x" low || ends_with "z" low
+  then s ^ "es"
+  else s ^ "s"
+
+type pool = (string, unit) Hashtbl.t
+
+let create_pool () : pool = Hashtbl.create 16
+
+let fresh pool name =
+  if not (Hashtbl.mem pool name) then begin
+    Hashtbl.add pool name ();
+    name
+  end
+  else begin
+    let rec go i =
+      let candidate = Printf.sprintf "%s%d" name i in
+      if Hashtbl.mem pool candidate then go (i + 1)
+      else begin
+        Hashtbl.add pool candidate ();
+        candidate
+      end
+    in
+    go 2
+  end

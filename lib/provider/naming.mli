@@ -1,0 +1,36 @@
+(** Idiomatic naming of provided types and members (Section 6.3).
+
+    "Class members are renamed to follow PascalCase naming convention;
+    when a collision occurs, a number is appended to the end as in
+    PascalCase2. The provided implementation performs the lookup using the
+    original name." Class names are derived from record names (XML
+    elements) or from the parent record field (footnote 8: in
+    [{"person": {"name": "Tomas"}}] the nested record is named [Person]).
+*)
+
+val pascal_case : string -> string
+(** Split on non-alphanumeric separators and lower-to-upper camel
+    boundaries, capitalize each word and concatenate: ["temp_min"] becomes
+    ["TempMin"], ["user-id"] becomes ["UserId"], ["firstName"] becomes
+    ["FirstName"]. A name starting with a digit is prefixed with ["N"]
+    (["2lines"] becomes ["N2lines"]); an empty or fully-symbolic name
+    becomes ["Value"]. *)
+
+val singularize : string -> string
+(** A light-weight English singularizer used to name the element type of a
+    collection after the field holding it: ["people"] becomes ["person"],
+    ["entries"] becomes ["entry"], ["items"] becomes ["item"]. Names
+    without a recognized plural form are returned unchanged. *)
+
+val pluralize : string -> string
+(** Inverse of {!singularize} for naming list-valued members: ["item"]
+    becomes ["items"], ["entry"] becomes ["entries"]. *)
+
+type pool
+(** A mutable pool of used names, for collision-free provided names. *)
+
+val create_pool : unit -> pool
+
+val fresh : pool -> string -> string
+(** [fresh pool name] returns [name] if unused, otherwise [name2], [name3]
+    ... (Section 6.3's PascalCase2 rule), and marks the result used. *)

@@ -1,0 +1,41 @@
+open Fsdata_foo.Syntax
+
+let rec pp_ty ppf = function
+  | TInt -> Fmt.string ppf "int"
+  | TFloat -> Fmt.string ppf "float"
+  | TBool -> Fmt.string ppf "bool"
+  | TString -> Fmt.string ppf "string"
+  | TDate -> Fmt.string ppf "DateTime"
+  | TData -> Fmt.string ppf "Data"
+  | TClass c -> Fmt.string ppf c
+  | TList t -> Fmt.pf ppf "%a[]" pp_ty_atom t
+  | TOption t -> Fmt.pf ppf "option %a" pp_ty_atom t
+  | TArrow (a, b) -> Fmt.pf ppf "%a -> %a" pp_ty_atom a pp_ty b
+
+and pp_ty_atom ppf t =
+  match t with
+  | TArrow _ | TOption _ -> Fmt.pf ppf "(%a)" pp_ty t
+  | _ -> pp_ty ppf t
+
+let pp_class ppf (c : class_def) =
+  if c.members = [] then Fmt.pf ppf "@[<v 2>type %s (* opaque *)@]" c.class_name
+  else
+    Fmt.pf ppf "@[<v 2>type %s =@ %a@]" c.class_name
+      Fmt.(
+        list ~sep:(any "@ ") (fun ppf (m : member_def) ->
+            Fmt.pf ppf "member %s : %a" m.member_name pp_ty m.member_ty))
+      c.members
+
+let pp ?(root_name = "Document") ppf (p : Provide.t) =
+  let blocks =
+    List.map (fun c -> Fmt.str "@[<v>%a@]" pp_class c) p.classes
+    @ [
+        Fmt.str
+          "@[<v 2>type %s =@ member GetSample : unit -> %a@ member Parse : \
+           string -> %a@ member Load : string -> %a@]"
+          root_name pp_ty p.root_ty pp_ty p.root_ty pp_ty p.root_ty;
+      ]
+  in
+  Fmt.string ppf (String.concat "\n\n" blocks)
+
+let to_string ?root_name p = Fmt.str "%a" (pp ?root_name) p

@@ -1,0 +1,25 @@
+(** Printing provided types in the paper's F# signature style.
+
+    The paper displays provided types as
+
+    {v
+      type Entity =
+        member Name : string
+        member Age : option float
+      type People =
+        member GetSample : unit -> Entity[]
+        member Parse : string -> Entity[]
+    v}
+
+    {!pp} renders the classes of a {!Provide.t} in this style, and appends
+    the root wrapper type with its [GetSample]/[Parse]/[Load] entry points
+    (Section 2.1). Foo types print in F# notation: [list t] as [t\[\]],
+    [option t] as [option t]. *)
+
+val pp_ty : Format.formatter -> Fsdata_foo.Syntax.ty -> unit
+
+val pp : ?root_name:string -> Format.formatter -> Provide.t -> unit
+(** [root_name] (default ["Document"]) names the wrapper type carrying the
+    [GetSample]/[Parse]/[Load] members. *)
+
+val to_string : ?root_name:string -> Provide.t -> string

@@ -1,0 +1,59 @@
+module Dv = Fsdata_data.Data_value
+
+exception Conversion_error of string
+
+let fail op d =
+  raise
+    (Conversion_error
+       (Fmt.str "%s: value %a does not have the expected shape" op Dv.pp d))
+
+let conv_int = function Dv.Int i -> i | d -> fail "convPrim(int)" d
+let conv_string = function Dv.String s -> s | d -> fail "convPrim(string)" d
+let conv_bool = function Dv.Bool b -> b | d -> fail "convPrim(bool)" d
+
+let conv_float = function
+  | Dv.Int i -> float_of_int i
+  | Dv.Float f -> f
+  | d -> fail "convFloat" d
+
+let conv_bit_bool = function
+  | Dv.Bool b -> b
+  | Dv.Int 0 -> false
+  | Dv.Int 1 -> true
+  | d -> fail "convBool" d
+
+let conv_date = function
+  | Dv.String s as d -> (
+      match Fsdata_data.Date.of_string s with
+      | Some date -> date
+      | None -> fail "convDate" d)
+  | d -> fail "convDate" d
+
+let conv_field ~record ~field = function
+  | Dv.Record (name, fields) when String.equal name record -> (
+      match List.assoc_opt field fields with Some d -> d | None -> Dv.Null)
+  | d -> fail (Printf.sprintf "convField(%s, %s)" record field) d
+
+let conv_null k = function Dv.Null -> None | d -> Some (k d)
+
+let conv_elements k = function
+  | Dv.Null -> []
+  | Dv.List ds -> List.map k ds
+  | d -> fail "convElements" d
+
+let has_shape = Fsdata_core.Shape_check.has_shape
+
+let matches shape = function
+  | Dv.Null -> []
+  | Dv.List ds -> List.filter (has_shape shape) ds
+  | d -> fail "convSelect" d
+
+let select_single shape k d =
+  match matches shape d with
+  | m :: _ -> k m
+  | [] -> fail "convSelect(1)" d
+
+let select_optional shape k d =
+  match matches shape d with m :: _ -> Some (k m) | [] -> None
+
+let select_multiple shape k d = List.map k (matches shape d)

@@ -1,0 +1,36 @@
+let () =
+  Alcotest.run "fsdata"
+    [
+      ("data_value", Test_data_value.suite);
+      ("json", Test_json.suite);
+      ("xml", Test_xml.suite);
+      ("csv", Test_csv.suite);
+      ("date", Test_date.suite);
+      ("primitive", Test_primitive.suite);
+      ("shape", Test_shape.suite);
+      ("preference", Test_preference.suite);
+      ("csh", Test_csh.suite);
+      ("infer", Test_infer.suite);
+      ("shape_check", Test_shape_check.suite);
+      ("foo_eval", Test_foo_eval.suite);
+      ("foo_typecheck", Test_foo_typecheck.suite);
+      ("naming", Test_naming.suite);
+      ("provider", Test_provider.suite);
+      ("safety", Test_safety.suite);
+      ("stability", Test_stability.suite);
+      ("runtime", Test_runtime.suite);
+      ("codegen", Test_codegen.suite);
+      ("integration", Test_integration.suite);
+      ("xml_global", Test_xml_global.suite);
+      ("json_schema", Test_json_schema.suite);
+      ("shape_parser", Test_shape_parser.suite);
+      ("csv_schema", Test_csv_schema.suite);
+      ("foo_parser", Test_foo_parser.suite);
+      ("eval_fast", Test_eval_fast.suite);
+      ("shape_gen", Test_shape_gen.suite);
+      ("tag_mult", Test_tag_mult.suite);
+      ("safety_xml", Test_safety_xml.suite);
+      ("migrate", Test_migrate.suite);
+      ("explain", Test_explain.suite);
+      ("html", Test_html.suite);
+    ]

@@ -1,0 +1,139 @@
+(* OCaml code generation: name mangling, shape literals, golden output,
+   and agreement between the generated (statically compiled) module and
+   the interpreted runtime. *)
+
+module Dv = Fsdata_data.Data_value
+module Shape = Fsdata_core.Shape
+module Mult = Fsdata_core.Multiplicity
+module Provide = Fsdata_provider.Provide
+module Codegen = Fsdata_codegen.Codegen
+module Typed = Fsdata_runtime.Typed
+module People = Fsdata_examples_generated.People_j
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let test_ml_names () =
+  check Alcotest.string "type name" "entity" (Codegen.ml_type_name "Entity");
+  check Alcotest.string "keyword escape" "type_" (Codegen.ml_type_name "Type");
+  check Alcotest.string "field" "tempMin" (Codegen.ml_field_name "TempMin");
+  check Alcotest.string "keyword field" "class_" (Codegen.ml_field_name "Class")
+
+let test_shape_literal () =
+  check Alcotest.string "primitive" "Shape.Primitive Shape.Int"
+    (Codegen.shape_literal (Shape.Primitive Shape.Int));
+  check Alcotest.string "record"
+    "Shape.record \"p\" [(\"x\", Shape.Primitive Shape.Int)]"
+    (Codegen.shape_literal (Shape.record "p" [ ("x", Shape.Primitive Shape.Int) ]));
+  check Alcotest.string "nullable" "Shape.nullable (Shape.Null)"
+    (Codegen.shape_literal (Shape.Nullable Shape.Null) |> fun s -> s);
+  check Alcotest.string "top"
+    "Shape.top [Shape.Primitive Shape.Bool; Shape.Primitive Shape.String]"
+    (Codegen.shape_literal (Shape.top [ Shape.Primitive Shape.String; Shape.Primitive Shape.Bool ]))
+
+(* The committed examples/generated/people_j.ml must equal what codegen
+   produces today — a regeneration-sync (golden) test. *)
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let rec find_up name dir =
+  let candidate = Filename.concat dir name in
+  if Sys.file_exists candidate then candidate
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then Alcotest.failf "cannot locate %s" name
+    else find_up name parent
+
+let test_golden_people () =
+  let sample = read_file (find_up "examples/data/people.json" (Sys.getcwd ())) in
+  let committed =
+    read_file (find_up "examples/generated/people_j.ml" (Sys.getcwd ()))
+  in
+  let p = Result.get_ok (Provide.provide_json ~root_name:"People" sample) in
+  let generated =
+    Codegen.generate
+      ~module_comment:"Generated from people.json by fsdata codegen — do not edit."
+      p
+  in
+  check Alcotest.string
+    "committed generated module is in sync (regenerate with examples/codegen_demo.exe)"
+    committed generated
+
+(* The generated module and the interpreted runtime agree. *)
+let test_generated_agrees_with_interpreter () =
+  let sample = read_file (find_up "examples/data/people.json" (Sys.getcwd ())) in
+  let p = Result.get_ok (Provide.provide_json ~root_name:"People" sample) in
+  let interpreted =
+    List.map
+      (fun item ->
+        ( Typed.get_string (Typed.member item "Name"),
+          Option.map Typed.get_float (Typed.get_option (Typed.member item "Age")) ))
+      (Typed.get_list (Typed.parse p sample))
+  in
+  let compiled =
+    List.map (fun (x : People.person) -> (x.name, x.age)) (People.parse sample)
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.option (Alcotest.float 1e-9))))
+    "same view of the data" interpreted compiled
+
+let test_generated_module_errors () =
+  match People.parse {|[ {"age": 1} ]|} with
+  | exception Fsdata_runtime.Ops.Conversion_error _ -> ()
+  | _ -> Alcotest.fail "expected Conversion_error from generated code"
+
+(* Codegen is total on provider output for arbitrary inferred shapes. *)
+let prop_codegen_total =
+  QCheck2.Test.make ~name:"codegen total on inferred shapes" ~count:200
+    ~print:Generators.print_data Generators.gen_data (fun d ->
+      let shape = Fsdata_core.Infer.shape_of_value ~mode:`Practical d in
+      let p = Provide.provide shape in
+      String.length (Codegen.generate p) > 0)
+
+let suite =
+  [
+    tc "OCaml name mangling" `Quick test_ml_names;
+    tc "shape literals" `Quick test_shape_literal;
+    tc "golden: committed people_j.ml in sync" `Quick test_golden_people;
+    tc "generated module agrees with interpreter" `Quick
+      test_generated_agrees_with_interpreter;
+    tc "generated module raises the documented exception" `Quick
+      test_generated_module_errors;
+    QCheck_alcotest.to_alcotest prop_codegen_total;
+  ]
+
+(* The worldbank generated module exercises the heterogeneous-collection
+   path (select_single + shape literals). *)
+module WB = Fsdata_examples_generated.Worldbank_j
+
+let test_worldbank_generated () =
+  let sample = read_file (find_up "examples/data/worldbank.json" (Sys.getcwd ())) in
+  let wb = WB.parse sample in
+  Alcotest.(check int) "pages" 5 wb.WB.record.WB.pages;
+  Alcotest.(check (list (option (float 1e-6))))
+    "values" [ None; Some 35.14229 ]
+    (List.map (fun (i : WB.item) -> i.WB.value) wb.WB.array);
+  Alcotest.(check (list int))
+    "dates" [ 2012; 2010 ]
+    (List.map (fun (i : WB.item) -> i.WB.date) wb.WB.array)
+
+let test_worldbank_golden () =
+  let sample = read_file (find_up "examples/data/worldbank.json" (Sys.getcwd ())) in
+  let committed = read_file (find_up "examples/generated/worldbank_j.ml" (Sys.getcwd ())) in
+  let p = Result.get_ok (Provide.provide_json ~root_name:"WorldBank" sample) in
+  let generated =
+    Codegen.generate
+      ~module_comment:"Generated from worldbank.json by fsdata codegen — do not edit."
+      p
+  in
+  Alcotest.(check string) "worldbank_j.ml in sync" committed generated
+
+let suite =
+  suite
+  @ [
+      tc "generated worldbank module (hetero path)" `Quick test_worldbank_generated;
+      tc "golden: committed worldbank_j.ml in sync" `Quick test_worldbank_golden;
+    ]

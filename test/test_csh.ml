@@ -1,0 +1,263 @@
+(* The common preferred shape function (Definition 2, Figures 2 and 4;
+   Lemma 1).
+
+   One unit test per rule of Figure 2 and Figure 4, named after the rule,
+   plus the least-upper-bound property of Lemma 1 as qcheck properties
+   over the core algebra. *)
+
+module Shape = Fsdata_core.Shape
+module Mult = Fsdata_core.Multiplicity
+module Csh = Fsdata_core.Csh
+module P = Fsdata_core.Preference
+open Generators
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let int_ = Shape.Primitive Shape.Int
+let float_ = Shape.Primitive Shape.Float
+let bool_ = Shape.Primitive Shape.Bool
+let string_ = Shape.Primitive Shape.String
+let bit = Shape.Primitive Shape.Bit
+let bit0 = Shape.Primitive Shape.Bit0
+let bit1 = Shape.Primitive Shape.Bit1
+let date = Shape.Primitive Shape.Date
+let csh = Csh.csh ~mode:`Core
+let cshh = Csh.csh ~mode:`Hetero
+
+let eq name expected actual = check shape_testable name expected actual
+
+(* (eq) *)
+let test_rule_eq () =
+  eq "identical shapes" int_ (csh int_ int_);
+  let r = Shape.record "p" [ ("x", int_) ] in
+  eq "identical records" r (csh r r);
+  eq "identical tops" (Shape.top [ int_ ]) (csh (Shape.top [ int_ ]) (Shape.top [ int_ ]))
+
+(* (list) *)
+let test_rule_list () =
+  eq "[int] ⊔ [float] = [float]"
+    (Shape.collection float_)
+    (csh (Shape.collection int_) (Shape.collection float_));
+  eq "[int] ⊔ [⊥] = [int]"
+    (Shape.collection int_)
+    (csh (Shape.collection int_) (Shape.collection Shape.Bottom));
+  eq "[int] ⊔ [null] = [nullable int]"
+    (Shape.collection (Shape.Nullable int_))
+    (csh (Shape.collection int_) (Shape.collection Shape.Null))
+
+(* (bot) *)
+let test_rule_bot () =
+  eq "⊥ ⊔ s = s" int_ (csh Shape.Bottom int_);
+  eq "s ⊔ ⊥ = s" int_ (csh int_ Shape.Bottom);
+  eq "⊥ ⊔ ⊥ = ⊥" Shape.Bottom (csh Shape.Bottom Shape.Bottom);
+  eq "⊥ ⊔ null = null" Shape.Null (csh Shape.Bottom Shape.Null)
+
+(* (null) *)
+let test_rule_null () =
+  eq "null ⊔ int = nullable int" (Shape.Nullable int_) (csh Shape.Null int_);
+  eq "int ⊔ null = nullable int" (Shape.Nullable int_) (csh int_ Shape.Null);
+  eq "null ⊔ record" (Shape.Nullable (Shape.record "p" []))
+    (csh Shape.Null (Shape.record "p" []));
+  eq "null ⊔ collection = collection (already nullable)"
+    (Shape.collection int_)
+    (csh Shape.Null (Shape.collection int_));
+  eq "null ⊔ nullable int = nullable int" (Shape.Nullable int_)
+    (csh Shape.Null (Shape.Nullable int_));
+  eq "null ⊔ any = any" Shape.any (csh Shape.Null Shape.any);
+  eq "null ⊔ null = null" Shape.Null (csh Shape.Null Shape.Null)
+
+(* (top) *)
+let test_rule_top () =
+  eq "any ⊔ int = any (labels grow)" (Shape.top [ int_ ]) (csh Shape.any int_);
+  eq "any ⊔ any = any" Shape.any (csh Shape.any Shape.any)
+
+(* (num) + Section 6.2 lattice *)
+let test_rule_num () =
+  eq "int ⊔ float = float" float_ (csh int_ float_);
+  eq "float ⊔ int = float" float_ (csh float_ int_);
+  eq "bit0 ⊔ bit1 = bit" bit (csh bit0 bit1);
+  eq "bit0 ⊔ int = int" int_ (csh bit0 int_);
+  eq "bit ⊔ int = int" int_ (csh bit int_);
+  eq "bit ⊔ bool = bool" bool_ (csh bit bool_);
+  eq "bit ⊔ float = float" float_ (csh bit float_);
+  eq "bit1 ⊔ bool = bool" bool_ (csh bit1 bool_);
+  eq "date ⊔ string = string" string_ (csh date string_)
+
+(* (opt) *)
+let test_rule_opt () =
+  eq "nullable int ⊔ float = nullable float" (Shape.Nullable float_)
+    (csh (Shape.Nullable int_) float_);
+  eq "int ⊔ nullable float = nullable float" (Shape.Nullable float_)
+    (csh int_ (Shape.Nullable float_));
+  eq "nullable int ⊔ nullable float = nullable float" (Shape.Nullable float_)
+    (csh (Shape.Nullable int_) (Shape.Nullable float_));
+  (* joining through nullable can still reach a top; ⌈−⌉ leaves it alone *)
+  eq "nullable int ⊔ record = top"
+    (Shape.top [ int_; Shape.record "p" [] ])
+    (csh (Shape.Nullable int_) (Shape.record "p" []))
+
+(* (recd) with row variables (Figure 3's θ) *)
+let test_rule_recd () =
+  let p = Shape.record "p" in
+  eq "common fields joined"
+    (p [ ("x", float_) ])
+    (csh (p [ ("x", int_) ]) (p [ ("x", float_) ]));
+  eq "one-sided fields become nullable"
+    (p [ ("x", int_); ("y", Shape.Nullable string_) ])
+    (csh (p [ ("x", int_); ("y", string_) ]) (p [ ("x", int_) ]));
+  eq "both sides contribute"
+    (p [ ("x", Shape.Nullable int_); ("y", Shape.Nullable string_) ])
+    (csh (p [ ("x", int_) ]) (p [ ("y", string_) ]));
+  eq "Point example from Section 3.1"
+    (Shape.record "Point" [ ("x", int_); ("y", Shape.Nullable int_) ])
+    (csh
+       (Shape.record "Point" [ ("x", int_) ])
+       (Shape.record "Point" [ ("x", int_); ("y", int_) ]));
+  eq "field order follows first appearance"
+    (p [ ("y", Shape.Nullable string_); ("x", Shape.Nullable int_) ])
+    (csh (p [ ("y", string_) ]) (p [ ("x", int_) ]))
+
+(* (any) / (top-any) *)
+let test_rule_any () =
+  eq "int ⊔ bool = any⟨int, bool⟩" (Shape.top [ int_; bool_ ]) (csh int_ bool_);
+  eq "record ⊔ collection"
+    (Shape.top [ Shape.record "p" []; Shape.collection int_ ])
+    (csh (Shape.record "p" []) (Shape.collection int_));
+  eq "records with different names"
+    (Shape.top [ Shape.record "p" []; Shape.record "q" [] ])
+    (csh (Shape.record "p" []) (Shape.record "q" []))
+
+(* Figure 4: (top-merge) *)
+let test_top_merge () =
+  eq "labels grouped by tag"
+    (Shape.top [ float_; bool_; string_ ])
+    (csh (Shape.top [ int_; string_ ]) (Shape.top [ float_; bool_ ]));
+  eq "record labels with same name merge"
+    (Shape.top [ Shape.record "p" [ ("x", Shape.Nullable int_) ]; bool_ ])
+    (csh
+       (Shape.top [ Shape.record "p" [ ("x", int_) ] ])
+       (Shape.top [ Shape.record "p" []; bool_ ]))
+
+(* Figure 4: (top-incl) *)
+let test_top_incl () =
+  eq "joins with the matching label"
+    (Shape.top [ float_; bool_ ])
+    (csh (Shape.top [ int_; bool_ ]) float_);
+  eq "paper example: joins int and float rather than nesting"
+    (Shape.top [ float_; bool_ ])
+    (csh (csh int_ bool_) float_)
+
+(* Figure 4: (top-add) *)
+let test_top_add () =
+  eq "adds a label with a new tag"
+    (Shape.top [ int_; bool_; string_ ])
+    (csh (Shape.top [ int_; bool_ ]) string_);
+  eq "nullable label is stripped (⌊−⌋)"
+    (Shape.top [ int_; string_ ])
+    (csh (Shape.top [ int_ ]) (Shape.Nullable string_))
+
+(* Hetero collections (Section 6.4). *)
+let test_hetero_merge () =
+  let h = Shape.hetero in
+  eq "same tag: shapes join, multiplicities lub"
+    (h [ (float_, Mult.Multiple) ])
+    (cshh (h [ (int_, Mult.Single) ]) (h [ (float_, Mult.Multiple) ]));
+  eq "1 and 1 stay 1"
+    (h [ (int_, Mult.Single) ])
+    (cshh (h [ (int_, Mult.Single) ]) (h [ (int_, Mult.Single) ]));
+  eq "one-sided tag weakens 1 to 1? (paper: turning 1 and 1? into 1?)"
+    (h [ (int_, Mult.Single); (string_, Mult.Optional_single) ])
+    (cshh
+       (h [ (int_, Mult.Single); (string_, Mult.Single) ])
+       (h [ (int_, Mult.Single) ]));
+  eq "one-sided * stays *"
+    (h [ (int_, Mult.Single); (string_, Mult.Multiple) ])
+    (cshh
+       (h [ (int_, Mult.Single); (string_, Mult.Multiple) ])
+       (h [ (int_, Mult.Single) ]));
+  eq "empty collection weakens everything"
+    (h [ (int_, Mult.Optional_single) ])
+    (cshh (h [ (int_, Mult.Single) ]) (Shape.Collection []))
+
+(* csh_all: Figure 3's fold. *)
+let test_csh_all () =
+  eq "empty fold is bottom" Shape.Bottom (Csh.csh_all ~mode:`Core []);
+  eq "singleton" int_ (Csh.csh_all ~mode:`Core [ int_ ]);
+  eq "int, float, null" (Shape.Nullable float_)
+    (Csh.csh_all ~mode:`Core [ int_; float_; Shape.Null ])
+
+(* ----- Lemma 1: csh is the least upper bound ----- *)
+
+let prop_upper_bound =
+  QCheck2.Test.make ~name:"Lemma 1: csh is an upper bound" ~count:800
+    ~print:(fun (a, b) -> print_shape a ^ " / " ^ print_shape b)
+    QCheck2.Gen.(pair gen_core_shape gen_core_shape)
+    (fun (a, b) ->
+      let c = csh a b in
+      P.is_preferred a c && P.is_preferred b c)
+
+let prop_least =
+  QCheck2.Test.make ~name:"Lemma 1: csh is least among upper bounds" ~count:800
+    ~print:(fun (a, b, u) ->
+      String.concat " / " (List.map print_shape [ a; b; u ]))
+    QCheck2.Gen.(triple gen_core_shape gen_core_shape gen_core_shape)
+    (fun (a, b, u) ->
+      (* whenever u is an upper bound of a and b, csh(a,b) ⊑ u *)
+      (not (P.is_preferred a u && P.is_preferred b u))
+      || P.is_preferred (csh a b) u)
+
+let prop_commutative =
+  QCheck2.Test.make ~name:"csh commutative" ~count:500
+    ~print:(fun (a, b) -> print_shape a ^ " / " ^ print_shape b)
+    QCheck2.Gen.(pair gen_core_shape gen_core_shape)
+    (fun (a, b) -> Shape.equal (csh a b) (csh b a))
+
+let prop_idempotent =
+  QCheck2.Test.make ~name:"csh idempotent" ~count:300 ~print:print_shape
+    gen_core_shape (fun s -> Shape.equal (csh s s) s)
+
+let prop_associative_up_to_equiv =
+  QCheck2.Test.make ~name:"csh associative up to \xe2\x8a\x91-equivalence"
+    ~count:500
+    ~print:(fun (a, b, c) ->
+      String.concat " / " (List.map print_shape [ a; b; c ]))
+    QCheck2.Gen.(triple gen_core_shape gen_core_shape gen_core_shape)
+    (fun (a, b, c) ->
+      let l = csh (csh a b) c and r = csh a (csh b c) in
+      P.is_preferred l r && P.is_preferred r l)
+
+let prop_monotone_join =
+  QCheck2.Test.make ~name:"a \xe2\x8a\x91 b implies csh a b \xe2\x89\xa1 b"
+    ~count:500
+    ~print:(fun (a, b) -> print_shape a ^ " / " ^ print_shape b)
+    QCheck2.Gen.(pair gen_core_shape gen_core_shape)
+    (fun (a, b) ->
+      (not (P.is_preferred a b))
+      ||
+      let c = csh a b in
+      P.is_preferred c b && P.is_preferred b c)
+
+let suite =
+  [
+    tc "rule (eq)" `Quick test_rule_eq;
+    tc "rule (list)" `Quick test_rule_list;
+    tc "rule (bot)" `Quick test_rule_bot;
+    tc "rule (null)" `Quick test_rule_null;
+    tc "rule (top)" `Quick test_rule_top;
+    tc "rule (num) + Section 6.2 lattice" `Quick test_rule_num;
+    tc "rule (opt)" `Quick test_rule_opt;
+    tc "rule (recd) + row variables" `Quick test_rule_recd;
+    tc "rule (any)" `Quick test_rule_any;
+    tc "Figure 4 (top-merge)" `Quick test_top_merge;
+    tc "Figure 4 (top-incl)" `Quick test_top_incl;
+    tc "Figure 4 (top-add)" `Quick test_top_add;
+    tc "hetero merge (Section 6.4)" `Quick test_hetero_merge;
+    tc "csh_all fold" `Quick test_csh_all;
+    QCheck_alcotest.to_alcotest prop_upper_bound;
+    QCheck_alcotest.to_alcotest prop_least;
+    QCheck_alcotest.to_alcotest prop_commutative;
+    QCheck_alcotest.to_alcotest prop_idempotent;
+    QCheck_alcotest.to_alcotest prop_associative_up_to_equiv;
+    QCheck_alcotest.to_alcotest prop_monotone_join;
+  ]

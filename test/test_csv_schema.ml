@@ -1,0 +1,77 @@
+(* Explicit CSV column schemas (the CsvProvider Schema parameter). *)
+
+module Shape = Fsdata_core.Shape
+module CS = Fsdata_core.Csv_schema
+module Provide = Fsdata_provider.Provide
+module Typed = Fsdata_runtime.Typed
+open Generators
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let csv = "Ozone,Temp,Date,Autofilled\n41,67,2012-05-01,0\n36.3,72,2012-05-02,1\n"
+
+let test_parse () =
+  (match CS.parse "Temp=float, Date=string?" with
+  | Ok
+      [
+        ("Temp", Shape.Primitive Shape.Float);
+        ("Date", Shape.Nullable (Shape.Primitive Shape.String));
+      ] ->
+      ()
+  | Ok _ -> Alcotest.fail "unexpected parse"
+  | Error e -> Alcotest.fail e);
+  check Alcotest.bool "empty schema" true (CS.parse "" = Ok []);
+  (match CS.parse "Temp" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing = accepted");
+  (match CS.parse "Temp=complex" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown type accepted");
+  match CS.parse "A=int, a=float" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate (case-insensitive) accepted"
+
+let test_override () =
+  match CS.infer_csv ~schema:"Temp=float, Autofilled=int" csv with
+  | Error e -> Alcotest.fail e
+  | Ok shape ->
+      check shape_testable "overridden"
+        (Shape.collection
+           (Shape.record Fsdata_data.Data_value.csv_record_name
+              [
+                ("Ozone", Shape.Primitive Shape.Float);
+                ("Temp", Shape.Primitive Shape.Float);
+                ("Date", Shape.Primitive Shape.Date);
+                ("Autofilled", Shape.Primitive Shape.Int);
+              ]))
+        shape
+
+let test_unknown_column () =
+  match CS.infer_csv ~schema:"Nope=int" csv with
+  | Error e ->
+      check Alcotest.bool "names the column" true
+        (Astring.String.is_infix ~affix:"Nope" e)
+  | Ok _ -> Alcotest.fail "unknown column accepted"
+
+let test_provider_with_schema () =
+  (* force Temp to an optional float even though the sample has ints *)
+  let p = Result.get_ok (Provide.provide_csv ~schema:"Temp=float?" csv) in
+  let rows = Typed.get_list (Typed.parse p csv) in
+  let temps =
+    List.map
+      (fun r ->
+        Option.map Typed.get_float (Typed.get_option (Typed.member r "Temp")))
+      rows
+  in
+  check
+    (Alcotest.list (Alcotest.option (Alcotest.float 1e-9)))
+    "temps as optional floats" [ Some 67.; Some 72. ] temps
+
+let suite =
+  [
+    tc "schema parsing" `Quick test_parse;
+    tc "overriding inferred columns" `Quick test_override;
+    tc "unknown columns rejected" `Quick test_unknown_column;
+    tc "provider with schema overrides" `Quick test_provider_with_schema;
+  ]

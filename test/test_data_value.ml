@@ -1,0 +1,115 @@
+(* Unit and property tests for the first-order data model (Section 3.4). *)
+
+module Dv = Fsdata_data.Data_value
+open Generators
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let rec_ name fields = Dv.Record (name, fields)
+
+let test_equal_reordered () =
+  let a = rec_ "p" [ ("x", Dv.Int 1); ("y", Dv.Int 2) ] in
+  let b = rec_ "p" [ ("y", Dv.Int 2); ("x", Dv.Int 1) ] in
+  check data_testable "fields can be freely reordered" a b
+
+let test_unequal_name () =
+  let a = rec_ "p" [ ("x", Dv.Int 1) ] in
+  let b = rec_ "q" [ ("x", Dv.Int 1) ] in
+  check Alcotest.bool "different record names differ" false (Dv.equal a b)
+
+let test_unequal_value () =
+  let a = rec_ "p" [ ("x", Dv.Int 1) ] in
+  let b = rec_ "p" [ ("x", Dv.Int 2) ] in
+  check Alcotest.bool "different field values differ" false (Dv.equal a b)
+
+let test_int_float_distinct () =
+  check Alcotest.bool "Int 1 <> Float 1." false
+    (Dv.equal (Dv.Int 1) (Dv.Float 1.))
+
+let test_record_dup_field () =
+  Alcotest.check_raises "duplicate fields rejected"
+    (Invalid_argument "Data_value.record: duplicate field \"x\"") (fun () ->
+      ignore (Dv.record "p" [ ("x", Dv.Int 1); ("x", Dv.Int 2) ]))
+
+let test_record_field () =
+  let r = rec_ "p" [ ("x", Dv.Int 1) ] in
+  check (Alcotest.option data_testable) "present" (Some (Dv.Int 1))
+    (Dv.record_field "x" r);
+  check (Alcotest.option data_testable) "absent" None (Dv.record_field "y" r);
+  check (Alcotest.option data_testable) "not a record" None
+    (Dv.record_field "x" (Dv.Int 1))
+
+let test_size_depth () =
+  let d = Dv.List [ Dv.Int 1; rec_ "p" [ ("x", Dv.Null) ] ] in
+  check Alcotest.int "size" 4 (Dv.size d);
+  check Alcotest.int "depth" 3 (Dv.depth d);
+  check Alcotest.int "primitive size" 1 (Dv.size Dv.Null);
+  check Alcotest.int "primitive depth" 1 (Dv.depth Dv.Null);
+  check Alcotest.int "empty list size" 1 (Dv.size (Dv.List []));
+  check Alcotest.int "empty record size" 1 (Dv.size (rec_ "p" []))
+
+let test_is_primitive () =
+  List.iter
+    (fun (d, expected) ->
+      check Alcotest.bool (Dv.to_string d) expected (Dv.is_primitive d))
+    [
+      (Dv.Null, true); (Dv.Bool true, true); (Dv.Int 0, true);
+      (Dv.Float 1.5, true); (Dv.String "s", true);
+      (Dv.List [], false); (rec_ "p" [], false);
+    ]
+
+let test_pp () =
+  check Alcotest.string "record syntax"
+    "p {x \xe2\x86\xa6 1, y \xe2\x86\xa6 null}"
+    (Dv.to_string (rec_ "p" [ ("x", Dv.Int 1); ("y", Dv.Null) ]));
+  check Alcotest.string "float keeps decimal point" "1.0"
+    (Dv.to_string (Dv.Float 1.0));
+  check Alcotest.string "list" "[1; 2]" (Dv.to_string (Dv.List [ Dv.Int 1; Dv.Int 2 ]))
+
+(* Properties *)
+
+let prop_compare_refl =
+  QCheck2.Test.make ~name:"compare d d = 0" ~count:200 ~print:print_data
+    gen_data (fun d -> Dv.compare d d = 0)
+
+let prop_compare_antisym =
+  QCheck2.Test.make ~name:"compare antisymmetric" ~count:200
+    ~print:(fun (a, b) -> print_data a ^ " / " ^ print_data b)
+    QCheck2.Gen.(pair gen_data gen_data)
+    (fun (a, b) -> Int.compare (Dv.compare a b) (- Dv.compare b a) = 0)
+
+let prop_equal_iff_compare =
+  QCheck2.Test.make ~name:"equal iff compare = 0" ~count:200
+    ~print:(fun (a, b) -> print_data a ^ " / " ^ print_data b)
+    QCheck2.Gen.(pair gen_data gen_data)
+    (fun (a, b) -> Dv.equal a b = (Dv.compare a b = 0))
+
+let prop_shuffle_fields_equal =
+  QCheck2.Test.make ~name:"record equality mod field order" ~count:200
+    ~print:print_data gen_data (fun d ->
+      let rec shuffle (d : Dv.t) : Dv.t =
+        match d with
+        | Dv.Record (n, fields) ->
+            Dv.Record (n, List.rev_map (fun (k, v) -> (k, shuffle v)) fields)
+        | Dv.List ds -> Dv.List (List.map shuffle ds)
+        | other -> other
+      in
+      Dv.equal d (shuffle d))
+
+let suite =
+  [
+    tc "equality: reordered fields" `Quick test_equal_reordered;
+    tc "equality: record names" `Quick test_unequal_name;
+    tc "equality: field values" `Quick test_unequal_value;
+    tc "equality: int vs float" `Quick test_int_float_distinct;
+    tc "record: duplicate fields rejected" `Quick test_record_dup_field;
+    tc "record_field lookup" `Quick test_record_field;
+    tc "size and depth" `Quick test_size_depth;
+    tc "is_primitive" `Quick test_is_primitive;
+    tc "printing" `Quick test_pp;
+    QCheck_alcotest.to_alcotest prop_compare_refl;
+    QCheck_alcotest.to_alcotest prop_compare_antisym;
+    QCheck_alcotest.to_alcotest prop_equal_iff_compare;
+    QCheck_alcotest.to_alcotest prop_shuffle_fields_equal;
+  ]

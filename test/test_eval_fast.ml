@@ -1,0 +1,142 @@
+(* Equivalence of the big-step (environment-based) evaluator with the
+   small-step Figure 6 semantics, on random user programs over provided
+   types — same values, same exn, same stuckness. *)
+
+module Dv = Fsdata_data.Data_value
+module Infer = Fsdata_core.Infer
+module Provide = Fsdata_provider.Provide
+open Fsdata_foo.Syntax
+module Eval = Fsdata_foo.Eval
+module Fast = Fsdata_foo.Eval_fast
+open Generators
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+type outcome = Val of Fast.value | Exn | Stuck
+
+let run_small classes e =
+  match Eval.eval classes e with
+  | Eval.Value v -> (
+      match Fast.of_expr_value v with
+      | Some fv -> Val fv
+      | None -> Alcotest.fail "small-step produced a non-value")
+  | Eval.Exn -> Exn
+  | Eval.Stuck _ -> Stuck
+  | Eval.Timeout -> Alcotest.fail "small-step timed out"
+
+let run_fast classes e =
+  match Fast.eval classes [] e with
+  | v -> Val v
+  | exception Fast.Foo_exn -> Exn
+  | exception Fast.Stuck _ -> Stuck
+
+let agree classes e =
+  match (run_small classes e, run_fast classes e) with
+  | Val a, Val b -> Fast.equal_value a b
+  | Exn, Exn | Stuck, Stuck -> true
+  | _ -> false
+
+let test_basics () =
+  let cases =
+    [
+      EApp (lam "x" TInt (EVar "x"), int_ 5);
+      EIf (bool_ true, int_ 1, int_ 2);
+      EEq (ESome (int_ 1), ESome (int_ 1));
+      EMatchList (ECons (int_ 1, ENil TInt), "h", "t", EVar "h", int_ 0);
+      EOp (ConvFloat (Fsdata_core.Shape.Primitive Fsdata_core.Shape.Float, int_ 42));
+      EOp (ConvPrim (Fsdata_core.Shape.Primitive Fsdata_core.Shape.Bool, int_ 42));
+      EExn;
+      EOp (ConvBool (int_ 1));
+      EOp (IntOfFloat (float_ 3.7));
+    ]
+  in
+  List.iteri
+    (fun i e ->
+      if not (agree [] e) then Alcotest.failf "case %d disagrees" i)
+    cases
+
+(* closures capture their environment (the small-step evaluator
+   substitutes eagerly; results must agree) *)
+let test_closures () =
+  let e =
+    EApp
+      ( EApp
+          ( lam "x" TInt (lam "y" TInt (EEq (EVar "x", EVar "y"))),
+            int_ 1 ),
+        int_ 2 )
+  in
+  check Alcotest.bool "capture" true (agree [] e)
+
+let prop_agree_user_programs =
+  let gen =
+    let open QCheck2.Gen in
+    let* samples = list_size (int_range 1 3) gen_plain_data in
+    let* idx = int_range 0 (List.length samples - 1) in
+    return (samples, List.nth samples idx)
+  in
+  QCheck2.Test.make
+    ~name:"big-step agrees with small-step on provided member walks"
+    ~count:200
+    ~print:(fun (ds, _) -> String.concat " ; " (List.map print_data ds))
+    gen
+    (fun (samples, input) ->
+      let shape = Infer.shape_of_samples ~mode:`Practical samples in
+      let p = Provide.provide shape in
+      let input = Fsdata_data.Primitive.normalize input in
+      (* deep-walk both evaluators in lockstep *)
+      let rec walk_small (v : expr) (t : ty) (fv : Fast.value) : bool =
+        match t with
+        | TOption t' -> (
+            match (v, fv) with
+            | ENone _, Fast.VNone -> true
+            | ESome v', Fast.VSome fv' -> walk_small v' t' fv'
+            | _ -> false)
+        | TList t' -> (
+            match (v, fv) with
+            | ENil _, Fast.VNil -> true
+            | ECons (x, rest), Fast.VCons (fx, frest) ->
+                walk_small x t' fx && walk_small rest t frest
+            | _ -> false)
+        | TClass c -> (
+            match find_class p.Provide.classes c with
+            | None -> false
+            | Some cls ->
+                List.for_all
+                  (fun (m : member_def) ->
+                    let small =
+                      match
+                        Eval.eval p.Provide.classes (EMember (v, m.member_name))
+                      with
+                      | Eval.Value mv -> Some mv
+                      | _ -> None
+                    in
+                    let fast =
+                      match Fast.member p.Provide.classes fv m.member_name with
+                      | mv -> Some mv
+                      | exception (Fast.Stuck _ | Fast.Foo_exn) -> None
+                    in
+                    match (small, fast) with
+                    | Some mv, Some fmv -> walk_small mv m.member_ty fmv
+                    | None, None -> true
+                    | _ -> false)
+                  cls.members)
+        | _ -> (
+            match Fast.of_expr_value v with
+            | Some v' -> Fast.equal_value v' fv
+            | None -> false)
+      in
+      let whole = Provide.apply p input in
+      match (run_small p.Provide.classes whole, run_fast p.Provide.classes whole) with
+      | Val _, Val fv -> (
+          match Eval.eval p.Provide.classes whole with
+          | Eval.Value v -> walk_small v p.Provide.root_ty fv
+          | _ -> false)
+      | a, b -> a = b)
+
+let suite =
+  [
+    tc "basic agreement" `Quick test_basics;
+    tc "closures vs substitution" `Quick test_closures;
+    QCheck_alcotest.to_alcotest prop_agree_user_programs;
+  ]

@@ -1,0 +1,92 @@
+(* Preference-failure explanations: agreement with the relation, and
+   pinpointing of the offending path. *)
+
+module Shape = Fsdata_core.Shape
+module Mult = Fsdata_core.Multiplicity
+module P = Fsdata_core.Preference
+module E = Fsdata_core.Explain
+module Infer = Fsdata_core.Infer
+open Generators
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let int_ = Shape.Primitive Shape.Int
+let float_ = Shape.Primitive Shape.Float
+let string_ = Shape.Primitive Shape.String
+
+let test_empty_on_success () =
+  check Alcotest.int "identical" 0 (List.length (E.explain int_ int_));
+  check Alcotest.int "int into float" 0 (List.length (E.explain int_ float_));
+  check Alcotest.int "anything into any" 0
+    (List.length (E.explain (Shape.record "p" []) Shape.any))
+
+let test_paths () =
+  let consumer =
+    Shape.collection
+      (Shape.record "p" [ ("name", string_); ("age", Shape.Nullable int_) ])
+  in
+  let input =
+    Shape.collection (Shape.record "p" [ ("name", int_); ("age", int_) ])
+  in
+  match E.explain input consumer with
+  | [ m ] ->
+      check Alcotest.string "path" "[].name" m.E.at;
+      check shape_testable "input side" int_ m.E.input;
+      check shape_testable "expected side" string_ m.E.expected
+  | ms -> Alcotest.failf "expected one mismatch, got %d" (List.length ms)
+
+let test_missing_required_field () =
+  let consumer = Shape.record "p" [ ("x", int_) ] in
+  let input = Shape.record "p" [] in
+  match E.explain input consumer with
+  | [ m ] ->
+      check Alcotest.string "path" ".x" m.E.at;
+      check Alcotest.bool "mentions missing" true
+        (Astring.String.is_infix ~affix:"missing" m.E.reason)
+  | ms -> Alcotest.failf "expected one mismatch, got %d" (List.length ms)
+
+let test_multiple_reported () =
+  let consumer = Shape.record "p" [ ("x", int_); ("y", string_) ] in
+  let input = Shape.record "p" [ ("x", string_); ("y", int_) ] in
+  check Alcotest.int "both fields reported" 2
+    (List.length (E.explain input consumer))
+
+let test_multiplicity () =
+  let consumer =
+    Shape.hetero [ (int_, Mult.Single); (string_, Mult.Single) ]
+  in
+  let input = Shape.hetero [ (int_, Mult.Multiple); (string_, Mult.Single) ] in
+  match E.explain input consumer with
+  | [ m ] ->
+      check Alcotest.bool "mentions multiplicity" true
+        (Astring.String.is_infix ~affix:"multiplicity" m.E.reason)
+  | ms -> Alcotest.failf "expected one mismatch, got %d" (List.length ms)
+
+(* agreement: explain is empty exactly when the relation holds *)
+let prop_agreement =
+  QCheck2.Test.make ~name:"explain agrees with is_preferred" ~count:600
+    ~print:(fun (a, b) -> print_shape a ^ " / " ^ print_shape b)
+    QCheck2.Gen.(pair gen_core_shape gen_core_shape)
+    (fun (a, b) -> P.is_preferred a b = (E.explain a b = []))
+
+let prop_agreement_inferred =
+  QCheck2.Test.make
+    ~name:"explain agrees with is_preferred on inferred shapes" ~count:400
+    ~print:(fun (a, b) -> print_data a ^ " / " ^ print_data b)
+    QCheck2.Gen.(pair gen_data gen_data)
+    (fun (a, b) ->
+      let sa = Infer.shape_of_value ~mode:`Practical a in
+      let sb = Infer.shape_of_value ~mode:`Practical b in
+      P.is_preferred sa sb = (E.explain sa sb = []))
+
+let suite =
+  [
+    tc "no mismatches on success" `Quick test_empty_on_success;
+    tc "paths pinpoint the violation" `Quick test_paths;
+    tc "missing required field" `Quick test_missing_required_field;
+    tc "all independent violations reported" `Quick test_multiple_reported;
+    tc "multiplicity violations" `Quick test_multiplicity;
+    QCheck_alcotest.to_alcotest prop_agreement;
+    QCheck_alcotest.to_alcotest prop_agreement_inferred;
+  ]

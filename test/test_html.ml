@@ -1,0 +1,128 @@
+(* The HTML substrate (footnote 10): tag-soup parsing, table extraction
+   and the HTML provider over the Section 6.2 CSV machinery. *)
+
+module Html = Fsdata_data.Html
+module Xml = Fsdata_data.Xml
+module Csv = Fsdata_data.Csv
+module Provide = Fsdata_provider.Provide
+module Typed = Fsdata_runtime.Typed
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let page =
+  {|<!DOCTYPE html>
+<html>
+<head><title>Air quality</title>
+<script>if (x < 3) { alert("<table>not a table</table>"); }</script>
+<style>td { color: red }</style>
+</head>
+<body>
+<h1>Readings &amp; stations</h1>
+<p>Unclosed paragraph
+<table id="readings">
+  <caption>Daily readings</caption>
+  <tr><th>Ozone</th><th>Temp</th><th>Date</th><th>Autofilled</th></tr>
+  <tr><td>41</td><td>67</td><td>2012-05-01</td><td>0</td></tr>
+  <tr><td>36.3</td><td>72</td><td>2012-05-02</td><td>1</td></tr>
+  <tr><td>17.5</td><td>#N/A</td><td>2012-05-04</td><td>0</td></tr>
+</table>
+<table>
+  <tr><td>plain</td><td>1</td></tr>
+  <tr><td>rows</td><td>2</td></tr>
+</table>
+<br>
+<img src=logo.png alt="unquoted attr">
+</body>
+</html>|}
+
+let test_parse_soup () =
+  let t = Html.parse page in
+  check Alcotest.string "rooted at html" "html" t.Xml.name;
+  (* the script's fake <table> was swallowed as raw text *)
+  check Alcotest.int "exactly two real tables" 2
+    (List.length (Html.tables t));
+  (* unquoted attribute survived *)
+  let imgs =
+    let rec find (e : Xml.tree) =
+      (if e.Xml.name = "img" then [ e ] else [])
+      @ List.concat_map
+          (function Xml.Element c -> find c | _ -> [])
+          e.Xml.children
+    in
+    find t
+  in
+  check Alcotest.int "one img" 1 (List.length imgs);
+  check
+    (Alcotest.option Alcotest.string)
+    "unquoted attribute value" (Some "logo.png")
+    (List.assoc_opt "src" (List.hd imgs).Xml.attributes)
+
+let test_tables () =
+  match Html.tables_of_string page with
+  | [ readings; anon ] ->
+      check (Alcotest.option Alcotest.string) "id" (Some "readings")
+        readings.Html.id;
+      check (Alcotest.option Alcotest.string) "caption" (Some "Daily readings")
+        readings.Html.caption;
+      check
+        (Alcotest.list Alcotest.string)
+        "th headers"
+        [ "Ozone"; "Temp"; "Date"; "Autofilled" ]
+        readings.Html.table.Csv.headers;
+      check Alcotest.int "three data rows" 3
+        (List.length readings.Html.table.Csv.rows);
+      (* headerless table: first row becomes the header *)
+      check
+        (Alcotest.list Alcotest.string)
+        "first-row headers" [ "plain"; "1" ] anon.Html.table.Csv.headers;
+      check Alcotest.int "one data row" 1 (List.length anon.Html.table.Csv.rows)
+  | ts -> Alcotest.failf "expected two tables, got %d" (List.length ts)
+
+let test_entities_and_recovery () =
+  let t = Html.parse "<p>a &amp; b<div>nested</p>text</div>" in
+  check Alcotest.bool "parses without failure" true (t.Xml.name = "body");
+  let text = Xml.text_content t in
+  check Alcotest.bool "entity decoded" true
+    (Astring.String.is_infix ~affix:"a & b" text)
+
+let test_provider () =
+  match Provide.provide_html page with
+  | Error e -> Alcotest.fail e
+  | Ok [ (name, p, table); _ ] ->
+      check Alcotest.string "provided name from id" "Readings" name;
+      let rows =
+        Typed.get_list (Typed.load p (Csv.to_data ~convert_primitives:true table))
+      in
+      check Alcotest.int "rows" 3 (List.length rows);
+      (* the Section 6.2 inference applies: Temp is optional, Autofilled
+         is bool, Date is a date *)
+      let temps =
+        List.map
+          (fun r -> Option.map Typed.get_int (Typed.get_option (Typed.member r "Temp")))
+          rows
+      in
+      check
+        (Alcotest.list (Alcotest.option Alcotest.int))
+        "optional temps" [ Some 67; Some 72; None ] temps;
+      check Alcotest.bool "bool autofilled" true
+        (Typed.get_bool (Typed.member (List.nth rows 1) "Autofilled"));
+      check Alcotest.string "date recognized" "2012-05-01"
+        (Fsdata_data.Date.to_iso8601
+           (Typed.get_date (Typed.member (List.hd rows) "Date")))
+  | Ok ts -> Alcotest.failf "expected two provided tables, got %d" (List.length ts)
+
+let test_never_fails () =
+  (* arbitrary garbage parses to something *)
+  List.iter
+    (fun s -> ignore (Html.parse s))
+    [ ""; "<"; "<><>"; "</nope>"; "<a"; "a<b>c"; "&bogus;"; "<table><tr>" ]
+
+let suite =
+  [
+    tc "tag-soup parsing" `Quick test_parse_soup;
+    tc "table extraction" `Quick test_tables;
+    tc "entities and recovery" `Quick test_entities_and_recovery;
+    tc "HTML provider (footnote 10)" `Quick test_provider;
+    tc "total on garbage" `Quick test_never_fails;
+  ]

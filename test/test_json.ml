@@ -1,0 +1,161 @@
+(* JSON parser and printer tests. *)
+
+module Dv = Fsdata_data.Data_value
+module Json = Fsdata_data.Json
+open Generators
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+let parse = Json.parse
+
+let obj fields = Dv.Record (Dv.json_record_name, fields)
+
+let test_literals () =
+  check data_testable "true" (Dv.Bool true) (parse "true");
+  check data_testable "false" (Dv.Bool false) (parse "false");
+  check data_testable "null" Dv.Null (parse "null");
+  check data_testable "string" (Dv.String "hi") (parse {|"hi"|});
+  check data_testable "empty object" (obj []) (parse "{}");
+  check data_testable "empty array" (Dv.List []) (parse "[]")
+
+let test_numbers () =
+  check data_testable "int" (Dv.Int 42) (parse "42");
+  check data_testable "negative int" (Dv.Int (-7)) (parse "-7");
+  check data_testable "zero" (Dv.Int 0) (parse "0");
+  check data_testable "float" (Dv.Float 3.5) (parse "3.5");
+  check data_testable "exponent is float" (Dv.Float 100.) (parse "1e2");
+  check data_testable "negative exponent" (Dv.Float 0.01) (parse "1e-2");
+  check data_testable "capital exponent" (Dv.Float 120.) (parse "1.2E2");
+  check data_testable "frac + exp" (Dv.Float 150.) (parse "1.5e2");
+  (* int too large for a native int falls back to float *)
+  check data_testable "huge int becomes float"
+    (Dv.Float 1e100)
+    (parse ("1" ^ String.make 100 '0'))
+
+let test_strings () =
+  check data_testable "escapes"
+    (Dv.String "a\"b\\c/d\be\012f\ng\rh\ti")
+    (parse {|"a\"b\\c\/d\be\ff\ng\rh\ti"|});
+  check data_testable "unicode escape" (Dv.String "\xc3\xa9")
+    (parse {|"\u00e9"|});
+  check data_testable "ascii unicode escape" (Dv.String "A")
+    (parse {|"\u0041"|});
+  check data_testable "surrogate pair"
+    (Dv.String "\xf0\x9d\x84\x9e")
+    (parse {|"\ud834\udd1e"|});
+  check data_testable "utf-8 passthrough" (Dv.String "caf\xc3\xa9")
+    (parse "\"caf\xc3\xa9\"")
+
+let test_nesting () =
+  check data_testable "nested"
+    (obj
+       [
+         ("a", Dv.List [ Dv.Int 1; obj [ ("b", Dv.Null) ] ]);
+         ("c", Dv.String "x");
+       ])
+    (parse {|{ "a": [1, {"b": null}], "c": "x" }|})
+
+let test_duplicate_keys_last_wins () =
+  check data_testable "last binding wins" (obj [ ("a", Dv.Int 2) ])
+    (parse {|{"a": 1, "a": 2}|})
+
+let expect_error ?(contains = "") src () =
+  match Json.parse_result src with
+  | Ok d -> Alcotest.failf "expected a parse error, got %a" Dv.pp d
+  | Error msg ->
+      if contains <> "" && not (Astring.String.is_infix ~affix:contains msg)
+      then Alcotest.failf "error %S does not mention %S" msg contains
+
+let test_error_positions () =
+  match Json.parse_result "{\n  \"a\": tru\n}" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error msg ->
+      check Alcotest.bool "mentions line 2" true
+        (Astring.String.is_infix ~affix:"line 2" msg)
+
+let test_parse_many () =
+  check (Alcotest.list data_testable) "three documents"
+    [ Dv.Int 1; obj []; Dv.List [] ]
+    (Json.parse_many "1 {} []");
+  check (Alcotest.list data_testable) "empty input" [] (Json.parse_many "  ")
+
+let test_print_compact () =
+  check Alcotest.string "compact" {|{"a":[1,2.5,null,true,"x"]}|}
+    (Json.to_string
+       (obj [ ("a", Dv.List [ Dv.Int 1; Dv.Float 2.5; Dv.Null; Dv.Bool true; Dv.String "x" ]) ]))
+
+let test_print_pretty () =
+  check Alcotest.string "indented"
+    "{\n  \"a\": [\n    1\n  ]\n}"
+    (Json.to_string ~indent:2 (obj [ ("a", Dv.List [ Dv.Int 1 ]) ]))
+
+let test_print_escapes () =
+  check Alcotest.string "escaped" {|"a\"b\\c\nd\u0001"|}
+    (Json.to_string (Dv.String "a\"b\\c\nd\001"))
+
+(* Round-trip: print then parse gives back the value (XML-derived record
+   names are not preserved by JSON printing, so rename records first). *)
+let rec jsonify (d : Dv.t) : Dv.t =
+  match d with
+  | Dv.Record (_, fields) ->
+      Dv.Record
+        (Dv.json_record_name, List.map (fun (k, v) -> (k, jsonify v)) fields)
+  | Dv.List ds -> Dv.List (List.map jsonify ds)
+  | other -> other
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"parse (to_string d) = d" ~count:300
+    ~print:print_data gen_data (fun d ->
+      let d = jsonify d in
+      Dv.equal d (parse (Json.to_string d)))
+
+let prop_roundtrip_pretty =
+  QCheck2.Test.make ~name:"parse (to_string ~indent d) = d" ~count:200
+    ~print:print_data gen_data (fun d ->
+      let d = jsonify d in
+      Dv.equal d (parse (Json.to_string ~indent:2 d)))
+
+let suite =
+  [
+    tc "literals" `Quick test_literals;
+    tc "numbers" `Quick test_numbers;
+    tc "string escapes" `Quick test_strings;
+    tc "nesting" `Quick test_nesting;
+    tc "duplicate keys: last wins" `Quick test_duplicate_keys_last_wins;
+    tc "error: truncated literal" `Quick (expect_error "tru");
+    tc "error: trailing content" `Quick (expect_error "1 2" ~contains:"trailing");
+    tc "error: lone minus" `Quick (expect_error "-");
+    tc "error: leading zero digits ok but 01 is trailing" `Quick
+      (expect_error "01" ~contains:"trailing");
+    tc "error: unterminated string" `Quick (expect_error {|"abc|});
+    tc "error: unterminated array" `Quick (expect_error "[1, 2");
+    tc "error: unterminated object" `Quick (expect_error {|{"a": 1|});
+    tc "error: bad escape" `Quick (expect_error {|"\q"|});
+    tc "error: lone surrogate" `Quick (expect_error {|"\ud834"|});
+    tc "error: control char in string" `Quick (expect_error "\"a\x01b\"");
+    tc "error: missing colon" `Quick (expect_error {|{"a" 1}|});
+    tc "error: empty input" `Quick (expect_error "");
+    tc "error positions" `Quick test_error_positions;
+    tc "parse_many" `Quick test_parse_many;
+    tc "print: compact" `Quick test_print_compact;
+    tc "print: pretty" `Quick test_print_pretty;
+    tc "print: escapes" `Quick test_print_escapes;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_roundtrip_pretty;
+  ]
+
+let test_depth_guard () =
+  (* 10_001 nested arrays must raise a parse error, not overflow *)
+  let deep = String.make 10_001 '[' ^ String.make 10_001 ']' in
+  (match Json.parse_result deep with
+  | Error msg ->
+      check Alcotest.bool "mentions nesting" true
+        (Astring.String.is_infix ~affix:"nesting" msg)
+  | Ok _ -> Alcotest.fail "expected depth error");
+  (* but deep-but-reasonable nesting parses fine *)
+  let ok = String.make 5_000 '[' ^ "1" ^ String.make 5_000 ']' in
+  match Json.parse_result ok with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "5000 levels should parse: %s" e
+
+let suite = suite @ [ tc "nesting depth guard" `Quick test_depth_guard ]

@@ -1,0 +1,203 @@
+(* Remark 1, executed: automatic migration of user programs when samples
+   are added. For random old samples, a random extra sample, and random
+   well-typed user programs over the old provided type:
+
+   - the migrated program type-checks against the new classes at the same
+     type, and
+   - it computes the same value as the original on the old inputs
+
+   — which is precisely the statement of Remark 1. *)
+
+module Dv = Fsdata_data.Data_value
+module Infer = Fsdata_core.Infer
+module Provide = Fsdata_provider.Provide
+module Migrate = Fsdata_provider.Migrate
+open Fsdata_foo.Syntax
+module TC = Fsdata_foo.Typecheck
+module Eval = Fsdata_foo.Eval
+open Generators
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let provide samples =
+  Provide.provide ~format:`Json (Infer.shape_of_samples ~mode:`Paper samples)
+
+(* ----- the three rules, unit-tested on the evolutions they repair ----- *)
+
+let run p e =
+  match Eval.eval p.Provide.classes e with
+  | Eval.Value v -> v
+  | o -> Alcotest.failf "expected a value, got %a" Eval.pp_outcome o
+
+let migrate_ok ~old_provided ~new_provided e =
+  match Migrate.migrate ~old_provided ~new_provided e with
+  | Ok e' -> e'
+  | Error err -> Alcotest.failf "migration failed: %a" Migrate.pp_error err
+
+let test_rule1_option () =
+  let d1 = Dv.Record ("p", [ ("x", Dv.Int 1) ]) in
+  let d2 = Dv.Record ("p", []) in
+  let old_provided = provide [ d1 ] in
+  let new_provided = provide [ d1; d2 ] in
+  let program = EEq (EMember (EVar "y", "X"), EMember (EVar "y", "X")) in
+  let migrated = migrate_ok ~old_provided ~new_provided program in
+  (* well-typed at bool against the new classes *)
+  (match
+     TC.check new_provided.Provide.classes
+       [ ("y", new_provided.Provide.root_ty) ]
+       migrated TBool
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "migrated program ill-typed: %a" TC.pp_error e);
+  (* same value on the old input *)
+  check Alcotest.bool "same result" true
+    (run old_provided (subst "y" (Provide.apply old_provided d1) program)
+    = run new_provided (subst "y" (Provide.apply new_provided d1) migrated))
+
+let test_rule3_int_float () =
+  let d1 = Dv.Record ("p", [ ("x", Dv.Int 25) ]) in
+  let d2 = Dv.Record ("p", [ ("x", Dv.Float 3.5) ]) in
+  let old_provided = provide [ d1 ] in
+  let new_provided = provide [ d1; d2 ] in
+  let program = EEq (EMember (EVar "y", "X"), EMember (EVar "y", "X")) in
+  let migrated = migrate_ok ~old_provided ~new_provided program in
+  check Alcotest.bool "same result" true
+    (run old_provided (subst "y" (Provide.apply old_provided d1) program)
+    = run new_provided (subst "y" (Provide.apply new_provided d1) migrated))
+
+let test_rule2_top () =
+  let d1 = Dv.List [ Dv.Record ("p", [ ("x", Dv.Int 1) ]) ] in
+  let d2 = Dv.List [ Dv.Bool true ] in
+  let old_provided = provide [ d1 ] in
+  let new_provided = provide [ d1; d2 ] in
+  (* the old program reads the first element's X member; after evolution
+     elements are any⟨p, bool⟩ and the access must route through the
+     label member *)
+  let program =
+    EMatchList
+      ( EVar "y",
+        "h", "t",
+        EEq (EMember (EVar "h", "X"), EMember (EVar "h", "X")),
+        EExn )
+  in
+  let migrated = migrate_ok ~old_provided ~new_provided program in
+  (match
+     TC.check new_provided.Provide.classes
+       [ ("y", new_provided.Provide.root_ty) ]
+       migrated TBool
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "ill-typed: %a" TC.pp_error e);
+  check Alcotest.bool "same result" true
+    (run old_provided (subst "y" (Provide.apply old_provided d1) program)
+    = run new_provided (subst "y" (Provide.apply new_provided d1) migrated))
+
+let test_composed_evolution () =
+  (* all three at once: a field becomes optional AND floats appear AND the
+     collection becomes heterogeneous *)
+  let d1 = Dv.List [ Dv.Record ("p", [ ("x", Dv.Int 1); ("n", Dv.Int 2) ]) ] in
+  let d2 =
+    Dv.List
+      [ Dv.Record ("p", [ ("x", Dv.Float 1.5) ]); Dv.String "stray" ]
+  in
+  let old_provided = provide [ d1 ] in
+  let new_provided = provide [ d1; d2 ] in
+  let program =
+    EMatchList
+      ( EVar "y",
+        "h", "t",
+        EEq (EMember (EVar "h", "X"), EMember (EVar "h", "X")),
+        EExn )
+  in
+  let migrated = migrate_ok ~old_provided ~new_provided program in
+  check Alcotest.bool "same result" true
+    (run old_provided (subst "y" (Provide.apply old_provided d1) program)
+    = run new_provided (subst "y" (Provide.apply new_provided d1) migrated))
+
+(* ----- Remark 1 as a property ----- *)
+
+let remark1_gen =
+  let open QCheck2.Gen in
+  let* samples = list_size (int_range 1 3) gen_plain_data in
+  let* extra = gen_plain_data in
+  let old_provided = provide samples in
+  let* program =
+    Test_safety.gen_user_program old_provided.Provide.classes
+      old_provided.Provide.root_ty
+  in
+  let* idx = int_range 0 (List.length samples - 1) in
+  return (samples, extra, List.nth samples idx, program)
+
+let print_remark1 (samples, extra, input, program) =
+  Fmt.str "samples: %s@.extra: %s@.input: %s@.program: %a"
+    (String.concat " ; " (List.map print_data samples))
+    (print_data extra) (print_data input) pp_expr program
+
+let prop_remark1 =
+  QCheck2.Test.make
+    ~name:
+      "Remark 1: migrated programs type-check and agree on old inputs"
+    ~count:300 ~print:print_remark1 remark1_gen
+    (fun (samples, extra, input, program) ->
+      let old_provided = provide samples in
+      let new_provided = provide (samples @ [ extra ]) in
+      match Migrate.migrate ~old_provided ~new_provided program with
+      (* an explicit give-up is allowed (the rules are local; multi-hole
+         contexts like comparing two lists whose elements evolved
+         differently are outside them) — producing a wrong program is
+         not. A separate aggregate test bounds how often this happens. *)
+      | Error (Migrate.Unsupported _) -> true
+      | Ok migrated -> (
+          (* type preservation at bool *)
+          (match
+             TC.check new_provided.Provide.classes
+               [ ("y", new_provided.Provide.root_ty) ]
+               migrated TBool
+           with
+          | Ok () -> true
+          | Error _ -> false)
+          &&
+          (* behavioural agreement on the old input: if the original
+             computes a value, the migrated program computes the same
+             value (Remark 1's e[x←e1 d] ⇝ v implies e'[x←e2 d] ⇝ v) *)
+          let old_run =
+            Eval.eval old_provided.Provide.classes
+              (subst "y" (Provide.apply old_provided input) program)
+          in
+          let new_run =
+            Eval.eval new_provided.Provide.classes
+              (subst "y" (Provide.apply new_provided input) migrated)
+          in
+          match (old_run, new_run) with
+          | Eval.Value (EData (Dv.Bool a)), Eval.Value (EData (Dv.Bool b)) ->
+              a = b
+          | _ -> false))
+
+(* the migrator must succeed on the overwhelming majority of random
+   evolutions — a migrator that always gives up would trivially satisfy
+   the property above *)
+let test_success_rate () =
+  let rand = Random.State.make [| 2016 |] in
+  let total = 300 in
+  let ok = ref 0 in
+  for _ = 1 to total do
+    let samples, extra, _, program = QCheck2.Gen.generate1 ~rand remark1_gen in
+    let old_provided = provide samples in
+    let new_provided = provide (samples @ [ extra ]) in
+    match Migrate.migrate ~old_provided ~new_provided program with
+    | Ok _ -> incr ok
+    | Error _ -> ()
+  done;
+  if !ok * 100 < total * 90 then
+    Alcotest.failf "migration succeeded on only %d/%d cases" !ok total
+
+let suite =
+  [
+    tc "rule 1: optional member" `Quick test_rule1_option;
+    tc "success rate >= 90%" `Quick test_success_rate;
+    tc "rule 3: int to float" `Quick test_rule3_int_float;
+    tc "rule 2: labelled top" `Quick test_rule2_top;
+    tc "composed evolution" `Quick test_composed_evolution;
+    QCheck_alcotest.to_alcotest prop_remark1;
+  ]

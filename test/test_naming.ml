@@ -1,0 +1,67 @@
+(* Idiomatic naming (Section 6.3). *)
+
+module N = Fsdata_provider.Naming
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let pascal_cases =
+  [
+    ("temp", "Temp");
+    ("temp_min", "TempMin");
+    ("user-id", "UserId");
+    ("firstName", "FirstName");
+    ("FirstName", "FirstName");
+    ("first name", "FirstName");
+    ("XMLFile", "XmlFile");
+    ("a", "A");
+    ("", "Value");
+    ("\xe2\x80\xa2", "Value");
+    ("2lines", "N2lines");
+    ("foo.bar", "FooBar");
+    ("HTTPServer2", "HttpServer2");
+  ]
+
+let test_pascal () =
+  List.iter
+    (fun (input, expected) ->
+      check Alcotest.string (Printf.sprintf "pascal %S" input) expected
+        (N.pascal_case input))
+    pascal_cases
+
+let test_singularize () =
+  List.iter
+    (fun (input, expected) ->
+      check Alcotest.string input expected (N.singularize input))
+    [
+      ("items", "item"); ("entries", "entry"); ("boxes", "box");
+      ("classes", "class"); ("people", "Person" |> String.lowercase_ascii);
+      ("glass", "glass"); ("item", "item"); ("s", "s"); ("dishes", "dish");
+    ]
+
+let test_pluralize () =
+  List.iter
+    (fun (input, expected) ->
+      check Alcotest.string input expected (N.pluralize input))
+    [
+      ("item", "items"); ("entry", "entries"); ("box", "boxes");
+      ("class", "classes"); ("person", "people"); ("day", "days");
+      ("dish", "dishes");
+    ]
+
+let test_fresh_pool () =
+  let pool = N.create_pool () in
+  check Alcotest.string "first" "Name" (N.fresh pool "Name");
+  (* Section 6.3: "a number is appended to the end as in PascalCase2" *)
+  check Alcotest.string "second" "Name2" (N.fresh pool "Name");
+  check Alcotest.string "third" "Name3" (N.fresh pool "Name");
+  check Alcotest.string "other names unaffected" "Other" (N.fresh pool "Other");
+  check Alcotest.string "collision with suffixed" "Name4" (N.fresh pool "Name")
+
+let suite =
+  [
+    tc "pascal_case" `Quick test_pascal;
+    tc "singularize" `Quick test_singularize;
+    tc "pluralize" `Quick test_pluralize;
+    tc "fresh pool (PascalCase2 rule)" `Quick test_fresh_pool;
+  ]

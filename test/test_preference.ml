@@ -1,0 +1,228 @@
+(* The preferred shape relation (Definition 1, Figure 1).
+
+   Unit tests cover every rule of Definition 1 and every edge of the
+   Figure 1 diagram; properties check the preorder laws and antisymmetry
+   on the top-free fragment. *)
+
+module Shape = Fsdata_core.Shape
+module Mult = Fsdata_core.Multiplicity
+module P = Fsdata_core.Preference
+open Generators
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let int_ = Shape.Primitive Shape.Int
+let float_ = Shape.Primitive Shape.Float
+let bool_ = Shape.Primitive Shape.Bool
+let string_ = Shape.Primitive Shape.String
+let bit = Shape.Primitive Shape.Bit
+let bit0 = Shape.Primitive Shape.Bit0
+let bit1 = Shape.Primitive Shape.Bit1
+let date = Shape.Primitive Shape.Date
+
+let yes s1 s2 =
+  if not (P.is_preferred s1 s2) then
+    Alcotest.failf "expected %a \xe2\x8a\x91 %a" Shape.pp s1 Shape.pp s2
+
+let no s1 s2 =
+  if P.is_preferred s1 s2 then
+    Alcotest.failf "expected %a \xe2\x8b\xa2 %a" Shape.pp s1 Shape.pp s2
+
+(* Rule (1) and the Section 6.2 extensions. *)
+let test_primitives () =
+  yes int_ float_;
+  no float_ int_;
+  yes bit int_;
+  yes bit bool_;
+  yes bit float_ (* transitively through int *);
+  yes bit0 bit;
+  yes bit1 bit;
+  yes bit0 int_;
+  yes bit0 bool_;
+  yes bit1 float_;
+  no bit0 bit1;
+  no bit string_;
+  yes date string_;
+  no string_ date;
+  no int_ bool_;
+  no bool_ int_;
+  no string_ int_
+
+(* Rule (2): null is preferred over all nullable shapes. *)
+let test_null () =
+  yes Shape.Null Shape.Null;
+  yes Shape.Null (Shape.Nullable int_);
+  yes Shape.Null (Shape.collection int_);
+  yes Shape.Null Shape.any;
+  no Shape.Null int_;
+  no Shape.Null (Shape.record "p" [])
+
+(* Rules (3) and (4). *)
+let test_nullable () =
+  yes int_ (Shape.Nullable int_);
+  yes int_ (Shape.Nullable float_);
+  yes (Shape.Nullable int_) (Shape.Nullable float_);
+  no (Shape.Nullable int_) int_;
+  no (Shape.Nullable float_) (Shape.Nullable int_);
+  yes (Shape.record "p" []) (Shape.Nullable (Shape.record "p" []))
+
+(* Rule (5): collection covariance. *)
+let test_collections () =
+  yes (Shape.collection int_) (Shape.collection float_);
+  no (Shape.collection float_) (Shape.collection int_);
+  yes (Shape.collection Shape.Bottom) (Shape.collection int_);
+  no (Shape.collection int_) (Shape.collection Shape.Bottom);
+  yes (Shape.collection Shape.Bottom) (Shape.collection Shape.Bottom);
+  (* nullable elements *)
+  yes (Shape.collection int_) (Shape.collection (Shape.Nullable int_));
+  no (Shape.collection (Shape.Nullable int_)) (Shape.collection int_)
+
+(* Rules (6) and (7), and Section 3.5: labels do not matter. *)
+let test_bottom_top () =
+  yes Shape.Bottom int_;
+  yes Shape.Bottom Shape.Null;
+  yes Shape.Bottom Shape.any;
+  yes int_ Shape.any;
+  yes Shape.any Shape.any;
+  yes (Shape.top [ int_ ]) (Shape.top [ string_ ]);
+  yes int_ (Shape.top [ string_ ]);
+  no Shape.any int_
+
+(* Rules (8) and (9) plus the null-field extension. *)
+let test_records () =
+  let p fields = Shape.record "p" fields in
+  yes (p [ ("x", int_) ]) (p [ ("x", float_) ]);
+  no (p [ ("x", float_) ]) (p [ ("x", int_) ]);
+  (* width: input may have extra fields *)
+  yes (p [ ("x", int_); ("y", string_) ]) (p [ ("x", int_) ]);
+  no (p [ ("x", int_) ]) (p [ ("x", int_); ("y", string_) ]);
+  (* null-field extension: a missing field is fine when nullable *)
+  yes (p [ ("x", int_) ]) (p [ ("x", int_); ("y", Shape.Nullable string_) ]);
+  yes (p [ ("x", int_) ]) (p [ ("x", int_); ("y", Shape.collection int_) ]);
+  yes (p [ ("x", int_) ]) (p [ ("x", int_); ("y", Shape.Null) ]);
+  (* different names are unrelated *)
+  no (p [ ("x", int_) ]) (Shape.record "q" [ ("x", int_) ]);
+  (* empty records *)
+  yes (p []) (p []);
+  yes (p [ ("x", int_) ]) (p [])
+
+(* Heterogeneous collections (Section 6.4). *)
+let test_hetero () =
+  let h = Shape.hetero in
+  let two = h [ (Shape.record "a" [], Mult.Single); (int_, Mult.Single) ] in
+  (* exact match *)
+  yes two two;
+  (* multiplicity: 1 ⊑ 1? ⊑ * *)
+  yes
+    (h [ (Shape.record "a" [], Mult.Single); (int_, Mult.Single) ])
+    (h [ (Shape.record "a" [], Mult.Optional_single); (int_, Mult.Multiple) ]);
+  no
+    (h [ (Shape.record "a" [], Mult.Multiple); (int_, Mult.Single) ])
+    (h [ (Shape.record "a" [], Mult.Single); (int_, Mult.Single) ]);
+  (* a missing tag is fine unless the consumer requires exactly one *)
+  yes
+    (h [ (int_, Mult.Single); (string_, Mult.Single) ])
+    (h [ (int_, Mult.Single); (string_, Mult.Single); (bool_, Mult.Multiple) ]);
+  no
+    (h [ (int_, Mult.Single); (string_, Mult.Single) ])
+    (h [ (int_, Mult.Single); (string_, Mult.Single); (bool_, Mult.Single) ]);
+  (* extra input tags are invisible to the consumer *)
+  yes
+    (h [ (int_, Mult.Single); (string_, Mult.Single); (bool_, Mult.Single) ])
+    (h [ (int_, Mult.Single); (string_, Mult.Single) ])
+
+let test_mixed_kinds () =
+  no int_ (Shape.record "p" []);
+  no (Shape.record "p" []) int_;
+  no (Shape.collection int_) int_;
+  no int_ (Shape.collection int_);
+  no (Shape.collection int_) (Shape.Nullable int_);
+  no (Shape.Nullable int_) (Shape.collection int_)
+
+(* Properties. *)
+
+let prop_reflexive =
+  QCheck2.Test.make ~name:"\xe2\x8a\x91 reflexive" ~count:300 ~print:print_shape
+    gen_core_shape (fun s -> P.is_preferred s s)
+
+let prop_transitive =
+  QCheck2.Test.make ~name:"\xe2\x8a\x91 transitive" ~count:500
+    ~print:(fun (a, b, c) ->
+      String.concat " / " (List.map print_shape [ a; b; c ]))
+    QCheck2.Gen.(triple gen_core_shape gen_core_shape gen_core_shape)
+    (fun (a, b, c) ->
+      (* implication: a ⊑ b ∧ b ⊑ c ⇒ a ⊑ c *)
+      (not (P.is_preferred a b && P.is_preferred b c)) || P.is_preferred a c)
+
+let rec top_free (s : Shape.t) =
+  match s with
+  | Shape.Top _ -> false
+  | Shape.Bottom | Shape.Null | Shape.Primitive _ -> true
+  | Shape.Nullable p -> top_free p
+  | Shape.Record { fields; _ } -> List.for_all (fun (_, f) -> top_free f) fields
+  | Shape.Collection entries ->
+      List.for_all (fun (e : Shape.entry) -> top_free e.shape) entries
+
+(* Mutual preference is *observational* equivalence: a record field whose
+   shape admits null cannot be distinguished from an absent field (convField
+   passes null either way, Figure 6), so the normal form erases such
+   fields. On top-free core shapes, mutual preference implies equal normal
+   forms. *)
+let rec erase_null_fields (s : Shape.t) : Shape.t =
+  match s with
+  | Shape.Bottom | Shape.Null | Shape.Primitive _ -> s
+  | Shape.Nullable p -> Shape.nullable (erase_null_fields p)
+  | Shape.Record { name; fields } ->
+      Shape.record name
+        (List.filter_map
+           (fun (n, f) ->
+             let f = erase_null_fields f in
+             match f with
+             | Shape.Null | Shape.Nullable _ | Shape.Collection _ | Shape.Top _
+               ->
+                 None
+             | _ -> Some (n, f))
+           fields)
+  | Shape.Collection entries ->
+      Shape.Collection
+        (List.map
+           (fun (e : Shape.entry) -> { e with Shape.shape = erase_null_fields e.shape })
+           entries)
+  | Shape.Top labels -> Shape.Top (List.map erase_null_fields labels)
+
+let prop_antisymmetric_top_free =
+  QCheck2.Test.make
+    ~name:"mutual \xe2\x8a\x91 = observational equivalence (top-free)"
+    ~count:500
+    ~print:(fun (a, b) -> print_shape a ^ " / " ^ print_shape b)
+    QCheck2.Gen.(pair gen_core_shape gen_core_shape)
+    (fun (a, b) ->
+      (not (top_free a && top_free b))
+      || (not (P.is_preferred a b && P.is_preferred b a))
+      || Shape.equal (erase_null_fields a) (erase_null_fields b))
+
+let prop_bottom_least =
+  QCheck2.Test.make ~name:"\xe2\x8a\xa5 least" ~count:200 ~print:print_shape
+    gen_core_shape (fun s -> P.is_preferred Shape.Bottom s)
+
+let prop_any_greatest =
+  QCheck2.Test.make ~name:"any greatest" ~count:200 ~print:print_shape
+    gen_core_shape (fun s -> P.is_preferred s Shape.any)
+
+let suite =
+  [
+    tc "primitives (rule 1 + Section 6.2)" `Quick test_primitives;
+    tc "null (rule 2)" `Quick test_null;
+    tc "nullable (rules 3, 4)" `Quick test_nullable;
+    tc "collections (rule 5)" `Quick test_collections;
+    tc "bottom and top (rules 6, 7)" `Quick test_bottom_top;
+    tc "records (rules 8, 9 + null-field extension)" `Quick test_records;
+    tc "heterogeneous collections (Section 6.4)" `Quick test_hetero;
+    tc "unrelated kinds" `Quick test_mixed_kinds;
+    QCheck_alcotest.to_alcotest prop_reflexive;
+    QCheck_alcotest.to_alcotest prop_transitive;
+    QCheck_alcotest.to_alcotest prop_antisymmetric_top_free;
+    QCheck_alcotest.to_alcotest prop_bottom_least;
+    QCheck_alcotest.to_alcotest prop_any_greatest;
+  ]

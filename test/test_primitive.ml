@@ -1,0 +1,120 @@
+(* Primitive-value inference tests (Section 6.2). *)
+
+module Dv = Fsdata_data.Data_value
+module P = Fsdata_data.Primitive
+open Generators
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let hint_name = function
+  | P.Hint_bit0 -> "bit0"
+  | P.Hint_bit1 -> "bit1"
+  | P.Hint_bool -> "bool"
+  | P.Hint_int -> "int"
+  | P.Hint_float -> "float"
+  | P.Hint_date -> "date"
+  | P.Hint_string -> "string"
+  | P.Hint_null -> "null"
+
+let hint_t = Alcotest.testable (Fmt.of_to_string hint_name) ( = )
+
+let classifies s expected () = check hint_t s expected (P.classify s)
+
+let test_to_value () =
+  let cases =
+    [
+      ("0", Dv.Int 0);
+      ("1", Dv.Int 1);
+      ("42", Dv.Int 42);
+      ("-7", Dv.Int (-7));
+      ("36.3", Dv.Float 36.3);
+      ("1e3", Dv.Float 1000.);
+      ("true", Dv.Bool true);
+      ("NO", Dv.Bool false);
+      ("#N/A", Dv.Null);
+      ("", Dv.Null);
+      ("2012-05-01", Dv.String "2012-05-01");
+      ("hello", Dv.String "hello");
+    ]
+  in
+  List.iter
+    (fun (s, expected) ->
+      check data_testable s expected (fst (P.to_value s)))
+    cases
+
+let test_parse_int_strict () =
+  check Alcotest.(option int) "plain" (Some 42) (P.parse_int "42");
+  check Alcotest.(option int) "sign" (Some 7) (P.parse_int "+7");
+  check Alcotest.(option int) "whitespace" (Some 1) (P.parse_int " 1 ");
+  check Alcotest.(option int) "trailing junk" None (P.parse_int "42x");
+  check Alcotest.(option int) "hex rejected" None (P.parse_int "0x10");
+  check Alcotest.(option int) "float rejected" None (P.parse_int "1.5");
+  check Alcotest.(option int) "empty" None (P.parse_int "");
+  check Alcotest.(option int) "lone sign" None (P.parse_int "-")
+
+let test_parse_float_strict () =
+  let t = Alcotest.(option (float 1e-9)) in
+  check t "plain" (Some 1.5) (P.parse_float "1.5");
+  check t "int syntax ok" (Some 42.) (P.parse_float "42");
+  check t "leading dot" (Some 0.5) (P.parse_float ".5");
+  check t "trailing dot" (Some 5.) (P.parse_float "5.");
+  check t "exponent" (Some 1500.) (P.parse_float "1.5e3");
+  check t "negative exponent" (Some 0.0015) (P.parse_float "1.5E-3");
+  check t "nan spelled out rejected" None (P.parse_float "nan");
+  check t "inf rejected" None (P.parse_float "inf");
+  check t "junk" None (P.parse_float "1.5.2");
+  check t "lone dot" None (P.parse_float ".");
+  check t "lone exponent" None (P.parse_float "e3")
+
+let test_normalize () =
+  let d =
+    Dv.Record
+      ( Dv.json_record_name,
+        [
+          ("a", Dv.String "35.14229");
+          ("b", Dv.String "2012");
+          ("c", Dv.String "#N/A");
+          ("d", Dv.String "2012-05-01");
+          ("e", Dv.List [ Dv.String "1"; Dv.Int 2 ]);
+        ] )
+  in
+  check data_testable "normalize converts string leaves"
+    (Dv.Record
+       ( Dv.json_record_name,
+         [
+           ("a", Dv.Float 35.14229);
+           ("b", Dv.Int 2012);
+           ("c", Dv.Null);
+           ("d", Dv.String "2012-05-01");
+           ("e", Dv.List [ Dv.Int 1; Dv.Int 2 ]);
+         ] ))
+    (P.normalize d)
+
+let prop_normalize_idempotent =
+  QCheck2.Test.make ~name:"normalize idempotent" ~count:200 ~print:print_data
+    gen_data (fun d -> Dv.equal (P.normalize d) (P.normalize (P.normalize d)))
+
+let suite =
+  [
+    tc "classify 0" `Quick (classifies "0" P.Hint_bit0);
+    tc "classify 1" `Quick (classifies "1" P.Hint_bit1);
+    tc "classify 2" `Quick (classifies "2" P.Hint_int);
+    tc "classify -1" `Quick (classifies "-1" P.Hint_int);
+    tc "classify 36.3" `Quick (classifies "36.3" P.Hint_float);
+    tc "classify true" `Quick (classifies "true" P.Hint_bool);
+    tc "classify Yes" `Quick (classifies "Yes" P.Hint_bool);
+    tc "classify date" `Quick (classifies "2012-05-01" P.Hint_date);
+    tc "classify May 3" `Quick (classifies "May 3" P.Hint_date);
+    tc "classify 3 kveten" `Quick (classifies "3 kveten" P.Hint_string);
+    tc "classify #N/A" `Quick (classifies "#N/A" P.Hint_null);
+    tc "classify empty" `Quick (classifies "" P.Hint_null);
+    tc "classify NA" `Quick (classifies "NA" P.Hint_null);
+    tc "classify text" `Quick (classifies "scattered clouds" P.Hint_string);
+    tc "classify 03d stays string" `Quick (classifies "03d" P.Hint_string);
+    tc "to_value" `Quick test_to_value;
+    tc "parse_int strictness" `Quick test_parse_int_strict;
+    tc "parse_float strictness" `Quick test_parse_float_strict;
+    tc "normalize (World Bank strings)" `Quick test_normalize;
+    QCheck_alcotest.to_alcotest prop_normalize_idempotent;
+  ]

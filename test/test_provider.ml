@@ -1,0 +1,317 @@
+(* The type provider mapping (Figure 8), including the paper's Examples 1
+   and 2, the provided classes' well-typedness, and the signature printer. *)
+
+module Dv = Fsdata_data.Data_value
+module Shape = Fsdata_core.Shape
+module Mult = Fsdata_core.Multiplicity
+module Infer = Fsdata_core.Infer
+module Provide = Fsdata_provider.Provide
+module Signature = Fsdata_provider.Signature
+open Fsdata_foo.Syntax
+module TC = Fsdata_foo.Typecheck
+module Eval = Fsdata_foo.Eval
+open Generators
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let int_sh = Shape.Primitive Shape.Int
+let float_sh = Shape.Primitive Shape.Float
+let bool_sh = Shape.Primitive Shape.Bool
+let string_sh = Shape.Primitive Shape.String
+let ty_t = Alcotest.testable pp_ty ty_equal
+
+let well_typed (p : Provide.t) =
+  (match TC.check_classes p.classes with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "provided classes ill-typed: %a" TC.pp_error e);
+  match TC.synth p.classes [] p.conv with
+  | Ok (TArrow (TData, t)) when ty_equal t p.root_ty -> ()
+  | Ok t ->
+      Alcotest.failf "conversion has type %a, expected Data -> %a" pp_ty t
+        pp_ty p.root_ty
+  | Error e -> Alcotest.failf "conversion ill-typed: %a" TC.pp_error e
+
+(* ⟦σ⟧ for primitives inserts the right conversion. *)
+let test_primitives () =
+  let cases =
+    [
+      (int_sh, TInt); (float_sh, TFloat); (bool_sh, TBool); (string_sh, TString);
+      (Shape.Primitive Shape.Bit, TBool);
+      (Shape.Primitive Shape.Bit0, TInt);
+      (Shape.Primitive Shape.Bit1, TInt);
+      (Shape.Primitive Shape.Date, TDate);
+    ]
+  in
+  List.iter
+    (fun (shape, expected) ->
+      let p = Provide.provide shape in
+      check ty_t (Shape.to_string shape) expected p.Provide.root_ty;
+      well_typed p)
+    cases
+
+(* ⟦⊥⟧ = ⟦null⟧: an opaque class. *)
+let test_bottom_null () =
+  List.iter
+    (fun shape ->
+      let p = Provide.provide shape in
+      (match p.Provide.root_ty with
+      | TClass c ->
+          let cls = Option.get (find_class p.Provide.classes c) in
+          check Alcotest.int "no members" 0 (List.length cls.members)
+      | t -> Alcotest.failf "expected a class, got %a" pp_ty t);
+      well_typed p)
+    [ Shape.Bottom; Shape.Null ]
+
+(* Example 1 of the paper: Person {Age: option int, Name: string}. *)
+let test_example_1 () =
+  let shape =
+    Shape.record "Person" [ ("Age", Shape.Nullable int_sh); ("Name", string_sh) ]
+  in
+  let p = Provide.provide shape in
+  well_typed p;
+  let cls =
+    match p.Provide.root_ty with
+    | TClass c -> Option.get (find_class p.Provide.classes c)
+    | _ -> Alcotest.fail "expected a class"
+  in
+  let age = Option.get (find_member cls "Age") in
+  let name = Option.get (find_member cls "Name") in
+  check ty_t "Age : option int" (TOption TInt) age.member_ty;
+  check ty_t "Name : string" TString name.member_ty;
+  (* The member bodies follow the example exactly: convField with a
+     convNull/convPrim continuation. *)
+  (match age.member_body with
+  | EOp
+      (ConvField
+         ("Person", "Age", EVar _, ELam (_, TData, EOp (ConvNull (EVar _, ELam (_, TData, EOp (ConvPrim (Shape.Primitive Shape.Int, EVar _)))))))) ->
+      ()
+  | e -> Alcotest.failf "Age body shape unexpected: %a" pp_expr e);
+  (match name.member_body with
+  | EOp
+      (ConvField
+         ("Person", "Name", EVar _, ELam (_, TData, EOp (ConvPrim (Shape.Primitive Shape.String, EVar _))))) ->
+      ()
+  | e -> Alcotest.failf "Name body shape unexpected: %a" pp_expr e);
+  (* Runtime behaviour from the example: a person without Age gives None;
+     a person without Name gets stuck. *)
+  let person fields = Dv.Record ("Person", fields) in
+  (match Eval.eval p.Provide.classes (EMember (Provide.apply p (person [ ("Name", Dv.String "Tomas") ]), "Age")) with
+  | Eval.Value (ENone _) -> ()
+  | o -> Alcotest.failf "Age on missing field: %a" Eval.pp_outcome o);
+  match Eval.eval p.Provide.classes (EMember (Provide.apply p (person [ ("Age", Dv.Int 25) ]), "Name")) with
+  | Eval.Stuck _ -> ()
+  | o -> Alcotest.failf "Name on missing field should be stuck: %a" Eval.pp_outcome o
+
+(* Example 2: [any⟨Person {...}, string⟩] — a list of a labelled-top class
+   with option members guarded by hasShape. *)
+let test_example_2 () =
+  let person = Shape.record "Person" [ ("Name", string_sh) ] in
+  let shape = Shape.collection (Shape.top [ person; string_sh ]) in
+  let p = Provide.provide shape in
+  well_typed p;
+  let cls_name =
+    match p.Provide.root_ty with
+    | TList (TClass c) -> c
+    | t -> Alcotest.failf "expected list of class, got %a" pp_ty t
+  in
+  let cls = Option.get (find_class p.Provide.classes cls_name) in
+  let mem_person = Option.get (find_member cls "Person") in
+  let mem_string = Option.get (find_member cls "String") in
+  (match mem_person.member_ty with
+  | TOption (TClass _) -> ()
+  | t -> Alcotest.failf "Person member: %a" pp_ty t);
+  check ty_t "String member" (TOption TString) mem_string.member_ty;
+  (* body: if hasShape(σ, x) then Some (e x) else None *)
+  (match mem_string.member_body with
+  | EIf (EOp (HasShape (Shape.Primitive Shape.String, EVar _)), ESome _, ENone _) -> ()
+  | e -> Alcotest.failf "String body unexpected: %a" pp_expr e);
+  (* runtime: a string element answers String = Some, Person = None *)
+  let data = Dv.List [ Dv.String "hi"; Dv.Record ("Person", [ ("Name", Dv.String "T") ]) ] in
+  let root = Provide.apply p data in
+  let first = EMatchList (root, "h", "t", EVar "h", EExn) in
+  (match Eval.eval p.Provide.classes (EMember (first, "String")) with
+  | Eval.Value (ESome (EData (Dv.String "hi"))) -> ()
+  | o -> Alcotest.failf "String member: %a" Eval.pp_outcome o);
+  match Eval.eval p.Provide.classes (EMember (first, "Person")) with
+  | Eval.Value (ENone _) -> ()
+  | o -> Alcotest.failf "Person member: %a" Eval.pp_outcome o
+
+(* Nullable and collection shapes. *)
+let test_nullable_collection () =
+  let p = Provide.provide (Shape.Nullable int_sh) in
+  check ty_t "nullable" (TOption TInt) p.Provide.root_ty;
+  well_typed p;
+  let p = Provide.provide (Shape.collection string_sh) in
+  check ty_t "collection" (TList TString) p.Provide.root_ty;
+  well_typed p;
+  (* null elements make the element conversion optional *)
+  let p =
+    Provide.provide
+      (Shape.hetero [ (int_sh, Mult.Multiple); (Shape.Null, Mult.Single) ])
+  in
+  check ty_t "collection with nulls" (TList (TOption TInt)) p.Provide.root_ty;
+  well_typed p
+
+(* Heterogeneous collections: member types follow multiplicities. *)
+let test_hetero_members () =
+  let shape =
+    Shape.hetero
+      [
+        (Shape.record "a" [], Mult.Single);
+        (int_sh, Mult.Optional_single);
+        (string_sh, Mult.Multiple);
+      ]
+  in
+  let p = Provide.provide shape in
+  well_typed p;
+  let cls =
+    match p.Provide.root_ty with
+    | TClass c -> Option.get (find_class p.Provide.classes c)
+    | t -> Alcotest.failf "expected class, got %a" pp_ty t
+  in
+  check ty_t "record entry: direct" (TClass "A")
+    (Option.get (find_member cls "A")).member_ty;
+  check ty_t "optional entry" (TOption TInt)
+    (Option.get (find_member cls "Number")).member_ty;
+  check ty_t "repeated entry" (TList TString)
+    (Option.get (find_member cls "String")).member_ty
+
+(* Naming: member collisions get numeric suffixes; original names are
+   used for the lookup. *)
+let test_member_collisions () =
+  let shape =
+    Shape.record Dv.json_record_name
+      [ ("my name", int_sh); ("my_name", string_sh); ("MyName", bool_sh) ]
+  in
+  let p = Provide.provide shape in
+  well_typed p;
+  let cls =
+    match p.Provide.root_ty with
+    | TClass c -> Option.get (find_class p.Provide.classes c)
+    | _ -> Alcotest.fail "expected class"
+  in
+  let names = List.map (fun m -> m.member_name) cls.members in
+  check
+    (Alcotest.list Alcotest.string)
+    "suffixed" [ "MyName"; "MyName2"; "MyName3" ] names;
+  (* each member still reads its own original field *)
+  let d = Dv.Record (Dv.json_record_name, [ ("my name", Dv.Int 1); ("my_name", Dv.String "s"); ("MyName", Dv.Bool true) ]) in
+  match Eval.eval p.Provide.classes (EMember (Provide.apply p d, "MyName2")) with
+  | Eval.Value (EData (Dv.String "s")) -> ()
+  | o -> Alcotest.failf "MyName2: %a" Eval.pp_outcome o
+
+(* XML shaping (Sections 2.2, 6.3): collapse, Value members, body members. *)
+let test_xml_shaping () =
+  (* Root {Id : int, Item : string} from Section 6.3 *)
+  let p =
+    Result.get_ok (Provide.provide_xml {|<root id="1"><item>Hello!</item></root>|})
+  in
+  well_typed p;
+  let cls =
+    match p.Provide.root_ty with
+    | TClass c -> Option.get (find_class p.Provide.classes c)
+    | _ -> Alcotest.fail "expected class"
+  in
+  check Alcotest.string "class name" "Root" cls.class_name;
+  check ty_t "Id : int" TInt (Option.get (find_member cls "Id")).member_ty;
+  check ty_t "Item : string (collapsed)" TString
+    (Option.get (find_member cls "Item")).member_ty;
+  (* primitive body becomes Value *)
+  let p = Result.get_ok (Provide.provide_xml {|<count>42</count>|}) in
+  well_typed p;
+  let cls =
+    match p.Provide.root_ty with
+    | TClass c -> Option.get (find_class p.Provide.classes c)
+    | _ -> Alcotest.fail "expected class"
+  in
+  check ty_t "Value : int" TInt (Option.get (find_member cls "Value")).member_ty;
+  (* repeated single-kind children pluralize to a list member *)
+  let p =
+    Result.get_ok
+      (Provide.provide_xml {|<list><item>a</item><item>b</item></list>|})
+  in
+  well_typed p;
+  let cls =
+    match p.Provide.root_ty with
+    | TClass c -> Option.get (find_class p.Provide.classes c)
+    | _ -> Alcotest.fail "expected class"
+  in
+  check ty_t "Items : string list" (TList TString)
+    (Option.get (find_member cls "Items")).member_ty
+
+(* Section 2.2: mixed children give an Element class with optional
+   members; unknown elements answer None everywhere (open world). *)
+let test_xml_open_world () =
+  let sample =
+    {|<doc><heading>A</heading><p>B</p><heading>C</heading><image source="i.png"/></doc>|}
+  in
+  let p = Result.get_ok (Provide.provide_xml sample) in
+  well_typed p;
+  let elem_cls = Option.get (find_class p.Provide.classes "Element") in
+  check ty_t "Heading : option string" (TOption TString)
+    (Option.get (find_member elem_cls "Heading")).member_ty;
+  check ty_t "P : option string" (TOption TString)
+    (Option.get (find_member elem_cls "P")).member_ty;
+  (match (Option.get (find_member elem_cls "Image")).member_ty with
+  | TOption (TClass _) -> ()
+  | t -> Alcotest.failf "Image member: %a" pp_ty t);
+  (* run against a document with an unknown <table> element *)
+  let input = {|<doc><table rows="3"/><heading>H</heading></doc>|} in
+  let data =
+    Fsdata_data.Xml.to_data (Fsdata_data.Xml.parse input)
+  in
+  let root = Provide.apply p data in
+  let elems = EMember (root, "Doc") in
+  let first = EMatchList (elems, "h", "t", EVar "h", EExn) in
+  match Eval.eval p.Provide.classes (EMember (first, "Heading")) with
+  | Eval.Value (ENone _) -> () (* first element is the unknown table *)
+  | o -> Alcotest.failf "open world: %a" Eval.pp_outcome o
+
+(* The signature printer reproduces the paper's People listing. *)
+let test_signature_people () =
+  let sample =
+    {|[ { "name":"Jan", "age":25 },
+        { "name":"Tomas" },
+        { "name":"Alexander", "age":3.5 } ]|}
+  in
+  let p = Result.get_ok (Provide.provide_json ~root_name:"Entity" sample) in
+  check Alcotest.string "paper listing"
+    "type Entity =\n\
+    \  member Name : string\n\
+    \  member Age : option float\n\
+     \n\
+     type People =\n\
+    \  member GetSample : unit -> Entity[]\n\
+    \  member Parse : string -> Entity[]\n\
+    \  member Load : string -> Entity[]"
+    (Signature.to_string ~root_name:"People" p)
+
+(* Any inferred shape provides well-typed classes (Figure 8 is total on
+   inference output). *)
+let prop_provided_well_typed =
+  QCheck2.Test.make ~name:"provided classes always well-typed" ~count:300
+    ~print:print_data gen_data (fun d ->
+      let shape = Infer.shape_of_value ~mode:`Practical d in
+      let p = Provide.provide shape in
+      match TC.check_classes p.Provide.classes with
+      | Ok () -> (
+          match TC.synth p.Provide.classes [] p.Provide.conv with
+          | Ok (TArrow (TData, t)) -> ty_equal t p.Provide.root_ty
+          | _ -> false)
+      | Error _ -> false)
+
+let suite =
+  [
+    tc "primitives" `Quick test_primitives;
+    tc "bottom and null are opaque classes" `Quick test_bottom_null;
+    tc "Example 1 (Person)" `Quick test_example_1;
+    tc "Example 2 (PersonOrString)" `Quick test_example_2;
+    tc "nullable and collections" `Quick test_nullable_collection;
+    tc "heterogeneous members by multiplicity" `Quick test_hetero_members;
+    tc "member name collisions (Section 6.3)" `Quick test_member_collisions;
+    tc "XML shaping (Section 6.3)" `Quick test_xml_shaping;
+    tc "XML open world (Section 2.2)" `Quick test_xml_open_world;
+    tc "signature printer (paper listing)" `Quick test_signature_people;
+    QCheck_alcotest.to_alcotest prop_provided_well_typed;
+  ]

@@ -1,0 +1,157 @@
+(* The developer-facing runtime (Typed) and the runtime ops, end-to-end on
+   the paper's samples. *)
+
+module Dv = Fsdata_data.Data_value
+module Provide = Fsdata_provider.Provide
+module Typed = Fsdata_runtime.Typed
+module Ops = Fsdata_runtime.Ops
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let people_sample =
+  {|[ { "name":"Jan", "age":25 },
+      { "name":"Tomas" },
+      { "name":"Alexander", "age":3.5 } ]|}
+
+let people () = Result.get_ok (Provide.provide_json people_sample)
+
+let test_people_end_to_end () =
+  let p = people () in
+  let items = Typed.get_list (Typed.parse p people_sample) in
+  check Alcotest.int "three people" 3 (List.length items);
+  let names =
+    List.map (fun i -> Typed.get_string (Typed.member i "Name")) items
+  in
+  check (Alcotest.list Alcotest.string) "names" [ "Jan"; "Tomas"; "Alexander" ] names;
+  let ages =
+    List.map
+      (fun i ->
+        Option.map Typed.get_float (Typed.get_option (Typed.member i "Age")))
+      items
+  in
+  check
+    (Alcotest.list (Alcotest.option (Alcotest.float 1e-9)))
+    "ages" [ Some 25.; None; Some 3.5 ] ages
+
+let test_parse_different_data () =
+  let p = people () in
+  let items =
+    Typed.get_list (Typed.parse p {|[ {"name":"New", "age": 1} ]|})
+  in
+  check Alcotest.int "one person" 1 (List.length items);
+  check Alcotest.string "name" "New"
+    (Typed.get_string (Typed.member (List.hd items) "Name"))
+
+let test_conversion_errors () =
+  let p = people () in
+  (* name missing: the documented exception, not a crash *)
+  (match Typed.get_list (Typed.parse p {|[ {"age": 3} ]|}) with
+  | [ item ] -> (
+      match Typed.get_string (Typed.member item "Name") with
+      | exception Ops.Conversion_error _ -> ()
+      | s -> Alcotest.failf "expected Conversion_error, got %S" s)
+  | _ -> Alcotest.fail "expected one item");
+  (* malformed input text *)
+  (match Typed.parse p "{ not json" with
+  | exception Ops.Conversion_error _ -> ()
+  | _ -> Alcotest.fail "expected Conversion_error on bad JSON");
+  (* wrong accessor *)
+  let item = List.hd (Typed.get_list (Typed.parse p people_sample)) in
+  match Typed.get_int (Typed.member item "Name") with
+  | exception Ops.Conversion_error _ -> ()
+  | _ -> Alcotest.fail "expected Conversion_error on get_int of a string"
+
+let test_weather_path () =
+  let sample =
+    {|{ "main": { "temp": 5, "pressure": 1010 }, "name": "Prague" }|}
+  in
+  let p = Result.get_ok (Provide.provide_json ~root_name:"W" sample) in
+  let w = Typed.parse p sample in
+  check (Alcotest.float 1e-9) "temp" 5.0
+    Typed.(get_float (member (member w "Main") "Temp"));
+  check Alcotest.string "name" "Prague" Typed.(get_string (member w "Name"))
+
+let test_underlying_escape_hatch () =
+  let sample = {|{ "a": 1 }|} in
+  let p = Result.get_ok (Provide.provide_json sample) in
+  let v = Typed.parse p sample in
+  match Typed.underlying v with
+  | Some (Dv.Record (_, [ ("a", Dv.Int 1) ])) -> ()
+  | _ -> Alcotest.fail "underlying data not accessible"
+
+let test_csv_typed () =
+  let csv = "A,B\n1,x\n0,y\n" in
+  let p = Result.get_ok (Provide.provide_csv csv) in
+  let rows = Typed.get_list (Typed.parse p csv) in
+  check Alcotest.int "rows" 2 (List.length rows);
+  (* A holds 0 and 1 only: provided as bool *)
+  check Alcotest.bool "bit column" true
+    (Typed.get_bool (Typed.member (List.hd rows) "A"))
+
+let test_xml_typed () =
+  let xml = {|<root id="7"><item>one</item><item>two</item></root>|} in
+  let p = Result.get_ok (Provide.provide_xml xml) in
+  let root = Typed.parse p xml in
+  check Alcotest.int "id attribute" 7 (Typed.get_int (Typed.member root "Id"));
+  check
+    (Alcotest.list Alcotest.string)
+    "items"
+    [ "one"; "two" ]
+    (List.map Typed.get_string (Typed.get_list (Typed.member root "Items")))
+
+let test_date_accessor () =
+  let csv = "When\n2012-05-01\n2013-06-02\n" in
+  let p = Result.get_ok (Provide.provide_csv csv) in
+  let rows = Typed.get_list (Typed.parse p csv) in
+  let d = Typed.get_date (Typed.member (List.hd rows) "When") in
+  check Alcotest.string "date parsed" "2012-05-01" (Fsdata_data.Date.to_iso8601 d)
+
+(* Ops-level unit tests. *)
+let test_ops_direct () =
+  check Alcotest.int "conv_int" 5 (Ops.conv_int (Dv.Int 5));
+  check (Alcotest.float 1e-9) "conv_float of int" 5. (Ops.conv_float (Dv.Int 5));
+  check Alcotest.bool "conv_bit_bool 1" true (Ops.conv_bit_bool (Dv.Int 1));
+  (match Ops.conv_int (Dv.String "5") with
+  | exception Ops.Conversion_error _ -> ()
+  | _ -> Alcotest.fail "conv_int should not coerce strings");
+  check
+    (Alcotest.list Alcotest.int)
+    "conv_elements of null is empty" []
+    (Ops.conv_elements Ops.conv_int Dv.Null);
+  check (Alcotest.option Alcotest.int) "conv_null" None
+    (Ops.conv_null Ops.conv_int Dv.Null);
+  check Alcotest.int "select_single"
+    1
+    (Ops.select_single (Fsdata_core.Shape.Primitive Fsdata_core.Shape.Int)
+       Ops.conv_int
+       (Dv.List [ Dv.String "s"; Dv.Int 1 ]))
+
+let suite =
+  [
+    tc "people end-to-end (Section 2.1)" `Quick test_people_end_to_end;
+    tc "Parse on different data" `Quick test_parse_different_data;
+    tc "conversion errors are the documented exception" `Quick
+      test_conversion_errors;
+    tc "weather path (Section 1)" `Quick test_weather_path;
+    tc "underlying-data escape hatch (Section 6.3)" `Quick
+      test_underlying_escape_hatch;
+    tc "CSV typed access" `Quick test_csv_typed;
+    tc "XML typed access" `Quick test_xml_typed;
+    tc "date accessor" `Quick test_date_accessor;
+    tc "runtime ops" `Quick test_ops_direct;
+  ]
+
+let test_path_helper () =
+  let sample = {|{ "main": { "temp": 5 }, "name": "Prague" }|} in
+  let p = Result.get_ok (Provide.provide_json sample) in
+  let w = Typed.parse p sample in
+  check (Alcotest.float 1e-9) "dotted path" 5.0
+    (Typed.get_float (Typed.path w "Main.Temp"));
+  check Alcotest.string "single segment" "Prague"
+    (Typed.get_string (Typed.path w "Name"));
+  match Typed.path w "Main.Nope" with
+  | exception Ops.Conversion_error _ -> ()
+  | _ -> Alcotest.fail "expected Conversion_error on a bad path"
+
+let suite = suite @ [ tc "dotted path helper" `Quick test_path_helper ]

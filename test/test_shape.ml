@@ -1,0 +1,133 @@
+(* Shape representation tests: constructors, invariants, printing. *)
+
+module Shape = Fsdata_core.Shape
+module Mult = Fsdata_core.Multiplicity
+module Tag = Fsdata_core.Tag
+open Generators
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let int_ = Shape.Primitive Shape.Int
+let float_ = Shape.Primitive Shape.Float
+let bool_ = Shape.Primitive Shape.Bool
+let string_ = Shape.Primitive Shape.String
+
+let test_record_dup () =
+  Alcotest.check_raises "duplicate fields"
+    (Invalid_argument "Shape.record: duplicate field \"x\"") (fun () ->
+      ignore (Shape.record "p" [ ("x", int_); ("x", float_) ]))
+
+let test_nullable_ceiling () =
+  (* ⌈−⌉ wraps only non-nullable shapes *)
+  check shape_testable "primitive wrapped" (Shape.Nullable int_)
+    (Shape.nullable int_);
+  check shape_testable "record wrapped"
+    (Shape.Nullable (Shape.record "p" []))
+    (Shape.nullable (Shape.record "p" []));
+  check shape_testable "nullable unchanged" (Shape.Nullable int_)
+    (Shape.nullable (Shape.Nullable int_));
+  check shape_testable "null unchanged" Shape.Null (Shape.nullable Shape.Null);
+  check shape_testable "collection unchanged" (Shape.collection int_)
+    (Shape.nullable (Shape.collection int_));
+  check shape_testable "top unchanged" Shape.any (Shape.nullable Shape.any);
+  check shape_testable "bottom unchanged" Shape.Bottom (Shape.nullable Shape.Bottom)
+
+let test_strip_floor () =
+  check shape_testable "unwraps" int_ (Shape.strip_nullable (Shape.Nullable int_));
+  check shape_testable "identity elsewhere" Shape.any (Shape.strip_nullable Shape.any)
+
+let test_collection_forms () =
+  check shape_testable "collection Bottom = []" (Shape.Collection [])
+    (Shape.collection Shape.Bottom);
+  check (Alcotest.option shape_testable) "element of [int]" (Some int_)
+    (Shape.collection_element (Shape.collection int_));
+  check (Alcotest.option shape_testable) "element of [⊥]" (Some Shape.Bottom)
+    (Shape.collection_element (Shape.collection Shape.Bottom));
+  check (Alcotest.option shape_testable) "hetero has no single element" None
+    (Shape.collection_element
+       (Shape.hetero [ (int_, Mult.Single); (string_, Mult.Single) ]))
+
+let test_hetero_invariants () =
+  Alcotest.check_raises "duplicate tags"
+    (Invalid_argument "Shape: duplicate tag number in labelled top or collection")
+    (fun () -> ignore (Shape.hetero [ (int_, Mult.Single); (float_, Mult.Single) ]));
+  Alcotest.check_raises "bottom entry"
+    (Invalid_argument "Shape.hetero: bottom entry") (fun () ->
+      ignore (Shape.hetero [ (Shape.Bottom, Mult.Single) ]))
+
+let test_hetero_sorted () =
+  (* entries are canonically ordered by tag, so construction order does
+     not affect equality *)
+  let a = Shape.hetero [ (int_, Mult.Single); (string_, Mult.Multiple) ] in
+  let b = Shape.hetero [ (string_, Mult.Multiple); (int_, Mult.Single) ] in
+  check shape_testable "order canonical" a b
+
+let test_top_invariants () =
+  Alcotest.check_raises "null label" (Invalid_argument "Shape.top: invalid label")
+    (fun () -> ignore (Shape.top [ Shape.Null ]));
+  Alcotest.check_raises "nested top" (Invalid_argument "Shape.top: invalid label")
+    (fun () -> ignore (Shape.top [ Shape.any ]));
+  Alcotest.check_raises "nullable label"
+    (Invalid_argument "Shape.top: invalid label") (fun () ->
+      ignore (Shape.top [ Shape.Nullable int_ ]));
+  let a = Shape.top [ int_; bool_ ] in
+  let b = Shape.top [ bool_; int_ ] in
+  check shape_testable "labels canonical" a b
+
+let test_tagof () =
+  let t = Alcotest.testable Tag.pp Tag.equal in
+  check t "int" Tag.Number (Shape.tagof int_);
+  check t "bit" Tag.Number (Shape.tagof (Shape.Primitive Shape.Bit));
+  check t "bool" Tag.Bool (Shape.tagof bool_);
+  check t "string" Tag.String (Shape.tagof string_);
+  check t "date" Tag.Date (Shape.tagof (Shape.Primitive Shape.Date));
+  check t "record" (Tag.Record "p") (Shape.tagof (Shape.record "p" []));
+  check t "collection" Tag.Collection (Shape.tagof (Shape.collection int_));
+  check t "nullable" Tag.Nullable (Shape.tagof (Shape.Nullable int_));
+  check t "top" Tag.Top (Shape.tagof Shape.any);
+  check t "null" Tag.Null (Shape.tagof Shape.Null);
+  Alcotest.check_raises "bottom has no tag"
+    (Invalid_argument "Shape.tagof: bottom has no tag") (fun () ->
+      ignore (Shape.tagof Shape.Bottom))
+
+let test_equal_mod_field_order () =
+  let a = Shape.record "p" [ ("x", int_); ("y", string_) ] in
+  let b = Shape.record "p" [ ("y", string_); ("x", int_) ] in
+  check shape_testable "field order irrelevant" a b
+
+let test_pp () =
+  check Alcotest.string "record"
+    "p {x: int, y: nullable string}"
+    (Shape.to_string (Shape.record "p" [ ("x", int_); ("y", Shape.Nullable string_) ]));
+  check Alcotest.string "homogeneous collection" "[int]"
+    (Shape.to_string (Shape.collection int_));
+  check Alcotest.string "any" "any" (Shape.to_string Shape.any);
+  check Alcotest.string "labelled top" "any\xe2\x9f\xa8bool, string\xe2\x9f\xa9"
+    (Shape.to_string (Shape.top [ string_; bool_ ]));
+  check Alcotest.string "hetero" "[int, 1 | string, *]"
+    (Shape.to_string (Shape.hetero [ (string_, Mult.Multiple); (int_, Mult.Single) ]))
+
+let prop_size_positive =
+  QCheck2.Test.make ~name:"size >= 1" ~count:200 ~print:print_shape
+    gen_core_shape (fun s -> Shape.size s >= 1)
+
+let prop_equal_refl =
+  QCheck2.Test.make ~name:"equal s s" ~count:200 ~print:print_shape
+    gen_core_shape (fun s -> Shape.equal s s)
+
+let suite =
+  [
+    tc "record: duplicate fields" `Quick test_record_dup;
+    tc "nullable ceiling" `Quick test_nullable_ceiling;
+    tc "strip (floor)" `Quick test_strip_floor;
+    tc "collection forms" `Quick test_collection_forms;
+    tc "hetero invariants" `Quick test_hetero_invariants;
+    tc "hetero canonical order" `Quick test_hetero_sorted;
+    tc "top invariants and order" `Quick test_top_invariants;
+    tc "tagof" `Quick test_tagof;
+    tc "equality mod field order" `Quick test_equal_mod_field_order;
+    tc "printing" `Quick test_pp;
+    QCheck_alcotest.to_alcotest prop_size_positive;
+    QCheck_alcotest.to_alcotest prop_equal_refl;
+  ]

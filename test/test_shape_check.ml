@@ -1,0 +1,139 @@
+(* The runtime shape test hasShape (Figure 6, Part I). *)
+
+module Dv = Fsdata_data.Data_value
+module Shape = Fsdata_core.Shape
+module Mult = Fsdata_core.Multiplicity
+module SC = Fsdata_core.Shape_check
+open Generators
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let int_ = Shape.Primitive Shape.Int
+let float_ = Shape.Primitive Shape.Float
+let bool_ = Shape.Primitive Shape.Bool
+let string_ = Shape.Primitive Shape.String
+
+let yes s d =
+  if not (SC.has_shape s d) then
+    Alcotest.failf "expected hasShape(%a, %a)" Shape.pp s Dv.pp d
+
+let no s d =
+  if SC.has_shape s d then
+    Alcotest.failf "expected not hasShape(%a, %a)" Shape.pp s Dv.pp d
+
+let test_primitives () =
+  (* hasShape(string, s) / (int, i) / (bool, d) / (float, i or f) *)
+  yes string_ (Dv.String "x");
+  no string_ (Dv.Int 1);
+  yes int_ (Dv.Int 1);
+  no int_ (Dv.Float 1.0);
+  yes bool_ (Dv.Bool true);
+  yes bool_ (Dv.Bool false);
+  (* 0/1 conforms to bool through the bit lattice; other ints do not *)
+  yes bool_ (Dv.Int 1);
+  yes bool_ (Dv.Int 0);
+  no bool_ (Dv.Int 2);
+  yes float_ (Dv.Int 1);
+  yes float_ (Dv.Float 1.5);
+  no float_ (Dv.String "1.5")
+
+let test_extended_primitives () =
+  yes (Shape.Primitive Shape.Bit) (Dv.Int 0);
+  yes (Shape.Primitive Shape.Bit) (Dv.Int 1);
+  no (Shape.Primitive Shape.Bit) (Dv.Int 2);
+  no (Shape.Primitive Shape.Bit) (Dv.Bool true);
+  yes (Shape.Primitive Shape.Bit0) (Dv.Int 0);
+  no (Shape.Primitive Shape.Bit0) (Dv.Int 1);
+  yes (Shape.Primitive Shape.Bit1) (Dv.Int 1);
+  yes (Shape.Primitive Shape.Date) (Dv.String "2012-05-01");
+  no (Shape.Primitive Shape.Date) (Dv.String "not a date")
+
+let test_null_bottom_top () =
+  yes Shape.Null Dv.Null;
+  no Shape.Null (Dv.Int 1);
+  no Shape.Bottom Dv.Null;
+  no Shape.Bottom (Dv.Int 1);
+  yes Shape.any (Dv.Int 1);
+  yes Shape.any Dv.Null;
+  yes (Shape.top [ int_ ]) (Dv.String "anything") (* labels do not restrict *)
+
+let test_nullable () =
+  yes (Shape.Nullable int_) Dv.Null;
+  yes (Shape.Nullable int_) (Dv.Int 1);
+  no (Shape.Nullable int_) (Dv.String "x")
+
+let test_records () =
+  let shape = Shape.record "p" [ ("x", int_); ("y", Shape.Nullable string_) ] in
+  yes shape (Dv.Record ("p", [ ("x", Dv.Int 1); ("y", Dv.String "a") ]));
+  (* nullable field may be null or missing (documented closure) *)
+  yes shape (Dv.Record ("p", [ ("x", Dv.Int 1); ("y", Dv.Null) ]));
+  yes shape (Dv.Record ("p", [ ("x", Dv.Int 1) ]));
+  (* extra fields are fine; the record rule only checks the shape's fields *)
+  yes shape (Dv.Record ("p", [ ("x", Dv.Int 1); ("z", Dv.Bool true) ]));
+  (* but a non-nullable field must be present with the right shape *)
+  no shape (Dv.Record ("p", [ ("y", Dv.String "a") ]));
+  no shape (Dv.Record ("p", [ ("x", Dv.String "one") ]));
+  (* name mismatch *)
+  no shape (Dv.Record ("q", [ ("x", Dv.Int 1) ]));
+  no shape (Dv.Int 1)
+
+let test_collections_homogeneous () =
+  let s = Shape.collection int_ in
+  yes s (Dv.List [ Dv.Int 1; Dv.Int 2 ]);
+  yes s (Dv.List []);
+  (* hasShape([s], null) ⇝ true *)
+  yes s Dv.Null;
+  no s (Dv.List [ Dv.Int 1; Dv.String "x" ]);
+  no s (Dv.Int 1)
+
+let test_collections_hetero () =
+  let s =
+    Shape.hetero [ (Shape.record "a" [], Mult.Single); (int_, Mult.Multiple) ]
+  in
+  yes s (Dv.List [ Dv.Record ("a", []); Dv.Int 1 ]);
+  (* elements with unknown tags are ignored (open world) *)
+  yes s (Dv.List [ Dv.Record ("a", []); Dv.String "mystery" ]);
+  (* null elements are ignored, but an exactly-once entry must be present:
+     the Single-typed member would get stuck otherwise *)
+  yes s (Dv.List [ Dv.Record ("a", []); Dv.Null ]);
+  no s (Dv.List [ Dv.Null ]);
+  no s (Dv.List [ Dv.Int 1 ]);
+  (* a known tag with the wrong shape fails *)
+  no
+    (Shape.hetero
+       [ (Shape.record "a" [ ("x", int_) ], Mult.Single); (int_, Mult.Multiple) ])
+    (Dv.List [ Dv.Record ("a", [ ("x", Dv.String "bad") ]) ])
+
+let test_tag_of_data () =
+  let t = Alcotest.testable Fsdata_core.Tag.pp Fsdata_core.Tag.equal in
+  check t "null" Fsdata_core.Tag.Null (SC.tag_of_data Dv.Null);
+  check t "bool" Fsdata_core.Tag.Bool (SC.tag_of_data (Dv.Bool true));
+  check t "int" Fsdata_core.Tag.Number (SC.tag_of_data (Dv.Int 1));
+  check t "float" Fsdata_core.Tag.Number (SC.tag_of_data (Dv.Float 1.));
+  check t "string" Fsdata_core.Tag.String (SC.tag_of_data (Dv.String "x"));
+  check t "list" Fsdata_core.Tag.Collection (SC.tag_of_data (Dv.List []));
+  check t "record" (Fsdata_core.Tag.Record "p") (SC.tag_of_data (Dv.Record ("p", [])))
+
+(* has_shape is sound w.r.t. preference: if S(d) ⊑ s then hasShape(s, d). *)
+let prop_preference_implies_has_shape =
+  QCheck2.Test.make
+    ~name:"S(d) \xe2\x8a\x91 s implies hasShape(s, d)" ~count:500
+    ~print:(fun (d, s) -> print_data d ^ " / " ^ print_shape s)
+    QCheck2.Gen.(pair gen_plain_data gen_core_shape)
+    (fun (d, s) ->
+      let sd = Fsdata_core.Infer.shape_of_value ~mode:`Paper d in
+      (not (Fsdata_core.Preference.is_preferred sd s)) || SC.has_shape s d)
+
+let suite =
+  [
+    tc "primitives" `Quick test_primitives;
+    tc "bit and date (Section 6.2)" `Quick test_extended_primitives;
+    tc "null, bottom, top" `Quick test_null_bottom_top;
+    tc "nullable closure" `Quick test_nullable;
+    tc "records (Figure 6 rule + closures)" `Quick test_records;
+    tc "homogeneous collections" `Quick test_collections_homogeneous;
+    tc "heterogeneous collections" `Quick test_collections_hetero;
+    tc "tag_of_data" `Quick test_tag_of_data;
+    QCheck_alcotest.to_alcotest prop_preference_implies_has_shape;
+  ]

@@ -1,0 +1,101 @@
+(* Generating documents from shapes (the inverse of inference). *)
+
+module Dv = Fsdata_data.Data_value
+module Shape = Fsdata_core.Shape
+module Mult = Fsdata_core.Multiplicity
+module Gen = Fsdata_core.Shape_gen
+module SC = Fsdata_core.Shape_check
+module Infer = Fsdata_core.Infer
+module P = Fsdata_core.Preference
+open Generators
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let test_witnesses () =
+  let cases =
+    [
+      Shape.Null;
+      Shape.Primitive Shape.Int;
+      Shape.Primitive Shape.Date;
+      Shape.Primitive Shape.Bit;
+      Shape.Nullable (Shape.Primitive Shape.String);
+      Shape.record "p" [ ("x", Shape.Primitive Shape.Int) ];
+      Shape.collection (Shape.Primitive Shape.Bool);
+      Shape.collection Shape.Bottom;
+      Shape.hetero
+        [ (Shape.Primitive Shape.Int, Mult.Single);
+          (Shape.Primitive Shape.String, Mult.Multiple) ];
+      Shape.any;
+      Shape.top [ Shape.record "p" [] ];
+    ]
+  in
+  List.iter
+    (fun s ->
+      List.iteri
+        (fun seed d ->
+          if not (SC.has_shape s d) then
+            Alcotest.failf "sample %d of %a does not conform: %a" seed Shape.pp
+              s Dv.pp d)
+        (Gen.samples ~count:4 s))
+    cases
+
+let test_bottom_rejected () =
+  Alcotest.check_raises "bottom has no witness"
+    (Invalid_argument "Shape_gen.sample: bottom has no witness") (fun () ->
+      ignore (Gen.sample Shape.Bottom))
+
+let test_deterministic () =
+  let s = Shape.record "p" [ ("x", Shape.Primitive Shape.Int) ] in
+  check data_testable "same seed, same document" (Gen.sample ~seed:3 s)
+    (Gen.sample ~seed:3 s)
+
+(* no bare bottoms except as empty-collection elements *)
+let rec bottom_free (s : Shape.t) =
+  match s with
+  | Shape.Bottom -> false
+  | Shape.Null | Shape.Primitive _ -> true
+  | Shape.Nullable p -> bottom_free p
+  | Shape.Record { fields; _ } -> List.for_all (fun (_, f) -> bottom_free f) fields
+  | Shape.Collection entries ->
+      List.for_all (fun (e : Shape.entry) -> bottom_free e.shape) entries
+  | Shape.Top labels -> List.for_all bottom_free labels
+
+let prop_sample_conforms =
+  QCheck2.Test.make ~name:"hasShape(s, sample s)" ~count:400 ~print:print_shape
+    gen_core_shape (fun s ->
+      (not (bottom_free s))
+      || List.for_all (fun d -> SC.has_shape s d) (Gen.samples ~count:3 s))
+
+let prop_sample_shape_preferred =
+  QCheck2.Test.make ~name:"S(sample s) \xe2\x8a\x91 s (core shapes)" ~count:400
+    ~print:print_shape gen_core_shape (fun s ->
+      (not (bottom_free s))
+      || List.for_all
+           (fun d -> P.is_preferred (Infer.shape_of_value ~mode:`Paper d) s)
+           (Gen.samples ~count:3 s))
+
+(* round-trip through the provider: the sample of an inferred shape can be
+   read back through the type provided from the original samples *)
+let prop_sample_readable =
+  QCheck2.Test.make ~name:"provided code accepts generated samples"
+    ~count:150 ~print:print_data gen_plain_data (fun d ->
+      let shape = Infer.shape_of_value ~mode:`Paper d in
+      let p = Fsdata_provider.Provide.provide shape in
+      let sample = Gen.sample shape in
+      match
+        Fsdata_foo.Eval.eval p.Fsdata_provider.Provide.classes
+          (Fsdata_provider.Provide.apply p sample)
+      with
+      | Fsdata_foo.Eval.Value _ -> true
+      | _ -> false)
+
+let suite =
+  [
+    tc "witnesses conform" `Quick test_witnesses;
+    tc "bottom rejected" `Quick test_bottom_rejected;
+    tc "deterministic" `Quick test_deterministic;
+    QCheck_alcotest.to_alcotest prop_sample_conforms;
+    QCheck_alcotest.to_alcotest prop_sample_shape_preferred;
+    QCheck_alcotest.to_alcotest prop_sample_readable;
+  ]

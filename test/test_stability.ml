@@ -1,0 +1,156 @@
+(* Stability of inference (Section 6.5, Remark 1).
+
+   Adding a sample changes the provided type only in ways repairable by
+   three local rewrites: (1) unwrap a new option, (2) select a label of a
+   new labelled top, (3) convert a float that used to be an int. We check
+   each rewrite on the evolution it repairs, and the monotonicity facts
+   behind the remark (labels are never removed; shapes only move up). *)
+
+module Dv = Fsdata_data.Data_value
+module Shape = Fsdata_core.Shape
+module Infer = Fsdata_core.Infer
+module Csh = Fsdata_core.Csh
+module P = Fsdata_core.Preference
+module Provide = Fsdata_provider.Provide
+open Fsdata_foo.Syntax
+module Eval = Fsdata_foo.Eval
+open Generators
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let provide samples =
+  Provide.provide ~format:`Json (Infer.shape_of_samples ~mode:`Paper samples)
+
+let eval_value p e =
+  match Eval.eval p.Provide.classes e with
+  | Eval.Value v -> v
+  | o -> Alcotest.failf "expected a value, got %a" Eval.pp_outcome o
+
+(* Rewrite (1): C[e] to C[match e with Some v -> v | None -> exn]. *)
+let test_rewrite_option () =
+  let d1 = Dv.Record ("p", [ ("x", Dv.Int 1) ]) in
+  let d2 = Dv.Record ("p", []) in
+  (* before: x is an int member *)
+  let p1 = provide [ d1 ] in
+  let before = EMember (Provide.apply p1 d1, "X") in
+  check Alcotest.bool "before: direct access" true
+    (eval_value p1 before = int_ 1);
+  (* after adding d2: X becomes option int; the rewritten program behaves
+     identically on the old input *)
+  let p2 = provide [ d1; d2 ] in
+  let after =
+    EMatchOption (EMember (Provide.apply p2 d1, "X"), "v", EVar "v", EExn)
+  in
+  check Alcotest.bool "after: rewritten access agrees" true
+    (eval_value p2 after = int_ 1);
+  (* and the None case surfaces as exn on the new input, as Remark 1 says *)
+  match
+    Eval.eval p2.Provide.classes
+      (EMatchOption (EMember (Provide.apply p2 d2, "X"), "v", EVar "v", EExn))
+  with
+  | Eval.Exn -> ()
+  | o -> Alcotest.failf "expected exn, got %a" Eval.pp_outcome o
+
+(* Rewrite (3): C[e] to C[int(e)]. *)
+let test_rewrite_int_of_float () =
+  let d1 = Dv.Record ("p", [ ("x", Dv.Int 25) ]) in
+  let d2 = Dv.Record ("p", [ ("x", Dv.Float 3.5) ]) in
+  let p1 = provide [ d1 ] in
+  check Alcotest.bool "before: int member" true
+    (eval_value p1 (EMember (Provide.apply p1 d1, "X")) = int_ 25);
+  let p2 = provide [ d1; d2 ] in
+  let after = EOp (IntOfFloat (EMember (Provide.apply p2 d1, "X"))) in
+  check Alcotest.bool "after: int(e) recovers the integer" true
+    (eval_value p2 after = int_ 25)
+
+(* Rewrite (2): C[e] to C[e.M] for the tag's member of a new top. *)
+let test_rewrite_top_member () =
+  let d1 = Dv.List [ Dv.Int 1 ] in
+  let d2 = Dv.List [ Dv.Bool true ] in
+  let p1 = provide [ d1 ] in
+  let first root = EMatchList (root, "h", "t", EVar "h", EExn) in
+  check Alcotest.bool "before: list of int" true
+    (eval_value p1 (first (Provide.apply p1 d1)) = int_ 1);
+  (* after: elements are any⟨int, bool⟩; the rewrite selects .Number *)
+  let p2 = provide [ d1; d2 ] in
+  let after =
+    EMatchOption
+      ( EMember (first (Provide.apply p2 d1), "Number"),
+        "v", EVar "v", EExn )
+  in
+  check Alcotest.bool "after: .Number recovers the value" true
+    (eval_value p2 after = int_ 1)
+
+(* "None of the labels is ever removed": labels of the merged shape
+   include the labels of each sample's shape. *)
+let rec top_labels (s : Shape.t) : Shape.t list =
+  match s with
+  | Shape.Top labels -> labels @ List.concat_map top_labels labels
+  | Shape.Record { fields; _ } -> List.concat_map (fun (_, f) -> top_labels f) fields
+  | Shape.Nullable p -> top_labels p
+  | Shape.Collection entries ->
+      List.concat_map (fun (e : Shape.entry) -> top_labels e.shape) entries
+  | _ -> []
+
+let prop_labels_monotone =
+  QCheck2.Test.make ~name:"adding a sample never loses top labels"
+    ~count:300
+    ~print:(fun (ds, d) ->
+      String.concat " ; " (List.map print_data ds) ^ " + " ^ print_data d)
+    QCheck2.Gen.(pair (list_size (int_range 1 3) gen_plain_data) gen_plain_data)
+    (fun (ds, d) ->
+      let before = Infer.shape_of_samples ~mode:`Paper ds in
+      let after = Infer.shape_of_samples ~mode:`Paper (ds @ [ d ]) in
+      let before_tags =
+        List.map Shape.tagof (top_labels before) |> List.sort_uniq Fsdata_core.Tag.compare
+      in
+      let after_tags =
+        List.map Shape.tagof (top_labels after) |> List.sort_uniq Fsdata_core.Tag.compare
+      in
+      List.for_all
+        (fun t -> List.exists (Fsdata_core.Tag.equal t) after_tags)
+        before_tags)
+
+(* Shapes only evolve upward: S(d1..dn) ⊑ S(d1..dn+1). *)
+let prop_shape_monotone =
+  QCheck2.Test.make ~name:"adding a sample moves the shape up in \xe2\x8a\x91"
+    ~count:300
+    ~print:(fun (ds, d) ->
+      String.concat " ; " (List.map print_data ds) ^ " + " ^ print_data d)
+    QCheck2.Gen.(pair (list_size (int_range 1 3) gen_plain_data) gen_plain_data)
+    (fun (ds, d) ->
+      let before = Infer.shape_of_samples ~mode:`Paper ds in
+      let after = Infer.shape_of_samples ~mode:`Paper (ds @ [ d ]) in
+      P.is_preferred before after)
+
+(* The Section 6.5 example flow: a program fails on an input; adding the
+   input as a sample makes the field optional and the rewritten program
+   works on both inputs. *)
+let test_error_recovery_workflow () =
+  let sample = Dv.Record ("p", [ ("x", Dv.Int 1) ]) in
+  let failing_input = Dv.Record ("p", []) in
+  let p1 = provide [ sample ] in
+  (* the original program is stuck on the new input *)
+  (match Eval.eval p1.Provide.classes (EMember (Provide.apply p1 failing_input, "X")) with
+  | Eval.Stuck _ -> ()
+  | o -> Alcotest.failf "expected stuck, got %a" Eval.pp_outcome o);
+  (* add the input as a sample; use the variation of rewrite (1) with a
+     default value *)
+  let p2 = provide [ sample; failing_input ] in
+  let read input =
+    EMatchOption (EMember (Provide.apply p2 input, "X"), "v", EVar "v", int_ 0)
+  in
+  check Alcotest.bool "old input still reads" true (eval_value p2 (read sample) = int_ 1);
+  check Alcotest.bool "new input reads the default" true
+    (eval_value p2 (read failing_input) = int_ 0)
+
+let suite =
+  [
+    tc "rewrite (1): option match" `Quick test_rewrite_option;
+    tc "rewrite (3): int(e)" `Quick test_rewrite_int_of_float;
+    tc "rewrite (2): top member selection" `Quick test_rewrite_top_member;
+    tc "Section 6.5 error-recovery workflow" `Quick test_error_recovery_workflow;
+    QCheck_alcotest.to_alcotest prop_labels_monotone;
+    QCheck_alcotest.to_alcotest prop_shape_monotone;
+  ]

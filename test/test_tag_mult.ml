@@ -1,0 +1,59 @@
+(* Tags (Figure 4) and multiplicities (Section 6.4). *)
+
+module Tag = Fsdata_core.Tag
+module M = Fsdata_core.Multiplicity
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let test_tag_order () =
+  (* compare is a total order; records order by name *)
+  check Alcotest.bool "record names ordered" true
+    (Tag.compare (Tag.Record "a") (Tag.Record "b") < 0);
+  check Alcotest.bool "equal records" true
+    (Tag.equal (Tag.Record "a") (Tag.Record "a"));
+  check Alcotest.bool "distinct kinds" false (Tag.equal Tag.Number Tag.Bool);
+  check Alcotest.bool "total" true
+    (Tag.compare Tag.Null Tag.Top < 0 && Tag.compare Tag.Top Tag.Null > 0)
+
+let test_member_names () =
+  check Alcotest.string "number" "Number" (Tag.to_member_name Tag.Number);
+  check Alcotest.string "collection is Array" "Array"
+    (Tag.to_member_name Tag.Collection);
+  check Alcotest.string "anonymous record is Record" "Record"
+    (Tag.to_member_name (Tag.Record Fsdata_data.Data_value.json_record_name));
+  check Alcotest.string "named record keeps its name" "item"
+    (Tag.to_member_name (Tag.Record "item"))
+
+let test_mult_order () =
+  check Alcotest.bool "1 ⊑ 1?" true (M.is_preferred M.Single M.Optional_single);
+  check Alcotest.bool "1? ⊑ *" true (M.is_preferred M.Optional_single M.Multiple);
+  check Alcotest.bool "* ⋢ 1" false (M.is_preferred M.Multiple M.Single);
+  check Alcotest.bool "reflexive" true (M.is_preferred M.Single M.Single)
+
+let test_mult_ops () =
+  check Alcotest.bool "lub(1,1) = 1" true (M.lub M.Single M.Single = M.Single);
+  check Alcotest.bool "lub(1,1?) = 1? (the paper's example)" true
+    (M.lub M.Single M.Optional_single = M.Optional_single);
+  check Alcotest.bool "lub with *" true (M.lub M.Single M.Multiple = M.Multiple);
+  check Alcotest.bool "widen 1" true (M.widen_absent M.Single = M.Optional_single);
+  check Alcotest.bool "widen *" true (M.widen_absent M.Multiple = M.Multiple);
+  check Alcotest.bool "of_count 1" true (M.of_count 1 = M.Single);
+  check Alcotest.bool "of_count 5" true (M.of_count 5 = M.Multiple);
+  Alcotest.check_raises "of_count 0"
+    (Invalid_argument "Multiplicity.of_count: non-positive count") (fun () ->
+      ignore (M.of_count 0))
+
+let test_pp () =
+  check Alcotest.string "1" "1" (Fmt.str "%a" M.pp M.Single);
+  check Alcotest.string "1?" "1?" (Fmt.str "%a" M.pp M.Optional_single);
+  check Alcotest.string "*" "*" (Fmt.str "%a" M.pp M.Multiple)
+
+let suite =
+  [
+    tc "tag ordering and equality" `Quick test_tag_order;
+    tc "tag member names (Section 2.3)" `Quick test_member_names;
+    tc "multiplicity order" `Quick test_mult_order;
+    tc "multiplicity lub/widen/of_count" `Quick test_mult_ops;
+    tc "multiplicity printing" `Quick test_pp;
+  ]

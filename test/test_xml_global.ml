@@ -1,0 +1,153 @@
+(* Global XML inference (Section 6.2): all elements with the same name
+   unify into one signature; recursive documents provide nominal classes. *)
+
+module Dv = Fsdata_data.Data_value
+module Shape = Fsdata_core.Shape
+module Mult = Fsdata_core.Multiplicity
+module G = Fsdata_core.Xml_global
+module Provide = Fsdata_provider.Provide
+module Typed = Fsdata_runtime.Typed
+module TC = Fsdata_foo.Typecheck
+
+let tc = Alcotest.test_case
+let check = Alcotest.check
+
+let infer src = G.infer (Fsdata_data.Xml.parse src)
+
+let xhtml_like =
+  {|<html>
+      <body>
+        <table border="1"><row>a</row><row>b</row></table>
+        <div>
+          <table><row>c</row></table>
+        </div>
+      </body>
+    </html>|}
+
+let test_same_name_unified () =
+  let g = infer xhtml_like in
+  (* the two <table>s — one with a border attribute, one without, one with
+     two rows, one with one — unify into a single signature *)
+  let table = Option.get (G.find g "table") in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Generators.shape_testable))
+    "border attribute becomes nullable"
+    [ ("border", Shape.Nullable (Shape.Primitive Shape.Bit1)) ]
+    table.G.attributes;
+  (match table.G.body with
+  | G.Body_children [ ("row", Mult.Multiple) ] -> ()
+  | _ -> Alcotest.fail "table body should be row*");
+  let row = Option.get (G.find g "row") in
+  (match row.G.body with
+  | G.Body_primitive (Shape.Primitive Shape.String) -> ()
+  | _ -> Alcotest.fail "row body should be string")
+
+let test_recursive_document () =
+  let g = infer {|<div id="a"><div id="b"><div id="c"/></div></div>|} in
+  check Alcotest.int "one signature for div" 1 (List.length g.G.elements);
+  let div = Option.get (G.find g "div") in
+  (* the innermost div has no children, so the self-reference is optional *)
+  match div.G.body with
+  | G.Body_children [ ("div", Mult.Optional_single) ] -> ()
+  | _ -> Alcotest.fail "div body should be div?"
+
+let test_multi_sample_roots () =
+  (match G.of_strings [ "<a/>"; "<b/>" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "different roots must be rejected");
+  (match G.of_strings [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty sample list must be rejected");
+  match G.of_strings [ {|<a x="1"/>|}; {|<a y="2"/>|} ] with
+  | Ok g ->
+      let a = Option.get (G.find g "a") in
+      check Alcotest.int "both attributes, both nullable" 2
+        (List.length a.G.attributes);
+      List.iter
+        (fun (_, s) ->
+          match s with
+          | Shape.Nullable _ -> ()
+          | s -> Alcotest.failf "expected nullable, got %a" Shape.pp s)
+        a.G.attributes
+  | Error e -> Alcotest.fail e
+
+let test_mixed_occurrences () =
+  (* one <x> has text, another has children: element content wins *)
+  let g = infer {|<r><x>text</x><x><y/></x></r>|} in
+  let x = Option.get (G.find g "x") in
+  match x.G.body with
+  | G.Body_children [ ("y", Mult.Optional_single) ] -> ()
+  | _ -> Alcotest.fail "x body should be y?"
+
+let test_empty_occurrence_weakens () =
+  let g = infer {|<r><x>5</x><x/></r>|} in
+  let x = Option.get (G.find g "x") in
+  match x.G.body with
+  | G.Body_primitive (Shape.Nullable (Shape.Primitive Shape.Int)) -> ()
+  | G.Body_primitive s -> Alcotest.failf "got %a" Shape.pp s
+  | _ -> Alcotest.fail "x body should be primitive"
+
+(* ----- provider over global signatures ----- *)
+
+let test_provide_recursive () =
+  let src = {|<div id="a"><div id="b"><div id="c"/></div></div>|} in
+  let p = Result.get_ok (Provide.provide_xml_global [ src ]) in
+  (match TC.check_classes p.Provide.classes with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "ill-typed: %a" TC.pp_error e);
+  let root = Typed.parse p src in
+  check Alcotest.string "outer id" "a" (Typed.get_string (Typed.member root "Id"));
+  let inner = Option.get (Typed.get_option (Typed.member root "Div")) in
+  check Alcotest.string "inner id" "b" (Typed.get_string (Typed.member inner "Id"));
+  let inner2 = Option.get (Typed.get_option (Typed.member inner "Div")) in
+  check Alcotest.string "innermost id" "c"
+    (Typed.get_string (Typed.member inner2 "Id"));
+  check Alcotest.bool "recursion bottoms out" true
+    (Typed.get_option (Typed.member inner2 "Div") = None)
+
+let test_provide_xhtml_tables () =
+  let p = Result.get_ok (Provide.provide_xml_global [ xhtml_like ]) in
+  (match TC.check_classes p.Provide.classes with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "ill-typed: %a" TC.pp_error e);
+  let root = Typed.parse p xhtml_like in
+  let body = Typed.member root "Body" in
+  (* both tables are values of the same Table class *)
+  let t1 = Typed.member body "Table" in
+  let rows1 =
+    List.map Typed.get_string
+      (List.map (fun r -> Typed.member r "Value") (Typed.get_list (Typed.member t1 "Rows")))
+  in
+  check (Alcotest.list Alcotest.string) "direct table rows" [ "a"; "b" ] rows1;
+  let t2 = Typed.member (Typed.member body "Div") "Table" in
+  let rows2 =
+    List.map Typed.get_string
+      (List.map (fun r -> Typed.member r "Value") (Typed.get_list (Typed.member t2 "Rows")))
+  in
+  check (Alcotest.list Alcotest.string) "nested table rows" [ "c" ] rows2;
+  (* the unified border attribute is optional on both *)
+  check Alcotest.bool "nested table has no border" true
+    (Typed.get_option (Typed.member t2 "Border") = None)
+
+let test_global_codegen_compiles_shape () =
+  (* codegen on a recursive provided type emits and-chained definitions;
+     we can at least check the output contains the recursive block *)
+  let src = {|<div id="a"><div id="b"/></div>|} in
+  let p = Result.get_ok (Provide.provide_xml_global [ src ]) in
+  let code = Fsdata_codegen.Codegen.generate p in
+  check Alcotest.bool "let rec emitted" true
+    (Astring.String.is_infix ~affix:"let rec div_of_data" code);
+  check Alcotest.bool "self-reference in type" true
+    (Astring.String.is_infix ~affix:"div option" code)
+
+let suite =
+  [
+    tc "same-named elements unify (XHTML tables)" `Quick test_same_name_unified;
+    tc "recursive documents" `Quick test_recursive_document;
+    tc "multi-sample roots and attribute merging" `Quick test_multi_sample_roots;
+    tc "mixed occurrences" `Quick test_mixed_occurrences;
+    tc "empty occurrence weakens text body" `Quick test_empty_occurrence_weakens;
+    tc "provider: recursive div chain" `Quick test_provide_recursive;
+    tc "provider: unified tables" `Quick test_provide_xhtml_tables;
+    tc "codegen: recursive block" `Quick test_global_codegen_compiles_shape;
+  ]
