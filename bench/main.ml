@@ -11,8 +11,11 @@
    access provided-access overhead: raw match vs generated code vs the
           Foo-interpreted provider (B4)
    shape  hasShape / validation cost (B5)
+   par    sequential vs parallel (domain-chunked) multi-sample inference
 
-   Usage: main.exe [group ...] — no arguments runs everything. *)
+   Usage: main.exe [--smoke] [group ...] — no arguments runs everything.
+   --smoke shrinks the corpora and iteration counts so the run fits a CI
+   budget (it is wired into `dune runtest` for the par group). *)
 
 open Bechamel
 open Toolkit
@@ -372,6 +375,84 @@ let shape_bench () =
   run_group "shape" tests;
   print_newline ()
 
+(* ----- par: sequential vs parallel multi-sample inference ----- *)
+
+let smoke = ref false
+
+(* Wall-clock timing (best of [repeats]) rather than bechamel: a single
+   10k-100k-sample inference run is far above bechamel's per-run
+   granularity, and the quantity of interest is the seq/par ratio. *)
+let time_best ~repeats f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let par_bench () =
+  let module Par = Fsdata_core.Par_infer in
+  print_endline "== par: sequential vs parallel multi-sample inference ==";
+  Printf.printf "   recommended domain count: %d%s\n%!" (Par.recommended_jobs ())
+    (if !smoke then "  (smoke mode: reduced corpus and iterations)" else "");
+  let sizes = if !smoke then [ 2_000 ] else [ 10_000; 100_000 ] in
+  let repeats = if !smoke then 1 else 3 in
+  let jobs_list =
+    List.sort_uniq compare [ 2; 4; Par.recommended_jobs () ]
+    |> List.filter (fun j -> j > 1)
+  in
+  List.iter
+    (fun n ->
+      let samples = Workloads.sample_corpus n in
+      let row label t = function
+        | None -> Printf.printf "  %6d samples: %-26s %8.1f ms\n%!" n label (t *. 1e3)
+        | Some (t_seq, agree) ->
+            Printf.printf "  %6d samples: %-26s %8.1f ms  %5.2fx speedup, agree=%b\n%!"
+              n label (t *. 1e3) (t_seq /. t) agree
+      in
+      let seq_shape, t_seq =
+        time_best ~repeats (fun () ->
+            Infer.shape_of_samples ~mode:`Practical samples)
+      in
+      row "infer sequential fold" t_seq None;
+      List.iter
+        (fun jobs ->
+          let par_shape, t_par =
+            time_best ~repeats (fun () ->
+                Par.shape_of_samples ~mode:`Practical ~jobs samples)
+          in
+          row
+            (Printf.sprintf "infer --jobs %d" jobs)
+            t_par
+            (Some (t_seq, Shape.equal seq_shape par_shape)))
+        jobs_list;
+      (* streaming: chunked parse fused with per-chunk inference *)
+      let text = Workloads.corpus_text n in
+      let seq_stream, t_seq_stream =
+        time_best ~repeats (fun () -> Infer.of_json text)
+      in
+      row "parse+infer sequential" t_seq_stream None;
+      List.iter
+        (fun jobs ->
+          let par_stream, t_par_stream =
+            time_best ~repeats (fun () -> Par.of_json ~jobs ~chunk_size:512 text)
+          in
+          row
+            (Printf.sprintf "parse+infer --jobs %d" jobs)
+            t_par_stream
+            (Some
+               ( t_seq_stream,
+                 match (seq_stream, par_stream) with
+                 | Ok a, Ok b -> Shape.equal a b
+                 | _ -> false )))
+        jobs_list)
+    sizes;
+  print_newline ()
+
 (* ----- provider: the "compile-time" pipeline costs ----- *)
 
 let provider_bench () =
@@ -435,13 +516,15 @@ let groups =
     ("access", access);
     ("shape", shape_bench);
     ("provider", provider_bench);
+    ("par", par_bench);
   ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, names = List.partition (fun a -> a = "--smoke") args in
+  if flags <> [] then smoke := true;
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst groups
+    match names with [] -> List.map fst groups | names -> names
   in
   List.iter
     (fun name ->

@@ -113,3 +113,53 @@ let xml_text n =
 
 (* k samples of the same people-ish shape, for multi-sample csh folding. *)
 let sample_set k n = List.init k (fun i -> people_array ~optional_every:(2 + i) n)
+
+(* A corpus of n standalone sample documents for the parallel
+   multi-sample inference benchmarks: event-like records whose field
+   sets and literal kinds vary from document to document, so per-chunk
+   folds meet genuine optionality/nullability merges rather than
+   collapsing after the first few samples. *)
+let sample_doc r i =
+  let base =
+    [
+      ("id", Dv.Int i);
+      ("kind", Dv.String (Printf.sprintf "kind%d" (i mod 7)));
+    ]
+  in
+  let fields =
+    match pick r 5 with
+    | 0 -> base
+    | 1 -> base @ [ ("value", Dv.Float (float_of_int (pick r 1000) /. 10.)) ]
+    | 2 -> base @ [ ("value", Dv.Int (pick r 1000)); ("flag", Dv.Bool true) ]
+    | 3 ->
+        base
+        @ [
+            ("when", Dv.String (Printf.sprintf "%04d-%02d-%02d" (1990 + (i mod 30))
+                                  (1 + (i mod 12)) (1 + (i mod 28))));
+            ("note", Dv.Null);
+          ]
+    | _ ->
+        base
+        @ [
+            ( "tags",
+              Dv.List
+                (List.init (pick r 3) (fun j ->
+                     Dv.String (Printf.sprintf "t%d" j))) );
+          ]
+  in
+  Dv.Record (Dv.json_record_name, fields)
+
+let sample_corpus n =
+  let r = rng 11 in
+  List.init n (fun i -> sample_doc r i)
+
+(* The same corpus as whitespace-separated JSON text, for the streaming
+   parse+infer pipeline. *)
+let corpus_text n =
+  let r = rng 11 in
+  let buf = Buffer.create (n * 48) in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (json_text (sample_doc r i));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

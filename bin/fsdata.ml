@@ -15,6 +15,7 @@
 
 open Cmdliner
 module Infer = Fsdata_core.Infer
+module Par_infer = Fsdata_core.Par_infer
 module Shape = Fsdata_core.Shape
 module Preference = Fsdata_core.Preference
 module Provide = Fsdata_provider.Provide
@@ -85,15 +86,32 @@ let resolve_format format paths =
   | Some f -> Ok f
   | None -> ( match paths with [] -> Error (`Msg "no samples") | p :: _ -> detect_format p)
 
-let infer_shape ?(csv_schema = "") format paths =
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Number of domains for parallel multi-sample inference; $(b,0)
+           (the default) means the recommended domain count of the
+           machine. Per-chunk shapes are merged with a balanced csh tree
+           reduction, which is sound because csh is the least upper bound
+           of Lemma 1; $(b,--jobs 1) forces the sequential fold.")
+
+(* 0 = the recommended domain count (Par_infer's own default). *)
+let effective_jobs jobs = if jobs <= 0 then Par_infer.recommended_jobs () else jobs
+
+(* [jobs = 1] (the default) is the strictly sequential pipeline; commands
+   exposing --jobs pass their flag through. *)
+let infer_shape ?(csv_schema = "") ?(jobs = 1) format paths =
   match resolve_format format paths with
   | Error e -> Error e
   | Ok f -> (
       let texts = List.map read_file paths in
       let result =
         match f with
-        | Json -> Infer.of_json_samples texts
-        | Xml -> Infer.of_xml_samples texts
+        | Json -> Par_infer.of_json_samples ~jobs texts
+        | Xml -> Par_infer.of_xml_samples ~jobs texts
         | Csv -> (
             match texts with
             | [ one ] -> Fsdata_core.Csv_schema.infer_csv ~schema:csv_schema one
@@ -117,7 +135,8 @@ let infer_cmd =
              classification, homogeneous collections. The default is the
              practical mode the library ships (Sections 6.2, 6.4).")
   in
-  let run format global paper csv_schema paths =
+  let run format global paper csv_schema jobs paths =
+    let jobs = effective_jobs jobs in
     if global then
       match List.map read_file paths |> Fsdata_core.Xml_global.of_strings with
       | Ok g ->
@@ -129,14 +148,17 @@ let infer_cmd =
         match resolve_format format paths with
         | Error (`Msg m) -> `Error (false, m)
         | Ok Json -> (
-            match Infer.of_json_samples ~mode:`Paper (List.map read_file paths) with
+            match
+              Par_infer.of_json_samples ~mode:`Paper ~jobs
+                (List.map read_file paths)
+            with
             | Ok shape ->
                 Format.printf "%a@." Shape.pp shape;
                 `Ok ()
             | Error m -> `Error (false, m))
         | Ok _ -> `Error (false, "--paper applies to JSON samples")
       else
-        match infer_shape ~csv_schema format paths with
+        match infer_shape ~csv_schema ~jobs format paths with
         | Ok (_, shape) ->
             Format.printf "%a@." Shape.pp shape;
             `Ok ()
@@ -147,7 +169,7 @@ let infer_cmd =
     Term.(
       ret
         (const run $ format_arg $ global_arg $ paper_arg $ csv_schema_arg
-       $ samples_arg))
+       $ jobs_arg $ samples_arg))
 
 (* --- provide --- *)
 
@@ -229,8 +251,8 @@ let sample_cmd =
 (* --- codegen --- *)
 
 let codegen_cmd =
-  let run format csv_schema root_name paths =
-    match infer_shape ~csv_schema format paths with
+  let run format csv_schema root_name jobs paths =
+    match infer_shape ~csv_schema ~jobs:(effective_jobs jobs) format paths with
     | Ok (f, shape) ->
         let p = Provide.provide ~format:(provider_format f) ~root_name shape in
         print_string
@@ -247,7 +269,9 @@ let codegen_cmd =
        ~doc:"Emit an OCaml module giving statically typed access to data of
              the samples' shape.")
     Term.(
-      ret (const run $ format_arg $ csv_schema_arg $ root_name_arg $ samples_arg))
+      ret
+        (const run $ format_arg $ csv_schema_arg $ root_name_arg $ jobs_arg
+       $ samples_arg))
 
 (* --- check --- *)
 
@@ -268,7 +292,8 @@ let check_cmd =
              '[• {name: string, age: nullable float}]') instead of
              inferring it from sample files.")
   in
-  let run format shape input paths =
+  let run format shape jobs input paths =
+    let jobs = effective_jobs jobs in
     let sample_shape =
       match shape with
       | Some text -> (
@@ -279,7 +304,7 @@ let check_cmd =
           match paths with
           | [] -> Error (`Msg "provide sample files or --shape")
           | _ -> (
-              match infer_shape format paths with
+              match infer_shape ~jobs format paths with
               | Ok (f, s) -> Ok (Some f, s)
               | Error e -> Error e))
     in
@@ -313,7 +338,7 @@ let check_cmd =
              samples (the premise of relative type safety).")
     Term.(
       ret
-        (const run $ format_arg $ shape_arg $ input_arg
+        (const run $ format_arg $ shape_arg $ jobs_arg $ input_arg
         $ Arg.(
             value & pos_all file []
             & info [] ~docv:"SAMPLE" ~doc:"Sample document(s).")))
@@ -321,8 +346,8 @@ let check_cmd =
 (* --- schema --- *)
 
 let schema_cmd =
-  let run format paths =
-    match infer_shape format paths with
+  let run format jobs paths =
+    match infer_shape ~jobs:(effective_jobs jobs) format paths with
     | Ok (_, shape) ->
         print_endline (Fsdata_codegen.Json_schema.to_string shape);
         `Ok ()
@@ -332,7 +357,7 @@ let schema_cmd =
     (Cmd.info "schema"
        ~doc:"Export the inferred shape of the samples as a JSON Schema
              (draft-07) document.")
-    Term.(ret (const run $ format_arg $ samples_arg))
+    Term.(ret (const run $ format_arg $ jobs_arg $ samples_arg))
 
 (* --- migrate --- *)
 

@@ -15,6 +15,55 @@ let join_primitives (a : primitive) (b : primitive) =
     | Date, String | String, Date -> Some String
     | _ -> None
 
+(* Canonical form for top labels. Both adjustments exist to make csh
+   associative at the representation level (not merely up to
+   ⊑-equivalence), which the parallel tree reduction of Par_infer relies
+   on:
+
+   (a) a collection label's exactly-one entries weaken to zero-or-one.
+       A top implicitly permits null and a null sample reads as an
+       empty collection, so an element of a collection label can always
+       be absent; without the weakening, whether a null sample met the
+       collection before or after the top formed would change the
+       resulting multiplicity.
+
+   (b) primitive labels are saturated under {!join_primitives} across
+       tag families (bit ⊔ bool = bool, date ⊔ string = string),
+       matching what rule (num) does to the same primitives outside a
+       top. Tag-wise label grouping alone would keep e.g. bit and bool
+       as two labels when the bare primitives join to bool, so the
+       result would depend on whether they met inside or outside the
+       top. *)
+let widen_collection_label = function
+  | Collection entries ->
+      Collection
+        (List.map
+           (fun (e : entry) -> { e with mult = Multiplicity.widen_absent e.mult })
+           entries)
+  | s -> s
+
+let canonical_top labels =
+  let labels = List.map widen_collection_label labels in
+  let prims, others =
+    List.partition_map
+      (function Primitive p -> Either.Left p | s -> Either.Right s)
+      labels
+  in
+  (* Insert primitives one at a time, re-inserting the join whenever one
+     exists; terminates because the primitive lattice has finite height. *)
+  let rec insert p acc =
+    let rec scan seen = function
+      | [] -> p :: acc
+      | q :: rest -> (
+          match join_primitives p q with
+          | Some j -> insert j (List.rev_append seen rest)
+          | None -> scan (q :: seen) rest)
+    in
+    scan [] acc
+  in
+  let prims = List.fold_left (fun acc p -> insert p acc) [] prims in
+  Shape.top (List.rev_map (fun p -> Primitive p) prims @ others)
+
 let rec csh ?(mode : mode = `Hetero) s1 s2 =
   (* (eq) *)
   if Shape.equal s1 s2 then s1
@@ -158,7 +207,7 @@ and top_merge ~mode l1 l2 =
         | None, None -> assert false)
       tags
   in
-  Shape.top labels
+  canonical_top labels
 
 and top_include ~mode labels s =
   (* s is neither bottom, null nor a top here. Labels are non-nullable, so
@@ -167,14 +216,15 @@ and top_include ~mode labels s =
   let t = Shape.tagof label in
   match List.partition (fun l -> Tag.equal (Shape.tagof l) t) labels with
   (* (top-add) *)
-  | [], _ -> Shape.top (label :: labels)
+  | [], _ -> canonical_top (label :: labels)
   (* (top-incl) *)
-  | [ l0 ], rest -> Shape.top (Shape.strip_nullable (csh ~mode l0 label) :: rest)
+  | [ l0 ], rest ->
+      canonical_top (Shape.strip_nullable (csh ~mode l0 label) :: rest)
   | _ -> assert false
 
 and top_any s1 s2 =
   (* (top-any): two shapes with distinct tags and no smaller upper bound. *)
-  Shape.top [ Shape.strip_nullable s1; Shape.strip_nullable s2 ]
+  canonical_top [ Shape.strip_nullable s1; Shape.strip_nullable s2 ]
 
 and csh_all ?(mode : mode = `Hetero) shapes =
   List.fold_left (fun acc s -> csh ~mode acc s) Bottom shapes

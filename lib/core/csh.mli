@@ -31,7 +31,17 @@
       tags differ — and the multiplicity records whether an element is
       always present, optional, or repeated, driving the direct / option /
       list member of the provider (the [Root.Item : string] example of
-      Section 6.3). *)
+      Section 6.3).
+
+    Labelled tops built by [csh] are kept in a canonical form: primitive
+    labels are saturated under {!join_primitives} across tag families
+    (so a top never holds both [bit] and [bool], or [date] and
+    [string]), and collection labels have exactly-one entries weakened
+    to zero-or-one (a top implicitly permits null, and a null sample
+    reads as an empty collection). This makes [csh] associative and
+    commutative at the representation level (up to record field order),
+    not merely up to ⊑-equivalence — which is what lets
+    {!Par_infer.csh_tree} re-associate the fold freely. *)
 
 type mode = [ `Core | `Hetero | `Xml ]
 

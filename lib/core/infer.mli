@@ -34,6 +34,10 @@ val shape_of_samples : ?mode:mode -> Fsdata_data.Data_value.t list -> Shape.t
 val classify_string : string -> Shape.t
 (** The shape a string literal infers to in practical mode. *)
 
+val csh_mode : mode -> Csh.mode
+(** The collection-merging discipline each inference mode folds with:
+    [`Paper] → [`Core], [`Practical] → [`Hetero], [`Xml] → [`Xml]. *)
+
 (** {1 Format entry points}
 
     Each parses its input and infers the shape of the samples it contains,

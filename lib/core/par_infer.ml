@@ -1,0 +1,166 @@
+open Fsdata_data
+
+type mode = Infer.mode
+
+let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* The runtime supports ~128 concurrent domains; stay well below so a
+   generous --jobs never aborts the program. *)
+let max_jobs = 64
+
+let normalize_jobs = function
+  | None -> min max_jobs (recommended_jobs ())
+  | Some j -> max 1 (min max_jobs j)
+
+let chunk k xs =
+  if k < 1 then invalid_arg "Par_infer.chunk: k must be positive";
+  let n = List.length xs in
+  if n = 0 then []
+  else begin
+    let k = min k n in
+    (* first [n mod k] chunks get one extra element *)
+    let base = n / k and extra = n mod k in
+    let rec take i acc xs =
+      if i = 0 then (List.rev acc, xs)
+      else
+        match xs with
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (i - 1) (x :: acc) rest
+    in
+    let rec go i xs =
+      if i >= k then []
+      else
+        let size = base + if i < extra then 1 else 0 in
+        let c, rest = take size [] xs in
+        c :: go (i + 1) rest
+    in
+    go 0 xs
+  end
+
+let csh_tree ?(mode = `Hetero) shapes =
+  let rec round = function
+    | [] -> []
+    | [ s ] -> [ s ]
+    | a :: b :: rest -> Csh.csh ~mode a b :: round rest
+  in
+  let rec reduce = function
+    | [] -> Shape.Bottom
+    | [ s ] -> s
+    | ss -> reduce (round ss)
+  in
+  reduce shapes
+
+(* Run [f] over every chunk, the first chunk on the current domain and
+   the rest on spawned domains, and merge the chunk results with the
+   balanced csh tree. Chunks keep sample order, and the tree merges
+   adjacent shapes only, so order-sensitive parts of the representation
+   (record field order) match the sequential left fold exactly. *)
+let map_reduce_chunks ~cmode ~jobs ~of_chunk samples =
+  match chunk jobs samples with
+  | [] -> Shape.Bottom
+  | [ c ] -> of_chunk c
+  | first :: rest ->
+      let workers =
+        List.map (fun c -> Domain.spawn (fun () -> of_chunk c)) rest
+      in
+      let s0 = of_chunk first in
+      csh_tree ~mode:cmode (s0 :: List.map Domain.join workers)
+
+let shape_of_samples ?(mode : mode = `Practical) ?jobs ds =
+  let jobs = normalize_jobs jobs in
+  if jobs = 1 then Infer.shape_of_samples ~mode ds
+  else
+    map_reduce_chunks ~cmode:(Infer.csh_mode mode) ~jobs
+      ~of_chunk:(Infer.shape_of_samples ~mode) ds
+
+(* ----- Format entry points ----- *)
+
+(* Parse-and-infer a chunk of sample texts; stop at the chunk's first
+   parse error. The per-chunk results are scanned in order afterwards,
+   so the error reported for a bad corpus is the earliest one, exactly
+   as in the sequential drivers of {!Infer}. *)
+let fold_chunk ~mode ~parse texts =
+  let rec go acc = function
+    | [] -> Ok acc
+    | t :: rest -> (
+        match parse t with
+        | Ok d -> go (Csh.csh ~mode:(Infer.csh_mode mode) acc (Infer.shape_of_value ~mode d)) rest
+        | Error _ as e -> e)
+  in
+  go Shape.Bottom texts
+
+let of_samples ~mode ~parse ~jobs texts =
+  let jobs = normalize_jobs jobs in
+  let cmode = Infer.csh_mode mode in
+  match chunk jobs texts with
+  | [] -> Ok Shape.Bottom
+  | [ c ] -> fold_chunk ~mode ~parse c
+  | first :: rest ->
+      let workers =
+        List.map
+          (fun c -> Domain.spawn (fun () -> fold_chunk ~mode ~parse c))
+          rest
+      in
+      let r0 = fold_chunk ~mode ~parse first in
+      let results = r0 :: List.map Domain.join workers in
+      let rec merge acc = function
+        | [] -> Ok (csh_tree ~mode:cmode (List.rev acc))
+        | Ok s :: rest -> merge (s :: acc) rest
+        | (Error _ as e) :: _ -> e
+      in
+      merge [] results
+
+let of_json_samples ?(mode : mode = `Practical) ?jobs texts =
+  of_samples ~mode ~parse:Json.parse_result ~jobs texts
+
+let of_xml_samples ?(mode : mode = `Xml) ?jobs texts =
+  let parse t =
+    match Xml.parse_result t with
+    | Ok tree ->
+        (* Inference classifies the raw attribute/body strings itself,
+           so keep them unconverted here (as in {!Infer.of_xml_samples}). *)
+        Ok (Xml.to_data ~convert_primitives:false tree)
+    | Error _ as e -> e
+  in
+  of_samples ~mode ~parse ~jobs texts
+
+(* Streaming JSON: the parser walks the stream chunk by chunk
+   ({!Json.fold_many}) and hands each parsed chunk to a worker domain
+   for inference, keeping at most [jobs] chunks in flight; their shapes
+   are collected in stream order and tree-merged at the end. Only the
+   in-flight chunks are resident as data values. *)
+let of_json ?(mode : mode = `Practical) ?jobs ?(chunk_size = 256) src =
+  let jobs = normalize_jobs jobs in
+  let cmode = Infer.csh_mode mode in
+  let infer_chunk ds = Infer.shape_of_samples ~mode ds in
+  (* FIFO of in-flight domains, oldest first. *)
+  let inflight = Queue.create () in
+  let shapes = ref [] in
+  let seen = ref 0 in
+  let drain_one () = shapes := Domain.join (Queue.pop inflight) :: !shapes in
+  let drain_all () =
+    while not (Queue.is_empty inflight) do
+      drain_one ()
+    done
+  in
+  match
+    Json.fold_many ~chunk_size
+      (fun () ds ->
+        seen := !seen + List.length ds;
+        if jobs = 1 then shapes := infer_chunk ds :: !shapes
+        else begin
+          if Queue.length inflight >= jobs then drain_one ();
+          Queue.add (Domain.spawn (fun () -> infer_chunk ds)) inflight
+        end)
+      () src
+  with
+  | () ->
+      drain_all ();
+      if !seen = 0 then Error "no JSON sample documents found"
+      else Ok (csh_tree ~mode:cmode (List.rev !shapes))
+  | exception Json.Parse_error { line; column; message } ->
+      (* join stragglers so no domain outlives the call *)
+      drain_all ();
+      Error
+        (Printf.sprintf "JSON parse error at line %d, column %d: %s" line
+           column message)

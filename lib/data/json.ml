@@ -286,13 +286,109 @@ let parse_result s =
   | exception Parse_error { line; column; message } ->
       Error (Printf.sprintf "JSON parse error at line %d, column %d: %s" line column message)
 
-let parse_many s =
+let fold_many ?(chunk_size = 256) f acc s =
+  if chunk_size < 1 then invalid_arg "Json.fold_many: chunk_size must be positive";
   let st = make_state s in
-  let rec loop acc =
+  let rec loop acc chunk n =
     skip_ws st;
-    if st.pos >= st.len then List.rev acc else loop (parse_value st :: acc)
+    if st.pos >= st.len then if n = 0 then acc else f acc (List.rev chunk)
+    else
+      let v = parse_value st in
+      if n + 1 >= chunk_size then loop (f acc (List.rev (v :: chunk))) [] 0
+      else loop acc (v :: chunk) (n + 1)
   in
-  loop []
+  loop acc [] 0
+
+let parse_many s =
+  List.rev (fold_many (fun acc c -> List.rev_append c acc) [] s)
+
+(* Incremental parsing of a document stream fed in arbitrary string
+   fragments. The cursor keeps the unconsumed tail (at most one partial
+   document) and the stream-global line/beginning-of-line of its start,
+   so a state seeded from it reports error positions relative to the
+   whole stream, not the fragment being parsed: [st.bol] may be
+   negative when the current line began before the retained tail, and
+   the column arithmetic [st.pos - st.bol + 1] is translation-invariant
+   so it keeps working. A partial document is re-parsed from its start
+   each time more input arrives — quadratic in the worst case, but
+   sample documents are small compared to read buffers. *)
+module Cursor = struct
+  type t = {
+    mutable pending : string; (* unconsumed tail, starting at a document start *)
+    mutable line : int; (* stream line of the start of [pending] *)
+    mutable bol : int; (* line-start offset relative to [pending]'s start, <= 0 *)
+  }
+
+  let create () = { pending = ""; line = 1; bol = 0 }
+
+  let seeded_state cur buf =
+    let st = make_state buf in
+    st.line <- cur.line;
+    st.bol <- cur.bol;
+    st
+
+  let feed cur fragment =
+    let buf = if cur.pending = "" then fragment else cur.pending ^ fragment in
+    let st = seeded_state cur buf in
+    let docs = ref [] in
+    let retain mark mark_line mark_bol =
+      cur.pending <- String.sub buf mark (String.length buf - mark);
+      cur.line <- mark_line;
+      cur.bol <- mark_bol - mark
+    in
+    let rec loop () =
+      skip_ws st;
+      if st.pos >= st.len then begin
+        cur.pending <- "";
+        cur.line <- st.line;
+        cur.bol <- st.bol - st.len
+      end
+      else begin
+        let mark = st.pos and mark_line = st.line and mark_bol = st.bol in
+        match parse_value st with
+        | v ->
+            (* A top-level number ending exactly at the fragment boundary
+               could still grow in the next fragment ("12" + "34"), so
+               hold it back until more input (or {!finish}) decides. Any
+               other document ends on a closing delimiter or a complete
+               keyword and cannot extend. *)
+            let could_grow =
+              match v with
+              | Data_value.Int _ | Data_value.Float _ -> st.pos >= st.len
+              | _ -> false
+            in
+            if could_grow then retain mark mark_line mark_bol
+            else begin
+              docs := v :: !docs;
+              loop ()
+            end
+        | exception Parse_error _ when st.pos >= st.len ->
+            (* ran off the end of the buffer: incomplete document *)
+            retain mark mark_line mark_bol
+      end
+    in
+    loop ();
+    List.rev !docs
+
+  let finish cur =
+    if cur.pending = "" then []
+    else begin
+      let st = seeded_state cur cur.pending in
+      let docs = ref [] in
+      let rec loop () =
+        skip_ws st;
+        if st.pos < st.len then begin
+          docs := parse_value st :: !docs;
+          loop ()
+        end
+      in
+      loop ();
+      cur.pending <- "";
+      cur.line <- 1;
+      cur.bol <- 0;
+      List.rev !docs
+    end
+end
 
 (* ----- Printing ----- *)
 

@@ -24,6 +24,42 @@ val parse_many : string -> Data_value.t list
 (** Parse a stream of whitespace-separated JSON documents (as used when a
     sample file contains several samples). *)
 
+val fold_many :
+  ?chunk_size:int -> ('acc -> Data_value.t list -> 'acc) -> 'acc -> string -> 'acc
+(** Chunked driver over a stream of whitespace-separated JSON documents:
+    parse up to [chunk_size] documents (default 256), hand them to the
+    fold function, and continue, so the caller can process (or ship to
+    another domain) a bounded batch at a time instead of materializing
+    the whole corpus. Positions in {!Parse_error} are relative to the
+    whole stream. [parse_many] is [fold_many] collecting every chunk.
+    Raises [Invalid_argument] when [chunk_size < 1]. *)
+
+(** Incremental parsing of a document stream fed in arbitrary string
+    fragments (e.g. fixed-size file reads). The cursor retains at most
+    one partial document between feeds; error positions are relative to
+    the whole stream fed so far, not the current fragment. *)
+module Cursor : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> string -> Data_value.t list
+  (** Parse as many complete documents as the input fed so far allows
+      and return them in stream order. A trailing document that may
+      still be incomplete — a truncated document, or a top-level number
+      ending exactly at the fragment boundary, since its digits could
+      continue in the next fragment — is retained for the next [feed]
+      or {!finish}.
+      @raise Parse_error on definitely-malformed input, with line and
+      column relative to the whole stream. *)
+
+  val finish : t -> Data_value.t list
+  (** Signal end of stream: parse and return the retained tail (empty
+      if there is none), resetting the cursor.
+      @raise Parse_error if the tail is an incomplete document, with
+      stream-global positions. *)
+end
+
 val to_string : ?indent:int -> Data_value.t -> string
 (** Print a data value as JSON. With [indent] (spaces per level) the output
     is pretty-printed; default is compact. Record names are not printed

@@ -11,6 +11,7 @@ let () =
       ("preference", Test_preference.suite);
       ("csh", Test_csh.suite);
       ("infer", Test_infer.suite);
+      ("par_infer", Test_par_infer.suite);
       ("shape_check", Test_shape_check.suite);
       ("foo_eval", Test_foo_eval.suite);
       ("foo_typecheck", Test_foo_typecheck.suite);

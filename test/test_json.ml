@@ -79,6 +79,81 @@ let test_parse_many () =
     (Json.parse_many "1 {} []");
   check (Alcotest.list data_testable) "empty input" [] (Json.parse_many "  ")
 
+let test_fold_many () =
+  (* chunks arrive in order, each at most chunk_size long, and
+     concatenate to parse_many *)
+  let src = "1 2 3 4 5 6 7" in
+  let chunks =
+    List.rev (Json.fold_many ~chunk_size:3 (fun acc c -> c :: acc) [] src)
+  in
+  Alcotest.(check (list int))
+    "chunk sizes" [ 3; 3; 1 ]
+    (List.map List.length chunks);
+  check (Alcotest.list data_testable) "concatenation is parse_many"
+    (Json.parse_many src) (List.concat chunks);
+  Alcotest.check_raises "chunk_size 0 rejected"
+    (Invalid_argument "Json.fold_many: chunk_size must be positive") (fun () ->
+      ignore (Json.fold_many ~chunk_size:0 (fun () _ -> ()) () "1"))
+
+(* Positions in Parse_error must be relative to the whole stream, not to
+   the chunk being parsed — lock the exact line and column down. *)
+let test_fold_many_error_offsets () =
+  let src = "{\"a\": 1}\n{\"b\": 2}\n{\"c\": tru}" in
+  match Json.fold_many ~chunk_size:1 (fun () _ -> ()) () src with
+  | () -> Alcotest.fail "expected Parse_error"
+  | exception Json.Parse_error { line; column; _ } ->
+      Alcotest.(check (pair int int))
+        "stream-global line and column" (3, 10) (line, column)
+
+let test_cursor_basics () =
+  let c = Json.Cursor.create () in
+  check (Alcotest.list data_testable) "first fragment"
+    [ Dv.Int 1; obj [] ]
+    (Json.Cursor.feed c "1 {} [tru");
+  check (Alcotest.list data_testable) "split document completes"
+    [ Dv.List [ Dv.Bool true ] ]
+    (Json.Cursor.feed c "e]");
+  (* a number ending flush with the buffer could still grow: it must be
+     retained, not emitted early *)
+  check (Alcotest.list data_testable) "number held at fragment boundary" []
+    (Json.Cursor.feed c "12");
+  check (Alcotest.list data_testable) "…and continued by the next fragment"
+    [ Dv.Int 1234 ]
+    (Json.Cursor.feed c "34 ");
+  check (Alcotest.list data_testable) "finish flushes a complete tail"
+    [ Dv.Int 5 ]
+    (let _ = Json.Cursor.feed c "5" in
+     Json.Cursor.finish c)
+
+let test_cursor_error_offsets () =
+  (* error inside a later fragment: positions count from the start of the
+     whole stream fed so far *)
+  let c = Json.Cursor.create () in
+  let feed s = ignore (Json.Cursor.feed c s) in
+  feed "{\"a\":\n 1}\n{\"b\":";
+  feed " 2}\n";
+  (match Json.Cursor.feed c "{\"x\": tru}" with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Json.Parse_error { line; column; _ } ->
+      Alcotest.(check (pair int int))
+        "error position spans fragments" (4, 10) (line, column));
+  (* retained-prefix case: the error lands in text carried over from an
+     earlier fragment, so the bol offset is negative internally *)
+  let c = Json.Cursor.create () in
+  ignore (Json.Cursor.feed c "12 {\"a\"");
+  (match Json.Cursor.feed c ": x}" with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Json.Parse_error { line; column; _ } ->
+      Alcotest.(check (pair int int))
+        "position inside retained text" (1, 10) (line, column));
+  (* finish on an incomplete tail reports where the tail began *)
+  let c = Json.Cursor.create () in
+  ignore (Json.Cursor.feed c "1\n2\n[3,");
+  match Json.Cursor.finish c with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Json.Parse_error { line; _ } ->
+      Alcotest.(check int) "truncated tail line" 3 line
+
 let test_print_compact () =
   check Alcotest.string "compact" {|{"a":[1,2.5,null,true,"x"]}|}
     (Json.to_string
@@ -137,6 +212,10 @@ let suite =
     tc "error: empty input" `Quick (expect_error "");
     tc "error positions" `Quick test_error_positions;
     tc "parse_many" `Quick test_parse_many;
+    tc "fold_many" `Quick test_fold_many;
+    tc "fold_many error offsets" `Quick test_fold_many_error_offsets;
+    tc "cursor: incremental documents" `Quick test_cursor_basics;
+    tc "cursor: stream-global error offsets" `Quick test_cursor_error_offsets;
     tc "print: compact" `Quick test_print_compact;
     tc "print: pretty" `Quick test_print_pretty;
     tc "print: escapes" `Quick test_print_escapes;
