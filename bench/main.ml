@@ -453,6 +453,93 @@ let par_bench () =
     sizes;
   print_newline ()
 
+(* ----- faults: diagnostics overhead and recovering ingestion ----- *)
+
+(* Two questions, mirroring the robustness work:
+   1. What does threading structured diagnostics through the pipeline
+      cost when nothing goes wrong? (target: <= 3% on the clean path —
+      the tolerant driver with budget 0 vs the strict driver)
+   2. What does a corrupt document cost under a budget? (resync +
+      quarantine vs the same corpus cleaned)
+   In smoke mode the timings are incidental: the run asserts the
+   agreement facts (clean-path shape identity, exact quarantine counts)
+   and exits non-zero on violation, so `dune runtest` pins them. *)
+let faults_bench () =
+  let module Par = Fsdata_core.Par_infer in
+  let module Diagnostic = Fsdata_data.Diagnostic in
+  print_endline "== faults: diagnostics overhead and recovering ingestion ==";
+  let n = if !smoke then 2_000 else 50_000 in
+  let stride = 50 in
+  let repeats = if !smoke then 1 else 3 in
+  let clean = Workloads.corpus_text n in
+  let faulty = Workloads.faulty_corpus_text ~stride n in
+  let expected_faults = (n + stride - 1) / stride in
+  let fail msg =
+    Printf.eprintf "faults: smoke assertion failed: %s\n" msg;
+    exit 1
+  in
+  (* 1. the clean path: strict vs tolerant with the strict budget *)
+  let strict_shape, t_strict =
+    time_best ~repeats (fun () -> Infer.of_json clean)
+  in
+  let tol_report, t_tol =
+    time_best ~repeats (fun () ->
+        Infer.of_json_tolerant ~budget:Diagnostic.Strict clean)
+  in
+  Printf.printf "  %6d docs: strict streaming infer        %8.1f ms\n%!" n
+    (t_strict *. 1e3);
+  Printf.printf "  %6d docs: tolerant, budget 0, clean     %8.1f ms  overhead %+5.1f%%\n%!"
+    n (t_tol *. 1e3)
+    ((t_tol -. t_strict) /. t_strict *. 100.);
+  let clean_agree =
+    match (strict_shape, tol_report) with
+    | Ok s, Ok r -> Shape.equal s r.Fsdata_core.Infer.shape && r.quarantined = []
+    | _ -> false
+  in
+  Printf.printf "                clean-path agreement: %b\n%!" clean_agree;
+  if !smoke && not clean_agree then
+    fail "tolerant(budget 0) disagrees with strict on a clean corpus";
+  (* 2. a corrupt corpus under budget: resync + quarantine, seq and par *)
+  let budget = Diagnostic.Percent 5.0 in
+  let check label = function
+    | Error e -> if !smoke then fail (label ^ ": " ^ e) else ()
+    | Ok (r : Fsdata_core.Infer.report) ->
+        if !smoke && List.length r.quarantined <> expected_faults then
+          fail
+            (Printf.sprintf "%s: quarantined %d, expected %d" label
+               (List.length r.quarantined) expected_faults)
+  in
+  let rep_seq, t_seq =
+    time_best ~repeats (fun () -> Infer.of_json_tolerant ~budget faulty)
+  in
+  check "sequential recovering" rep_seq;
+  Printf.printf
+    "  %6d docs: tolerant, %d faults, seq     %8.1f ms  (%d quarantined)\n%!" n
+    expected_faults (t_seq *. 1e3)
+    (match rep_seq with Ok r -> List.length r.quarantined | Error _ -> -1);
+  List.iter
+    (fun jobs ->
+      let rep_par, t_par =
+        time_best ~repeats (fun () ->
+            Par.of_json_tolerant ~jobs ~chunk_size:512 ~budget faulty)
+      in
+      check (Printf.sprintf "parallel recovering (jobs %d)" jobs) rep_par;
+      let agree =
+        match (rep_seq, rep_par) with
+        | Ok a, Ok b ->
+            Shape.equal a.Fsdata_core.Infer.shape b.Fsdata_core.Infer.shape
+            && List.map (fun q -> q.Fsdata_core.Infer.q_index) a.quarantined
+               = List.map (fun q -> q.Fsdata_core.Infer.q_index) b.quarantined
+        | _ -> false
+      in
+      if !smoke && not agree then
+        fail (Printf.sprintf "parallel (jobs %d) disagrees with sequential" jobs);
+      Printf.printf
+        "  %6d docs: tolerant, %d faults, -j %-2d   %8.1f ms  %5.2fx speedup, agree=%b\n%!"
+        n expected_faults jobs (t_par *. 1e3) (t_seq /. t_par) agree)
+    (if !smoke then [ 2; 7 ] else [ 2; 4; Par.recommended_jobs () ]);
+  print_newline ()
+
 (* ----- provider: the "compile-time" pipeline costs ----- *)
 
 let provider_bench () =
@@ -517,6 +604,7 @@ let groups =
     ("shape", shape_bench);
     ("provider", provider_bench);
     ("par", par_bench);
+    ("faults", faults_bench);
   ]
 
 let () =

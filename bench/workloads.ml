@@ -163,3 +163,24 @@ let corpus_text n =
     Buffer.add_char buf '\n'
   done;
   Buffer.contents buf
+
+(* The same corpus with every [stride]-th document corrupted by blanking
+   its first field separator. The corrupt document stays brace-balanced,
+   so the recovering parser resynchronizes at its own closing brace and
+   one fault costs exactly one sample. *)
+let faulty_corpus_text ?(stride = 50) n =
+  let r = rng 11 in
+  let buf = Buffer.create (n * 48) in
+  for i = 0 to n - 1 do
+    let line = json_text (sample_doc r i) in
+    let line =
+      if i mod stride <> 0 then line
+      else
+        match String.index_opt line ':' with
+        | Some j -> String.mapi (fun k c -> if k = j then ' ' else c) line
+        | None -> line
+    in
+    Buffer.add_string buf line;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

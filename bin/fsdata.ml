@@ -21,6 +21,13 @@ module Preference = Fsdata_core.Preference
 module Provide = Fsdata_provider.Provide
 module Signature = Fsdata_provider.Signature
 module Codegen = Fsdata_codegen.Codegen
+module Diagnostic = Fsdata_data.Diagnostic
+module Dv = Fsdata_data.Data_value
+
+(* Exit code for "inference succeeded, but some samples were quarantined"
+   — distinct from success (0) and from hard errors (cmdliner's 124 /
+   check's 1), so scripts can tell a degraded run from a clean one. *)
+let quarantine_exit_code = 3
 
 type format = Json | Xml | Csv
 
@@ -101,6 +108,38 @@ let jobs_arg =
 (* 0 = the recommended domain count (Par_infer's own default). *)
 let effective_jobs jobs = if jobs <= 0 then Par_infer.recommended_jobs () else jobs
 
+let budget_conv =
+  let parse s =
+    match Diagnostic.budget_of_string s with
+    | Result.Ok b -> Ok b
+    | Result.Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf b -> Fmt.string ppf (Diagnostic.budget_to_string b))
+
+let max_errors_arg =
+  Arg.(
+    value
+    & opt (some budget_conv) None
+    & info [ "max-errors" ] ~docv:"N|N%"
+        ~doc:
+          "Error budget for fault-tolerant inference: quarantine up to $(docv)
+           malformed samples (an absolute count, or a percentage of the
+           corpus such as $(b,5%)) instead of aborting on the first fault.
+           Quarantined samples are skipped by the shape fold and reported;
+           when any sample was quarantined the command exits with code
+           $(b,3). Without this option (or with $(b,0)) any fault is
+           fatal, exactly as before.")
+
+let quarantine_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "quarantine" ] ~docv:"DIR"
+        ~doc:
+          "With $(b,--max-errors): write every quarantined sample and a
+           machine-readable $(b,report.json) (format, global sample index,
+           line/column, message per skipped sample) into $(docv).")
+
 (* [jobs = 1] (the default) is the strictly sequential pipeline; commands
    exposing --jobs pass their flag through. *)
 let infer_shape ?(csv_schema = "") ?(jobs = 1) format paths =
@@ -121,6 +160,119 @@ let infer_shape ?(csv_schema = "") ?(jobs = 1) format paths =
       | Ok shape -> Ok (f, shape)
       | Error msg -> Error (`Msg msg))
 
+(* Fault-tolerant variant of {!infer_shape}: parse under an error budget,
+   returning the whole {!Infer.report} so the caller can surface the
+   quarantine. *)
+let infer_shape_tolerant ?(csv_schema = "") ?(jobs = 1) ?(mode = `Practical)
+    ~budget format paths =
+  match resolve_format format paths with
+  | Error e -> Error e
+  | Ok f -> (
+      let texts = List.map read_file paths in
+      let result =
+        match (f, texts) with
+        | Json, [ one ] ->
+            (* a single file may hold a whitespace-separated document
+               stream: ingest it through the recovering streaming driver,
+               so a corrupt document costs one sample, not the file *)
+            Par_infer.of_json_tolerant ~mode ~jobs ~budget one
+        | Json, _ -> Par_infer.of_json_samples_tolerant ~mode ~jobs ~budget texts
+        | Xml, _ -> Par_infer.of_xml_samples_tolerant ~jobs ~budget texts
+        | Csv, _ -> (
+            match texts with
+            | [ one ] -> (
+                match Infer.of_csv_tolerant ~budget one with
+                | Error _ as e -> e
+                | Ok report when csv_schema = "" -> Ok report
+                | Ok report -> (
+                    match Fsdata_core.Csv_schema.parse csv_schema with
+                    | Error _ as e -> e
+                    | Ok overrides -> (
+                        match
+                          Fsdata_core.Csv_schema.apply overrides
+                            report.Infer.shape
+                        with
+                        | Ok shape -> Ok { report with Infer.shape }
+                        | Error _ as e -> e)))
+            | _ -> Error "csv: exactly one sample file is supported")
+      in
+      match result with
+      | Ok report -> Ok (f, report)
+      | Error msg -> Error (`Msg msg))
+
+let format_extension = function Json -> ".json" | Xml -> ".xml" | Csv -> ".csv"
+
+(* Write the skipped documents plus report.json into [dir]. The report
+   lists one entry per quarantined sample: its format, global index,
+   line/column, message, the input file it came from, and the name of
+   the written copy. *)
+let write_quarantine ~dir ~format:f ~paths ~budget (report : Infer.report) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let ext = format_extension f in
+  let per_file = List.length paths = report.Infer.total in
+  let source_of i =
+    if per_file then List.nth paths i
+    else match paths with [ p ] -> p | _ -> ""
+  in
+  let entry (q : Infer.quarantined) =
+    let d = q.Infer.q_diagnostic in
+    let written =
+      match q.Infer.q_text with
+      | None -> []
+      | Some text ->
+          let name = Printf.sprintf "sample-%d%s" q.Infer.q_index ext in
+          let oc = open_out_bin (Filename.concat dir name) in
+          output_string oc text;
+          if text = "" || text.[String.length text - 1] <> '\n' then
+            output_char oc '\n';
+          close_out oc;
+          [ ("file", Dv.String name) ]
+    in
+    Dv.Record
+      ( Dv.json_record_name,
+        [
+          ("index", Dv.Int q.Infer.q_index);
+          ("format", Dv.String (Diagnostic.format_name d.Diagnostic.format));
+          ("line", Dv.Int d.Diagnostic.line);
+          ("column", Dv.Int d.Diagnostic.column);
+          ("severity", Dv.String (Diagnostic.severity_name d.Diagnostic.severity));
+          ("message", Dv.String d.Diagnostic.message);
+          ("source", Dv.String (source_of q.Infer.q_index));
+        ]
+        @ written )
+  in
+  let report_value =
+    Dv.Record
+      ( Dv.json_record_name,
+        [
+          ("total", Dv.Int report.Infer.total);
+          ("quarantined", Dv.Int (List.length report.Infer.quarantined));
+          ("budget", Dv.String (Diagnostic.budget_to_string budget));
+          ("samples", Dv.List (List.map entry report.Infer.quarantined));
+        ] )
+  in
+  let oc = open_out_bin (Filename.concat dir "report.json") in
+  output_string oc (Fsdata_data.Json.to_string ~indent:2 report_value);
+  output_char oc '\n';
+  close_out oc
+
+(* After a successful tolerant run: persist the quarantine if asked, then
+   exit 0 on a clean corpus or with the distinct quarantine code. *)
+let finish_tolerant ~quarantine ~format:f ~paths ~budget
+    (report : Infer.report) =
+  (match quarantine with
+  | Some dir -> write_quarantine ~dir ~format:f ~paths ~budget report
+  | None -> ());
+  match report.Infer.quarantined with
+  | [] -> `Ok ()
+  | qs ->
+      Printf.eprintf "fsdata: quarantined %d of %d samples%s\n"
+        (List.length qs) report.Infer.total
+        (match quarantine with
+        | Some dir -> Printf.sprintf " (report in %s)" (Filename.concat dir "report.json")
+        | None -> "");
+      Stdlib.exit quarantine_exit_code
+
 let provider_format = function Json -> `Json | Xml -> `Xml | Csv -> `Csv
 
 (* --- infer --- *)
@@ -135,41 +287,69 @@ let infer_cmd =
              classification, homogeneous collections. The default is the
              practical mode the library ships (Sections 6.2, 6.4).")
   in
-  let run format global paper csv_schema jobs paths =
+  let run format global paper csv_schema jobs max_errors quarantine paths =
     let jobs = effective_jobs jobs in
-    if global then
-      match List.map read_file paths |> Fsdata_core.Xml_global.of_strings with
-      | Ok g ->
-          Format.printf "%a@." Fsdata_core.Xml_global.pp g;
-          `Ok ()
-      | Error m -> `Error (false, m)
+    if quarantine <> None && max_errors = None then
+      `Error (false, "--quarantine requires --max-errors")
+    else if global then
+      if max_errors <> None then
+        `Error (false, "--max-errors does not apply to --global inference")
+      else
+        match List.map read_file paths |> Fsdata_core.Xml_global.of_strings with
+        | Ok g ->
+            Format.printf "%a@." Fsdata_core.Xml_global.pp g;
+            `Ok ()
+        | Error m -> `Error (false, m)
     else
-      if paper then
-        match resolve_format format paths with
-        | Error (`Msg m) -> `Error (false, m)
-        | Ok Json -> (
-            match
-              Par_infer.of_json_samples ~mode:`Paper ~jobs
-                (List.map read_file paths)
-            with
-            | Ok shape ->
+      match max_errors with
+      | Some budget -> (
+          let mode = if paper then `Paper else `Practical in
+          let paper_ok =
+            if not paper then Ok ()
+            else
+              match resolve_format format paths with
+              | Ok Json -> Ok ()
+              | Ok _ -> Error "--paper applies to JSON samples"
+              | Error (`Msg m) -> Error m
+          in
+          match paper_ok with
+          | Error m -> `Error (false, m)
+          | Ok () -> (
+              match
+                infer_shape_tolerant ~csv_schema ~jobs ~mode ~budget format
+                  paths
+              with
+              | Error (`Msg m) -> `Error (false, m)
+              | Ok (f, report) ->
+                  Format.printf "%a@." Shape.pp report.Infer.shape;
+                  finish_tolerant ~quarantine ~format:f ~paths ~budget report))
+      | None -> (
+          if paper then
+            match resolve_format format paths with
+            | Error (`Msg m) -> `Error (false, m)
+            | Ok Json -> (
+                match
+                  Par_infer.of_json_samples ~mode:`Paper ~jobs
+                    (List.map read_file paths)
+                with
+                | Ok shape ->
+                    Format.printf "%a@." Shape.pp shape;
+                    `Ok ()
+                | Error m -> `Error (false, m))
+            | Ok _ -> `Error (false, "--paper applies to JSON samples")
+          else
+            match infer_shape ~csv_schema ~jobs format paths with
+            | Ok (_, shape) ->
                 Format.printf "%a@." Shape.pp shape;
                 `Ok ()
-            | Error m -> `Error (false, m))
-        | Ok _ -> `Error (false, "--paper applies to JSON samples")
-      else
-        match infer_shape ~csv_schema ~jobs format paths with
-        | Ok (_, shape) ->
-            Format.printf "%a@." Shape.pp shape;
-            `Ok ()
-        | Error (`Msg m) -> `Error (false, m)
+            | Error (`Msg m) -> `Error (false, m))
   in
   Cmd.v
     (Cmd.info "infer" ~doc:"Infer the shape of sample documents (Figure 3).")
     Term.(
       ret
         (const run $ format_arg $ global_arg $ paper_arg $ csv_schema_arg
-       $ jobs_arg $ samples_arg))
+       $ jobs_arg $ max_errors_arg $ quarantine_arg $ samples_arg))
 
 (* --- provide --- *)
 
@@ -251,18 +431,37 @@ let sample_cmd =
 (* --- codegen --- *)
 
 let codegen_cmd =
-  let run format csv_schema root_name jobs paths =
-    match infer_shape ~csv_schema ~jobs:(effective_jobs jobs) format paths with
-    | Ok (f, shape) ->
-        let p = Provide.provide ~format:(provider_format f) ~root_name shape in
-        print_string
-          (Codegen.generate
-             ~module_comment:
-               (Printf.sprintf "Generated by fsdata codegen from %s — do not edit."
-                  (String.concat ", " paths))
-             p);
-        `Ok ()
-    | Error (`Msg m) -> `Error (false, m)
+  let run format csv_schema root_name jobs max_errors quarantine paths =
+    let emit f shape =
+      let p = Provide.provide ~format:(provider_format f) ~root_name shape in
+      print_string
+        (Codegen.generate
+           ~module_comment:
+             (Printf.sprintf "Generated by fsdata codegen from %s — do not edit."
+                (String.concat ", " paths))
+           p)
+    in
+    if quarantine <> None && max_errors = None then
+      `Error (false, "--quarantine requires --max-errors")
+    else
+      match max_errors with
+      | Some budget -> (
+          match
+            infer_shape_tolerant ~csv_schema ~jobs:(effective_jobs jobs)
+              ~budget format paths
+          with
+          | Ok (f, report) ->
+              emit f report.Infer.shape;
+              finish_tolerant ~quarantine ~format:f ~paths ~budget report
+          | Error (`Msg m) -> `Error (false, m))
+      | None -> (
+          match
+            infer_shape ~csv_schema ~jobs:(effective_jobs jobs) format paths
+          with
+          | Ok (f, shape) ->
+              emit f shape;
+              `Ok ()
+          | Error (`Msg m) -> `Error (false, m))
   in
   Cmd.v
     (Cmd.info "codegen"
@@ -271,7 +470,7 @@ let codegen_cmd =
     Term.(
       ret
         (const run $ format_arg $ csv_schema_arg $ root_name_arg $ jobs_arg
-       $ samples_arg))
+       $ max_errors_arg $ quarantine_arg $ samples_arg))
 
 (* --- check --- *)
 
@@ -346,18 +545,36 @@ let check_cmd =
 (* --- schema --- *)
 
 let schema_cmd =
-  let run format jobs paths =
-    match infer_shape ~jobs:(effective_jobs jobs) format paths with
-    | Ok (_, shape) ->
-        print_endline (Fsdata_codegen.Json_schema.to_string shape);
-        `Ok ()
-    | Error (`Msg m) -> `Error (false, m)
+  let run format jobs max_errors quarantine paths =
+    if quarantine <> None && max_errors = None then
+      `Error (false, "--quarantine requires --max-errors")
+    else
+      match max_errors with
+      | Some budget -> (
+          match
+            infer_shape_tolerant ~jobs:(effective_jobs jobs) ~budget format
+              paths
+          with
+          | Ok (f, report) ->
+              print_endline
+                (Fsdata_codegen.Json_schema.to_string report.Infer.shape);
+              finish_tolerant ~quarantine ~format:f ~paths ~budget report
+          | Error (`Msg m) -> `Error (false, m))
+      | None -> (
+          match infer_shape ~jobs:(effective_jobs jobs) format paths with
+          | Ok (_, shape) ->
+              print_endline (Fsdata_codegen.Json_schema.to_string shape);
+              `Ok ()
+          | Error (`Msg m) -> `Error (false, m))
   in
   Cmd.v
     (Cmd.info "schema"
        ~doc:"Export the inferred shape of the samples as a JSON Schema
              (draft-07) document.")
-    Term.(ret (const run $ format_arg $ jobs_arg $ samples_arg))
+    Term.(
+      ret
+        (const run $ format_arg $ jobs_arg $ max_errors_arg $ quarantine_arg
+       $ samples_arg))
 
 (* --- migrate --- *)
 

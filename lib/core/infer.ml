@@ -76,6 +76,126 @@ let shape_of_samples ?(mode : mode = `Practical) ds =
   Csh.csh_all ~mode:(csh_mode mode)
     (List.map (fun d -> shape_of_value ~mode d) ds)
 
+(* ----- Fault-tolerant inference ----- *)
+
+type quarantined = {
+  q_index : int;
+  q_diagnostic : Diagnostic.t;
+  q_text : string option;
+}
+
+type report = {
+  shape : Shape.t;
+  total : int;
+  quarantined : quarantined list;
+}
+
+let sort_quarantined qs =
+  List.stable_sort (fun a b -> Int.compare a.q_index b.q_index) qs
+
+let budget_error ~budget ~total qs =
+  match qs with
+  | [] -> None
+  | first :: _ ->
+      let errors = List.length qs in
+      if Diagnostic.allows budget ~errors ~total then None
+      else
+        Some
+          (Printf.sprintf
+             "error budget exceeded: %d of %d samples malformed (budget %s); \
+              first: %s"
+             errors total
+             (Diagnostic.budget_to_string budget)
+             (Diagnostic.to_string first.q_diagnostic))
+
+let shape_of_sample ~mode ~format ~index ~parse text =
+  (* Anything a sample does wrong — a parse fault, or an unexpected
+     exception escaping parsing or inference — becomes a diagnostic
+     attributed to that sample, never an exception for the caller. *)
+  match Result.map (shape_of_value ~mode) (parse text) with
+  | Ok _ as ok -> ok
+  | Error d -> Error (Diagnostic.with_index index d)
+  | exception Diagnostic.Parse_error d -> Error (Diagnostic.with_index index d)
+  | exception exn ->
+      Error
+        (Diagnostic.make ~index ~format ~line:1 ~column:0
+           ("unexpected error: " ^ Printexc.to_string exn))
+
+let samples_tolerant ~mode ~format ~parse ~budget texts =
+  let qs = ref [] in
+  let shapes = ref [] in
+  List.iteri
+    (fun i t ->
+      match shape_of_sample ~mode ~format ~index:i ~parse t with
+      | Ok s -> shapes := s :: !shapes
+      | Error d -> qs := { q_index = i; q_diagnostic = d; q_text = Some t } :: !qs)
+    texts;
+  let total = List.length texts in
+  let qs = List.rev !qs in
+  match budget_error ~budget ~total qs with
+  | Some msg -> Error msg
+  | None ->
+      Ok
+        {
+          shape = Csh.csh_all ~mode:(csh_mode mode) (List.rev !shapes);
+          total;
+          quarantined = qs;
+        }
+
+let of_json_samples_tolerant ?(mode : mode = `Practical) ~budget texts =
+  samples_tolerant ~mode ~format:Diagnostic.Json ~parse:Json.parse_diag ~budget
+    texts
+
+let of_xml_samples_tolerant ?(mode : mode = `Xml) ~budget texts =
+  let parse t =
+    Result.map (Xml.to_data ~convert_primitives:false) (Xml.parse_diag t)
+  in
+  samples_tolerant ~mode ~format:Diagnostic.Xml ~parse ~budget texts
+
+let of_json_tolerant ?(mode : mode = `Practical) ~budget src =
+  let qs = ref [] in
+  let on_error (d : Diagnostic.t) ~skipped =
+    let index = match d.Diagnostic.index with Some i -> i | None -> 0 in
+    qs := { q_index = index; q_diagnostic = d; q_text = Some skipped } :: !qs
+  in
+  let shape, parsed =
+    Json.fold_many ~on_error
+      (fun (acc, n) ds ->
+        ( Csh.csh ~mode:(csh_mode mode) acc (shape_of_samples ~mode ds),
+          n + List.length ds ))
+      (Shape.Bottom, 0) src
+  in
+  let qs = List.rev !qs in
+  let total = parsed + List.length qs in
+  if total = 0 then Error "no JSON sample documents found"
+  else
+    match budget_error ~budget ~total qs with
+    | Some msg -> Error msg
+    | None -> Ok { shape; total; quarantined = qs }
+
+let of_csv_tolerant ?separator ?has_headers ~budget src =
+  let qs = ref [] in
+  let on_error (d : Diagnostic.t) ~skipped =
+    let index = match d.Diagnostic.index with Some i -> i | None -> 0 in
+    qs := { q_index = index; q_diagnostic = d; q_text = Some skipped } :: !qs
+  in
+  match Csv.parse_tolerant ?separator ?has_headers ~on_error src with
+  | Error d -> Error (Diagnostic.message_of d)
+  | Ok table ->
+      let qs = List.rev !qs in
+      let total = List.length table.Csv.rows + List.length qs in
+      (match budget_error ~budget ~total qs with
+      | Some msg -> Error msg
+      | None ->
+          Ok
+            {
+              shape =
+                shape_of_value ~mode:`Practical
+                  (Csv.to_data ~convert_primitives:false table);
+              total;
+              quarantined = qs;
+            })
+
 (* ----- Format entry points ----- *)
 
 let of_json_samples ?mode samples =

@@ -38,6 +38,82 @@ val csh_mode : mode -> Csh.mode
 (** The collection-merging discipline each inference mode folds with:
     [`Paper] → [`Core], [`Practical] → [`Hetero], [`Xml] → [`Xml]. *)
 
+(** {1 Fault-tolerant inference}
+
+    The strict entry points below abort on the first malformed sample.
+    The [_tolerant] variants instead {e quarantine} faulty samples —
+    recording a structured diagnostic and the skipped text, and leaving
+    them out of the csh fold — as long as the number of faults stays
+    within an error budget. With budget {!Fsdata_data.Diagnostic.Strict}
+    any fault is over budget, so tolerance is strictly opt-in. *)
+
+type quarantined = {
+  q_index : int;  (** global 0-based sample index within the corpus *)
+  q_diagnostic : Fsdata_data.Diagnostic.t;
+  q_text : string option;  (** the skipped raw text, when available *)
+}
+
+type report = {
+  shape : Shape.t;  (** the shape of the clean subset *)
+  total : int;  (** samples seen, parsed and quarantined alike *)
+  quarantined : quarantined list;  (** in sample order *)
+}
+
+val sort_quarantined : quarantined list -> quarantined list
+(** Stable sort by global sample index. *)
+
+val budget_error :
+  budget:Fsdata_data.Diagnostic.budget ->
+  total:int ->
+  quarantined list ->
+  string option
+(** [Some message] when the quarantine list exceeds the budget over
+    [total] samples; the message names the first offending sample. *)
+
+val shape_of_sample :
+  mode:mode ->
+  format:Fsdata_data.Diagnostic.format ->
+  index:int ->
+  parse:(string -> (Fsdata_data.Data_value.t, Fsdata_data.Diagnostic.t) result) ->
+  string ->
+  (Shape.t, Fsdata_data.Diagnostic.t) result
+(** Parse and infer one sample, converting any fault — a parse error or
+    an unexpected exception escaping [parse] or inference — into a
+    diagnostic carrying the sample's [index]. Never raises; this is the
+    per-sample isolation boundary the parallel drivers rely on. *)
+
+val of_json_samples_tolerant :
+  ?mode:mode ->
+  budget:Fsdata_data.Diagnostic.budget ->
+  string list ->
+  (report, string) result
+
+val of_xml_samples_tolerant :
+  ?mode:mode ->
+  budget:Fsdata_data.Diagnostic.budget ->
+  string list ->
+  (report, string) result
+(** Default mode is [`Xml], as for {!of_xml_samples}. *)
+
+val of_json_tolerant :
+  ?mode:mode ->
+  budget:Fsdata_data.Diagnostic.budget ->
+  string ->
+  (report, string) result
+(** Streaming variant over a whitespace-separated document stream:
+    malformed documents are skipped via {!Fsdata_data.Json.fold_many}'s
+    recovering mode, resynchronizing at the next top-level document
+    boundary. *)
+
+val of_csv_tolerant :
+  ?separator:char ->
+  ?has_headers:bool ->
+  budget:Fsdata_data.Diagnostic.budget ->
+  string ->
+  (report, string) result
+(** Each data row is a sample; ragged rows are quarantined. Structural
+    faults (unterminated quoted cells) abort regardless of budget. *)
+
 (** {1 Format entry points}
 
     Each parses its input and infers the shape of the samples it contains,

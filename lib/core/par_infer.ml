@@ -75,33 +75,48 @@ let shape_of_samples ?(mode : mode = `Practical) ?jobs ds =
 
 (* ----- Format entry points ----- *)
 
+(* Pair each chunk with the global index of its first sample, so chunk
+   workers can attribute per-sample faults to corpus positions. *)
+let with_offsets chunks =
+  let rec go off = function
+    | [] -> []
+    | c :: rest -> (off, c) :: go (off + List.length c) rest
+  in
+  go 0 chunks
+
 (* Parse-and-infer a chunk of sample texts; stop at the chunk's first
    parse error. The per-chunk results are scanned in order afterwards,
    so the error reported for a bad corpus is the earliest one, exactly
-   as in the sequential drivers of {!Infer}. *)
-let fold_chunk ~mode ~parse texts =
-  let rec go acc = function
+   as in the sequential drivers of {!Infer}. An unexpected exception is
+   confined to the failing sample and surfaces as an error naming its
+   global index — it never propagates raw out of a worker domain. *)
+let fold_chunk ~mode ~parse ~offset texts =
+  let cmode = Infer.csh_mode mode in
+  let unexpected i exn =
+    Error
+      (Printf.sprintf "sample %d: unexpected error: %s" (offset + i)
+         (Printexc.to_string exn))
+  in
+  let rec go acc i = function
     | [] -> Ok acc
     | t :: rest -> (
-        match parse t with
-        | Ok d -> go (Csh.csh ~mode:(Infer.csh_mode mode) acc (Infer.shape_of_value ~mode d)) rest
-        | Error _ as e -> e)
+        match Result.map (Infer.shape_of_value ~mode) (parse t) with
+        | Ok s -> go (Csh.csh ~mode:cmode acc s) (i + 1) rest
+        | Error _ as e -> e
+        | exception exn -> unexpected i exn)
   in
-  go Shape.Bottom texts
+  go Shape.Bottom 0 texts
 
 let of_samples ~mode ~parse ~jobs texts =
   let jobs = normalize_jobs jobs in
   let cmode = Infer.csh_mode mode in
-  match chunk jobs texts with
+  let run (offset, c) = fold_chunk ~mode ~parse ~offset c in
+  match with_offsets (chunk jobs texts) with
   | [] -> Ok Shape.Bottom
-  | [ c ] -> fold_chunk ~mode ~parse c
+  | [ oc ] -> run oc
   | first :: rest ->
-      let workers =
-        List.map
-          (fun c -> Domain.spawn (fun () -> fold_chunk ~mode ~parse c))
-          rest
-      in
-      let r0 = fold_chunk ~mode ~parse first in
+      let workers = List.map (fun oc -> Domain.spawn (fun () -> run oc)) rest in
+      let r0 = run first in
       let results = r0 :: List.map Domain.join workers in
       let rec merge acc = function
         | [] -> Ok (csh_tree ~mode:cmode (List.rev acc))
@@ -109,6 +124,60 @@ let of_samples ~mode ~parse ~jobs texts =
         | (Error _ as e) :: _ -> e
       in
       merge [] results
+
+(* ----- Fault-tolerant entry points ----- *)
+
+(* The tolerant chunk fold never fails: every faulty sample — malformed
+   or crashing — is quarantined with a diagnostic carrying its global
+   index ({!Infer.shape_of_sample} is the isolation boundary), so
+   [Domain.join] below can only ever return data. *)
+let fold_chunk_tolerant ~mode ~format ~parse ~offset texts =
+  let cmode = Infer.csh_mode mode in
+  let qs = ref [] in
+  let acc = ref Shape.Bottom in
+  List.iteri
+    (fun i t ->
+      let index = offset + i in
+      match Infer.shape_of_sample ~mode ~format ~index ~parse t with
+      | Ok s -> acc := Csh.csh ~mode:cmode !acc s
+      | Error d ->
+          qs :=
+            { Infer.q_index = index; q_diagnostic = d; q_text = Some t } :: !qs)
+    texts;
+  (!acc, List.rev !qs)
+
+let of_samples_tolerant ~mode ~format ~parse ~budget ~jobs texts =
+  let jobs = normalize_jobs jobs in
+  let cmode = Infer.csh_mode mode in
+  let run (offset, c) = fold_chunk_tolerant ~mode ~format ~parse ~offset c in
+  let results =
+    match with_offsets (chunk jobs texts) with
+    | [] -> []
+    | [ oc ] -> [ run oc ]
+    | first :: rest ->
+        let workers =
+          List.map (fun oc -> Domain.spawn (fun () -> run oc)) rest
+        in
+        let r0 = run first in
+        r0 :: List.map Domain.join workers
+  in
+  let shapes = List.map fst results in
+  let qs = List.concat_map snd results in
+  let total = List.length texts in
+  match Infer.budget_error ~budget ~total qs with
+  | Some msg -> Error msg
+  | None ->
+      Ok { Infer.shape = csh_tree ~mode:cmode shapes; total; quarantined = qs }
+
+let of_json_samples_tolerant ?(mode : mode = `Practical) ?jobs ~budget texts =
+  of_samples_tolerant ~mode ~format:Diagnostic.Json ~parse:Json.parse_diag
+    ~budget ~jobs texts
+
+let of_xml_samples_tolerant ?(mode : mode = `Xml) ?jobs ~budget texts =
+  let parse t =
+    Result.map (Xml.to_data ~convert_primitives:false) (Xml.parse_diag t)
+  in
+  of_samples_tolerant ~mode ~format:Diagnostic.Xml ~parse ~budget ~jobs texts
 
 let of_json_samples ?(mode : mode = `Practical) ?jobs texts =
   of_samples ~mode ~parse:Json.parse_result ~jobs texts
@@ -164,3 +233,65 @@ let of_json ?(mode : mode = `Practical) ?jobs ?(chunk_size = 256) src =
       Error
         (Printf.sprintf "JSON parse error at line %d, column %d: %s" line
            column message)
+
+(* Streaming variant of {!of_json} in recovering mode: malformed
+   documents are skipped (with the parser resynchronizing at the next
+   top-level boundary) and quarantined with their stream index; the
+   fold itself never raises. Worker-domain inference is wrapped so a
+   crash surfaces as an [Error], never as a raw exception out of
+   [Domain.join]. *)
+let of_json_tolerant ?(mode : mode = `Practical) ?jobs ?(chunk_size = 256)
+    ~budget src =
+  let jobs = normalize_jobs jobs in
+  let cmode = Infer.csh_mode mode in
+  let infer_chunk ds =
+    try Ok (Infer.shape_of_samples ~mode ds)
+    with exn -> Error (Printexc.to_string exn)
+  in
+  let inflight = Queue.create () in
+  let results = ref [] in
+  let seen = ref 0 in
+  let qs = ref [] in
+  let on_error (d : Diagnostic.t) ~skipped =
+    let index = match d.Diagnostic.index with Some i -> i | None -> 0 in
+    qs :=
+      { Infer.q_index = index; q_diagnostic = d; q_text = Some skipped } :: !qs
+  in
+  let drain_one () = results := Domain.join (Queue.pop inflight) :: !results in
+  let drain_all () =
+    while not (Queue.is_empty inflight) do
+      drain_one ()
+    done
+  in
+  Json.fold_many ~chunk_size ~on_error
+    (fun () ds ->
+      seen := !seen + List.length ds;
+      if jobs = 1 then results := infer_chunk ds :: !results
+      else begin
+        if Queue.length inflight >= jobs then drain_one ();
+        Queue.add (Domain.spawn (fun () -> infer_chunk ds)) inflight
+      end)
+    () src;
+  drain_all ();
+  let qs = List.rev !qs in
+  let total = !seen + List.length qs in
+  if total = 0 then Error "no JSON sample documents found"
+  else
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | Ok s :: rest -> collect (s :: acc) rest
+      | Error msg :: _ ->
+          Error (Printf.sprintf "internal error during chunk inference: %s" msg)
+    in
+    match collect [] (List.rev !results) with
+    | Error _ as e -> e
+    | Ok shapes -> (
+        match Infer.budget_error ~budget ~total qs with
+        | Some msg -> Error msg
+        | None ->
+            Ok
+              {
+                Infer.shape = csh_tree ~mode:cmode shapes;
+                total;
+                quarantined = qs;
+              })

@@ -73,3 +73,41 @@ val of_xml_samples :
   ?mode:mode -> ?jobs:int -> string list -> (Shape.t, string) result
 (** Like {!Infer.of_xml_samples}: each domain parses and infers its
     chunk of XML sample strings; default mode is [`Xml]. *)
+
+(** {1 Fault-tolerant entry points}
+
+    Parallel counterparts of the [_tolerant] drivers in {!Infer}: faulty
+    samples are quarantined under an error budget instead of aborting
+    the run. Fault isolation is per sample even across domain chunks —
+    each worker attributes exceptions to the failing sample's global
+    corpus index ({!Infer.shape_of_sample}), so a poisoned sample never
+    spoils its chunk and no exception ever propagates raw out of a
+    [Domain.join]. The resulting {!Infer.report} is identical to the
+    sequential one on the same corpus (quarantine order included). *)
+
+val of_json_samples_tolerant :
+  ?mode:mode ->
+  ?jobs:int ->
+  budget:Fsdata_data.Diagnostic.budget ->
+  string list ->
+  (Infer.report, string) result
+
+val of_xml_samples_tolerant :
+  ?mode:mode ->
+  ?jobs:int ->
+  budget:Fsdata_data.Diagnostic.budget ->
+  string list ->
+  (Infer.report, string) result
+(** Default mode is [`Xml]. *)
+
+val of_json_tolerant :
+  ?mode:mode ->
+  ?jobs:int ->
+  ?chunk_size:int ->
+  budget:Fsdata_data.Diagnostic.budget ->
+  string ->
+  (Infer.report, string) result
+(** Streaming recovering variant of {!of_json}: malformed documents are
+    skipped via {!Fsdata_data.Json.fold_many}'s resynchronization and
+    quarantined with their stream index while clean chunks are inferred
+    in worker domains. *)

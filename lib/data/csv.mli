@@ -20,13 +20,36 @@ type table = {
 }
 
 exception Parse_error of { line : int; message : string }
+(** Thin compatibility wrapper: the parser reports faults as structured
+    {!Diagnostic.t}s carrying both line and column (the column points at
+    the opening quote of an unterminated cell, or at the first cell
+    beyond the header width for an arity mismatch) and the public entry
+    points convert them to this historical line-only exception. *)
 
 val parse : ?separator:char -> ?has_headers:bool -> string -> table
 (** @raise Parse_error on unterminated quoted cells or inconsistent input.
     Rows shorter than the header are padded with empty cells; longer rows
     are an error. An entirely empty input yields an empty table. *)
 
+val parse_diag :
+  ?separator:char -> ?has_headers:bool -> string -> (table, Diagnostic.t) result
+(** Like {!parse} but returning the structured diagnostic, including the
+    offending column. *)
+
 val parse_result : ?separator:char -> ?has_headers:bool -> string -> (table, string) result
+
+val parse_tolerant :
+  ?separator:char ->
+  ?has_headers:bool ->
+  ?on_error:(Diagnostic.t -> skipped:string -> unit) ->
+  string ->
+  (table, Diagnostic.t) result
+(** Like {!parse_diag} but rows with more cells than the header are
+    quarantined instead of fatal: each is reported to [on_error] — the
+    diagnostic's [index] is the row's 0-based position among the data
+    rows and [skipped] is the row re-serialized in CSV syntax — and
+    dropped from the resulting table. Structural faults (unterminated
+    quoted cells) remain fatal and are returned as [Error]. *)
 
 val to_data : ?convert_primitives:bool -> table -> Data_value.t
 (** The collection-of-row-records view used for shape inference. *)

@@ -1,5 +1,13 @@
 exception Parse_error of { line : int; column : int; message : string }
 
+(* The parser reports errors as structured {!Diagnostic.t}s; this legacy
+   exception is a thin compatibility wrapper the public entry points
+   convert to, so pre-diagnostic handlers keep working unchanged. *)
+let reraise_legacy (d : Diagnostic.t) =
+  raise (Parse_error { line = d.line; column = d.column; message = d.message })
+
+let legacy f = try f () with Diagnostic.Parse_error d -> reraise_legacy d
+
 type state = {
   src : string;
   len : int;
@@ -17,24 +25,16 @@ let max_depth = 10_000
 let make_state src =
   { src; len = String.length src; pos = 0; line = 1; bol = 0; depth = 0 }
 
+let error st fmt =
+  Diagnostic.error ~format:Diagnostic.Json ~line:st.line
+    ~column:(st.pos - st.bol + 1) fmt
+
 let enter st =
   st.depth <- st.depth + 1;
   if st.depth > max_depth then
-    raise
-      (Parse_error
-         {
-           line = st.line;
-           column = st.pos - st.bol + 1;
-           message = Printf.sprintf "nesting deeper than %d levels" max_depth;
-         })
+    error st "nesting deeper than %d levels" max_depth
 
 let leave st = st.depth <- st.depth - 1
-
-let error st fmt =
-  Printf.ksprintf
-    (fun message ->
-      raise (Parse_error { line = st.line; column = st.pos - st.bol + 1; message }))
-    fmt
 
 let peek st = if st.pos < st.len then Some st.src.[st.pos] else None
 
@@ -272,32 +272,106 @@ and parse_array st =
   end
 
 let parse s =
-  let st = make_state s in
-  let v = parse_value st in
-  skip_ws st;
-  (match peek st with
-  | Some c -> error st "trailing content after JSON value: %C" c
-  | None -> ());
-  v
+  legacy (fun () ->
+      let st = make_state s in
+      let v = parse_value st in
+      skip_ws st;
+      (match peek st with
+      | Some c -> error st "trailing content after JSON value: %C" c
+      | None -> ());
+      v)
 
-let parse_result s =
+let parse_diag s =
   match parse s with
   | v -> Ok v
   | exception Parse_error { line; column; message } ->
-      Error (Printf.sprintf "JSON parse error at line %d, column %d: %s" line column message)
+      Error (Diagnostic.make ~format:Diagnostic.Json ~line ~column message)
 
-let fold_many ?(chunk_size = 256) f acc s =
+let parse_result s =
+  match parse_diag s with
+  | Ok v -> Ok v
+  | Error d -> Error (Diagnostic.message_of d)
+
+(* Resynchronize after a malformed document starting at [start]: advance
+   the state to the most plausible start of the next top-level document,
+   so one corrupt document does not consume the rest of the stream. Two
+   boundary rules, checked per character:
+
+   - structural: a '}' or ']' outside any string literal that returns
+     the bracket depth (seeded by rescanning from [start]) to zero
+     closes the document — this recovers balanced-but-invalid documents
+     like [{"a": tru}] in full;
+   - line-based: a newline whose very next character is '{' or '[' (a
+     document opener at column 1) starts a fresh document — the
+     newline-delimited-corpus fallback for truncated documents whose
+     brackets never re-balance.
+
+   Returns [true] when a boundary was found and [false] when the rest of
+   the input was consumed (the corrupt document was the last one). The
+   scan advances through {!advance} so line/bol bookkeeping — and hence
+   the positions of later diagnostics — stays exact. *)
+let resync st ~start =
+  let depth = ref 0 and in_str = ref false and esc = ref false in
+  let scan c =
+    if !in_str then begin
+      if !esc then esc := false
+      else if c = '\\' then esc := true
+      else if c = '"' then in_str := false
+    end
+    else
+      match c with
+      | '"' -> in_str := true
+      | '{' | '[' -> incr depth
+      | '}' | ']' -> decr depth
+      | _ -> ()
+  in
+  for i = start to min st.pos st.len - 1 do
+    scan st.src.[i]
+  done;
+  let found = ref false in
+  while (not !found) && st.pos < st.len do
+    let c = st.src.[st.pos] in
+    if
+      c = '\n' && st.pos + 1 < st.len
+      && (st.src.[st.pos + 1] = '{' || st.src.[st.pos + 1] = '[')
+    then begin
+      advance st;
+      found := true
+    end
+    else begin
+      scan c;
+      advance st;
+      if (c = '}' || c = ']') && (not !in_str) && !depth <= 0 then found := true
+    end
+  done;
+  !found
+
+let fold_many ?(chunk_size = 256) ?on_error f acc s =
   if chunk_size < 1 then invalid_arg "Json.fold_many: chunk_size must be positive";
   let st = make_state s in
-  let rec loop acc chunk n =
+  let rec loop acc chunk n idx =
     skip_ws st;
     if st.pos >= st.len then if n = 0 then acc else f acc (List.rev chunk)
-    else
-      let v = parse_value st in
-      if n + 1 >= chunk_size then loop (f acc (List.rev (v :: chunk))) [] 0
-      else loop acc (v :: chunk) (n + 1)
+    else begin
+      let mark = st.pos in
+      match parse_value st with
+      | v ->
+          if n + 1 >= chunk_size then
+            loop (f acc (List.rev (v :: chunk))) [] 0 (idx + 1)
+          else loop acc (v :: chunk) (n + 1) (idx + 1)
+      | exception Diagnostic.Parse_error d -> (
+          match on_error with
+          | None -> reraise_legacy d
+          | Some handler ->
+              (* skip the malformed document, report it with its global
+                 index and raw text, and keep going *)
+              ignore (resync st ~start:mark);
+              let skipped = String.trim (String.sub s mark (st.pos - mark)) in
+              handler (Diagnostic.with_index idx d) ~skipped;
+              loop acc chunk n (idx + 1))
+    end
   in
-  loop acc [] 0
+  loop acc [] 0 0
 
 let parse_many s =
   List.rev (fold_many (fun acc c -> List.rev_append c acc) [] s)
@@ -317,9 +391,11 @@ module Cursor = struct
     mutable pending : string; (* unconsumed tail, starting at a document start *)
     mutable line : int; (* stream line of the start of [pending] *)
     mutable bol : int; (* line-start offset relative to [pending]'s start, <= 0 *)
+    mutable seen : int; (* documents consumed so far, parsed or skipped *)
+    on_error : (Diagnostic.t -> skipped:string -> unit) option;
   }
 
-  let create () = { pending = ""; line = 1; bol = 0 }
+  let create ?on_error () = { pending = ""; line = 1; bol = 0; seen = 0; on_error }
 
   let seeded_state cur buf =
     let st = make_state buf in
@@ -360,11 +436,31 @@ module Cursor = struct
             if could_grow then retain mark mark_line mark_bol
             else begin
               docs := v :: !docs;
+              cur.seen <- cur.seen + 1;
               loop ()
             end
-        | exception Parse_error _ when st.pos >= st.len ->
+        | exception Diagnostic.Parse_error _ when st.pos >= st.len ->
             (* ran off the end of the buffer: incomplete document *)
             retain mark mark_line mark_bol
+        | exception Diagnostic.Parse_error d -> (
+            match cur.on_error with
+            | None -> reraise_legacy d
+            | Some handler ->
+                if resync st ~start:mark then begin
+                  (* the corrupt document ends within this buffer: commit
+                     the skip and report it *)
+                  let skipped =
+                    String.trim (String.sub buf mark (st.pos - mark))
+                  in
+                  handler (Diagnostic.with_index cur.seen d) ~skipped;
+                  cur.seen <- cur.seen + 1;
+                  loop ()
+                end
+                else
+                  (* no boundary in sight yet — the document (and its
+                     recovery point) may continue in the next fragment,
+                     so hold judgement and re-parse with more input *)
+                  retain mark mark_line mark_bol)
       end
     in
     loop ();
@@ -378,8 +474,25 @@ module Cursor = struct
       let rec loop () =
         skip_ws st;
         if st.pos < st.len then begin
-          docs := parse_value st :: !docs;
-          loop ()
+          let mark = st.pos in
+          match parse_value st with
+          | v ->
+              docs := v :: !docs;
+              cur.seen <- cur.seen + 1;
+              loop ()
+          | exception Diagnostic.Parse_error d -> (
+              match cur.on_error with
+              | None -> reraise_legacy d
+              | Some handler ->
+                  (* end of stream: every remaining fault is definite *)
+                  ignore (resync st ~start:mark);
+                  let skipped =
+                    String.trim
+                      (String.sub cur.pending mark (st.pos - mark))
+                  in
+                  handler (Diagnostic.with_index cur.seen d) ~skipped;
+                  cur.seen <- cur.seen + 1;
+                  loop ())
         end
       in
       loop ();

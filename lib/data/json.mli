@@ -13,9 +13,15 @@
     binding, matching common JSON library behaviour. *)
 
 exception Parse_error of { line : int; column : int; message : string }
+(** Thin compatibility wrapper: the parser reports faults as structured
+    {!Diagnostic.t}s (format, position, message) and the public entry
+    points convert them to this legacy exception. *)
 
 val parse : string -> Data_value.t
 (** @raise Parse_error on malformed input. *)
+
+val parse_diag : string -> (Data_value.t, Diagnostic.t) result
+(** Like {!parse} but returning the structured diagnostic. *)
 
 val parse_result : string -> (Data_value.t, string) result
 (** Like {!parse} but returning the formatted error message. *)
@@ -25,14 +31,28 @@ val parse_many : string -> Data_value.t list
     sample file contains several samples). *)
 
 val fold_many :
-  ?chunk_size:int -> ('acc -> Data_value.t list -> 'acc) -> 'acc -> string -> 'acc
+  ?chunk_size:int ->
+  ?on_error:(Diagnostic.t -> skipped:string -> unit) ->
+  ('acc -> Data_value.t list -> 'acc) ->
+  'acc ->
+  string ->
+  'acc
 (** Chunked driver over a stream of whitespace-separated JSON documents:
     parse up to [chunk_size] documents (default 256), hand them to the
     fold function, and continue, so the caller can process (or ship to
     another domain) a bounded batch at a time instead of materializing
     the whole corpus. Positions in {!Parse_error} are relative to the
     whole stream. [parse_many] is [fold_many] collecting every chunk.
-    Raises [Invalid_argument] when [chunk_size < 1]. *)
+    Raises [Invalid_argument] when [chunk_size < 1].
+
+    With [on_error] the driver runs in {e recovering} mode: a malformed
+    document is skipped instead of aborting the stream. The handler
+    receives the diagnostic — carrying the document's 0-based stream
+    index — and the skipped raw text; the parser then resynchronizes at
+    the next top-level document boundary (the closing bracket that
+    re-balances the corrupt document, or failing that the next line
+    starting with ['{'] or ['[']) and continues. Without [on_error] the
+    first fault raises {!Parse_error}, exactly as before. *)
 
 (** Incremental parsing of a document stream fed in arbitrary string
     fragments (e.g. fixed-size file reads). The cursor retains at most
@@ -41,7 +61,13 @@ val fold_many :
 module Cursor : sig
   type t
 
-  val create : unit -> t
+  val create : ?on_error:(Diagnostic.t -> skipped:string -> unit) -> unit -> t
+  (** With [on_error], the cursor runs in recovering mode: a
+      definitely-malformed document whose recovery boundary lies within
+      the input fed so far is skipped and reported to the handler (with
+      its stream-global document index and raw text) instead of raising;
+      a fault whose document might still be completed by future input is
+      held back until more input or {!finish} decides. *)
 
   val feed : t -> string -> Data_value.t list
   (** Parse as many complete documents as the input fed so far allows
@@ -50,14 +76,15 @@ module Cursor : sig
       ending exactly at the fragment boundary, since its digits could
       continue in the next fragment — is retained for the next [feed]
       or {!finish}.
-      @raise Parse_error on definitely-malformed input, with line and
-      column relative to the whole stream. *)
+      @raise Parse_error on definitely-malformed input (strict cursors
+      only), with line and column relative to the whole stream. *)
 
   val finish : t -> Data_value.t list
   (** Signal end of stream: parse and return the retained tail (empty
-      if there is none), resetting the cursor.
-      @raise Parse_error if the tail is an incomplete document, with
-      stream-global positions. *)
+      if there is none), resetting the cursor. In recovering mode every
+      remaining fault is definite: it is reported and skipped.
+      @raise Parse_error if the tail is an incomplete document (strict
+      cursors only), with stream-global positions. *)
 end
 
 val to_string : ?indent:int -> Data_value.t -> string

@@ -8,6 +8,12 @@ and node = Element of tree | Text of string | Cdata of string
 
 exception Parse_error of { line : int; column : int; message : string }
 
+(* The parser reports faults as structured {!Diagnostic.t}s; the legacy
+   exception above is the thin compatibility wrapper the public entry
+   points convert to. *)
+let reraise_legacy (d : Diagnostic.t) =
+  raise (Parse_error { line = d.line; column = d.column; message = d.message })
+
 type state = {
   src : string;
   len : int;
@@ -24,10 +30,8 @@ let make_state src =
   { src; len = String.length src; pos = 0; line = 1; bol = 0; depth = 0 }
 
 let error st fmt =
-  Printf.ksprintf
-    (fun message ->
-      raise (Parse_error { line = st.line; column = st.pos - st.bol + 1; message }))
-    fmt
+  Diagnostic.error ~format:Diagnostic.Xml ~line:st.line
+    ~column:(st.pos - st.bol + 1) fmt
 
 let peek st = if st.pos < st.len then Some st.src.[st.pos] else None
 let peek_at st off = if st.pos + off < st.len then Some st.src.[st.pos + off] else None
@@ -326,32 +330,39 @@ let parse_prolog st =
   loop ()
 
 let parse s =
-  let st = make_state s in
-  parse_prolog st;
-  skip_ws st;
-  if peek st <> Some '<' then error st "expected root element";
-  let root = parse_element st in
-  (* trailing comments/PIs/whitespace are allowed *)
-  let rec trailer () =
+  try
+    let st = make_state s in
+    parse_prolog st;
     skip_ws st;
-    if looking_at st "<!--" then begin
-      skip_comment st;
-      trailer ()
-    end
-    else if looking_at st "<?" then begin
-      skip_pi st;
-      trailer ()
-    end
-    else if st.pos < st.len then error st "trailing content after root element"
-  in
-  trailer ();
-  root
+    if peek st <> Some '<' then error st "expected root element";
+    let root = parse_element st in
+    (* trailing comments/PIs/whitespace are allowed *)
+    let rec trailer () =
+      skip_ws st;
+      if looking_at st "<!--" then begin
+        skip_comment st;
+        trailer ()
+      end
+      else if looking_at st "<?" then begin
+        skip_pi st;
+        trailer ()
+      end
+      else if st.pos < st.len then error st "trailing content after root element"
+    in
+    trailer ();
+    root
+  with Diagnostic.Parse_error d -> reraise_legacy d
 
-let parse_result s =
+let parse_diag s =
   match parse s with
   | v -> Ok v
   | exception Parse_error { line; column; message } ->
-      Error (Printf.sprintf "XML parse error at line %d, column %d: %s" line column message)
+      Error (Diagnostic.make ~format:Diagnostic.Xml ~line ~column message)
+
+let parse_result s =
+  match parse_diag s with
+  | Ok v -> Ok v
+  | Error d -> Error (Diagnostic.message_of d)
 
 let text_content tree =
   let buf = Buffer.create 16 in

@@ -25,10 +25,16 @@ type tree = {
 and node = Element of tree | Text of string | Cdata of string
 
 exception Parse_error of { line : int; column : int; message : string }
+(** Thin compatibility wrapper: the parser reports faults as structured
+    {!Diagnostic.t}s and converts them to this legacy exception at the
+    public boundary. *)
 
 val parse : string -> tree
 (** Parse a complete document; returns the root element.
     @raise Parse_error on malformed input. *)
+
+val parse_diag : string -> (tree, Diagnostic.t) result
+(** Like {!parse} but returning the structured diagnostic. *)
 
 val parse_result : string -> (tree, string) result
 

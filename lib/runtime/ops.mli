@@ -8,9 +8,43 @@
     behaviour the paper describes for the real library ("a member access
     throws an exception if data does not have the expected shape"). *)
 
-exception Conversion_error of string
-(** Raised when a value does not have the shape an operation requires. The
-    message names the operation and describes the offending value. *)
+type conversion_error = {
+  op : string;  (** the Figure 6 operation (or runtime step) that failed *)
+  path : string list;
+      (** access path from the root to the failing access, outermost
+          first; [[]] when the operation ran outside any tracked path *)
+  expected : string;  (** the shape the operation required; may be empty *)
+  actual : string;  (** bounded summary of the offending value or fault *)
+}
+
+exception Conversion_error of conversion_error
+(** Raised when a value does not have the shape an operation requires. *)
+
+val error_message : conversion_error -> string
+(** Human-readable rendering:
+    ["op at a.b: expected int but found \"x\""]. *)
+
+val conversion_error :
+  ?path:string list -> ?expected:string -> op:string -> string -> conversion_error
+(** [conversion_error ~op actual] builds an error value; [path] defaults
+    to empty and [expected] to unknown. *)
+
+val conversion_failure :
+  ?path:string list -> ?expected:string -> op:string -> string -> 'a
+(** Build and raise in one step. *)
+
+val with_path : string -> (unit -> 'a) -> 'a
+(** [with_path segment f] runs [f], prepending [segment] to the access
+    path of any {!Conversion_error} escaping it — how accessor layers
+    attribute a deep conversion failure to the member chain that led
+    there. *)
+
+val summarize : ?limit:int -> string -> string
+(** Truncate a rendering to [limit] bytes (default 120) with an
+    ellipsis. *)
+
+val summarize_value : Fsdata_data.Data_value.t -> string
+(** Bounded rendering of a data value for diagnostics. *)
 
 val conv_int : Fsdata_data.Data_value.t -> int
 (** [convPrim(int, d)]. *)
@@ -69,3 +103,40 @@ val select_multiple :
   Fsdata_data.Data_value.t ->
   'a list
 (** Multiplicity *. *)
+
+(** {1 Lenient variants}
+
+    Option-returning counterparts for graceful degradation: where the
+    strict operation raises {!Conversion_error}, these return [None], so
+    callers scrubbing partially-convertible corpora can keep the samples
+    (and fields) that do convert. *)
+
+val try_conv : (Fsdata_data.Data_value.t -> 'a) -> Fsdata_data.Data_value.t -> 'a option
+(** [try_conv k d] is [Some (k d)], or [None] if [k] raises
+    {!Conversion_error}. *)
+
+val conv_int_opt : Fsdata_data.Data_value.t -> int option
+val conv_string_opt : Fsdata_data.Data_value.t -> string option
+val conv_bool_opt : Fsdata_data.Data_value.t -> bool option
+val conv_float_opt : Fsdata_data.Data_value.t -> float option
+val conv_bit_bool_opt : Fsdata_data.Data_value.t -> bool option
+val conv_date_opt : Fsdata_data.Data_value.t -> Fsdata_data.Date.t option
+
+val conv_field_opt :
+  record:string ->
+  field:string ->
+  Fsdata_data.Data_value.t ->
+  Fsdata_data.Data_value.t option
+
+val conv_elements_opt :
+  (Fsdata_data.Data_value.t -> 'a) -> Fsdata_data.Data_value.t -> 'a list option
+
+val select_single_opt :
+  Fsdata_core.Shape.t ->
+  (Fsdata_data.Data_value.t -> 'a) ->
+  Fsdata_data.Data_value.t ->
+  'a option
+(** Like {!select_single} but [None] when no element matches — unlike
+    {!select_optional}, which is the multiplicity-1? accessor with the
+    same behaviour; this one exists as the lenient form of the
+    multiplicity-1 accessor. *)

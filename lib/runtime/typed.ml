@@ -10,8 +10,10 @@ let run classes e =
   match Eval.eval classes e with
   | Eval.Value v -> { classes; expr = v }
   | Eval.Exn -> raise Runtime_exn
-  | Eval.Stuck { reason; _ } -> raise (Ops.Conversion_error reason)
-  | Eval.Timeout -> raise (Ops.Conversion_error "evaluation did not terminate")
+  | Eval.Stuck { reason; _ } ->
+      Ops.conversion_failure ~op:"eval" (Ops.summarize reason)
+  | Eval.Timeout ->
+      Ops.conversion_failure ~op:"eval" "evaluation did not terminate"
 
 let load (p : Fsdata_provider.Provide.t) d =
   run p.classes (EApp (p.conv, EData d))
@@ -22,15 +24,18 @@ let parse (p : Fsdata_provider.Provide.t) text =
     | `Json -> (
         match Fsdata_data.Json.parse_result text with
         | Ok d -> Fsdata_data.Primitive.normalize d
-        | Error e -> raise (Ops.Conversion_error e))
+        | Error e ->
+            Ops.conversion_failure ~expected:"well-formed JSON" ~op:"parse" e)
     | `Xml -> (
         match Fsdata_data.Xml.parse_result text with
         | Ok tree -> Fsdata_data.Xml.to_data ~convert_primitives:true tree
-        | Error e -> raise (Ops.Conversion_error e))
+        | Error e ->
+            Ops.conversion_failure ~expected:"well-formed XML" ~op:"parse" e)
     | `Csv -> (
         match Fsdata_data.Csv.parse_result text with
         | Ok table -> Fsdata_data.Csv.to_data ~convert_primitives:true table
-        | Error e -> raise (Ops.Conversion_error e))
+        | Error e ->
+            Ops.conversion_failure ~expected:"well-formed CSV" ~op:"parse" e)
   in
   load p data
 
@@ -44,15 +49,18 @@ let rec path v dotted =
 
 and member v name =
   match v.expr with
-  | ENew _ -> run v.classes (EMember (v.expr, name))
+  | ENew _ ->
+      (* attribute any deep conversion failure to the member being
+         evaluated, so the error's access path names the chain *)
+      Ops.with_path name (fun () -> run v.classes (EMember (v.expr, name)))
   | _ ->
-      raise
-        (Ops.Conversion_error
-           (Fmt.str "member %s: not a provided object: %a" name pp_expr v.expr))
+      Ops.conversion_failure ~path:[ name ] ~expected:"a provided object"
+        ~op:(Printf.sprintf "member %s" name)
+        (Ops.summarize (Fmt.str "%a" pp_expr v.expr))
 
 let wrong what v =
-  raise
-    (Ops.Conversion_error (Fmt.str "expected %s but found %a" what pp_expr v.expr))
+  Ops.conversion_failure ~expected:what ~op:"get"
+    (Ops.summarize (Fmt.str "%a" pp_expr v.expr))
 
 let get_int v = match v.expr with EData (Dv.Int i) -> i | _ -> wrong "an int" v
 

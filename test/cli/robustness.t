@@ -1,0 +1,104 @@
+Fault-tolerant corpus ingestion: error budgets, quarantine and structured
+diagnostics.
+
+  $ FSDATA=../../bin/fsdata.exe
+
+Ten single-document sample files, two of them malformed (a truncated
+document and a missing field separator):
+
+  $ for i in 0 1 2 4 5 6 8 9; do printf '{"id": %d, "name": "u%d"}\n' $i $i > s$i.json; done
+  $ printf '{"id": 3, "name": ' > s3.json
+  $ printf '{"id": 7, "name"  "u7"}\n' > s7.json
+
+Without --max-errors the pipeline is strict, byte-identical to what it
+always did: the first fault aborts the run.
+
+  $ $FSDATA infer s3.json s0.json
+  fsdata: JSON parse error at line 1, column 19: unexpected end of input
+  [124]
+
+With an error budget the faulty samples are quarantined: the shape is
+inferred from the eight clean samples, the skipped documents and a
+machine-readable report land in the quarantine directory, and the exit
+code (3) is distinct from both success (0) and conformance failure (1):
+
+  $ $FSDATA infer --max-errors 2 --quarantine q s?.json
+  • {id: int, name: string}
+  fsdata: quarantined 2 of 10 samples (report in q/report.json)
+  [3]
+
+  $ ls q
+  report.json
+  sample-3.json
+  sample-7.json
+
+  $ cat q/report.json
+  {
+    "total": 10,
+    "quarantined": 2,
+    "budget": "2",
+    "samples": [
+      {
+        "index": 3,
+        "format": "json",
+        "line": 1,
+        "column": 19,
+        "severity": "error",
+        "message": "unexpected end of input",
+        "source": "s3.json",
+        "file": "sample-3.json"
+      },
+      {
+        "index": 7,
+        "format": "json",
+        "line": 1,
+        "column": 19,
+        "severity": "error",
+        "message": "expected ':' but found '\"'",
+        "source": "s7.json",
+        "file": "sample-7.json"
+      }
+    ]
+  }
+
+The quarantined samples are preserved verbatim for later triage:
+
+  $ cat q/sample-3.json
+  {"id": 3, "name": 
+
+Parallel chunked inference quarantines the same samples with the same
+global indices:
+
+  $ $FSDATA infer --jobs 3 --max-errors 2 s?.json > par.out 2> par.err; echo "exit $?"
+  exit 3
+  $ $FSDATA infer --max-errors 2 s?.json > seq.out 2> seq.err; echo "exit $?"
+  exit 3
+  $ cmp seq.out par.out && cmp seq.err par.err
+
+A percentage budget works the same way:
+
+  $ $FSDATA infer --max-errors 20% s?.json > /dev/null
+  fsdata: quarantined 2 of 10 samples
+  [3]
+
+One fault over budget fails the whole run, naming the first offender:
+
+  $ $FSDATA infer --max-errors 1 s?.json
+  fsdata: error budget exceeded: 2 of 10 samples malformed (budget 1); first: JSON parse error at line 1, column 19: unexpected end of input (document 3)
+  [124]
+
+A quarantine directory makes no sense without a budget:
+
+  $ $FSDATA infer --quarantine q s0.json
+  fsdata: --quarantine requires --max-errors
+  [124]
+
+Streaming ingestion (several documents per file) resynchronizes at the
+next top-level document boundary, so one corrupt document costs one
+sample, not the rest of the stream:
+
+  $ printf '{"v": 1}\n{"v" 2}\n{"v": 3}\n{"v": 4}\n' > stream.json
+  $ $FSDATA infer --max-errors 1 stream.json
+  • {v: int}
+  fsdata: quarantined 1 of 4 samples
+  [3]

@@ -1,0 +1,137 @@
+(* Fault-injection corpus generator for the robustness suite.
+
+   Starting from a clean generated corpus, a chosen subset of documents
+   is corrupted with faults that are unparseable *by construction*, and
+   the corpus remembers which indices were hit — so properties can state
+   the quarantine contract exactly: tolerant inference over the faulty
+   corpus must equal strict inference over the clean subset, and the
+   quarantined indices must be precisely the corrupted ones. *)
+
+module Dv = Fsdata_data.Data_value
+module Json = Fsdata_data.Json
+module Xml = Fsdata_data.Xml
+open QCheck2
+
+(* ----- JSON faults ----- *)
+
+type fault =
+  | Truncated  (** drop the closing brace: unterminated document *)
+  | Invalid_utf8  (** prepend bytes that are not valid JSON (or UTF-8) *)
+  | Unbalanced  (** append a stray closing bracket: trailing content *)
+  | Garbage  (** blank the first field separator: balanced but invalid *)
+
+let fault_name = function
+  | Truncated -> "truncated"
+  | Invalid_utf8 -> "invalid-utf8"
+  | Unbalanced -> "unbalanced"
+  | Garbage -> "garbage"
+
+let all_faults = [ Truncated; Invalid_utf8; Unbalanced; Garbage ]
+
+(* Faults that are safe to inject mid-stream: the corrupt text still ends
+   at its own closing brace, so [Json.fold_many]'s resynchronization
+   skips exactly the corrupted document. (A truncated document would
+   swallow its successor; a stray trailing ']' would be skipped as a
+   document of its own.) *)
+let stream_safe_faults = [ Invalid_utf8; Garbage ]
+
+(* Wrap every corpus document in a one-field object so its text starts
+   with '{' and ends with '}' — the precondition for the corruptions
+   above to guarantee a parse failure. *)
+let doc_text v = Json.to_string (Dv.Record (Dv.json_record_name, [ ("v", v) ]))
+
+let corrupt fault text =
+  match fault with
+  | Truncated -> String.sub text 0 (String.length text - 1)
+  | Invalid_utf8 -> "\xff\xfe" ^ text
+  | Unbalanced -> text ^ "]"
+  | Garbage -> (
+      (* the first ':' is the wrapper's field separator, before any
+         value text, so blanking it never touches a string literal *)
+      match String.index_opt text ':' with
+      | Some i -> String.mapi (fun j c -> if j = i then ' ' else c) text
+      | None -> "{\"bad\" 0}")
+
+(* ----- XML faults ----- *)
+
+type xml_fault =
+  | Xml_truncated  (** drop the final '>': unterminated tag *)
+  | Xml_unclosed  (** wrap in an opening tag that is never closed *)
+  | Xml_invalid_utf8
+
+let all_xml_faults = [ Xml_truncated; Xml_unclosed; Xml_invalid_utf8 ]
+
+let corrupt_xml fault text =
+  match fault with
+  | Xml_truncated -> String.sub text 0 (String.rindex text '>')
+  | Xml_unclosed -> "<unclosed>" ^ text
+  | Xml_invalid_utf8 -> "\xff\xfe" ^ text
+
+(* ----- Corpora ----- *)
+
+type corpus = {
+  texts : string list;  (** the corpus as ingested, faults included *)
+  clean : string list;  (** the documents left untouched, in order *)
+  faulty : int list;  (** global indices of corrupted documents, ascending *)
+}
+
+let print_corpus c =
+  Printf.sprintf "faulty=[%s]\n%s"
+    (String.concat "," (List.map string_of_int c.faulty))
+    (String.concat "\n" c.texts)
+
+let gen_list gens =
+  List.fold_right
+    (fun g acc -> Gen.map2 (fun x xs -> x :: xs) g acc)
+    gens (Gen.return [])
+
+(* Mark roughly a third of the documents with a fault drawn from
+   [faults]; build the corrupted corpus, the clean subset, and the list
+   of corrupted indices. *)
+let mark_and_corrupt ~faults ~corrupt_with texts =
+  let open Gen in
+  let* marks =
+    gen_list
+      (List.map
+         (fun t ->
+           let* f =
+             frequency
+               [ (2, return None); (1, map Option.some (oneofl faults)) ]
+           in
+           return (t, f))
+         texts)
+  in
+  let texts =
+    List.map (fun (t, f) -> Option.fold ~none:t ~some:(fun f -> corrupt_with f t) f) marks
+  in
+  let clean = List.filter_map (fun (t, f) -> if f = None then Some t else None) marks in
+  let faulty =
+    List.mapi (fun i (_, f) -> if f = None then None else Some i) marks
+    |> List.filter_map Fun.id
+  in
+  return { texts; clean; faulty }
+
+let gen_corpus ?(faults = all_faults) () : corpus Gen.t =
+  let open Gen in
+  let* docs = list_size (int_range 1 14) Generators.gen_data in
+  mark_and_corrupt ~faults ~corrupt_with:corrupt (List.map doc_text docs)
+
+let gen_xml_corpus ?(faults = all_xml_faults) () : corpus Gen.t =
+  let open Gen in
+  let* docs = list_size (int_range 1 10) Generators.gen_xml_tree in
+  mark_and_corrupt ~faults ~corrupt_with:corrupt_xml
+    (List.map Xml.to_string docs)
+
+(* ----- Ragged CSV ----- *)
+
+(* A rectangular CSV source with extra cells appended to the rows whose
+   0-based data-row indices appear in [ragged]. *)
+let ragged_csv ~headers ~rows ~ragged =
+  let line cells = String.concat "," cells in
+  let body =
+    List.mapi
+      (fun i cells ->
+        if List.mem i ragged then line (cells @ [ "extra" ]) else line cells)
+      rows
+  in
+  String.concat "\n" (line headers :: body) ^ "\n"

@@ -34,4 +34,5 @@ let () =
       ("migrate", Test_migrate.suite);
       ("explain", Test_explain.suite);
       ("html", Test_html.suite);
+      ("fault", Test_fault.suite);
     ]
