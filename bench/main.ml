@@ -394,6 +394,28 @@ let time_best ~repeats f =
   done;
   (Option.get !result, !best)
 
+(* Run [f] once with tracing on and print where the time went, using the
+   inclusive per-name totals of {!Fsdata_obs.Trace.aggregate}. Restores
+   the previous enabled states and clears the buffers afterwards, so the
+   breakdown never contaminates a timed measurement. *)
+let stage_breakdown label f =
+  let module T = Fsdata_obs.Trace in
+  let was_t = T.enabled () and was_m = Fsdata_obs.Metrics.enabled () in
+  T.reset ();
+  T.set_enabled true;
+  let r = f () in
+  T.set_enabled was_t;
+  Printf.printf "  stage breakdown, %s (inclusive):\n%!" label;
+  List.iter
+    (fun (name, count, total_ns) ->
+      Printf.printf "    %-14s %6d span%s %10.2f ms\n%!" name count
+        (if count = 1 then " " else "s")
+        (Int64.to_float total_ns /. 1e6))
+    (T.aggregate ());
+  T.reset ();
+  Fsdata_obs.Metrics.set_enabled was_m;
+  r
+
 let par_bench () =
   let module Par = Fsdata_core.Par_infer in
   print_endline "== par: sequential vs parallel multi-sample inference ==";
@@ -449,7 +471,14 @@ let par_bench () =
                  match (seq_stream, par_stream) with
                  | Ok a, Ok b -> Shape.equal a b
                  | _ -> false )))
-        jobs_list)
+        jobs_list;
+      match jobs_list with
+      | [] -> ()
+      | jobs :: _ ->
+          ignore
+            (stage_breakdown
+               (Printf.sprintf "parse+infer --jobs %d, %d docs" jobs n)
+               (fun () -> Par.of_json ~jobs ~chunk_size:512 text)))
     sizes;
   print_newline ()
 
@@ -538,6 +567,102 @@ let faults_bench () =
         "  %6d docs: tolerant, %d faults, -j %-2d   %8.1f ms  %5.2fx speedup, agree=%b\n%!"
         n expected_faults jobs (t_par *. 1e3) (t_seq /. t_par) agree)
     (if !smoke then [ 2; 7 ] else [ 2; 4; Par.recommended_jobs () ]);
+  ignore
+    (stage_breakdown
+       (Printf.sprintf "tolerant parse+infer -j 2, %d docs, %d faults" n
+          expected_faults)
+       (fun () ->
+         Par.of_json_tolerant ~jobs:2 ~chunk_size:512 ~budget faulty));
+  print_newline ()
+
+(* ----- obs: observability overhead (B9) ----- *)
+
+(* Two measurements, backing the zero-cost-when-disabled claim:
+   1. micro: the per-call-site price of an instrument that is compiled
+      in but switched off — one atomic load and a branch — via bechamel;
+   2. macro: the same streaming parse+infer pipeline timed with
+      observability disabled, with metrics on, and with trace+metrics
+      on. In smoke mode the run additionally asserts that enabling
+      observability does not change the inferred shape. *)
+let obs_bench () =
+  let module T = Fsdata_obs.Trace in
+  let module M = Fsdata_obs.Metrics in
+  print_endline "== obs: observability overhead (B9) ==";
+  T.set_enabled false;
+  M.set_enabled false;
+  let n = if !smoke then 2_000 else 50_000 in
+  let repeats = if !smoke then 1 else 5 in
+  let text = Workloads.corpus_text n in
+  (* The three configurations are measured interleaved, round-robin,
+     taking the best repeat per configuration. The OCaml 5.1 major heap
+     never shrinks between runs (no compaction), so measuring the
+     configurations one after the other bills whichever runs later for
+     heap drift that has nothing to do with instrumentation — sequential
+     ordering here once reported a fictitious +140% for counters that
+     cost nanoseconds. *)
+  let configs =
+    [|
+      ("observability off", false, false);
+      ("metrics on", true, false);
+      ("trace + metrics on", true, true);
+    |]
+  in
+  let k = Array.length configs in
+  let best = Array.make k infinity in
+  let shapes = Array.make k None in
+  for rep = 0 to repeats - 1 do
+    (* rotate the starting configuration per round so heap drift within
+       a round doesn't always land on the same configuration *)
+    for j = 0 to k - 1 do
+      let i = (j + rep) mod k in
+      let _, metrics_on, trace_on = configs.(i) in
+      M.set_enabled metrics_on;
+      T.set_enabled trace_on;
+      M.reset ();
+      T.reset ();
+      let t0 = Unix.gettimeofday () in
+      let r = Infer.of_json text in
+      let dt = Unix.gettimeofday () -. t0 in
+      M.set_enabled false;
+      T.set_enabled false;
+      M.reset ();
+      T.reset ();
+      shapes.(i) <- Some r;
+      if dt < best.(i) then best.(i) <- dt
+    done
+  done;
+  Array.iteri
+    (fun i (label, _, _) ->
+      Printf.printf "  %6d docs: parse+infer, %-22s %8.1f ms\n%!" n label
+        (best.(i) *. 1e3))
+    configs;
+  let t_off = best.(0) and t_m = best.(1) and t_tm = best.(2) in
+  Printf.printf
+    "                metrics overhead %+5.1f%%, trace+metrics %+5.1f%%\n%!"
+    ((t_m -. t_off) /. t_off *. 100.)
+    ((t_tm -. t_off) /. t_off *. 100.);
+  let agree =
+    match (shapes.(0), shapes.(1), shapes.(2)) with
+    | Some (Ok a), Some (Ok b), Some (Ok c) ->
+        Shape.equal a b && Shape.equal b c
+    | _ -> false
+  in
+  Printf.printf "                shapes unchanged by observability: %b\n%!" agree;
+  if !smoke && not agree then begin
+    Printf.eprintf "obs: enabling observability changed the inferred shape\n";
+    exit 1
+  end;
+  (* The bechamel micro group runs last: its stabilization loop bloats
+     the major heap, which would otherwise contaminate the macro
+     numbers above. *)
+  let c = M.counter "bench.obs_probe" in
+  run_group "obs"
+    [
+      Test.make ~name:"baseline closure (no instrument)" (stage (fun () -> 42));
+      Test.make ~name:"with_span, disabled"
+        (stage (fun () -> T.with_span "bench.noop" (fun () -> 42)));
+      Test.make ~name:"counter incr, disabled" (stage (fun () -> M.incr c));
+    ];
   print_newline ()
 
 (* ----- provider: the "compile-time" pipeline costs ----- *)
@@ -605,6 +730,7 @@ let groups =
     ("provider", provider_bench);
     ("par", par_bench);
     ("faults", faults_bench);
+    ("obs", obs_bench);
   ]
 
 let () =

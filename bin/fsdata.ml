@@ -29,6 +29,67 @@ module Dv = Fsdata_data.Data_value
    check's 1), so scripts can tell a degraded run from a clean one. *)
 let quarantine_exit_code = 3
 
+module Obs_trace = Fsdata_obs.Trace
+module Obs_metrics = Fsdata_obs.Metrics
+
+(* --- observability flags (docs/OBSERVABILITY.md) --- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span for every pipeline stage (parse, infer chunks and
+           merges, provide, codegen) and write a Chrome $(b,trace_event)
+           JSON document to $(docv) on exit. Load it in Perfetto
+           (ui.perfetto.dev) or chrome://tracing; worker domains appear as
+           separate threads. See $(b,docs/OBSERVABILITY.md).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Record pipeline counters and histograms (samples ingested and
+           quarantined, csh merges, per-format parse volume, chunk sizes,
+           GC snapshots) and write them on exit as a single flat JSON
+           object with keys in stable sorted order — $(b,-) for standard
+           output. See $(b,docs/OBSERVABILITY.md).")
+
+(* Runs before the command body (cmdliner evaluates the term's
+   arguments first). The writers are registered with [at_exit] so they
+   fire on every exit path, in particular the quarantine
+   [Stdlib.exit 3] of {!finish_tolerant}. One callback handles both
+   outputs so the [work] and [render] GC snapshots bracket trace
+   serialization deterministically. *)
+let setup_obs trace metrics =
+  if trace <> None then Obs_trace.set_enabled true;
+  if metrics <> None then begin
+    Obs_metrics.set_enabled true;
+    Obs_metrics.gc_snapshot "start"
+  end;
+  if trace <> None || metrics <> None then
+    at_exit (fun () ->
+        Obs_metrics.gc_snapshot "work";
+        (match trace with
+        | Some path ->
+            let oc = open_out_bin path in
+            output_string oc (Obs_trace.to_trace_event_json ());
+            close_out oc
+        | None -> ());
+        Obs_metrics.gc_snapshot "render";
+        match metrics with
+        | Some "-" -> print_string (Obs_metrics.to_json ())
+        | Some path ->
+            let oc = open_out_bin path in
+            output_string oc (Obs_metrics.to_json ());
+            close_out oc
+        | None -> ())
+
+let obs_term = Term.(const setup_obs $ trace_arg $ metrics_arg)
+
 type format = Json | Xml | Csv
 
 let read_file path =
@@ -142,11 +203,14 @@ let quarantine_arg =
 
 (* [jobs = 1] (the default) is the strictly sequential pipeline; commands
    exposing --jobs pass their flag through. *)
+let read_files paths =
+  Obs_trace.with_span "cli.read" @@ fun () -> List.map read_file paths
+
 let infer_shape ?(csv_schema = "") ?(jobs = 1) format paths =
   match resolve_format format paths with
   | Error e -> Error e
   | Ok f -> (
-      let texts = List.map read_file paths in
+      let texts = read_files paths in
       let result =
         match f with
         | Json -> Par_infer.of_json_samples ~jobs texts
@@ -168,7 +232,7 @@ let infer_shape_tolerant ?(csv_schema = "") ?(jobs = 1) ?(mode = `Practical)
   match resolve_format format paths with
   | Error e -> Error e
   | Ok f -> (
-      let texts = List.map read_file paths in
+      let texts = read_files paths in
       let result =
         match (f, texts) with
         | Json, [ one ] ->
@@ -287,7 +351,7 @@ let infer_cmd =
              classification, homogeneous collections. The default is the
              practical mode the library ships (Sections 6.2, 6.4).")
   in
-  let run format global paper csv_schema jobs max_errors quarantine paths =
+  let run () format global paper csv_schema jobs max_errors quarantine paths =
     let jobs = effective_jobs jobs in
     if quarantine <> None && max_errors = None then
       `Error (false, "--quarantine requires --max-errors")
@@ -348,8 +412,9 @@ let infer_cmd =
     (Cmd.info "infer" ~doc:"Infer the shape of sample documents (Figure 3).")
     Term.(
       ret
-        (const run $ format_arg $ global_arg $ paper_arg $ csv_schema_arg
-       $ jobs_arg $ max_errors_arg $ quarantine_arg $ samples_arg))
+        (const run $ obs_term $ format_arg $ global_arg $ paper_arg
+       $ csv_schema_arg $ jobs_arg $ max_errors_arg $ quarantine_arg
+       $ samples_arg))
 
 (* --- provide --- *)
 
@@ -370,7 +435,7 @@ let provide_cmd =
         p.Provide.classes
     else print_endline (Signature.to_string ~root_name p)
   in
-  let run format global code csv_schema root_name paths =
+  let run () format global code csv_schema root_name paths =
     if global then
       match List.map read_file paths |> Provide.provide_xml_global with
       | Ok p ->
@@ -391,8 +456,8 @@ let provide_cmd =
        ~doc:"Show the type a provider generates for the samples (Figure 8).")
     Term.(
       ret
-        (const run $ format_arg $ global_arg $ code_arg $ csv_schema_arg
-       $ root_name_arg $ samples_arg))
+        (const run $ obs_term $ format_arg $ global_arg $ code_arg
+       $ csv_schema_arg $ root_name_arg $ samples_arg))
 
 (* --- sample --- *)
 
@@ -431,7 +496,7 @@ let sample_cmd =
 (* --- codegen --- *)
 
 let codegen_cmd =
-  let run format csv_schema root_name jobs max_errors quarantine paths =
+  let run () format csv_schema root_name jobs max_errors quarantine paths =
     let emit f shape =
       let p = Provide.provide ~format:(provider_format f) ~root_name shape in
       print_string
@@ -469,8 +534,8 @@ let codegen_cmd =
              the samples' shape.")
     Term.(
       ret
-        (const run $ format_arg $ csv_schema_arg $ root_name_arg $ jobs_arg
-       $ max_errors_arg $ quarantine_arg $ samples_arg))
+        (const run $ obs_term $ format_arg $ csv_schema_arg $ root_name_arg
+       $ jobs_arg $ max_errors_arg $ quarantine_arg $ samples_arg))
 
 (* --- check --- *)
 
@@ -491,7 +556,7 @@ let check_cmd =
              '[• {name: string, age: nullable float}]') instead of
              inferring it from sample files.")
   in
-  let run format shape jobs input paths =
+  let run () format shape jobs input paths =
     let jobs = effective_jobs jobs in
     let sample_shape =
       match shape with
@@ -537,7 +602,7 @@ let check_cmd =
              samples (the premise of relative type safety).")
     Term.(
       ret
-        (const run $ format_arg $ shape_arg $ jobs_arg $ input_arg
+        (const run $ obs_term $ format_arg $ shape_arg $ jobs_arg $ input_arg
         $ Arg.(
             value & pos_all file []
             & info [] ~docv:"SAMPLE" ~doc:"Sample document(s).")))
@@ -545,7 +610,7 @@ let check_cmd =
 (* --- schema --- *)
 
 let schema_cmd =
-  let run format jobs max_errors quarantine paths =
+  let run () format jobs max_errors quarantine paths =
     if quarantine <> None && max_errors = None then
       `Error (false, "--quarantine requires --max-errors")
     else
@@ -573,8 +638,8 @@ let schema_cmd =
              (draft-07) document.")
     Term.(
       ret
-        (const run $ format_arg $ jobs_arg $ max_errors_arg $ quarantine_arg
-       $ samples_arg))
+        (const run $ obs_term $ format_arg $ jobs_arg $ max_errors_arg
+       $ quarantine_arg $ samples_arg))
 
 (* --- migrate --- *)
 

@@ -158,7 +158,14 @@ and compile_op ~opaque env (op : op) : string =
       Printf.sprintf "%s (%s) (%s) (%s)" fn (shape_literal s) (f k) (e e1)
   | IntOfFloat e1 -> Printf.sprintf "int_of_float (%s)" (e e1)
 
+(* Observability (docs/OBSERVABILITY.md): a [codegen.generate] span per
+   emitted module; [codegen.bytes] totals the generated source size. *)
+let m_runs = Fsdata_obs.Metrics.counter "codegen.runs"
+let m_bytes = Fsdata_obs.Metrics.counter "codegen.bytes"
+
 let generate ?module_comment (p : Fsdata_provider.Provide.t) : string =
+  Fsdata_obs.Trace.with_span "codegen.generate" @@ fun () ->
+  Fsdata_obs.Metrics.incr m_runs;
   let buf = Buffer.create 4096 in
   let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
   (match module_comment with
@@ -242,4 +249,5 @@ let generate ?module_comment (p : Fsdata_provider.Provide.t) : string =
     \  let text = really_input_string ic (in_channel_length ic) in\n\
     \  close_in ic;\n\
     \  parse text\n";
+  Fsdata_obs.Metrics.add m_bytes (Buffer.length buf);
   Buffer.contents buf

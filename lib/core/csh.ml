@@ -2,6 +2,18 @@ open Shape
 
 type mode = [ `Core | `Hetero | `Xml ]
 
+(* Observability (docs/OBSERVABILITY.md): [csh.merges] counts every
+   binary join performed, including the recursive sub-joins on record
+   fields and collection entries — the true amount of join work, which
+   the chunked parallel pipeline redistributes but must not change.
+   [csh.top_label_saturations] counts primitive labels collapsed by the
+   canonical-form saturation (b) below; a high rate signals corpora
+   whose labelled tops keep re-canonicalizing. *)
+let m_merges = Fsdata_obs.Metrics.counter "csh.merges"
+
+let m_saturations =
+  Fsdata_obs.Metrics.counter "csh.top_label_saturations"
+
 let join_primitives (a : primitive) (b : primitive) =
   if a = b then Some a
   else
@@ -56,7 +68,9 @@ let canonical_top labels =
       | [] -> p :: acc
       | q :: rest -> (
           match join_primitives p q with
-          | Some j -> insert j (List.rev_append seen rest)
+          | Some j ->
+              Fsdata_obs.Metrics.incr m_saturations;
+              insert j (List.rev_append seen rest)
           | None -> scan (q :: seen) rest)
     in
     scan [] acc
@@ -65,6 +79,7 @@ let canonical_top labels =
   Shape.top (List.rev_map (fun p -> Primitive p) prims @ others)
 
 let rec csh ?(mode : mode = `Hetero) s1 s2 =
+  Fsdata_obs.Metrics.incr m_merges;
   (* (eq) *)
   if Shape.equal s1 s2 then s1
   else

@@ -17,6 +17,8 @@ type mismatch = {
 }
 
 val pp_mismatch : Format.formatter -> mismatch -> unit
+(** Rendering [at PATH: INPUT is not preferred over EXPECTED (REASON)],
+    the format [fsdata check] prints — shapes in the paper notation. *)
 
 val explain : Shape.t -> Shape.t -> mismatch list
 (** [explain input consumer] is empty iff

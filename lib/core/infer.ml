@@ -1,6 +1,19 @@
 open Fsdata_data
+module Obs_trace = Fsdata_obs.Trace
+module Obs_metrics = Fsdata_obs.Metrics
 
 type mode = [ `Paper | `Practical | `Xml ]
+
+(* Observability (docs/OBSERVABILITY.md). The three ingest counters
+   reconcile by construction: [ingest.samples_total] is bumped exactly
+   when either [ingest.samples_clean] or [ingest.samples_quarantined]
+   is, at every per-sample isolation boundary of the tolerant drivers
+   and at the driver entry of the strict ones. For CSV the unit of
+   ingestion is the row, matching what the error budget counts. *)
+let m_samples = Obs_metrics.counter "infer.samples"
+let m_ingest_total = Obs_metrics.counter "ingest.samples_total"
+let m_ingest_clean = Obs_metrics.counter "ingest.samples_clean"
+let m_ingest_quarantined = Obs_metrics.counter "ingest.samples_quarantined"
 
 let classify_string s : Shape.t =
   match Primitive.classify s with
@@ -73,6 +86,8 @@ and csh_mode : mode -> Csh.mode = function
   | `Xml -> `Xml
 
 let shape_of_samples ?(mode : mode = `Practical) ds =
+  Obs_trace.with_span "infer.samples" @@ fun () ->
+  if Obs_metrics.enabled () then Obs_metrics.add m_samples (List.length ds);
   Csh.csh_all ~mode:(csh_mode mode)
     (List.map (fun d -> shape_of_value ~mode d) ds)
 
@@ -112,12 +127,21 @@ let shape_of_sample ~mode ~format ~index ~parse text =
   (* Anything a sample does wrong — a parse fault, or an unexpected
      exception escaping parsing or inference — becomes a diagnostic
      attributed to that sample, never an exception for the caller. *)
+  Obs_metrics.incr m_ingest_total;
+  let quarantined d =
+    Obs_metrics.incr m_ingest_quarantined;
+    Error d
+  in
   match Result.map (shape_of_value ~mode) (parse text) with
-  | Ok _ as ok -> ok
-  | Error d -> Error (Diagnostic.with_index index d)
-  | exception Diagnostic.Parse_error d -> Error (Diagnostic.with_index index d)
+  | Ok _ as ok ->
+      Obs_metrics.incr m_ingest_clean;
+      Obs_metrics.incr m_samples;
+      ok
+  | Error d -> quarantined (Diagnostic.with_index index d)
+  | exception Diagnostic.Parse_error d ->
+      quarantined (Diagnostic.with_index index d)
   | exception exn ->
-      Error
+      quarantined
         (Diagnostic.make ~index ~format ~line:1 ~column:0
            ("unexpected error: " ^ Printexc.to_string exn))
 
@@ -153,16 +177,23 @@ let of_xml_samples_tolerant ?(mode : mode = `Xml) ~budget texts =
   samples_tolerant ~mode ~format:Diagnostic.Xml ~parse ~budget texts
 
 let of_json_tolerant ?(mode : mode = `Practical) ~budget src =
+  Obs_trace.with_span "infer.stream" @@ fun () ->
   let qs = ref [] in
   let on_error (d : Diagnostic.t) ~skipped =
+    Obs_metrics.incr m_ingest_total;
+    Obs_metrics.incr m_ingest_quarantined;
     let index = match d.Diagnostic.index with Some i -> i | None -> 0 in
     qs := { q_index = index; q_diagnostic = d; q_text = Some skipped } :: !qs
   in
   let shape, parsed =
     Json.fold_many ~on_error
       (fun (acc, n) ds ->
-        ( Csh.csh ~mode:(csh_mode mode) acc (shape_of_samples ~mode ds),
-          n + List.length ds ))
+        let k = List.length ds in
+        if Obs_metrics.enabled () then begin
+          Obs_metrics.add m_ingest_total k;
+          Obs_metrics.add m_ingest_clean k
+        end;
+        (Csh.csh ~mode:(csh_mode mode) acc (shape_of_samples ~mode ds), n + k))
       (Shape.Bottom, 0) src
   in
   let qs = List.rev !qs in
@@ -174,14 +205,22 @@ let of_json_tolerant ?(mode : mode = `Practical) ~budget src =
     | None -> Ok { shape; total; quarantined = qs }
 
 let of_csv_tolerant ?separator ?has_headers ~budget src =
+  Obs_trace.with_span "infer.stream" @@ fun () ->
   let qs = ref [] in
   let on_error (d : Diagnostic.t) ~skipped =
+    Obs_metrics.incr m_ingest_total;
+    Obs_metrics.incr m_ingest_quarantined;
     let index = match d.Diagnostic.index with Some i -> i | None -> 0 in
     qs := { q_index = index; q_diagnostic = d; q_text = Some skipped } :: !qs
   in
   match Csv.parse_tolerant ?separator ?has_headers ~on_error src with
   | Error d -> Error (Diagnostic.message_of d)
   | Ok table ->
+      if Obs_metrics.enabled () then begin
+        let k = List.length table.Csv.rows in
+        Obs_metrics.add m_ingest_total k;
+        Obs_metrics.add m_ingest_clean k
+      end;
       let qs = List.rev !qs in
       let total = List.length table.Csv.rows + List.length qs in
       (match budget_error ~budget ~total qs with
@@ -211,9 +250,16 @@ let of_json_samples ?mode samples =
   | Error e -> Error e
 
 let of_json ?mode src =
+  Obs_trace.with_span "infer.stream" @@ fun () ->
   match Json.parse_many src with
   | [] -> Error "no JSON sample documents found"
-  | ds -> Ok (shape_of_samples ?mode ds)
+  | ds ->
+      if Obs_metrics.enabled () then begin
+        let k = List.length ds in
+        Obs_metrics.add m_ingest_total k;
+        Obs_metrics.add m_ingest_clean k
+      end;
+      Ok (shape_of_samples ?mode ds)
   | exception Json.Parse_error { line; column; message } ->
       Error
         (Printf.sprintf "JSON parse error at line %d, column %d: %s" line column
@@ -240,5 +286,10 @@ let of_csv ?separator ?has_headers src =
   match Csv.parse_result ?separator ?has_headers src with
   | Error _ as e -> e
   | Ok table ->
+      if Obs_metrics.enabled () then begin
+        let k = List.length table.Csv.rows in
+        Obs_metrics.add m_ingest_total k;
+        Obs_metrics.add m_ingest_clean k
+      end;
       let data = Csv.to_data ~convert_primitives:false table in
       Ok (shape_of_value ~mode:`Practical data)

@@ -1,6 +1,52 @@
 open Fsdata_data
+module Obs_trace = Fsdata_obs.Trace
+module Obs_metrics = Fsdata_obs.Metrics
 
 type mode = Infer.mode
+
+(* Observability (docs/OBSERVABILITY.md): each unit of parallel work is
+   an [infer.chunk] span recorded {e inside} the domain that executes it
+   — including the chunk kept on the calling domain — so a trace shows
+   the real overlap across tids. The final reduction is an [infer.merge]
+   span on the joining domain. [par.chunk_size] summarizes how evenly
+   the corpus was split; [par.domains_spawned] counts only actual
+   [Domain.spawn]s, so it stays 0 on the sequential paths. *)
+let m_chunks = Obs_metrics.counter "par.chunks"
+let m_spawned = Obs_metrics.counter "par.domains_spawned"
+let h_chunk_size = Obs_metrics.histogram "par.chunk_size"
+
+(* Registration is idempotent by name: these are the same cells
+   {!Infer} bumps, shared so the parallel drivers that bypass
+   {!Infer.shape_of_sample} (the strict chunk fold, the streaming
+   chunk callbacks) keep the clean + quarantined = total reconciliation
+   intact. *)
+let m_samples = Obs_metrics.counter "infer.samples"
+let m_ingest_total = Obs_metrics.counter "ingest.samples_total"
+let m_ingest_clean = Obs_metrics.counter "ingest.samples_clean"
+let m_ingest_quarantined = Obs_metrics.counter "ingest.samples_quarantined"
+
+let count_clean k =
+  if Obs_metrics.enabled () then begin
+    Obs_metrics.add m_ingest_total k;
+    Obs_metrics.add m_ingest_clean k
+  end
+
+(* Wrap one chunk's work; runs on whichever domain executes the chunk so
+   the span lands in that domain's buffer. *)
+let traced_chunk ~offset ~size f =
+  Obs_metrics.incr m_chunks;
+  Obs_metrics.observe h_chunk_size (float_of_int size);
+  if Obs_trace.enabled () then
+    Obs_trace.with_span "infer.chunk"
+      ~args:[ ("offset", string_of_int offset); ("size", string_of_int size) ]
+      f
+  else f ()
+
+let traced_merge f = Obs_trace.with_span "infer.merge" f
+
+let spawn f =
+  Obs_metrics.incr m_spawned;
+  Domain.spawn f
 
 let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
 
@@ -50,39 +96,43 @@ let csh_tree ?(mode = `Hetero) shapes =
   in
   reduce shapes
 
-(* Run [f] over every chunk, the first chunk on the current domain and
-   the rest on spawned domains, and merge the chunk results with the
-   balanced csh tree. Chunks keep sample order, and the tree merges
-   adjacent shapes only, so order-sensitive parts of the representation
-   (record field order) match the sequential left fold exactly. *)
-let map_reduce_chunks ~cmode ~jobs ~of_chunk samples =
-  match chunk jobs samples with
-  | [] -> Shape.Bottom
-  | [ c ] -> of_chunk c
-  | first :: rest ->
-      let workers =
-        List.map (fun c -> Domain.spawn (fun () -> of_chunk c)) rest
-      in
-      let s0 = of_chunk first in
-      csh_tree ~mode:cmode (s0 :: List.map Domain.join workers)
-
-let shape_of_samples ?(mode : mode = `Practical) ?jobs ds =
-  let jobs = normalize_jobs jobs in
-  if jobs = 1 then Infer.shape_of_samples ~mode ds
-  else
-    map_reduce_chunks ~cmode:(Infer.csh_mode mode) ~jobs
-      ~of_chunk:(Infer.shape_of_samples ~mode) ds
-
-(* ----- Format entry points ----- *)
-
 (* Pair each chunk with the global index of its first sample, so chunk
-   workers can attribute per-sample faults to corpus positions. *)
+   workers can attribute per-sample faults (and chunk spans) to corpus
+   positions. *)
 let with_offsets chunks =
   let rec go off = function
     | [] -> []
     | c :: rest -> (off, c) :: go (off + List.length c) rest
   in
   go 0 chunks
+
+(* Run [f] over every chunk, the first chunk on the current domain and
+   the rest on spawned domains, and merge the chunk results with the
+   balanced csh tree. Chunks keep sample order, and the tree merges
+   adjacent shapes only, so order-sensitive parts of the representation
+   (record field order) match the sequential left fold exactly. *)
+let map_reduce_chunks ~cmode ~jobs ~of_chunk samples =
+  let run (offset, c) =
+    traced_chunk ~offset ~size:(List.length c) (fun () -> of_chunk c)
+  in
+  match with_offsets (chunk jobs samples) with
+  | [] -> Shape.Bottom
+  | [ oc ] -> run oc
+  | first :: rest ->
+      let workers = List.map (fun oc -> spawn (fun () -> run oc)) rest in
+      let s0 = run first in
+      let shapes = s0 :: List.map Domain.join workers in
+      traced_merge (fun () -> csh_tree ~mode:cmode shapes)
+
+let shape_of_samples ?(mode : mode = `Practical) ?jobs ds =
+  (* [jobs = 1] degenerates to a single chunk on the calling domain, so
+     sequential runs still produce one [infer.chunk] span and traces
+     line up across --jobs settings. *)
+  let jobs = normalize_jobs jobs in
+  map_reduce_chunks ~cmode:(Infer.csh_mode mode) ~jobs
+    ~of_chunk:(Infer.shape_of_samples ~mode) ds
+
+(* ----- Format entry points ----- *)
 
 (* Parse-and-infer a chunk of sample texts; stop at the chunk's first
    parse error. The per-chunk results are scanned in order afterwards,
@@ -101,7 +151,11 @@ let fold_chunk ~mode ~parse ~offset texts =
     | [] -> Ok acc
     | t :: rest -> (
         match Result.map (Infer.shape_of_value ~mode) (parse t) with
-        | Ok s -> go (Csh.csh ~mode:cmode acc s) (i + 1) rest
+        | Ok s ->
+            Obs_metrics.incr m_ingest_total;
+            Obs_metrics.incr m_ingest_clean;
+            Obs_metrics.incr m_samples;
+            go (Csh.csh ~mode:cmode acc s) (i + 1) rest
         | Error _ as e -> e
         | exception exn -> unexpected i exn)
   in
@@ -110,16 +164,20 @@ let fold_chunk ~mode ~parse ~offset texts =
 let of_samples ~mode ~parse ~jobs texts =
   let jobs = normalize_jobs jobs in
   let cmode = Infer.csh_mode mode in
-  let run (offset, c) = fold_chunk ~mode ~parse ~offset c in
+  let run (offset, c) =
+    traced_chunk ~offset ~size:(List.length c) (fun () ->
+        fold_chunk ~mode ~parse ~offset c)
+  in
   match with_offsets (chunk jobs texts) with
   | [] -> Ok Shape.Bottom
   | [ oc ] -> run oc
   | first :: rest ->
-      let workers = List.map (fun oc -> Domain.spawn (fun () -> run oc)) rest in
+      let workers = List.map (fun oc -> spawn (fun () -> run oc)) rest in
       let r0 = run first in
       let results = r0 :: List.map Domain.join workers in
       let rec merge acc = function
-        | [] -> Ok (csh_tree ~mode:cmode (List.rev acc))
+        | [] ->
+            Ok (traced_merge (fun () -> csh_tree ~mode:cmode (List.rev acc)))
         | Ok s :: rest -> merge (s :: acc) rest
         | (Error _ as e) :: _ -> e
       in
@@ -149,15 +207,16 @@ let fold_chunk_tolerant ~mode ~format ~parse ~offset texts =
 let of_samples_tolerant ~mode ~format ~parse ~budget ~jobs texts =
   let jobs = normalize_jobs jobs in
   let cmode = Infer.csh_mode mode in
-  let run (offset, c) = fold_chunk_tolerant ~mode ~format ~parse ~offset c in
+  let run (offset, c) =
+    traced_chunk ~offset ~size:(List.length c) (fun () ->
+        fold_chunk_tolerant ~mode ~format ~parse ~offset c)
+  in
   let results =
     match with_offsets (chunk jobs texts) with
     | [] -> []
     | [ oc ] -> [ run oc ]
     | first :: rest ->
-        let workers =
-          List.map (fun oc -> Domain.spawn (fun () -> run oc)) rest
-        in
+        let workers = List.map (fun oc -> spawn (fun () -> run oc)) rest in
         let r0 = run first in
         r0 :: List.map Domain.join workers
   in
@@ -167,7 +226,12 @@ let of_samples_tolerant ~mode ~format ~parse ~budget ~jobs texts =
   match Infer.budget_error ~budget ~total qs with
   | Some msg -> Error msg
   | None ->
-      Ok { Infer.shape = csh_tree ~mode:cmode shapes; total; quarantined = qs }
+      Ok
+        {
+          Infer.shape = traced_merge (fun () -> csh_tree ~mode:cmode shapes);
+          total;
+          quarantined = qs;
+        }
 
 let of_json_samples_tolerant ?(mode : mode = `Practical) ?jobs ~budget texts =
   of_samples_tolerant ~mode ~format:Diagnostic.Json ~parse:Json.parse_diag
@@ -201,7 +265,10 @@ let of_xml_samples ?(mode : mode = `Xml) ?jobs texts =
 let of_json ?(mode : mode = `Practical) ?jobs ?(chunk_size = 256) src =
   let jobs = normalize_jobs jobs in
   let cmode = Infer.csh_mode mode in
-  let infer_chunk ds = Infer.shape_of_samples ~mode ds in
+  let infer_chunk ~offset ds =
+    traced_chunk ~offset ~size:(List.length ds) (fun () ->
+        Infer.shape_of_samples ~mode ds)
+  in
   (* FIFO of in-flight domains, oldest first. *)
   let inflight = Queue.create () in
   let shapes = ref [] in
@@ -215,18 +282,20 @@ let of_json ?(mode : mode = `Practical) ?jobs ?(chunk_size = 256) src =
   match
     Json.fold_many ~chunk_size
       (fun () ds ->
+        let offset = !seen in
+        count_clean (List.length ds);
         seen := !seen + List.length ds;
-        if jobs = 1 then shapes := infer_chunk ds :: !shapes
+        if jobs = 1 then shapes := infer_chunk ~offset ds :: !shapes
         else begin
           if Queue.length inflight >= jobs then drain_one ();
-          Queue.add (Domain.spawn (fun () -> infer_chunk ds)) inflight
+          Queue.add (spawn (fun () -> infer_chunk ~offset ds)) inflight
         end)
       () src
   with
   | () ->
       drain_all ();
       if !seen = 0 then Error "no JSON sample documents found"
-      else Ok (csh_tree ~mode:cmode (List.rev !shapes))
+      else Ok (traced_merge (fun () -> csh_tree ~mode:cmode (List.rev !shapes)))
   | exception Json.Parse_error { line; column; message } ->
       (* join stragglers so no domain outlives the call *)
       drain_all ();
@@ -244,15 +313,18 @@ let of_json_tolerant ?(mode : mode = `Practical) ?jobs ?(chunk_size = 256)
     ~budget src =
   let jobs = normalize_jobs jobs in
   let cmode = Infer.csh_mode mode in
-  let infer_chunk ds =
-    try Ok (Infer.shape_of_samples ~mode ds)
-    with exn -> Error (Printexc.to_string exn)
+  let infer_chunk ~offset ds =
+    traced_chunk ~offset ~size:(List.length ds) (fun () ->
+        try Ok (Infer.shape_of_samples ~mode ds)
+        with exn -> Error (Printexc.to_string exn))
   in
   let inflight = Queue.create () in
   let results = ref [] in
   let seen = ref 0 in
   let qs = ref [] in
   let on_error (d : Diagnostic.t) ~skipped =
+    Obs_metrics.incr m_ingest_total;
+    Obs_metrics.incr m_ingest_quarantined;
     let index = match d.Diagnostic.index with Some i -> i | None -> 0 in
     qs :=
       { Infer.q_index = index; q_diagnostic = d; q_text = Some skipped } :: !qs
@@ -265,11 +337,13 @@ let of_json_tolerant ?(mode : mode = `Practical) ?jobs ?(chunk_size = 256)
   in
   Json.fold_many ~chunk_size ~on_error
     (fun () ds ->
+      let offset = !seen in
+      count_clean (List.length ds);
       seen := !seen + List.length ds;
-      if jobs = 1 then results := infer_chunk ds :: !results
+      if jobs = 1 then results := infer_chunk ~offset ds :: !results
       else begin
         if Queue.length inflight >= jobs then drain_one ();
-        Queue.add (Domain.spawn (fun () -> infer_chunk ds)) inflight
+        Queue.add (spawn (fun () -> infer_chunk ~offset ds)) inflight
       end)
     () src;
   drain_all ();
@@ -291,7 +365,7 @@ let of_json_tolerant ?(mode : mode = `Practical) ?jobs ?(chunk_size = 256)
         | None ->
             Ok
               {
-                Infer.shape = csh_tree ~mode:cmode shapes;
+                Infer.shape = traced_merge (fun () -> csh_tree ~mode:cmode shapes);
                 total;
                 quarantined = qs;
               })

@@ -26,6 +26,10 @@
     tag and ignore unknown-tag and null elements (open world). *)
 
 val has_shape : Shape.t -> Fsdata_data.Data_value.t -> bool
+(** [has_shape s d] is the Figure 6 judgement [hasShape(s, d)], with the
+    nullable and missing-field closures described above. Total: never
+    raises, and runs in one traversal of [d] (shapes are not expanded —
+    a labelled top checks only the exhibited tag). *)
 
 val tag_of_data : Fsdata_data.Data_value.t -> Tag.t
 (** The tag a data value exhibits at runtime: numbers are [Number],

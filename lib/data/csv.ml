@@ -118,7 +118,18 @@ let cell_texts row = List.map (fun c -> c.text) row
 (* Shared frame: split, name the columns, then hand each positioned data
    row to [on_row], which normalizes it to the header width or deals
    with an arity fault its own way. *)
+(* Observability: every public parse entry funnels through
+   {!parse_rows}, so counting here covers strict, diagnostic and
+   tolerant parsing alike (docs/OBSERVABILITY.md). *)
+let m_docs = Fsdata_obs.Metrics.counter "parse.csv.documents"
+let m_bytes = Fsdata_obs.Metrics.counter "parse.csv.bytes"
+let m_ns = Fsdata_obs.Metrics.counter "parse.csv.ns"
+
 let parse_rows ?(separator = ',') ?(has_headers = true) ~on_row src =
+  Fsdata_obs.Trace.with_span "parse.csv" @@ fun () ->
+  Fsdata_obs.Metrics.incr m_docs;
+  Fsdata_obs.Metrics.add m_bytes (String.length src);
+  Fsdata_obs.Metrics.time m_ns @@ fun () ->
   match split_rows ~separator src with
   | [] -> { headers = []; rows = [] }
   | first :: rest ->

@@ -1,5 +1,13 @@
 exception Parse_error of { line : int; column : int; message : string }
 
+(* Observability (docs/OBSERVABILITY.md): document counts, input bytes and
+   parse nanoseconds per format. Registered at module initialization so
+   the exported key set does not depend on which paths a run exercises;
+   recording costs one branch until enabled. *)
+let m_docs = Fsdata_obs.Metrics.counter "parse.json.documents"
+let m_bytes = Fsdata_obs.Metrics.counter "parse.json.bytes"
+let m_ns = Fsdata_obs.Metrics.counter "parse.json.ns"
+
 (* The parser reports errors as structured {!Diagnostic.t}s; this legacy
    exception is a thin compatibility wrapper the public entry points
    convert to, so pre-diagnostic handlers keep working unchanged. *)
@@ -272,6 +280,10 @@ and parse_array st =
   end
 
 let parse s =
+  Fsdata_obs.Trace.with_span "parse.json" @@ fun () ->
+  Fsdata_obs.Metrics.incr m_docs;
+  Fsdata_obs.Metrics.add m_bytes (String.length s);
+  Fsdata_obs.Metrics.time m_ns @@ fun () ->
   legacy (fun () ->
       let st = make_state s in
       let v = parse_value st in
@@ -354,8 +366,10 @@ let fold_many ?(chunk_size = 256) ?on_error f acc s =
     if st.pos >= st.len then if n = 0 then acc else f acc (List.rev chunk)
     else begin
       let mark = st.pos in
-      match parse_value st with
+      match Fsdata_obs.Metrics.time m_ns (fun () -> parse_value st) with
       | v ->
+          Fsdata_obs.Metrics.incr m_docs;
+          Fsdata_obs.Metrics.add m_bytes (st.pos - mark);
           if n + 1 >= chunk_size then
             loop (f acc (List.rev (v :: chunk))) [] 0 (idx + 1)
           else loop acc (v :: chunk) (n + 1) (idx + 1)

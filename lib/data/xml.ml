@@ -329,7 +329,17 @@ let parse_prolog st =
   in
   loop ()
 
+(* Observability: both {!parse} and {!parse_diag} (which calls {!parse})
+   are counted once per document here (docs/OBSERVABILITY.md). *)
+let m_docs = Fsdata_obs.Metrics.counter "parse.xml.documents"
+let m_bytes = Fsdata_obs.Metrics.counter "parse.xml.bytes"
+let m_ns = Fsdata_obs.Metrics.counter "parse.xml.ns"
+
 let parse s =
+  Fsdata_obs.Trace.with_span "parse.xml" @@ fun () ->
+  Fsdata_obs.Metrics.incr m_docs;
+  Fsdata_obs.Metrics.add m_bytes (String.length s);
+  Fsdata_obs.Metrics.time m_ns @@ fun () ->
   try
     let st = make_state s in
     parse_prolog st;

@@ -1,0 +1,3 @@
+external now_ns : unit -> (int64[@unboxed])
+  = "fsdata_obs_clock_ns" "fsdata_obs_clock_ns_unboxed"
+[@@noalloc]

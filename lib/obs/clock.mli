@@ -1,0 +1,12 @@
+(** Monotonic time source for the observability layer.
+
+    All span timestamps and duration counters in {!Trace} and {!Metrics}
+    come from this clock, never from the wall clock: a monotonic reading
+    cannot go backwards under NTP adjustments, so durations are always
+    non-negative and span orderings within a run are truthful. *)
+
+val now_ns : unit -> int64
+(** [now_ns ()] is the current reading of [CLOCK_MONOTONIC] in
+    nanoseconds. The origin is unspecified (boot-relative on Linux);
+    only differences between two readings are meaningful. The native
+    code path is allocation-free. *)

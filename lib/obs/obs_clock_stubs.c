@@ -1,0 +1,24 @@
+/* Monotonic clock for span timestamps.
+
+   CLOCK_MONOTONIC never jumps backwards under NTP slews or wall-clock
+   changes, so span durations and orderings stay truthful — the property
+   the tracing layer advertises. The unboxed native variant avoids a
+   per-call int64 allocation on the instrumented hot paths. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+CAMLprim int64_t fsdata_obs_clock_ns_unboxed(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value fsdata_obs_clock_ns(value unit)
+{
+  return caml_copy_int64(fsdata_obs_clock_ns_unboxed(unit));
+}

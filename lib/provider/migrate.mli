@@ -33,6 +33,8 @@ type error =
           this is defensive) *)
 
 val pp_error : Format.formatter -> error -> unit
+(** Human-readable rendering of {!type-error}, as printed by
+    [fsdata migrate]. *)
 
 val migrate :
   old_provided:Provide.t ->

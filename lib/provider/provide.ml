@@ -35,7 +35,17 @@ let xml_collapsible (r : Shape.record) =
       Some (List.assoc f r.fields)
   | _ -> None
 
+(* Observability (docs/OBSERVABILITY.md): one [provide] span and one
+   [provide.runs] bump per shape→class-hierarchy translation;
+   [provide.classes] accumulates how many classes those runs emitted.
+   Global XML provision wraps its whole element-table walk instead,
+   since it builds classes outside {!provide}. *)
+let m_runs = Fsdata_obs.Metrics.counter "provide.runs"
+let m_classes = Fsdata_obs.Metrics.counter "provide.classes"
+
 let provide ?(format : format = `Json) ?(root_name = "Root") ?pool shape =
+  Fsdata_obs.Trace.with_span "provide" @@ fun () ->
+  Fsdata_obs.Metrics.incr m_runs;
   let pool = match pool with Some p -> p | None -> Naming.create_pool () in
   let classes = ref [] in
   let add_class c = classes := c :: !classes in
@@ -231,6 +241,7 @@ let provide ?(format : format = `Json) ?(root_name = "Root") ?pool shape =
   in
 
   let root_ty, conv = go ~hint:root_name ~root:true shape in
+  Fsdata_obs.Metrics.add m_classes (List.length !classes);
   { root_ty; conv; classes = List.rev !classes; shape; format }
 
 let provide_json ?root_name src =
@@ -247,6 +258,8 @@ let provide_xml_global sources =
   match Fsdata_core.Xml_global.of_strings sources with
   | Error e -> Error e
   | Ok global ->
+      Fsdata_obs.Trace.with_span "provide.xml_global" @@ fun () ->
+      Fsdata_obs.Metrics.incr m_runs;
       let module G = Fsdata_core.Xml_global in
       let pool = Naming.create_pool () in
       (* one class per element name; fix the name map first so recursive
@@ -359,6 +372,7 @@ let provide_xml_global sources =
             :: !classes)
         global.G.elements;
       let root_class = class_of global.G.root in
+      Fsdata_obs.Metrics.add m_classes (List.length !classes);
       Ok
         {
           root_ty = TClass root_class;

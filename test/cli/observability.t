@@ -1,0 +1,124 @@
+Pipeline observability: --trace (Chrome trace_event JSON) and --metrics
+(flat JSON object with a stable key set). See docs/OBSERVABILITY.md.
+
+  $ FSDATA=../../bin/fsdata.exe
+
+  $ printf '{"name": "ada", "age": 36}\n' > a.json
+  $ printf '{"name": "grace"}\n' > b.json
+
+The metrics key set is a property of the linked binary — every
+instrument is registered at module initialization, and the GC gauges
+use the fixed phases start/work/render — so it is pinned here in full.
+Values vary run to run; strip them:
+
+  $ $FSDATA infer --metrics - --jobs 2 a.json b.json | sed -n 's/^  "\([^"]*\)": .*/\1/p'
+  codegen.bytes
+  codegen.runs
+  csh.merges
+  csh.top_label_saturations
+  gc.render.heap_words
+  gc.render.major_collections
+  gc.render.major_words
+  gc.render.minor_collections
+  gc.render.minor_words
+  gc.start.heap_words
+  gc.start.major_collections
+  gc.start.major_words
+  gc.start.minor_collections
+  gc.start.minor_words
+  gc.work.heap_words
+  gc.work.major_collections
+  gc.work.major_words
+  gc.work.minor_collections
+  gc.work.minor_words
+  infer.samples
+  ingest.samples_clean
+  ingest.samples_quarantined
+  ingest.samples_total
+  par.chunk_size.count
+  par.chunk_size.max
+  par.chunk_size.mean
+  par.chunk_size.min
+  par.chunk_size.sum
+  par.chunks
+  par.domains_spawned
+  parse.csv.bytes
+  parse.csv.documents
+  parse.csv.ns
+  parse.json.bytes
+  parse.json.documents
+  parse.json.ns
+  parse.xml.bytes
+  parse.xml.documents
+  parse.xml.ns
+  provide.classes
+  provide.runs
+
+Sample-granular counters are deterministic: two clean samples over two
+chunks, nothing quarantined, one worker domain spawned next to the
+calling one:
+
+  $ $FSDATA infer --metrics m.json --jobs 2 a.json b.json
+  • {name: string, age: nullable int}
+  $ grep -E '"(ingest|par)\.' m.json
+    "ingest.samples_clean": 2,
+    "ingest.samples_quarantined": 0,
+    "ingest.samples_total": 2,
+    "par.chunk_size.count": 2,
+    "par.chunk_size.max": 1.000,
+    "par.chunk_size.mean": 1.000,
+    "par.chunk_size.min": 1.000,
+    "par.chunk_size.sum": 2.000,
+    "par.chunks": 2,
+    "par.domains_spawned": 1,
+
+Quarantined samples keep the reconciliation total = clean + quarantined
+(the metrics flush runs on the quarantine exit path too):
+
+  $ printf '{"name": ' > bad.json
+  $ $FSDATA infer --metrics q.json --max-errors 1 a.json b.json bad.json
+  • {name: string, age: nullable int}
+  fsdata: quarantined 1 of 3 samples
+  [3]
+  $ grep -E '"ingest\.' q.json
+    "ingest.samples_clean": 2,
+    "ingest.samples_quarantined": 1,
+    "ingest.samples_total": 3,
+
+--trace writes a trace_event document. With --jobs 2 over two samples
+the pipeline records the read, one span per chunk, the final merge, and
+the per-document parses; span names are pinned, timings vary:
+
+  $ $FSDATA infer --trace t.json --jobs 2 a.json b.json
+  • {name: string, age: nullable int}
+  $ grep -o '"name":"[^"]*"' t.json | sort | uniq -c | sed 's/^ *//'
+  1 "name":"cli.read"
+  2 "name":"infer.chunk"
+  1 "name":"infer.merge"
+  2 "name":"parse.json"
+
+Chunk spans carry their corpus position, and the two chunks run on two
+different threads of the trace (the worker domain keeps its own tid
+after the join):
+
+  $ grep -o '"args":{[^}]*}' t.json | sort
+  "args":{"offset":"0","size":"1"}
+  "args":{"offset":"1","size":"1"}
+  $ grep -o '"tid":[0-9]*' t.json | sort -u | wc -l | tr -d ' '
+  2
+
+The document is valid JSON — fsdata's own parser ingests it (this is
+what Perfetto and chrome://tracing load):
+
+  $ $FSDATA infer t.json > /dev/null && echo loadable
+  loadable
+
+The provider and codegen stages are traced as well:
+
+  $ $FSDATA codegen --trace ct.json a.json > /dev/null
+  $ grep -o '"name":"[^"]*"' ct.json | sort -u
+  "name":"cli.read"
+  "name":"codegen.generate"
+  "name":"infer.chunk"
+  "name":"parse.json"
+  "name":"provide"
