@@ -452,33 +452,61 @@ let par_bench () =
             t_par
             (Some (t_seq, Shape.equal seq_shape par_shape)))
         jobs_list;
-      (* streaming: chunked parse fused with per-chunk inference *)
+      (* streaming: chunked parse fused with per-chunk inference. Both
+         granularities are measured: the historical fixed 512-document
+         chunks, and the adaptive default that targets a corpus-sized
+         slice of bytes per chunk (EXPERIMENTS.md B7) — the fix for the
+         regime where tiny chunks made --jobs > 1 slower than the
+         sequential fold. *)
       let text = Workloads.corpus_text n in
       let seq_stream, t_seq_stream =
         time_best ~repeats (fun () -> Infer.of_json text)
       in
       row "parse+infer sequential" t_seq_stream None;
+      let stream_row label result t =
+        row label t
+          (Some
+             ( t_seq_stream,
+               match (seq_stream, result) with
+               | Ok a, Ok b -> Shape.equal a b
+               | _ -> false ))
+      in
       List.iter
         (fun jobs ->
-          let par_stream, t_par_stream =
+          let fixed, t_fixed =
             time_best ~repeats (fun () -> Par.of_json ~jobs ~chunk_size:512 text)
           in
-          row
-            (Printf.sprintf "parse+infer --jobs %d" jobs)
-            t_par_stream
-            (Some
-               ( t_seq_stream,
-                 match (seq_stream, par_stream) with
-                 | Ok a, Ok b -> Shape.equal a b
-                 | _ -> false )))
+          stream_row
+            (Printf.sprintf "parse+infer -j %d, 512/chunk" jobs)
+            fixed t_fixed;
+          let adaptive, t_adaptive =
+            time_best ~repeats (fun () -> Par.of_json ~jobs text)
+          in
+          stream_row
+            (Printf.sprintf "parse+infer -j %d, adaptive" jobs)
+            adaptive t_adaptive;
+          if !smoke then begin
+            let agree =
+              match (seq_stream, fixed, adaptive) with
+              | Ok a, Ok b, Ok c -> Shape.equal a b && Shape.equal a c
+              | _ -> false
+            in
+            if not agree then begin
+              Printf.eprintf
+                "par: smoke assertion failed: fixed/adaptive chunking \
+                 disagrees with the sequential fold (jobs %d)\n"
+                jobs;
+              exit 1
+            end
+          end)
         jobs_list;
       match jobs_list with
       | [] -> ()
       | jobs :: _ ->
           ignore
             (stage_breakdown
-               (Printf.sprintf "parse+infer --jobs %d, %d docs" jobs n)
-               (fun () -> Par.of_json ~jobs ~chunk_size:512 text)))
+               (Printf.sprintf "parse+infer --jobs %d, %d docs, adaptive" jobs n)
+               (fun () -> Par.of_json ~jobs text)))
     sizes;
   print_newline ()
 
@@ -665,6 +693,172 @@ let obs_bench () =
     ];
   print_newline ()
 
+(* ----- hetero: §6.4 heterogeneous collections ----- *)
+
+(* How much do labelled tops with multiplicities cost, and how often
+   does csh saturate primitive labels when collections genuinely mix
+   tag families? Three workloads: the worldbank nested pair (§2.3), a
+   six-way mixed-tag collection, and a stream of worldbank-style
+   documents through the parallel driver (smoke asserts seq ≡ par on
+   it). The csh.merges / csh.top_label_saturations counters are read
+   around one inference of each document to report saturation rates. *)
+let hetero_bench () =
+  let module Par = Fsdata_core.Par_infer in
+  let module M = Fsdata_obs.Metrics in
+  print_endline "== hetero: heterogeneous collections (Section 6.4) ==";
+  let rows = if !smoke then 500 else 20_000 in
+  let wb = Workloads.worldbank_like rows in
+  let mixed = Workloads.mixed_tags_array rows in
+  (* counter deltas around a single practical-mode inference *)
+  let merges = M.counter "csh.merges" in
+  let saturations = M.counter "csh.top_label_saturations" in
+  let count_one label d =
+    let was = M.enabled () in
+    M.set_enabled true;
+    let m0 = M.value merges and s0 = M.value saturations in
+    let shape = Infer.shape_of_value ~mode:`Practical d in
+    let dm = M.value merges - m0 and ds = M.value saturations - s0 in
+    M.set_enabled was;
+    Printf.printf "  %-28s %7d csh merges, %5d top-label saturations\n%!"
+      label dm ds;
+    (shape, ds)
+  in
+  let _, _ = count_one (Printf.sprintf "worldbank, %d rows" rows) wb in
+  let mixed_shape, mixed_sat =
+    count_one (Printf.sprintf "mixed tags, %d elements" rows) mixed
+  in
+  if !smoke then begin
+    let printed = Shape.to_string mixed_shape in
+    (* the six tag families must each land in their own entry of one
+       heterogeneous collection, and joining int into the existing
+       labels must have saturated at least once *)
+    let is_hetero_collection =
+      match mixed_shape with
+      | Shape.Collection entries -> List.length entries >= 3
+      | _ -> false
+    in
+    if not is_hetero_collection then begin
+      Printf.eprintf
+        "hetero: smoke assertion failed: mixed-tag collection did not \
+         infer to a heterogeneous collection (got %s)\n"
+        printed;
+      exit 1
+    end;
+    if mixed_sat <= 0 then begin
+      Printf.eprintf
+        "hetero: smoke assertion failed: no top-label saturations on the \
+         mixed-tag collection\n";
+      exit 1
+    end
+  end;
+  (* a worldbank-style document stream through the parallel driver *)
+  let docs = if !smoke then 50 else 2_000 in
+  let text = Workloads.hetero_corpus_text docs in
+  let repeats = if !smoke then 1 else 3 in
+  let seq, t_seq = time_best ~repeats (fun () -> Infer.of_json text) in
+  Printf.printf "  %6d worldbank docs: parse+infer sequential %8.1f ms\n%!"
+    docs (t_seq *. 1e3);
+  let par, t_par =
+    time_best ~repeats (fun () -> Par.of_json ~jobs:2 text)
+  in
+  let agree =
+    match (seq, par) with Ok a, Ok b -> Shape.equal a b | _ -> false
+  in
+  Printf.printf
+    "  %6d worldbank docs: parse+infer -j 2       %8.1f ms  agree=%b\n%!"
+    docs (t_par *. 1e3) agree;
+  if !smoke && not agree then begin
+    Printf.eprintf
+      "hetero: smoke assertion failed: parallel inference disagrees with \
+       sequential on the worldbank stream\n";
+    exit 1
+  end;
+  (* timing: practical (multiplicities) vs paper mode on the same data *)
+  run_group "hetero"
+    [
+      Test.make ~name:(Printf.sprintf "S(worldbank), %d rows, hetero" rows)
+        (stage (fun () -> Infer.shape_of_value ~mode:`Practical wb));
+      Test.make ~name:(Printf.sprintf "S(worldbank), %d rows, paper" rows)
+        (stage (fun () -> Infer.shape_of_value ~mode:`Paper wb));
+      Test.make ~name:(Printf.sprintf "S(mixed tags), %d elements" rows)
+        (stage (fun () -> Infer.shape_of_value ~mode:`Practical mixed));
+      Test.make ~name:"hasShape over the mixed top"
+        (stage
+           (let s = Infer.shape_of_value ~mode:`Practical mixed in
+            fun () -> Fsdata_core.Shape_check.has_shape s mixed));
+    ];
+  print_newline ()
+
+(* ----- serve: the /infer response cache ----- *)
+
+(* The acceptance criterion for the serving subsystem: a repeated corpus
+   must be answered from the digest-keyed LRU at least 10x faster than
+   the initial parse+infer, with a byte-identical body. Measured at the
+   handler level ({!Fsdata_serve.Server.handle} on a synthetic request),
+   so the number isolates cache lookup + digest from socket noise. *)
+let serve_bench () =
+  let module Server = Fsdata_serve.Server in
+  let module Http = Fsdata_serve.Http in
+  let module M = Fsdata_obs.Metrics in
+  print_endline "== serve: /infer response cache ==";
+  let was = M.enabled () in
+  M.set_enabled true;
+  let n = if !smoke then 2_000 else 50_000 in
+  let repeats = if !smoke then 3 else 5 in
+  let body = Workloads.corpus_text n in
+  let req =
+    {
+      Http.meth = "POST";
+      path = "/infer";
+      query = [ ("format", "json") ];
+      version = `Http_1_1;
+      headers = [];
+      body;
+    }
+  in
+  let cache_header resp =
+    List.assoc_opt "x-fsdata-cache" resp.Http.resp_headers
+  in
+  (* cold: a fresh server per repeat, so every run is a miss *)
+  let miss_resp, t_miss =
+    time_best ~repeats (fun () ->
+        let t = Server.create Server.default_config in
+        Server.handle t req)
+  in
+  (* warm: one server, first request populates, the rest hit *)
+  let t = Server.create Server.default_config in
+  let first = Server.handle t req in
+  let hit_resp, t_hit = time_best ~repeats (fun () -> Server.handle t req) in
+  let identical = miss_resp.Http.resp_body = hit_resp.Http.resp_body in
+  let speedup = t_miss /. t_hit in
+  Printf.printf
+    "  %6d docs (%d KiB): miss %8.1f ms   hit %8.3f ms   %6.0fx speedup\n%!"
+    n
+    (String.length body / 1024)
+    (t_miss *. 1e3) (t_hit *. 1e3) speedup;
+  Printf.printf
+    "                cache headers: first=%s repeat=%s; bodies identical: %b\n%!"
+    (Option.value ~default:"?" (cache_header first))
+    (Option.value ~default:"?" (cache_header hit_resp))
+    identical;
+  M.set_enabled was;
+  let fail msg =
+    Printf.eprintf "serve: smoke assertion failed: %s\n" msg;
+    exit 1
+  in
+  if !smoke then begin
+    if not identical then fail "hit body differs from miss body";
+    if cache_header miss_resp <> Some "miss" then fail "expected a miss header";
+    if cache_header hit_resp <> Some "hit" then fail "expected a hit header";
+    if miss_resp.Http.status <> 200 || hit_resp.Http.status <> 200 then
+      fail "expected 200s";
+    (* the acceptance bar is 10x; assert half of it so CI noise on the
+       shared container can't flake the build *)
+    if speedup < 5. then
+      fail (Printf.sprintf "cache speedup %.1fx below the 5x smoke bar" speedup)
+  end;
+  print_newline ()
+
 (* ----- provider: the "compile-time" pipeline costs ----- *)
 
 let provider_bench () =
@@ -731,6 +925,8 @@ let groups =
     ("par", par_bench);
     ("faults", faults_bench);
     ("obs", obs_bench);
+    ("hetero", hetero_bench);
+    ("serve", serve_bench);
   ]
 
 let () =

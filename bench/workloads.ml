@@ -78,7 +78,58 @@ let worldbank_like n =
                  ] )));
     ]
 
+(* A collection mixing tag families — ints, strings, records of two
+   distinct field sets, null, and nested lists — so inference builds a
+   labelled top with multiplicities (Section 6.4) and csh saturates
+   primitive labels across entries. *)
+let mixed_tags_array n =
+  let r = rng 13 in
+  Dv.List
+    (List.init n (fun i ->
+         match pick r 6 with
+         | 0 -> Dv.Int (pick r 1000)
+         | 1 -> Dv.String (Printf.sprintf "label%d" (pick r 50))
+         | 2 ->
+             Dv.Record
+               ( Dv.json_record_name,
+                 [
+                   ("city", Dv.String (Printf.sprintf "city%d" (pick r 20)));
+                   ("population", Dv.Int (pick r 1_000_000));
+                   (* bit-string / record / bool across elements: the
+                      record forces a labelled top for this field, and
+                      the bit label then joins into bool when it meets
+                      it there (csh.top_label_saturations) *)
+                   ( "mixed",
+                     match i mod 3 with
+                     | 0 -> Dv.String "0"
+                     | 1 -> Dv.Record ("point", [ ("x", Dv.Int (pick r 9)) ])
+                     | _ -> Dv.Bool (pick r 2 = 0) );
+                 ] )
+         | 3 ->
+             Dv.Record
+               ( "country",
+                 [
+                   ("name", Dv.String (Printf.sprintf "country%d" i));
+                   ("gdp", Dv.Float (float_of_int (pick r 5000) /. 10.));
+                 ] )
+         | 4 -> Dv.Null
+         | _ -> Dv.List (List.init (pick r 3) (fun j -> Dv.Int j))))
+
 let json_text d = Fsdata_data.Json.to_string d
+
+(* A stream of worldbank-style documents (§2.3 / §6.4): each document is
+   the [metadata record; data array] heterogeneous pair, rows_per_doc
+   rows each. Exercises nested lists and labelled-top merging across
+   documents — the shape every doc contributes is a 2-entry top. *)
+let hetero_corpus_text ?(rows_per_doc = 20) n =
+  let buf = Buffer.create (n * rows_per_doc * 32) in
+  for i = 0 to n - 1 do
+    (* vary the row count so per-document shapes differ in multiplicity
+       and the cross-document csh merges stay non-trivial *)
+    Buffer.add_string buf (json_text (worldbank_like (rows_per_doc + (i mod 7))));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
 
 (* CSV text with n rows over the ozone-style columns. *)
 let csv_text n =

@@ -641,6 +641,85 @@ let schema_cmd =
         (const run $ obs_term $ format_arg $ jobs_arg $ max_errors_arg
        $ quarantine_arg $ samples_arg))
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let port_arg =
+    Arg.(
+      value & opt int 8080
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"Port to listen on; $(b,0) picks an ephemeral port (printed
+                on startup, and written to $(b,--port-file) when given).")
+  in
+  let host_arg =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains serving connections. Inference itself can
+                use further domains per request via the $(b,jobs) query
+                parameter.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Per-connection receive/send timeout in milliseconds; an
+                idle keep-alive connection is closed after this long, and
+                a half-sent request is answered $(b,408).")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"Capacity of the LRU response cache for $(b,POST /infer),
+                keyed by the digest of (format, jobs, budget, body);
+                $(b,0) disables caching. Hits are marked with the
+                $(b,X-Fsdata-Cache) response header.")
+  in
+  let port_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:"Write the bound port number to $(docv) once listening —
+                for scripts that start the server with $(b,--port 0).")
+  in
+  let run () port host workers timeout_ms cache_entries port_file =
+    if workers < 1 then `Error (false, "--workers must be at least 1")
+    else if timeout_ms < 1 then `Error (false, "--timeout-ms must be positive")
+    else begin
+      Fsdata_serve.Server.run
+        {
+          Fsdata_serve.Server.port;
+          host;
+          workers;
+          timeout_ms;
+          cache_entries;
+          max_body = Fsdata_serve.Server.default_config.Fsdata_serve.Server.max_body;
+          port_file;
+        };
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the HTTP inference service: POST sample corpora to
+             $(b,/infer) (with $(b,format), $(b,jobs) and $(b,max-errors)
+             query parameters), documents to $(b,/check) and
+             $(b,/explain), and scrape $(b,/metrics). Repeated corpora
+             are answered from a digest-keyed LRU cache of hash-consed
+             shapes. See $(b,docs/SERVING.md).")
+    Term.(
+      ret
+        (const run $ obs_term $ port_arg $ host_arg $ workers_arg
+       $ timeout_arg $ cache_arg $ port_file_arg))
+
 (* --- migrate --- *)
 
 let migrate_cmd =
@@ -702,7 +781,7 @@ let main =
              XML and CSV (PLDI 2016 reproduction).")
     [
       infer_cmd; provide_cmd; codegen_cmd; check_cmd; schema_cmd; sample_cmd;
-      migrate_cmd;
+      serve_cmd; migrate_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -257,13 +257,48 @@ let of_xml_samples ?(mode : mode = `Xml) ?jobs texts =
   in
   of_samples ~mode ~parse ~jobs texts
 
+(* Adaptive chunk granularity (ROADMAP "parallel streaming speedup is
+   negative"): with the old fixed 256-document parse chunk, each worker
+   hand-off carried only a few tens of kilobytes of inference work, so
+   [Domain.spawn] and queue traffic dominated and [--jobs 2/4] ran
+   slower than the sequential fold. Scale the chunk to the corpus and
+   the worker count instead: target [chunks_per_job] hand-offs per job
+   by source bytes, clamped to [[min_chunk_bytes, max_chunk_bytes]],
+   with a document-count ceiling so corpora of millions of tiny
+   documents still hand off bounded lists. Both caps are overridable
+   ([?chunk_size] in documents, [?chunk_bytes] in source bytes);
+   passing [~chunk_size] alone reproduces the fixed-granularity
+   behaviour. EXPERIMENTS.md B7 records the before/after. *)
+let chunks_per_job = 8
+
+let min_chunk_bytes = 64 * 1024
+let max_chunk_bytes = 8 * 1024 * 1024
+let default_chunk_docs = 65536
+
+let adaptive_granularity ~jobs ~src_bytes chunk_size chunk_bytes =
+  let bytes =
+    match chunk_bytes with
+    | Some b -> b
+    | None ->
+        max min_chunk_bytes
+          (min max_chunk_bytes (src_bytes / max 1 (jobs * chunks_per_job)))
+  in
+  let docs =
+    match chunk_size with Some n -> n | None -> default_chunk_docs
+  in
+  (docs, bytes)
+
 (* Streaming JSON: the parser walks the stream chunk by chunk
    ({!Json.fold_many}) and hands each parsed chunk to a worker domain
    for inference, keeping at most [jobs] chunks in flight; their shapes
    are collected in stream order and tree-merged at the end. Only the
    in-flight chunks are resident as data values. *)
-let of_json ?(mode : mode = `Practical) ?jobs ?(chunk_size = 256) src =
+let of_json ?(mode : mode = `Practical) ?jobs ?chunk_size ?chunk_bytes src =
   let jobs = normalize_jobs jobs in
+  let chunk_size, chunk_bytes =
+    adaptive_granularity ~jobs ~src_bytes:(String.length src) chunk_size
+      chunk_bytes
+  in
   let cmode = Infer.csh_mode mode in
   let infer_chunk ~offset ds =
     traced_chunk ~offset ~size:(List.length ds) (fun () ->
@@ -280,7 +315,7 @@ let of_json ?(mode : mode = `Practical) ?jobs ?(chunk_size = 256) src =
     done
   in
   match
-    Json.fold_many ~chunk_size
+    Json.fold_many ~chunk_size ~chunk_bytes
       (fun () ds ->
         let offset = !seen in
         count_clean (List.length ds);
@@ -309,9 +344,13 @@ let of_json ?(mode : mode = `Practical) ?jobs ?(chunk_size = 256) src =
    fold itself never raises. Worker-domain inference is wrapped so a
    crash surfaces as an [Error], never as a raw exception out of
    [Domain.join]. *)
-let of_json_tolerant ?(mode : mode = `Practical) ?jobs ?(chunk_size = 256)
+let of_json_tolerant ?(mode : mode = `Practical) ?jobs ?chunk_size ?chunk_bytes
     ~budget src =
   let jobs = normalize_jobs jobs in
+  let chunk_size, chunk_bytes =
+    adaptive_granularity ~jobs ~src_bytes:(String.length src) chunk_size
+      chunk_bytes
+  in
   let cmode = Infer.csh_mode mode in
   let infer_chunk ~offset ds =
     traced_chunk ~offset ~size:(List.length ds) (fun () ->
@@ -335,7 +374,7 @@ let of_json_tolerant ?(mode : mode = `Practical) ?jobs ?(chunk_size = 256)
       drain_one ()
     done
   in
-  Json.fold_many ~chunk_size ~on_error
+  Json.fold_many ~chunk_size ~chunk_bytes ~on_error
     (fun () ds ->
       let offset = !seen in
       count_clean (List.length ds);

@@ -62,12 +62,26 @@ val of_json_samples :
     driver. *)
 
 val of_json :
-  ?mode:mode -> ?jobs:int -> ?chunk_size:int -> string -> (Shape.t, string) result
+  ?mode:mode ->
+  ?jobs:int ->
+  ?chunk_size:int ->
+  ?chunk_bytes:int ->
+  string ->
+  (Shape.t, string) result
 (** Streaming variant of {!Infer.of_json}: the whitespace-separated
-    document stream is parsed in chunks of [chunk_size] documents
-    (default 256) and each chunk's shape is inferred in a worker domain
-    while the parser races ahead, so the whole corpus is never resident
-    at once. Parse errors carry positions relative to the whole stream. *)
+    document stream is parsed in chunks and each chunk's shape is
+    inferred in a worker domain while the parser races ahead, so the
+    whole corpus is never resident at once. Parse errors carry positions
+    relative to the whole stream.
+
+    Chunk granularity is {e adaptive} by default: a chunk is cut once it
+    has consumed [corpus bytes / (jobs * 8)] source bytes (clamped to
+    [64KiB..8MiB]) or 65536 documents, whichever fills first, so the
+    per-chunk spawn/hand-off cost is amortized over a corpus-sized slice
+    of work instead of a fixed 256 tiny documents (the regime in which
+    [--jobs 2/4] used to run slower than the sequential fold — see
+    EXPERIMENTS.md B7). Both caps are overridable: [chunk_size] bounds a
+    chunk in documents, [chunk_bytes] in consumed source bytes. *)
 
 val of_xml_samples :
   ?mode:mode -> ?jobs:int -> string list -> (Shape.t, string) result
@@ -104,10 +118,12 @@ val of_json_tolerant :
   ?mode:mode ->
   ?jobs:int ->
   ?chunk_size:int ->
+  ?chunk_bytes:int ->
   budget:Fsdata_data.Diagnostic.budget ->
   string ->
   (Infer.report, string) result
 (** Streaming recovering variant of {!of_json}: malformed documents are
     skipped via {!Fsdata_data.Json.fold_many}'s resynchronization and
     quarantined with their stream index while clean chunks are inferred
-    in worker domains. *)
+    in worker domains. Chunk granularity is adaptive exactly as in
+    {!of_json}. *)

@@ -40,7 +40,14 @@ let tagof = function
 let sort_fields fields =
   List.sort (fun (a, _) (b, _) -> String.compare a b) fields
 
+(* Physical identity short-circuits every level of the comparison: on
+   hash-consed shapes (see {!hcons}) structurally equal subtrees are
+   pointer-equal, so the (eq) fast path of [Csh.csh] and the deep
+   recursive comparisons degenerate to pointer tests. On shapes that
+   were never interned the test is a no-op branch. *)
 let rec compare a b =
+  if a == b then 0
+  else
   match (a, b) with
   | Bottom, Bottom -> 0
   | Bottom, _ -> -1
@@ -63,6 +70,8 @@ let rec compare a b =
   | Top l1, Top l2 -> compare_list l1 l2
 
 and compare_records r1 r2 =
+  if r1 == r2 then 0
+  else
   match String.compare r1.name r2.name with
   | 0 -> compare_fields (sort_fields r1.fields) (sort_fields r2.fields)
   | c -> c
@@ -96,7 +105,7 @@ and compare_list l1 l2 =
   | _, [] -> 1
   | x :: l1, y :: l2 -> ( match compare x y with 0 -> compare_list l1 l2 | c -> c)
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
 
 let record name fields =
   let seen = Hashtbl.create 8 in
@@ -164,6 +173,89 @@ let rec size = function
   | Collection entries ->
       1 + List.fold_left (fun acc e -> acc + size e.shape) 0 entries
   | Top labels -> 1 + List.fold_left (fun acc s -> acc + size s) 0 labels
+
+(* ----- hash-consing (ROADMAP: shape hash-consing cache) -----
+
+   [hcons] rebuilds a shape bottom-up, interning every node in a global
+   table so that structurally identical representations become physically
+   equal. Children of a probe node are always already interned, so the
+   table's equality only needs to look one level deep and can compare
+   children by pointer. Interning preserves the exact representation —
+   record field order included — so it is invisible to printing and
+   provided types; [equal]'s physical fast path is what it buys. *)
+
+module Hnode = struct
+  type nonrec t = t
+
+  let rec eq_fields f g =
+    match (f, g) with
+    | [], [] -> true
+    | (n1, s1) :: f, (n2, s2) :: g ->
+        String.equal n1 n2 && s1 == s2 && eq_fields f g
+    | _ -> false
+
+  let rec eq_entries e f =
+    match (e, f) with
+    | [], [] -> true
+    | e1 :: e, f1 :: f ->
+        e1.shape == f1.shape && e1.mult = f1.mult && eq_entries e f
+    | _ -> false
+
+  let rec eq_labels l1 l2 =
+    match (l1, l2) with
+    | [], [] -> true
+    | x :: l1, y :: l2 -> x == y && eq_labels l1 l2
+    | _ -> false
+
+  let equal a b =
+    match (a, b) with
+    | Bottom, Bottom | Null, Null -> true
+    | Primitive p, Primitive q -> p = q
+    | Record r1, Record r2 ->
+        String.equal r1.name r2.name && eq_fields r1.fields r2.fields
+    | Nullable a, Nullable b -> a == b
+    | Collection e1, Collection e2 -> eq_entries e1 e2
+    | Top l1, Top l2 -> eq_labels l1 l2
+    | _ -> false
+
+  (* Structural hashing with a generous node budget: a valid hash for
+     the shallow equality above (shallow-equal nodes are structurally
+     equal), with enough depth to separate similar record shapes. *)
+  let hash (s : t) = Hashtbl.hash_param 64 512 s
+end
+
+module Htbl = Hashtbl.Make (Hnode)
+
+let m_hcons_hits = Fsdata_obs.Metrics.counter "shape.hcons.hits"
+let m_hcons_misses = Fsdata_obs.Metrics.counter "shape.hcons.misses"
+let hcons_lock = Mutex.create ()
+let hcons_tbl : t Htbl.t = Htbl.create 4096
+
+let hcons_node n =
+  match Htbl.find_opt hcons_tbl n with
+  | Some c ->
+      Fsdata_obs.Metrics.incr m_hcons_hits;
+      c
+  | None ->
+      Fsdata_obs.Metrics.incr m_hcons_misses;
+      Htbl.add hcons_tbl n n;
+      n
+
+let rec hcons_rec s =
+  match s with
+  | Bottom | Null | Primitive _ -> hcons_node s
+  | Record { name; fields } ->
+      hcons_node
+        (Record { name; fields = List.map (fun (n, t) -> (n, hcons_rec t)) fields })
+  | Nullable t -> hcons_node (Nullable (hcons_rec t))
+  | Collection entries ->
+      hcons_node
+        (Collection (List.map (fun e -> { e with shape = hcons_rec e.shape }) entries))
+  | Top labels -> hcons_node (Top (List.map hcons_rec labels))
+
+let hcons s = Mutex.protect hcons_lock (fun () -> hcons_rec s)
+let hcons_size () = Mutex.protect hcons_lock (fun () -> Htbl.length hcons_tbl)
+let hcons_clear () = Mutex.protect hcons_lock (fun () -> Htbl.reset hcons_tbl)
 
 let pp_primitive ppf p =
   Fmt.string ppf

@@ -59,7 +59,34 @@ and record = { name : string; fields : (string * t) list }
 and entry = { shape : t; mult : Multiplicity.t }
 
 val equal : t -> t -> bool
+(** Structural shape equality (record field order ignored). Physically
+    equal shapes — in particular any two {!hcons} results with the same
+    representation — short-circuit without traversal, and the recursive
+    comparison short-circuits on every physically shared subtree. *)
+
 val compare : t -> t -> int
+
+(** {1 Hash-consing}
+
+    Interning turns structurally identical shape representations into
+    physically shared values, so {!equal} (and through it the (eq) fast
+    path of [Csh.csh]) is a pointer comparison on hot shapes and a wide
+    corpus's repeated sub-shapes are resident once. The serving layer
+    interns every shape it caches; batch pipelines may opt in. *)
+
+val hcons : t -> t
+(** [hcons s] is a canonical, maximally shared value with exactly the
+    representation of [s] (record field order preserved, so printing and
+    provided types are unchanged). [equal (hcons s) s] always holds, and
+    [hcons s1 == hcons s2] whenever [s1] and [s2] have identical
+    representations. Safe to call from any domain (one global lock). *)
+
+val hcons_size : unit -> int
+(** Number of distinct nodes currently interned. *)
+
+val hcons_clear : unit -> unit
+(** Drop the intern table (existing shapes stay valid; future {!hcons}
+    calls re-intern). Long-lived servers call this to bound the table. *)
 
 (** {1 Constructors} *)
 

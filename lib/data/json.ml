@@ -358,10 +358,17 @@ let resync st ~start =
   done;
   !found
 
-let fold_many ?(chunk_size = 256) ?on_error f acc s =
+let fold_many ?(chunk_size = 256) ?chunk_bytes ?on_error f acc s =
   if chunk_size < 1 then invalid_arg "Json.fold_many: chunk_size must be positive";
+  let byte_cap =
+    match chunk_bytes with
+    | None -> max_int
+    | Some b ->
+        if b < 1 then invalid_arg "Json.fold_many: chunk_bytes must be positive"
+        else b
+  in
   let st = make_state s in
-  let rec loop acc chunk n idx =
+  let rec loop acc chunk n bytes idx =
     skip_ws st;
     if st.pos >= st.len then if n = 0 then acc else f acc (List.rev chunk)
     else begin
@@ -370,9 +377,13 @@ let fold_many ?(chunk_size = 256) ?on_error f acc s =
       | v ->
           Fsdata_obs.Metrics.incr m_docs;
           Fsdata_obs.Metrics.add m_bytes (st.pos - mark);
-          if n + 1 >= chunk_size then
-            loop (f acc (List.rev (v :: chunk))) [] 0 (idx + 1)
-          else loop acc (v :: chunk) (n + 1) (idx + 1)
+          let bytes = bytes + (st.pos - mark) in
+          (* cut the chunk at whichever cap fills first: the document
+             count, or the consumed source bytes (so huge documents keep
+             chunk residency bounded) *)
+          if n + 1 >= chunk_size || bytes >= byte_cap then
+            loop (f acc (List.rev (v :: chunk))) [] 0 0 (idx + 1)
+          else loop acc (v :: chunk) (n + 1) bytes (idx + 1)
       | exception Diagnostic.Parse_error d -> (
           match on_error with
           | None -> reraise_legacy d
@@ -382,10 +393,10 @@ let fold_many ?(chunk_size = 256) ?on_error f acc s =
               ignore (resync st ~start:mark);
               let skipped = String.trim (String.sub s mark (st.pos - mark)) in
               handler (Diagnostic.with_index idx d) ~skipped;
-              loop acc chunk n (idx + 1))
+              loop acc chunk n bytes (idx + 1))
     end
   in
-  loop acc [] 0 0
+  loop acc [] 0 0 0
 
 let parse_many s =
   List.rev (fold_many (fun acc c -> List.rev_append c acc) [] s)

@@ -32,6 +32,7 @@ val parse_many : string -> Data_value.t list
 
 val fold_many :
   ?chunk_size:int ->
+  ?chunk_bytes:int ->
   ?on_error:(Diagnostic.t -> skipped:string -> unit) ->
   ('acc -> Data_value.t list -> 'acc) ->
   'acc ->
@@ -41,9 +42,13 @@ val fold_many :
     parse up to [chunk_size] documents (default 256), hand them to the
     fold function, and continue, so the caller can process (or ship to
     another domain) a bounded batch at a time instead of materializing
-    the whole corpus. Positions in {!Parse_error} are relative to the
-    whole stream. [parse_many] is [fold_many] collecting every chunk.
-    Raises [Invalid_argument] when [chunk_size < 1].
+    the whole corpus. With [chunk_bytes] a chunk is also cut once it has
+    consumed at least that many source bytes, whichever cap fills first —
+    callers that want large chunks measured in documents stay safe on
+    corpora of huge documents. Positions in {!Parse_error} are relative
+    to the whole stream. [parse_many] is [fold_many] collecting every
+    chunk. Raises [Invalid_argument] when [chunk_size < 1] or
+    [chunk_bytes < 1].
 
     With [on_error] the driver runs in {e recovering} mode: a malformed
     document is skipped instead of aborting the stream. The handler

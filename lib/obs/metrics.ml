@@ -17,10 +17,12 @@ type histogram = {
    from {!gc_snapshot}; a mutex keeps the tables consistent anyway so
    late registration from a worker is not a data race. Instrument
    updates never touch the tables. *)
+type gauge = { g_name : string; g_cell : float Atomic.t }
+
 let registry_mutex = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 8
-let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 16
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 
 let counter name =
   Mutex.protect registry_mutex (fun () ->
@@ -80,17 +82,26 @@ let observe h x =
         if x < h.mn then h.mn <- x;
         if x > h.mx then h.mx <- x)
 
-let set_gauge name v =
-  let cell =
-    Mutex.protect registry_mutex (fun () ->
-        match Hashtbl.find_opt gauges name with
-        | Some g -> g
-        | None ->
-            let g = ref 0. in
-            Hashtbl.add gauges name g;
-            g)
-  in
-  cell := v
+let gauge name =
+  Mutex.protect registry_mutex (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some g -> g
+      | None ->
+          let g = { g_name = name; g_cell = Atomic.make 0. } in
+          Hashtbl.add gauges name g;
+          g)
+
+(* Gauges track live state (e.g. in-flight requests whose begin/end
+   straddle a [set_enabled] flip), so updates are unconditional — gating
+   them on the enabled flag could leave the level permanently skewed. *)
+let gauge_set g v = Atomic.set g.g_cell v
+
+let rec gauge_add g d =
+  let v = Atomic.get g.g_cell in
+  if not (Atomic.compare_and_set g.g_cell v (v +. d)) then gauge_add g d
+
+let gauge_value g = Atomic.get g.g_cell
+let set_gauge name v = gauge_set (gauge name) v
 
 let gc_snapshot phase =
   if Atomic.get enabled_flag then begin
@@ -114,7 +125,7 @@ let reset () =
               h.mn <- infinity;
               h.mx <- neg_infinity))
         histograms;
-      Hashtbl.iter (fun _ g -> g := 0.) gauges)
+      Hashtbl.iter (fun _ g -> Atomic.set g.g_cell 0.) gauges)
 
 let export () =
   let entries =
@@ -123,7 +134,9 @@ let export () =
         Hashtbl.iter
           (fun name c -> acc := (name, `Int (Atomic.get c.cell)) :: !acc)
           counters;
-        Hashtbl.iter (fun name g -> acc := (name, `Float !g) :: !acc) gauges;
+        Hashtbl.iter
+          (fun name g -> acc := (name, `Float (Atomic.get g.g_cell)) :: !acc)
+          gauges;
         Hashtbl.iter
           (fun name h ->
             let n, sum, mn, mx =

@@ -21,6 +21,13 @@ type counter
 type histogram
 (** A running summary (count / sum / min / max) of observed values. *)
 
+type gauge
+(** A value that can go up and down — e.g. the number of in-flight HTTP
+    requests. Safe to move from any domain. Unlike counters and
+    histograms, gauges are {e not} gated on {!enabled}: a gauge tracks
+    live state (a request that began while recording was off still ends
+    later), so conditional updates would let it drift negative. *)
+
 val counter : string -> counter
 (** [counter name] registers (or retrieves — registration is idempotent
     by name) the counter called [name]. Names are dot-separated,
@@ -49,6 +56,19 @@ val histogram : string -> histogram
 
 val observe : histogram -> float -> unit
 (** [observe h x] records one observation when recording is enabled. *)
+
+val gauge : string -> gauge
+(** [gauge name] registers (idempotently) the gauge [name]. It exports
+    as a single [`Float] key. Gauges registered by {!gc_snapshot} share
+    this namespace. *)
+
+val gauge_set : gauge -> float -> unit
+val gauge_add : gauge -> float -> unit
+(** [gauge_add g d] moves [g] by [d] (negative to decrease); atomic, so
+    balanced add/subtract pairs from concurrent domains cancel exactly. *)
+
+val gauge_value : gauge -> float
+(** The current level (regardless of the enabled flag). *)
 
 val gc_snapshot : string -> unit
 (** [gc_snapshot phase] captures [Gc.quick_stat] into gauges

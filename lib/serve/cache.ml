@@ -1,0 +1,73 @@
+(* Doubly-linked intrusive LRU list + hashtable index, one mutex. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* towards MRU *)
+  mutable next : 'a node option;  (* towards LRU *)
+}
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;  (* MRU *)
+  mutable tail : 'a node option;  (* LRU *)
+  lock : Mutex.t;
+}
+
+let create ~capacity =
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    lock = Mutex.create ();
+  }
+
+let capacity t = t.cap
+let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tbl)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t key =
+  if t.cap <= 0 then None
+  else
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | None -> None
+        | Some n ->
+            unlink t n;
+            push_front t n;
+            Some n.value)
+
+let add t key value =
+  if t.cap <= 0 then 0
+  else
+    Mutex.protect t.lock (fun () ->
+        (match Hashtbl.find_opt t.tbl key with
+        | Some n ->
+            n.value <- value;
+            unlink t n;
+            push_front t n
+        | None ->
+            let n = { key; value; prev = None; next = None } in
+            Hashtbl.replace t.tbl key n;
+            push_front t n);
+        if Hashtbl.length t.tbl > t.cap then (
+          match t.tail with
+          | Some lru ->
+              unlink t lru;
+              Hashtbl.remove t.tbl lru.key;
+              1
+          | None -> 0)
+        else 0)

@@ -1,0 +1,19 @@
+(** A mutex-protected LRU map from string keys to values, used by the
+    server to keep rendered [/infer] responses for hot corpora (keyed by
+    corpus digest — see [docs/SERVING.md] for the cache semantics). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity <= 0] creates a disabled cache: {!find} always misses and
+    {!add} is a no-op. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** A hit marks the entry most-recently used. *)
+
+val add : 'a t -> string -> 'a -> int
+(** Insert (or refresh) a binding, evicting least-recently-used entries
+    when over capacity; returns how many entries were evicted (0 or 1). *)

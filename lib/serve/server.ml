@@ -1,0 +1,415 @@
+module Shape = Fsdata_core.Shape
+module Infer = Fsdata_core.Infer
+module Par_infer = Fsdata_core.Par_infer
+module Shape_parser = Fsdata_core.Shape_parser
+module Shape_check = Fsdata_core.Shape_check
+module Preference = Fsdata_core.Preference
+module Explain = Fsdata_core.Explain
+module Diagnostic = Fsdata_data.Diagnostic
+module Dv = Fsdata_data.Data_value
+module Json = Fsdata_data.Json
+module Xml = Fsdata_data.Xml
+module Metrics = Fsdata_obs.Metrics
+module Clock = Fsdata_obs.Clock
+
+(* --- instruments (docs/OBSERVABILITY.md, "serve.*") --- *)
+
+let req_infer = Metrics.counter "serve.requests.infer"
+let req_check = Metrics.counter "serve.requests.check"
+let req_explain = Metrics.counter "serve.requests.explain"
+let req_metrics = Metrics.counter "serve.requests.metrics"
+let req_healthz = Metrics.counter "serve.requests.healthz"
+let req_other = Metrics.counter "serve.requests.other"
+let resp_2xx = Metrics.counter "serve.responses.2xx"
+let resp_4xx = Metrics.counter "serve.responses.4xx"
+let resp_5xx = Metrics.counter "serve.responses.5xx"
+let cache_hits = Metrics.counter "serve.cache.hits"
+let cache_misses = Metrics.counter "serve.cache.misses"
+let cache_evictions = Metrics.counter "serve.cache.evictions"
+let http_errors = Metrics.counter "serve.http_errors"
+let connections = Metrics.counter "serve.connections"
+let latency_ms = Metrics.histogram "serve.latency_ms"
+let inflight = Metrics.gauge "serve.inflight"
+
+(* --- configuration and handler state --- *)
+
+type config = {
+  port : int;
+  host : string;
+  workers : int;
+  timeout_ms : int;
+  cache_entries : int;
+  max_body : int;
+  port_file : string option;
+}
+
+let default_config =
+  {
+    port = 8080;
+    host = "127.0.0.1";
+    workers = 4;
+    timeout_ms = 10_000;
+    cache_entries = 64;
+    max_body = 64 * 1024 * 1024;
+    port_file = None;
+  }
+
+type t = { cfg : config; cache : string Cache.t }
+
+let create cfg = { cfg; cache = Cache.create ~capacity:cfg.cache_entries }
+
+(* --- response helpers --- *)
+
+let json_body fields =
+  Json.to_string ~indent:2 (Dv.Record (Dv.json_record_name, fields)) ^ "\n"
+
+let json_error status msg =
+  Http.response ~status (json_body [ ("error", Dv.String msg) ])
+
+let json_ok ?headers fields = Http.response ?headers ~status:200 (json_body fields)
+
+let method_not_allowed allow =
+  Http.response ~status:405
+    ~headers:[ ("allow", allow) ]
+    (json_body [ ("error", Dv.String (Printf.sprintf "use %s" allow)) ])
+
+let shape_string s = Fmt.str "%a" Shape.pp s
+
+(* --- /infer --- *)
+
+(* The interning table is process-global; keep it from growing without
+   bound on a long-lived server. 200k nodes is far beyond any hot set —
+   clearing only costs future sharing, never correctness. *)
+let hcons_guard () = if Shape.hcons_size () > 200_000 then Shape.hcons_clear ()
+
+let quarantine_entry (q : Infer.quarantined) =
+  let d = q.Infer.q_diagnostic in
+  Dv.Record
+    ( Dv.json_record_name,
+      [
+        ("index", Dv.Int q.Infer.q_index);
+        ("line", Dv.Int d.Diagnostic.line);
+        ("column", Dv.Int d.Diagnostic.column);
+        ("message", Dv.String d.Diagnostic.message);
+      ] )
+
+let render_report ~format (report : Infer.report) shape =
+  json_body
+    [
+      ("format", Dv.String format);
+      ("shape", Dv.String (shape_string shape));
+      ("total", Dv.Int report.Infer.total);
+      ("quarantined", Dv.Int (List.length report.Infer.quarantined));
+      ("samples", Dv.List (List.map quarantine_entry report.Infer.quarantined));
+    ]
+
+let handle_infer t req =
+  if req.Http.meth <> "POST" then method_not_allowed "POST"
+  else
+    let format = Option.value ~default:"json" (Http.query_param req "format") in
+    let jobs =
+      match Http.query_param req "jobs" with
+      | None -> Ok 1
+      | Some s -> (
+          match int_of_string_opt s with
+          | Some n when n > 0 -> Ok n
+          | Some 0 -> Ok (Par_infer.recommended_jobs ())
+          | _ -> Error (Printf.sprintf "bad jobs value %S" s))
+    in
+    let budget =
+      match Http.query_param req "max-errors" with
+      | None -> Ok Diagnostic.Strict
+      | Some s -> Diagnostic.budget_of_string s
+    in
+    match (format, jobs, budget) with
+    | _, Error m, _ | _, _, Error m -> json_error 400 m
+    | ("json" | "csv" | "xml"), Ok jobs, Ok budget -> (
+        let key =
+          Digest.to_hex
+            (Digest.string
+               (String.concat "\x00"
+                  [
+                    format;
+                    string_of_int jobs;
+                    Diagnostic.budget_to_string budget;
+                    req.Http.body;
+                  ]))
+        in
+        match Cache.find t.cache key with
+        | Some body ->
+            Metrics.incr cache_hits;
+            Http.response ~headers:[ ("x-fsdata-cache", "hit") ] ~status:200 body
+        | None -> (
+            Metrics.incr cache_misses;
+            let result =
+              match format with
+              | "json" -> Par_infer.of_json_tolerant ~jobs ~budget req.Http.body
+              | "xml" ->
+                  Par_infer.of_xml_samples_tolerant ~jobs ~budget
+                    [ req.Http.body ]
+              | _ -> Infer.of_csv_tolerant ~budget req.Http.body
+            in
+            match result with
+            | Error m -> json_error 422 m
+            | Ok report ->
+                let shape = Shape.hcons report.Infer.shape in
+                hcons_guard ();
+                let body = render_report ~format report shape in
+                Metrics.add cache_evictions (Cache.add t.cache key body);
+                Http.response
+                  ~headers:[ ("x-fsdata-cache", "miss") ]
+                  ~status:200 body))
+    | fmt, _, _ ->
+        json_error 400
+          (Printf.sprintf "unsupported format %S (use json, csv or xml)" fmt)
+
+(* --- /check and /explain --- *)
+
+let mismatch_entry (m : Explain.mismatch) =
+  Dv.Record
+    ( Dv.json_record_name,
+      [
+        ("at", Dv.String m.Explain.at);
+        ("input", Dv.String (shape_string m.Explain.input));
+        ("expected", Dv.String (shape_string m.Explain.expected));
+        ("reason", Dv.String m.Explain.reason);
+      ] )
+
+let handle_checkish ~explain req =
+  if req.Http.meth <> "POST" then method_not_allowed "POST"
+  else
+    match Http.query_param req "shape" with
+    | None -> json_error 400 "missing required query parameter shape"
+    | Some text -> (
+        match Shape_parser.parse_result text with
+        | Error m -> json_error 400 m
+        | Ok shape -> (
+            let format =
+              Option.value ~default:"json" (Http.query_param req "format")
+            in
+            let doc =
+              match format with
+              | "json" -> Json.parse_result req.Http.body
+              | "xml" ->
+                  Result.map
+                    (fun tree -> Xml.to_data tree)
+                    (Xml.parse_result req.Http.body)
+              | f ->
+                  Error
+                    (Printf.sprintf "unsupported format %S (use json or xml)" f)
+            in
+            match doc with
+            | Error m -> json_error 422 m
+            | Ok doc ->
+                let mode = if format = "xml" then `Xml else `Practical in
+                let input_shape = Infer.shape_of_value ~mode doc in
+                json_ok
+                  (if explain then
+                     [
+                       ("input_shape", Dv.String (shape_string input_shape));
+                       ("shape", Dv.String (shape_string shape));
+                       ( "mismatches",
+                         Dv.List
+                           (List.map mismatch_entry
+                              (Explain.explain input_shape shape)) );
+                     ]
+                   else
+                     [
+                       ("has_shape", Dv.Bool (Shape_check.has_shape shape doc));
+                       ( "preferred",
+                         Dv.Bool (Preference.is_preferred input_shape shape) );
+                       ("input_shape", Dv.String (shape_string input_shape));
+                       ("shape", Dv.String (shape_string shape));
+                     ])))
+
+(* --- routing --- *)
+
+let handle_metrics req =
+  if req.Http.meth <> "GET" then method_not_allowed "GET"
+  else Http.response ~status:200 (Metrics.to_json ())
+
+let handle_healthz req =
+  if req.Http.meth <> "GET" then method_not_allowed "GET"
+  else json_ok [ ("status", Dv.String "ok") ]
+
+let route t req =
+  match req.Http.path with
+  | "/infer" -> handle_infer t req
+  | "/check" -> handle_checkish ~explain:false req
+  | "/explain" -> handle_checkish ~explain:true req
+  | "/metrics" -> handle_metrics req
+  | "/healthz" -> handle_healthz req
+  | p -> json_error 404 (Printf.sprintf "no such endpoint %s" p)
+
+let request_counter = function
+  | "/infer" -> req_infer
+  | "/check" -> req_check
+  | "/explain" -> req_explain
+  | "/metrics" -> req_metrics
+  | "/healthz" -> req_healthz
+  | _ -> req_other
+
+let handle t req =
+  Metrics.incr (request_counter req.Http.path);
+  Metrics.gauge_add inflight 1.0;
+  let t0 = Clock.now_ns () in
+  let resp =
+    match route t req with
+    | resp -> resp
+    | exception e -> json_error 500 (Printexc.to_string e)
+  in
+  Metrics.observe latency_ms
+    (Int64.to_float (Int64.sub (Clock.now_ns ()) t0) /. 1e6);
+  Metrics.gauge_add inflight (-1.0);
+  (Metrics.incr
+     (if resp.Http.status < 300 then resp_2xx
+      else if resp.Http.status < 500 then resp_4xx
+      else resp_5xx));
+  resp
+
+(* --- connection handling --- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write_substring fd s !pos (len - !pos)
+  done
+
+(* One keep-alive connection, start to close. Any socket fault (peer
+   reset, send timeout) just ends the connection — the server never
+   dies for a client's sake. *)
+let serve_connection t ~stop fd =
+  Metrics.incr connections;
+  let tmo = float_of_int t.cfg.timeout_ms /. 1000. in
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO tmo;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO tmo
+   with Unix.Unix_error _ -> ());
+  let limits = { Http.default_limits with Http.max_body = t.cfg.max_body } in
+  let r = Http.reader_of_fd fd in
+  let rec loop () =
+    match Http.read_request ~limits r with
+    | Ok None -> ()
+    | Error e ->
+        Metrics.incr http_errors;
+        Metrics.incr (if e.Http.status < 500 then resp_4xx else resp_5xx);
+        write_all fd
+          (Http.serialize_response ~keep_alive:false
+             (json_error e.Http.status e.Http.reason))
+    | Ok (Some req) ->
+        let resp = handle t req in
+        (* during a drain, answer what's in hand but don't linger *)
+        let ka = Http.keep_alive req && not (Atomic.get stop) in
+        write_all fd (Http.serialize_response ~keep_alive:ka resp);
+        if ka then loop ()
+  in
+  (try loop () with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* --- bounded connection queue --- *)
+
+type conn_queue = {
+  items : Unix.file_descr option Queue.t;  (* [None] = worker shutdown *)
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  capacity : int;
+}
+
+let queue_create capacity =
+  {
+    items = Queue.create ();
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    capacity;
+  }
+
+let queue_try_push q fd =
+  Mutex.protect q.lock (fun () ->
+      if Queue.length q.items >= q.capacity then false
+      else begin
+        Queue.add (Some fd) q.items;
+        Condition.signal q.nonempty;
+        true
+      end)
+
+let queue_push_sentinel q =
+  Mutex.protect q.lock (fun () ->
+      Queue.add None q.items;
+      Condition.signal q.nonempty)
+
+let queue_pop q =
+  Mutex.lock q.lock;
+  while Queue.is_empty q.items do
+    Condition.wait q.nonempty q.lock
+  done;
+  let v = Queue.pop q.items in
+  Mutex.unlock q.lock;
+  v
+
+let rec worker_loop t ~stop q =
+  match queue_pop q with
+  | None -> ()
+  | Some fd ->
+      serve_connection t ~stop fd;
+      worker_loop t ~stop q
+
+(* --- the accept loop --- *)
+
+let run cfg =
+  Metrics.set_enabled true;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let stop = Atomic.make false in
+  let quit _ = Atomic.set stop true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
+  let t = create cfg in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+  Unix.listen sock 128;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> cfg.port
+  in
+  Printf.printf "fsdata: serving on http://%s:%d\n%!" cfg.host port;
+  (match cfg.port_file with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (string_of_int port);
+      output_char oc '\n';
+      close_out oc
+  | None -> ());
+  let workers = max 1 cfg.workers in
+  let q = queue_create (workers * 16) in
+  let domains =
+    List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t ~stop q))
+  in
+  let overloaded =
+    Http.serialize_response ~keep_alive:false
+      (json_error 503 "server over capacity")
+  in
+  while not (Atomic.get stop) do
+    (* select with a short timeout so termination signals are honoured
+       within a bounded delay even on an idle listener *)
+    match Unix.select [ sock ] [] [] 0.25 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept sock with
+        | fd, _ ->
+            if not (queue_try_push q fd) then begin
+              Metrics.incr resp_5xx;
+              (try write_all fd overloaded with Unix.Unix_error _ -> ());
+              try Unix.close fd with Unix.Unix_error _ -> ()
+            end
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Unix.close sock;
+  List.iter (fun _ -> queue_push_sentinel q) domains;
+  List.iter Domain.join domains;
+  print_endline "fsdata: shutting down"

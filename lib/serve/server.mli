@@ -1,0 +1,73 @@
+(** The [fsdata serve] inference service.
+
+    A small HTTP/1.1 server (see {!Http}) exposing shape inference over
+    the network, with a hash-consed hot-shape cache so repeated
+    inference over the same corpus is a digest lookup instead of a
+    parse-and-fold:
+
+    - [POST /infer?format=json|csv|xml&jobs=N&max-errors=N|N%] — body is
+      the sample corpus (for JSON, a whitespace-separated document
+      stream); responds with the inferred shape in the paper notation
+      plus the quarantine report, as JSON. Ingestion runs through the
+      fault-tolerant drivers; without [max-errors] the budget is
+      [Strict], exactly as on the command line.
+    - [POST /check?shape=EXPR&format=json|xml] — body is one document;
+      responds with the Figure 6 runtime shape test and the preference
+      check against [EXPR].
+    - [POST /explain?shape=EXPR&format=json|xml] — body is one document;
+      responds with the list of preference violations ({!Fsdata_core.Explain}).
+    - [GET /metrics] — the {!Fsdata_obs.Metrics} registry as flat JSON,
+      including the [serve.*] instruments below.
+    - [GET /healthz] — liveness.
+
+    Results of [/infer] are cached in an LRU keyed by the digest of
+    (format, jobs, budget, body); the inferred shape is interned with
+    {!Fsdata_core.Shape.hcons} so hot shapes share one heap
+    representation. Hits and misses are distinguished only by the
+    [X-Fsdata-Cache] response header (and the [serve.cache.*] counters)
+    — bodies are byte-identical either way.
+
+    {2 [serve.*] metrics}
+
+    Counters [serve.requests.{infer,check,explain,metrics,healthz,other}],
+    [serve.responses.{2xx,4xx,5xx}], [serve.cache.{hits,misses,evictions}],
+    [serve.http_errors] (malformed requests answered from the parser),
+    [serve.connections]; histogram [serve.latency_ms] (handler time per
+    request); gauge [serve.inflight] (requests currently in a handler).
+    Documented in [docs/OBSERVABILITY.md]. *)
+
+type config = {
+  port : int;  (** 0 picks an ephemeral port *)
+  host : string;  (** address to bind, e.g. ["127.0.0.1"] *)
+  workers : int;  (** worker domains handling connections *)
+  timeout_ms : int;  (** per-connection receive/send timeout *)
+  cache_entries : int;  (** LRU capacity; 0 disables the cache *)
+  max_body : int;  (** request body limit in bytes *)
+  port_file : string option;
+      (** when set, the bound port is written here once listening —
+          how the cram tests find an ephemeral port *)
+}
+
+val default_config : config
+(** Port 8080 on 127.0.0.1, 4 workers, 10s timeout, 64-entry cache,
+    64 MiB bodies, no port file. *)
+
+type t
+(** Handler state: the response cache plus the config. Independent of
+    any socket, so unit tests exercise {!handle} directly. *)
+
+val create : config -> t
+
+val handle : t -> Http.request -> Http.response
+(** Route and answer one parsed request. Total: handler exceptions
+    become a 500 with an [{"error": ...}] body. *)
+
+val run : config -> unit
+(** Bind, print ["fsdata: serving on http://HOST:PORT"] on stdout, and
+    serve until SIGINT or SIGTERM. The accept loop hands connections to
+    a fixed pool of worker domains over a bounded queue (overflow is
+    answered [503] without queuing); each connection gets the
+    configured receive/send timeouts and keep-alive semantics. On the
+    first termination signal the listener closes, queued and in-flight
+    requests drain (their responses are sent with [Connection: close]),
+    the workers join, and ["fsdata: shutting down"] is printed. *)

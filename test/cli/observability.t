@@ -53,6 +53,28 @@ Values vary run to run; strip them:
   parse.xml.ns
   provide.classes
   provide.runs
+  serve.cache.evictions
+  serve.cache.hits
+  serve.cache.misses
+  serve.connections
+  serve.http_errors
+  serve.inflight
+  serve.latency_ms.count
+  serve.latency_ms.max
+  serve.latency_ms.mean
+  serve.latency_ms.min
+  serve.latency_ms.sum
+  serve.requests.check
+  serve.requests.explain
+  serve.requests.healthz
+  serve.requests.infer
+  serve.requests.metrics
+  serve.requests.other
+  serve.responses.2xx
+  serve.responses.4xx
+  serve.responses.5xx
+  shape.hcons.hits
+  shape.hcons.misses
 
 Sample-granular counters are deterministic: two clean samples over two
 chunks, nothing quarantined, one worker domain spawned next to the

@@ -1,0 +1,144 @@
+fsdata serve: the HTTP inference service with its digest-keyed response
+cache, driven end to end on an ephemeral port. See docs/SERVING.md.
+
+  $ FSDATA=../../bin/fsdata.exe
+
+Start the server on port 0 (kernel-assigned); it writes the real port to
+--port-file once the socket is bound, so there is no race on readiness:
+
+  $ $FSDATA serve --port 0 --port-file port --workers 2 > serve.log 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 150); do [ -s port ] && break; sleep 0.1; done
+  $ URL="http://127.0.0.1:$(cat port)"
+
+Liveness:
+
+  $ curl -s "$URL/healthz"
+  {
+    "status": "ok"
+  }
+
+Shape inference over a JSON corpus posted as the request body — the
+response carries the shape in the paper's notation plus the tolerant
+ingestion report:
+
+  $ printf '{"name": "ada", "age": 36}\n' > a.json
+  $ printf '{"name": "grace"}\n' > b.json
+  $ cat a.json b.json > corpus.json
+  $ curl -s --data-binary @corpus.json "$URL/infer"
+  {
+    "format": "json",
+    "shape": "• {name: string, age: nullable int}",
+    "total": 2,
+    "quarantined": 0,
+    "samples": []
+  }
+
+The served shape is byte-identical to the CLI inference path over the
+same samples:
+
+  $ curl -s --data-binary @corpus.json "$URL/infer" | sed -n 's/^  "shape": "\(.*\)",$/\1/p'
+  • {name: string, age: nullable int}
+  $ $FSDATA infer a.json b.json
+  • {name: string, age: nullable int}
+
+A repeated corpus is answered from the LRU cache — the diagnostic header
+says so, and the body above is already known to be byte-identical (the
+sed extraction re-hit it). A different corpus is a different digest:
+
+  $ curl -sD - -o /dev/null --data-binary @corpus.json "$URL/infer" | tr -d '\r' | grep x-fsdata-cache
+  x-fsdata-cache: hit
+  $ printf '{"x": 1}\n' > other.json
+  $ curl -sD - -o /dev/null --data-binary @other.json "$URL/infer" | tr -d '\r' | grep x-fsdata-cache
+  x-fsdata-cache: miss
+
+Tolerant ingestion rides through the query string: with an error budget
+a corrupt document is quarantined and reported, not fatal:
+
+  $ printf '{"name": "ada"}\n{"name": }\n{"name": "bob"}\n' > faulty.json
+  $ curl -s --data-binary @faulty.json "$URL/infer?max-errors=1"
+  {
+    "format": "json",
+    "shape": "• {name: string}",
+    "total": 3,
+    "quarantined": 1,
+    "samples": [
+      {
+        "index": 1,
+        "line": 2,
+        "column": 10,
+        "message": "unexpected character '}'"
+      }
+    ]
+  }
+
+Without a budget the same corpus is rejected:
+
+  $ curl -s -o /dev/null -w '%{http_code}\n' --data-binary @faulty.json "$URL/infer"
+  422
+
+Conformance checking (the shape parameter is the paper notation,
+percent-encoded):
+
+  $ curl -s --data-binary @a.json "$URL/check?shape=%7Bname%3A%20string%2C%20age%3A%20nullable%20int%7D"
+  {
+    "has_shape": true,
+    "preferred": true,
+    "input_shape": "• {name: string, age: int}",
+    "shape": "• {name: string, age: nullable int}"
+  }
+
+  $ curl -s --data-binary '{"name": 42}' "$URL/explain?shape=%7Bname%3A%20string%7D"
+  {
+    "input_shape": "• {name: int}",
+    "shape": "• {name: string}",
+    "mismatches": [
+      {
+        "at": ".name",
+        "input": "int",
+        "expected": "string",
+        "reason": "no primitive conversion (rules 1, Section 6.2)"
+      }
+    ]
+  }
+
+The metrics endpoint exposes the serve.* instrument family next to the
+pipeline's own counters:
+
+  $ curl -s "$URL/metrics" | sed -n 's/^  "\(serve\.[^"]*\)": .*/\1/p'
+  serve.cache.evictions
+  serve.cache.hits
+  serve.cache.misses
+  serve.connections
+  serve.http_errors
+  serve.inflight
+  serve.latency_ms.count
+  serve.latency_ms.max
+  serve.latency_ms.mean
+  serve.latency_ms.min
+  serve.latency_ms.sum
+  serve.requests.check
+  serve.requests.explain
+  serve.requests.healthz
+  serve.requests.infer
+  serve.requests.metrics
+  serve.requests.other
+  serve.responses.2xx
+  serve.responses.4xx
+  serve.responses.5xx
+
+Request and cache counters are deterministic for the sequence above:
+six /infer requests, of which two were cache hits:
+
+  $ curl -s "$URL/metrics" | grep -E '"serve\.(cache\.(hits|misses)|requests\.infer)"'
+    "serve.cache.hits": 2,
+    "serve.cache.misses": 4,
+    "serve.requests.infer": 6,
+
+SIGTERM drains in-flight work and exits cleanly:
+
+  $ kill -TERM $SRV
+  $ wait $SRV
+  $ sed 's/:[0-9]*$/:PORT/' serve.log
+  fsdata: serving on http://127.0.0.1:PORT
+  fsdata: shutting down

@@ -1,0 +1,188 @@
+(* Unit tests for the hand-rolled HTTP/1.1 request parser
+   (lib/serve/http.ml), driven through in-memory string readers — the
+   same code path the live server runs on sockets. *)
+
+module Http = Fsdata_serve.Http
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let parse ?limits s = Http.read_request ?limits (Http.reader_of_string s)
+
+let get_request ?limits s =
+  match parse ?limits s with
+  | Ok (Some r) -> r
+  | Ok None -> Alcotest.fail "expected a request, got end of stream"
+  | Error e -> Alcotest.failf "expected a request, got %d %s" e.status e.reason
+
+let get_error ?limits s =
+  match parse ?limits s with
+  | Error e -> e
+  | Ok _ -> Alcotest.fail "expected a parse error"
+
+let test_simple_get () =
+  let r = get_request "GET /healthz HTTP/1.1\r\nHost: localhost\r\n\r\n" in
+  check Alcotest.string "method" "GET" r.Http.meth;
+  check Alcotest.string "path" "/healthz" r.Http.path;
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "no query" [] r.Http.query;
+  check Alcotest.string "body" "" r.Http.body;
+  check Alcotest.bool "1.1 is keep-alive by default" true (Http.keep_alive r);
+  (* header names are lowercased, lookup is case-insensitive *)
+  check (Alcotest.option Alcotest.string) "host header" (Some "localhost")
+    (Http.header r "HOST")
+
+let test_query_decoding () =
+  let r =
+    get_request "GET /infer?format=json&max-errors=5%25&note=a+b%41 HTTP/1.1\r\n\r\n"
+  in
+  check (Alcotest.option Alcotest.string) "plain" (Some "json")
+    (Http.query_param r "format");
+  check (Alcotest.option Alcotest.string) "percent escape" (Some "5%")
+    (Http.query_param r "max-errors");
+  check (Alcotest.option Alcotest.string) "+ is space, %41 is A" (Some "a bA")
+    (Http.query_param r "note");
+  check (Alcotest.option Alcotest.string) "absent param" None
+    (Http.query_param r "jobs")
+
+let test_percent_decode_malformed () =
+  check Alcotest.string "bad hex kept verbatim" "%zz%4" (Http.percent_decode "%zz%4");
+  check Alcotest.string "good escape" "A b" (Http.percent_decode "%41+b")
+
+let test_post_body_and_pipelining () =
+  let reader =
+    Http.reader_of_string
+      ("POST /infer HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello"
+      ^ "GET /metrics HTTP/1.1\r\n\r\n")
+  in
+  (match Http.read_request reader with
+  | Ok (Some r) ->
+      check Alcotest.string "first body" "hello" r.Http.body;
+      check Alcotest.string "first path" "/infer" r.Http.path
+  | _ -> Alcotest.fail "first request");
+  (match Http.read_request reader with
+  | Ok (Some r) ->
+      check Alcotest.string "second path after body" "/metrics" r.Http.path
+  | _ -> Alcotest.fail "second pipelined request");
+  match Http.read_request reader with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "clean end of stream after the pipeline"
+
+let test_bare_lf_lines () =
+  let r = get_request "GET /x HTTP/1.1\nhost: y\n\n" in
+  check Alcotest.string "path with bare LF" "/x" r.Http.path;
+  check (Alcotest.option Alcotest.string) "header with bare LF" (Some "y")
+    (Http.header r "host")
+
+let test_keep_alive_semantics () =
+  let ka s = Http.keep_alive (get_request s) in
+  check Alcotest.bool "1.1 default" true (ka "GET / HTTP/1.1\r\n\r\n");
+  check Alcotest.bool "1.1 close" false
+    (ka "GET / HTTP/1.1\r\nConnection: Close\r\n\r\n");
+  check Alcotest.bool "1.0 default" false (ka "GET / HTTP/1.0\r\n\r\n");
+  check Alcotest.bool "1.0 opt-in" true
+    (ka "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+
+let test_malformed_request_line () =
+  check Alcotest.int "garbage" 400 (get_error "GARBAGE\r\n\r\n").Http.status;
+  check Alcotest.int "two tokens" 400 (get_error "GET /\r\n\r\n").Http.status;
+  check Alcotest.int "empty method" 400
+    (get_error " / HTTP/1.1\r\n\r\n").Http.status
+
+let test_unknown_version () =
+  check Alcotest.int "HTTP/2.0" 505 (get_error "GET / HTTP/2.0\r\n\r\n").Http.status
+
+let test_oversized_request_line () =
+  let limits = { Http.default_limits with Http.max_request_line = 32 } in
+  let e = get_error ~limits ("GET /" ^ String.make 100 'a' ^ " HTTP/1.1\r\n\r\n") in
+  check Alcotest.int "431" 431 e.Http.status
+
+let test_oversized_header () =
+  let limits = { Http.default_limits with Http.max_header_line = 32 } in
+  let e =
+    get_error ~limits
+      ("GET / HTTP/1.1\r\nx: " ^ String.make 100 'v' ^ "\r\n\r\n")
+  in
+  check Alcotest.int "431" 431 e.Http.status
+
+let test_too_many_headers () =
+  let limits = { Http.default_limits with Http.max_header_count = 3 } in
+  let headers =
+    String.concat "" (List.init 5 (fun i -> Printf.sprintf "h%d: v\r\n" i))
+  in
+  let e = get_error ~limits ("GET / HTTP/1.1\r\n" ^ headers ^ "\r\n") in
+  check Alcotest.int "431" 431 e.Http.status
+
+let test_malformed_header () =
+  check Alcotest.int "no colon" 400
+    (get_error "GET / HTTP/1.1\r\nnocolon\r\n\r\n").Http.status;
+  check Alcotest.int "space in name" 400
+    (get_error "GET / HTTP/1.1\r\nbad name: v\r\n\r\n").Http.status
+
+let test_truncated_body () =
+  let e = get_error "POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc" in
+  check Alcotest.int "400 on short body" 400 e.Http.status;
+  let e2 = get_error "GET / HTTP/1.1\r\nhost: x" in
+  check Alcotest.int "400 on missing terminator" 400 e2.Http.status;
+  let e3 = get_error "GET / HTTP/1.1\r\nhost: x\r\n" in
+  check Alcotest.int "400 on missing blank line" 400 e3.Http.status
+
+let test_content_length_validation () =
+  check Alcotest.int "malformed" 400
+    (get_error "POST / HTTP/1.1\r\ncontent-length: ten\r\n\r\n").Http.status;
+  check Alcotest.int "negative" 400
+    (get_error "POST / HTTP/1.1\r\ncontent-length: -1\r\n\r\n").Http.status;
+  let limits = { Http.default_limits with Http.max_body = 4 } in
+  check Alcotest.int "over limit" 413
+    (get_error ~limits "POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\n0123456789")
+      .Http.status
+
+let test_transfer_encoding_rejected () =
+  let e =
+    get_error "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"
+  in
+  check Alcotest.int "501" 501 e.Http.status
+
+let test_end_of_stream () =
+  (match parse "" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "empty stream is a clean end");
+  match parse "\r\n" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "a stray blank line then EOF is a clean end"
+
+let test_response_serialization () =
+  let resp =
+    Http.response ~headers:[ ("x-extra", "1") ] ~status:200 "{\"ok\":true}"
+  in
+  let wire = Http.serialize_response ~keep_alive:true resp in
+  let expect =
+    "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\n\
+     content-length: 11\r\nconnection: keep-alive\r\nx-extra: 1\r\n\r\n\
+     {\"ok\":true}"
+  in
+  check Alcotest.string "wire bytes (no Date header)" expect wire;
+  let closed = Http.serialize_response ~keep_alive:false resp in
+  check Alcotest.bool "connection: close variant" true
+    (Astring.String.is_infix ~affix:"connection: close\r\n" closed)
+
+let suite =
+  [
+    tc "simple GET" `Quick test_simple_get;
+    tc "query decoding" `Quick test_query_decoding;
+    tc "percent-decode malformed escapes" `Quick test_percent_decode_malformed;
+    tc "POST body and pipelining" `Quick test_post_body_and_pipelining;
+    tc "bare LF line endings" `Quick test_bare_lf_lines;
+    tc "keep-alive semantics" `Quick test_keep_alive_semantics;
+    tc "malformed request line" `Quick test_malformed_request_line;
+    tc "unknown protocol version" `Quick test_unknown_version;
+    tc "oversized request line" `Quick test_oversized_request_line;
+    tc "oversized header line" `Quick test_oversized_header;
+    tc "too many headers" `Quick test_too_many_headers;
+    tc "malformed header line" `Quick test_malformed_header;
+    tc "truncated requests" `Quick test_truncated_body;
+    tc "content-length validation" `Quick test_content_length_validation;
+    tc "transfer-encoding rejected" `Quick test_transfer_encoding_rejected;
+    tc "clean end of stream" `Quick test_end_of_stream;
+    tc "response serialization" `Quick test_response_serialization;
+  ]

@@ -1,0 +1,331 @@
+(* Tests for the inference service handlers (lib/serve/server.ml) and
+   the LRU response cache, exercised directly on Server.handle — no
+   sockets. The cram test test/cli/serve.t covers the live server. *)
+
+module Server = Fsdata_serve.Server
+module Http = Fsdata_serve.Http
+module Cache = Fsdata_serve.Cache
+module Shape = Fsdata_core.Shape
+module Par_infer = Fsdata_core.Par_infer
+module Dv = Fsdata_data.Data_value
+module Json = Fsdata_data.Json
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* ----- the LRU cache ----- *)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:2 in
+  check Alcotest.int "no eviction below capacity" 0 (Cache.add c "a" 1);
+  check Alcotest.int "still none" 0 (Cache.add c "b" 2);
+  check Alcotest.int "adding over capacity evicts one" 1 (Cache.add c "c" 3);
+  check (Alcotest.option Alcotest.int) "LRU entry evicted" None (Cache.find c "a");
+  check (Alcotest.option Alcotest.int) "newer kept" (Some 2) (Cache.find c "b");
+  check (Alcotest.option Alcotest.int) "newest kept" (Some 3) (Cache.find c "c");
+  check Alcotest.int "length" 2 (Cache.length c)
+
+let test_cache_hit_refreshes () =
+  let c = Cache.create ~capacity:2 in
+  ignore (Cache.add c "a" 1);
+  ignore (Cache.add c "b" 2);
+  (* touch a, making b the least recently used *)
+  ignore (Cache.find c "a");
+  ignore (Cache.add c "c" 3);
+  check (Alcotest.option Alcotest.int) "touched entry survives" (Some 1)
+    (Cache.find c "a");
+  check (Alcotest.option Alcotest.int) "untouched entry evicted" None
+    (Cache.find c "b")
+
+let test_cache_update_in_place () =
+  let c = Cache.create ~capacity:2 in
+  ignore (Cache.add c "a" 1);
+  check Alcotest.int "re-add is not an eviction" 0 (Cache.add c "a" 9);
+  check (Alcotest.option Alcotest.int) "value replaced" (Some 9) (Cache.find c "a");
+  check Alcotest.int "length unchanged" 1 (Cache.length c)
+
+let test_cache_disabled () =
+  let c = Cache.create ~capacity:0 in
+  check Alcotest.int "add is a no-op" 0 (Cache.add c "a" 1);
+  check (Alcotest.option Alcotest.int) "find always misses" None (Cache.find c "a");
+  check Alcotest.int "empty" 0 (Cache.length c)
+
+(* ----- handler plumbing ----- *)
+
+let request ?(meth = "POST") ?(query = []) ?(body = "") path =
+  {
+    Http.meth;
+    path;
+    query;
+    version = `Http_1_1;
+    headers = [];
+    body;
+  }
+
+let server () = Server.create Server.default_config
+
+let body_fields resp =
+  match Json.parse_result resp.Http.resp_body with
+  | Ok (Dv.Record (_, fields)) -> fields
+  | Ok _ -> Alcotest.fail "response body is not a JSON object"
+  | Error m -> Alcotest.failf "response body is not JSON: %s" m
+
+let field_string name resp =
+  match List.assoc_opt name (body_fields resp) with
+  | Some (Dv.String s) -> s
+  | _ -> Alcotest.failf "missing string field %S" name
+
+let field_int name resp =
+  match List.assoc_opt name (body_fields resp) with
+  | Some (Dv.Int n) -> n
+  | _ -> Alcotest.failf "missing int field %S" name
+
+let field_bool name resp =
+  match List.assoc_opt name (body_fields resp) with
+  | Some (Dv.Bool b) -> b
+  | _ -> Alcotest.failf "missing bool field %S" name
+
+let cache_header resp = List.assoc_opt "x-fsdata-cache" resp.Http.resp_headers
+
+let corpus = "{\"name\": \"ada\", \"age\": 36}\n{\"name\": \"grace\"}\n"
+
+(* ----- routing ----- *)
+
+let test_healthz () =
+  let resp = Server.handle (server ()) (request ~meth:"GET" "/healthz") in
+  check Alcotest.int "200" 200 resp.Http.status;
+  check Alcotest.string "status field" "ok" (field_string "status" resp)
+
+let test_not_found () =
+  let resp = Server.handle (server ()) (request ~meth:"GET" "/nope") in
+  check Alcotest.int "404" 404 resp.Http.status
+
+let test_method_not_allowed () =
+  let t = server () in
+  let resp = Server.handle t (request ~meth:"GET" "/infer") in
+  check Alcotest.int "GET /infer is 405" 405 resp.Http.status;
+  check (Alcotest.option Alcotest.string) "allow header" (Some "POST")
+    (List.assoc_opt "allow" resp.Http.resp_headers);
+  let resp = Server.handle t (request ~meth:"POST" "/metrics") in
+  check Alcotest.int "POST /metrics is 405" 405 resp.Http.status
+
+let test_metrics_endpoint () =
+  let resp = Server.handle (server ()) (request ~meth:"GET" "/metrics") in
+  check Alcotest.int "200" 200 resp.Http.status;
+  (* the flat JSON object parses and carries the serve.* key family *)
+  match Json.parse_result resp.Http.resp_body with
+  | Ok (Dv.Record (_, fields)) ->
+      check Alcotest.bool "serve.* keys present" true
+        (List.mem_assoc "serve.requests.metrics" fields)
+  | _ -> Alcotest.fail "metrics body is not a JSON object"
+
+(* ----- /infer ----- *)
+
+let test_infer_matches_cli_path () =
+  let resp = Server.handle (server ()) (request ~body:corpus "/infer") in
+  check Alcotest.int "200" 200 resp.Http.status;
+  let expected =
+    match Par_infer.of_json ~jobs:1 corpus with
+    | Ok s -> Fmt.str "%a" Shape.pp s
+    | Error m -> Alcotest.fail m
+  in
+  check Alcotest.string "shape identical to the CLI inference path" expected
+    (field_string "shape" resp);
+  check Alcotest.int "total" 2 (field_int "total" resp);
+  check Alcotest.int "quarantined" 0 (field_int "quarantined" resp)
+
+let test_infer_cache_roundtrip () =
+  let t = server () in
+  let first = Server.handle t (request ~body:corpus "/infer") in
+  let second = Server.handle t (request ~body:corpus "/infer") in
+  check (Alcotest.option Alcotest.string) "first is a miss" (Some "miss")
+    (cache_header first);
+  check (Alcotest.option Alcotest.string) "second is a hit" (Some "hit")
+    (cache_header second);
+  check Alcotest.string "bodies byte-identical" first.Http.resp_body
+    second.Http.resp_body;
+  (* a different corpus, format or budget is a different key *)
+  let other = Server.handle t (request ~body:"{\"x\": 1}" "/infer") in
+  check (Alcotest.option Alcotest.string) "different body misses" (Some "miss")
+    (cache_header other);
+  let budgeted =
+    Server.handle t
+      (request ~query:[ ("max-errors", "1") ] ~body:corpus "/infer")
+  in
+  check (Alcotest.option Alcotest.string) "different budget misses"
+    (Some "miss") (cache_header budgeted)
+
+let test_infer_cache_disabled () =
+  let t =
+    Server.create { Server.default_config with Server.cache_entries = 0 }
+  in
+  let first = Server.handle t (request ~body:corpus "/infer") in
+  let second = Server.handle t (request ~body:corpus "/infer") in
+  check (Alcotest.option Alcotest.string) "always a miss" (Some "miss")
+    (cache_header second);
+  check Alcotest.string "bodies still identical" first.Http.resp_body
+    second.Http.resp_body
+
+let test_infer_quarantine () =
+  let faulty = "{\"name\": \"ada\"}\n{\"name\": }\n{\"name\": \"bob\"}\n" in
+  (* strict budget: the fault is fatal *)
+  let strict = Server.handle (server ()) (request ~body:faulty "/infer") in
+  check Alcotest.int "422 without a budget" 422 strict.Http.status;
+  (* with a budget the fault is quarantined and reported *)
+  let resp =
+    Server.handle (server ())
+      (request ~query:[ ("max-errors", "1") ] ~body:faulty "/infer")
+  in
+  check Alcotest.int "200 under budget" 200 resp.Http.status;
+  check Alcotest.int "total" 3 (field_int "total" resp);
+  check Alcotest.int "one quarantined" 1 (field_int "quarantined" resp);
+  match List.assoc_opt "samples" (body_fields resp) with
+  | Some (Dv.List [ Dv.Record (_, entry) ]) ->
+      check Alcotest.bool "entry has index" true (List.mem_assoc "index" entry);
+      check Alcotest.bool "entry has message" true
+        (List.mem_assoc "message" entry)
+  | _ -> Alcotest.fail "expected one quarantine entry"
+
+let test_infer_formats () =
+  let xml = Server.handle (server ())
+      (request ~query:[ ("format", "xml") ]
+         ~body:"<root id=\"1\"><item>a</item></root>" "/infer")
+  in
+  check Alcotest.int "xml 200" 200 xml.Http.status;
+  let csv =
+    Server.handle (server ())
+      (request ~query:[ ("format", "csv") ] ~body:"A,B\n1,x\n2,y\n" "/infer")
+  in
+  check Alcotest.int "csv 200" 200 csv.Http.status;
+  let bad =
+    Server.handle (server ())
+      (request ~query:[ ("format", "yaml") ] ~body:"x" "/infer")
+  in
+  check Alcotest.int "unknown format 400" 400 bad.Http.status
+
+let test_infer_bad_params () =
+  let t = server () in
+  let bad_jobs =
+    Server.handle t (request ~query:[ ("jobs", "many") ] ~body:corpus "/infer")
+  in
+  check Alcotest.int "bad jobs 400" 400 bad_jobs.Http.status;
+  let bad_budget =
+    Server.handle t
+      (request ~query:[ ("max-errors", "lots") ] ~body:corpus "/infer")
+  in
+  check Alcotest.int "bad budget 400" 400 bad_budget.Http.status;
+  let bad_body = Server.handle t (request ~body:"{\"x\": " "/infer") in
+  check Alcotest.int "malformed corpus 422" 422 bad_body.Http.status
+
+(* ----- /check and /explain ----- *)
+
+let shape_expr = "{name: string, age: nullable float}"
+
+let test_check () =
+  let t = server () in
+  let ok =
+    Server.handle t
+      (request ~query:[ ("shape", shape_expr) ]
+         ~body:"{\"name\": \"ada\", \"age\": 36}" "/check")
+  in
+  check Alcotest.int "200" 200 ok.Http.status;
+  check Alcotest.bool "has_shape" true (field_bool "has_shape" ok);
+  check Alcotest.bool "preferred" true (field_bool "preferred" ok);
+  let mismatch =
+    Server.handle t
+      (request ~query:[ ("shape", shape_expr) ] ~body:"{\"name\": 42}" "/check")
+  in
+  check Alcotest.int "still 200" 200 mismatch.Http.status;
+  check Alcotest.bool "not preferred" false (field_bool "preferred" mismatch)
+
+let test_check_errors () =
+  let t = server () in
+  check Alcotest.int "missing shape 400" 400
+    (Server.handle t (request ~body:"{}" "/check")).Http.status;
+  check Alcotest.int "bad shape 400" 400
+    (Server.handle t (request ~query:[ ("shape", "{oops") ] ~body:"{}" "/check"))
+      .Http.status;
+  check Alcotest.int "bad document 422" 422
+    (Server.handle t
+       (request ~query:[ ("shape", shape_expr) ] ~body:"{\"x\": " "/check"))
+      .Http.status
+
+let test_explain () =
+  let resp =
+    Server.handle (server ())
+      (request ~query:[ ("shape", shape_expr) ] ~body:"{\"name\": 42}" "/explain")
+  in
+  check Alcotest.int "200" 200 resp.Http.status;
+  match List.assoc_opt "mismatches" (body_fields resp) with
+  | Some (Dv.List (Dv.Record (_, m) :: _)) ->
+      check Alcotest.bool "mismatch has a path" true (List.mem_assoc "at" m);
+      check Alcotest.bool "mismatch has a reason" true
+        (List.mem_assoc "reason" m)
+  | _ -> Alcotest.fail "expected at least one mismatch"
+
+let test_explain_clean () =
+  let resp =
+    Server.handle (server ())
+      (request ~query:[ ("shape", shape_expr) ]
+         ~body:"{\"name\": \"ada\", \"age\": 36}" "/explain")
+  in
+  match List.assoc_opt "mismatches" (body_fields resp) with
+  | Some (Dv.List []) -> ()
+  | _ -> Alcotest.fail "expected no mismatches for a conforming document"
+
+(* ----- concurrency: shapes stay byte-identical under parallel load ----- *)
+
+let test_concurrent_infer_identical () =
+  let t = server () in
+  let reference = (Server.handle t (request ~body:corpus "/infer")).Http.resp_body in
+  let corpora =
+    [ corpus; "{\"x\": 1}\n{\"x\": 2.5}\n"; "{\"v\": [1, \"two\"]}\n" ]
+  in
+  let references =
+    List.map
+      (fun body -> (Server.handle t (request ~body "/infer")).Http.resp_body)
+      corpora
+  in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            List.init 25 (fun i ->
+                let body = List.nth corpora ((d + i) mod 3) in
+                (Server.handle t (request ~body "/infer")).Http.resp_body)))
+  in
+  let results = List.concat_map Domain.join domains in
+  check Alcotest.int "all requests answered" 100 (List.length results);
+  List.iteri
+    (fun i body ->
+      let expected =
+        List.nth references ((i / 25 + i mod 25) mod 3)
+      in
+      check Alcotest.string
+        (Printf.sprintf "concurrent response %d byte-identical" i)
+        expected body)
+    results;
+  ignore reference
+
+let suite =
+  [
+    tc "cache: LRU eviction order" `Quick test_cache_lru;
+    tc "cache: hits refresh recency" `Quick test_cache_hit_refreshes;
+    tc "cache: update in place" `Quick test_cache_update_in_place;
+    tc "cache: capacity 0 disables" `Quick test_cache_disabled;
+    tc "healthz" `Quick test_healthz;
+    tc "unknown endpoint is 404" `Quick test_not_found;
+    tc "wrong method is 405" `Quick test_method_not_allowed;
+    tc "metrics endpoint" `Quick test_metrics_endpoint;
+    tc "infer matches the CLI path" `Quick test_infer_matches_cli_path;
+    tc "infer cache round-trip" `Quick test_infer_cache_roundtrip;
+    tc "infer with the cache disabled" `Quick test_infer_cache_disabled;
+    tc "infer quarantine under budget" `Quick test_infer_quarantine;
+    tc "infer xml and csv formats" `Quick test_infer_formats;
+    tc "infer parameter validation" `Quick test_infer_bad_params;
+    tc "check" `Quick test_check;
+    tc "check parameter validation" `Quick test_check_errors;
+    tc "explain mismatches" `Quick test_explain;
+    tc "explain on a conforming document" `Quick test_explain_clean;
+    tc "concurrent infer responses byte-identical" `Quick
+      test_concurrent_infer_identical;
+  ]

@@ -108,6 +108,73 @@ let test_pp () =
   check Alcotest.string "hetero" "[int, 1 | string, *]"
     (Shape.to_string (Shape.hetero [ (string_, Mult.Multiple); (int_, Mult.Single) ]))
 
+(* A structural deep copy that defeats all physical sharing, including
+   string sharing — so [hcons] has real work to do on the copy. The raw
+   constructors are safe here because the input is already canonical. *)
+let rec copy_shape (s : Shape.t) : Shape.t =
+  let copy_string x = String.init (String.length x) (String.get x) in
+  match s with
+  | Shape.Bottom -> Shape.Bottom
+  | Shape.Null -> Shape.Null
+  | Shape.Primitive p -> Shape.Primitive p
+  | Shape.Record { name; fields } ->
+      Shape.Record
+        {
+          name = copy_string name;
+          fields = List.map (fun (f, s) -> (copy_string f, copy_shape s)) fields;
+        }
+  | Shape.Nullable s -> Shape.Nullable (copy_shape s)
+  | Shape.Collection entries ->
+      Shape.Collection
+        (List.map
+           (fun (e : Shape.entry) -> { e with Shape.shape = copy_shape e.Shape.shape })
+           entries)
+  | Shape.Top labels -> Shape.Top (List.map copy_shape labels)
+
+let test_hcons_identity () =
+  let s =
+    Shape.record "p"
+      [
+        ("y", Shape.Nullable string_);
+        ("x", Shape.collection int_);
+        ("z", Shape.top [ bool_; int_ ]);
+      ]
+  in
+  let a = Shape.hcons s and b = Shape.hcons (copy_shape s) in
+  check Alcotest.bool "identical representations intern to one node" true
+    (a == b);
+  check shape_testable "hcons preserves the shape" s a;
+  check Alcotest.string "record field order preserved" (Shape.to_string s)
+    (Shape.to_string a);
+  (* a distinct field order is a distinct representation: equal shapes,
+     different interned nodes *)
+  let r = Shape.record "p" [ ("x", int_); ("y", string_) ] in
+  let r' = Shape.record "p" [ ("y", string_); ("x", int_) ] in
+  check shape_testable "equal mod field order" r r';
+  check Alcotest.bool "but separate nodes" false
+    (Shape.hcons r == Shape.hcons r')
+
+let test_hcons_table () =
+  Shape.hcons_clear ();
+  check Alcotest.int "empty after clear" 0 (Shape.hcons_size ());
+  let s = Shape.hcons (Shape.collection (Shape.Nullable int_)) in
+  let n = Shape.hcons_size () in
+  check Alcotest.bool "interning populates the table" true (n > 0);
+  ignore (Shape.hcons (Shape.collection (Shape.Nullable int_)));
+  check Alcotest.int "re-interning adds nothing" n (Shape.hcons_size ());
+  Shape.hcons_clear ();
+  check Alcotest.int "clear drops the table" 0 (Shape.hcons_size ());
+  (* existing shapes stay valid and can be re-interned *)
+  check shape_testable "old node still usable"
+    (Shape.collection (Shape.Nullable int_))
+    (Shape.hcons s)
+
+let prop_hcons_sound =
+  QCheck2.Test.make ~name:"equal (hcons s) s && hcons s == hcons (copy s)"
+    ~count:200 ~print:print_shape gen_core_shape (fun s ->
+      let a = Shape.hcons s in
+      Shape.equal a s && a == Shape.hcons (copy_shape s))
+
 let prop_size_positive =
   QCheck2.Test.make ~name:"size >= 1" ~count:200 ~print:print_shape
     gen_core_shape (fun s -> Shape.size s >= 1)
@@ -128,6 +195,9 @@ let suite =
     tc "tagof" `Quick test_tagof;
     tc "equality mod field order" `Quick test_equal_mod_field_order;
     tc "printing" `Quick test_pp;
+    tc "hash-consing identity" `Quick test_hcons_identity;
+    tc "hash-consing table lifecycle" `Quick test_hcons_table;
+    QCheck_alcotest.to_alcotest prop_hcons_sound;
     QCheck_alcotest.to_alcotest prop_size_positive;
     QCheck_alcotest.to_alcotest prop_equal_refl;
   ]
