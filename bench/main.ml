@@ -912,6 +912,67 @@ let provider_bench () =
   run_group "provider" (provide_tests @ codegen_tests @ schema_tests @ parser_tests);
   print_newline ()
 
+(* ----- B12: shape-compiled parsing vs generic parse+convert ----- *)
+
+let compile_bench () =
+  let module Sc = Fsdata_core.Shape_compile in
+  let module Json = Fsdata_data.Json in
+  let module Prim = Fsdata_data.Primitive in
+  print_endline "== compile: shape-specialized parsing (B12) ==";
+  let n = if !smoke then 2_000 else 50_000 in
+  let repeats = if !smoke then 3 else 5 in
+  let text = Workloads.corpus_text n in
+  let shape =
+    Shape.hcons (Infer.shape_of_samples ~mode:`Practical (Json.parse_many text))
+  in
+  (* the interpreted reference pipeline: parse to Data_value, normalize
+     string literals, convert through the shape *)
+  let generic () =
+    List.map (fun d -> Sc.convert shape (Prim.normalize d)) (Json.parse_many text)
+  in
+  let compiled = Sc.compile shape in
+  let direct () = Sc.parse_corpus compiled text in
+  let generic_vals, t_gen = time_best ~repeats generic in
+  let (compiled_vals, stats), t_comp = time_best ~repeats direct in
+  let mib = float_of_int (String.length text) /. (1024. *. 1024.) in
+  let speedup = t_gen /. t_comp in
+  Printf.printf
+    "  %6d docs (%.1f MiB): generic %8.1f ms (%6.1f MiB/s)   compiled %8.1f \
+     ms (%6.1f MiB/s)   %.1fx speedup\n\
+     %!"
+    n mib (t_gen *. 1e3) (mib /. t_gen) (t_comp *. 1e3) (mib /. t_comp) speedup;
+  let identical =
+    List.length generic_vals = List.length compiled_vals
+    && List.for_all2 Sc.equal_tvalue generic_vals compiled_vals
+  in
+  let render vs =
+    String.concat "\n" (List.map (fun v -> Json.to_string (Sc.to_data v)) vs)
+  in
+  let bytes_identical = render generic_vals = render compiled_vals in
+  Printf.printf
+    "                direct %d, fallback %d, skipped %d; values identical: %b; \
+     rendered bytes identical: %b\n\
+     %!"
+    stats.Sc.direct stats.Sc.fallback stats.Sc.skipped identical bytes_identical;
+  let fail msg =
+    Printf.eprintf "compile: smoke assertion failed: %s\n" msg;
+    exit 1
+  in
+  if !smoke then begin
+    if not identical then fail "compiled values differ from generic convert";
+    if not bytes_identical then fail "rendered bodies differ";
+    if stats.Sc.direct <> n then
+      fail
+        (Printf.sprintf "expected %d direct decodes, got %d (fallback %d)" n
+           stats.Sc.direct stats.Sc.fallback);
+    if stats.Sc.skipped <> 0 then fail "clean corpus reported skipped docs";
+    (* the acceptance bar is 5x; pin a 2x floor so CI noise on the shared
+       container can't flake the build *)
+    if speedup < 2. then
+      fail (Printf.sprintf "compiled speedup %.1fx below the 2x smoke floor" speedup)
+  end;
+  print_newline ()
+
 let groups =
   [
     ("fig1", fig1);
@@ -927,6 +988,7 @@ let groups =
     ("obs", obs_bench);
     ("hetero", hetero_bench);
     ("serve", serve_bench);
+    ("compile", compile_bench);
   ]
 
 let () =

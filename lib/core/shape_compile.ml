@@ -1,0 +1,829 @@
+open Fsdata_data
+module Raw = Json.Raw
+
+(* Observability (docs/OBSERVABILITY.md): how many parsers were compiled
+   and at what cost, and how documents were decoded. Registered at module
+   initialization so the exported key set does not depend on which paths
+   a run exercises. *)
+let m_parsers = Fsdata_obs.Metrics.counter "compile.parsers"
+let m_build_ns = Fsdata_obs.Metrics.counter "compile.build_ns"
+let m_direct = Fsdata_obs.Metrics.counter "compile.docs_direct"
+let m_fallback = Fsdata_obs.Metrics.counter "compile.docs_fallback"
+
+(* ----- Target representation ----- *)
+
+type tvalue =
+  | Vnull
+  | Vbool of bool
+  | Vint of int
+  | Vfloat of float
+  | Vstring of string
+  | Vdate of Date.t
+  | Vlist of tvalue array
+  | Vrecord of string * (string * tvalue) array
+  | Vany of Data_value.t
+
+let rec equal_tvalue a b =
+  match (a, b) with
+  | Vnull, Vnull -> true
+  | Vbool a, Vbool b -> Bool.equal a b
+  | Vint a, Vint b -> Int.equal a b
+  | Vfloat a, Vfloat b -> Float.equal a b
+  | Vstring a, Vstring b -> String.equal a b
+  | Vdate a, Vdate b -> Date.equal a b
+  | Vlist a, Vlist b ->
+      Array.length a = Array.length b
+      && Array.for_all2 (fun x y -> equal_tvalue x y) a b
+  | Vrecord (n, a), Vrecord (m, b) ->
+      String.equal n m
+      && Array.length a = Array.length b
+      && Array.for_all2
+           (fun (ka, va) (kb, vb) -> String.equal ka kb && equal_tvalue va vb)
+           a b
+  | Vany a, Vany b -> Data_value.equal a b
+  | _ -> false
+
+let rec to_data = function
+  | Vnull -> Data_value.Null
+  | Vbool b -> Data_value.Bool b
+  | Vint i -> Data_value.Int i
+  | Vfloat f -> Data_value.Float f
+  | Vstring s -> Data_value.String s
+  | Vdate d -> Data_value.String (Date.to_iso8601 d)
+  | Vlist items -> Data_value.List (Array.to_list (Array.map to_data items))
+  | Vrecord (name, fields) ->
+      Data_value.Record
+        (name, Array.to_list (Array.map (fun (k, v) -> (k, to_data v)) fields))
+  | Vany d -> d
+
+let pp_tvalue ppf v = Json.pp ppf (to_data v)
+
+(* ----- The interpreted reference conversion ----- *)
+
+exception Mismatch
+
+(* The value a missing record field decodes to, mirroring the
+   missing-field closure of [Shape_check.has_shape]: a missing field
+   passes iff its shape admits null ([admits_null]), and is
+   observationally a null — so nullables and null read as null,
+   collections as the empty list, tops as an unconstrained null. Note
+   this is deliberately more lenient than [has_shape s Null] for
+   collections with exactly-once entries, matching the spec. *)
+let missing_field_default (s : Shape.t) : tvalue option =
+  match s with
+  | Null | Nullable _ -> Some Vnull
+  | Collection _ -> Some (Vlist [||])
+  | Top _ -> Some (Vany Data_value.Null)
+  | Bottom | Primitive _ | Record _ -> None
+
+let prim_of_value (p : Shape.primitive) (d : Data_value.t) : tvalue =
+  match (p, d) with
+  | Shape.Int, Int i -> Vint i
+  | Shape.Float, Int i -> Vfloat (float_of_int i)
+  | Shape.Float, Float f -> Vfloat f
+  | Shape.Bool, Bool b -> Vbool b
+  | Shape.Bool, Int ((0 | 1) as i) -> Vbool (i = 1)
+  | Shape.Bit, Int ((0 | 1) as i) -> Vbool (i = 1)
+  | Shape.Bit0, Int 0 -> Vint 0
+  | Shape.Bit1, Int 1 -> Vint 1
+  | Shape.Date, String s -> (
+      match Date.of_string s with Some d -> Vdate d | None -> raise Mismatch)
+  | Shape.String, String s -> Vstring s
+  | _ -> raise Mismatch
+
+let non_null_entries entries =
+  List.filter (fun (e : Shape.entry) -> e.shape <> Shape.Null) entries
+
+let has_null_entry entries =
+  List.exists (fun (e : Shape.entry) -> e.shape = Shape.Null) entries
+
+let rec convert (s : Shape.t) (d : Data_value.t) : tvalue =
+  match (s, d) with
+  | Shape.Bottom, _ -> raise Mismatch
+  | Shape.Null, Null -> Vnull
+  | Shape.Null, _ -> raise Mismatch
+  | Shape.Top _, d -> Vany d
+  | Shape.Nullable _, Null -> Vnull
+  | Shape.Nullable s', d -> convert s' d
+  | Shape.Primitive p, d -> prim_of_value p d
+  | Shape.Record { name; fields }, Record (name', dfields)
+    when String.equal name name' ->
+      let conv_field (f, fs) =
+        match List.assoc_opt f dfields with
+        | Some v -> (f, convert fs v)
+        | None -> (
+            match missing_field_default fs with
+            | Some t -> (f, t)
+            | None -> raise Mismatch)
+      in
+      Vrecord (name, Array.of_list (List.map conv_field fields))
+  | Shape.Record _, _ -> raise Mismatch
+  | Shape.Collection entries, Null ->
+      if Shape_check.has_shape (Shape.Collection entries) Data_value.Null then
+        Vlist [||]
+      else raise Mismatch
+  | Shape.Collection entries, List ds -> convert_elements entries ds
+  | Shape.Collection _, _ -> raise Mismatch
+
+and convert_elements entries ds : tvalue =
+  let null_ok = has_null_entry entries in
+  match non_null_entries entries with
+  | [] ->
+      (* [⊥]-like collections: only null elements conform *)
+      Vlist
+        (Array.of_list
+           (List.map
+              (fun d -> if d = Data_value.Null then Vnull else raise Mismatch)
+              ds))
+  | [ f ] ->
+      (* single non-null entry: homogeneous check of every element *)
+      Vlist
+        (Array.of_list
+           (List.map
+              (fun d ->
+                if d = Data_value.Null then
+                  if null_ok then Vnull else convert f.shape Data_value.Null
+                else convert f.shape d)
+              ds))
+  | consumers ->
+      (* several entries: dispatch by exhibited tag, open world for
+         unknown tags and nulls *)
+      let conv d =
+        if d = Data_value.Null then Vnull
+        else
+          let t = Shape_check.tag_of_data d in
+          match
+            List.find_opt
+              (fun (e : Shape.entry) -> Tag.equal (Shape.tagof e.shape) t)
+              consumers
+          with
+          | Some e -> convert e.shape d
+          | None -> Vany d
+      in
+      let items = List.map conv ds in
+      (* exactly-once entries must actually be matched by some element *)
+      List.iter
+        (fun (e : Shape.entry) ->
+          if
+            e.mult = Multiplicity.Single
+            && not (List.exists (fun d -> Shape_check.has_shape e.shape d) ds)
+          then raise Mismatch)
+        consumers;
+      Vlist (Array.of_list items)
+
+(* ----- Diagnosis ----- *)
+
+let describe (d : Data_value.t) =
+  match d with
+  | Null -> "null"
+  | Bool _ -> "a boolean"
+  | Int i -> Printf.sprintf "the int %d" i
+  | Float _ -> "a float"
+  | String s ->
+      if String.length s > 24 then
+        Printf.sprintf "the string %S..." (String.sub s 0 24)
+      else Printf.sprintf "the string %S" s
+  | List _ -> "a collection"
+  | Record (name, _) ->
+      if String.equal name Data_value.json_record_name then "a record"
+      else Printf.sprintf "a record named %s" name
+
+(* First violation of [has_shape s d], with the path from the root in the
+   JSONPath-ish notation of [Explain]. Mirrors [Shape_check.has_shape]
+   case for case; the differential suite pins
+   [diagnose s d = None <=> has_shape s d]. *)
+let rec first_mismatch path (s : Shape.t) (d : Data_value.t) :
+    (string * string * string) option =
+  let fail expected = Some (path, expected, describe d) in
+  match (s, d) with
+  | Shape.Bottom, _ -> fail "nothing (bottom)"
+  | Shape.Null, Null -> None
+  | Shape.Null, _ -> fail "null"
+  | Shape.Top _, _ -> None
+  | Shape.Nullable _, Null -> None
+  | Shape.Nullable s', d -> first_mismatch path s' d
+  | Shape.Primitive p, d -> (
+      match prim_of_value p d with
+      | _ -> None
+      | exception Mismatch -> fail (Shape.to_string (Shape.Primitive p)))
+  | Shape.Record { name; fields }, Record (name', dfields)
+    when String.equal name name' ->
+      List.find_map
+        (fun (f, fs) ->
+          let path = path ^ "." ^ f in
+          match List.assoc_opt f dfields with
+          | Some v -> first_mismatch path fs v
+          | None ->
+              if missing_field_default fs <> None then None
+              else Some (path, Shape.to_string fs, "a missing field"))
+        fields
+  | Shape.Record { name; _ }, _ ->
+      fail (Printf.sprintf "a record named %s" name)
+  | Shape.Collection entries, Null ->
+      if Shape_check.has_shape (Shape.Collection entries) Data_value.Null then
+        None
+      else
+        Some
+          ( path,
+            Shape.to_string (Shape.Collection entries),
+            "null (an exactly-once entry cannot be supplied)" )
+  | Shape.Collection entries, List ds -> elements_mismatch path entries ds
+  | Shape.Collection entries, _ ->
+      fail (Shape.to_string (Shape.Collection entries))
+
+and elements_mismatch path entries ds =
+  let null_ok = has_null_entry entries in
+  let find_at check =
+    List.find_map Fun.id
+      (List.mapi (fun i d -> check (Printf.sprintf "%s[%d]" path i) d) ds)
+  in
+  match non_null_entries entries with
+  | [] ->
+      find_at (fun p d ->
+          if d = Data_value.Null then None else Some (p, "null", describe d))
+  | [ f ] ->
+      find_at (fun p d ->
+          if d = Data_value.Null then
+            if null_ok || Shape_check.has_shape f.shape Data_value.Null then
+              None
+            else Some (p, Shape.to_string f.shape, "null")
+          else first_mismatch p f.shape d)
+  | consumers -> (
+      let elt_mismatch =
+        find_at (fun p d ->
+            if d = Data_value.Null then None
+            else
+              let t = Shape_check.tag_of_data d in
+              match
+                List.find_opt
+                  (fun (e : Shape.entry) -> Tag.equal (Shape.tagof e.shape) t)
+                  consumers
+              with
+              | Some e -> first_mismatch p e.shape d
+              | None -> None)
+      in
+      match elt_mismatch with
+      | Some _ as m -> m
+      | None ->
+          List.find_map
+            (fun (e : Shape.entry) ->
+              if
+                e.mult = Multiplicity.Single
+                && not
+                     (List.exists
+                        (fun d -> Shape_check.has_shape e.shape d)
+                        ds)
+              then
+                Some
+                  ( path,
+                    Printf.sprintf "exactly one element of shape %s"
+                      (Shape.to_string e.shape),
+                    "a collection with none" )
+              else None)
+            consumers)
+
+let diagnose (s : Shape.t) (d : Data_value.t) : Diagnostic.t option =
+  match first_mismatch "$" s d with
+  | None -> None
+  | Some (at, expected, actual) ->
+      Some
+        (Diagnostic.make ~severity:Diagnostic.Warning ~format:Diagnostic.Json
+           ~line:0 ~column:0
+           (Printf.sprintf
+              "document does not have the expected shape at %s: expected %s, \
+               found %s"
+              at expected actual))
+
+(* ----- Compilation ----- *)
+
+(* A decoder consumes one JSON value from the raw lexer state and
+   produces its direct representation. It may raise {!Mismatch} eagerly
+   at any point — the document driver rewinds to the document start and
+   re-derives the truth on the generic path, so decoders never need to
+   repair the cursor themselves — and it may raise
+   [Diagnostic.Parse_error] through the shared lexer on malformed
+   syntax. *)
+type decoder = Raw.state -> tvalue
+
+(* A compiled shape, split by the exhibited class of the next token:
+   structured openers get dedicated decoders (the opener is peeked, not
+   consumed), while scalar tokens are lexed once by the {!run} driver.
+   Number/boolean/null tokens reach [of_scalar] as data values; string
+   literals reach [of_string] raw, so each shape runs only the part of
+   [Primitive.to_value]'s classification cascade that can change its
+   verdict (a [string]-shaped slot, e.g., never runs the date scanner:
+   both the date and the string reading keep the raw string). The split
+   is what keeps the hot path single-scan: a nullable payload or a
+   collection element never rewinds to re-lex a token its null check
+   already consumed. *)
+type compiled_shape = {
+  on_record : decoder;  (* next character is '{' *)
+  on_array : decoder;  (* next character is '[' *)
+  of_scalar : Data_value.t -> tvalue;  (* a lexed number/bool/null token *)
+  of_string : string -> tvalue;  (* a lexed string literal, unclassified *)
+}
+
+type compiled = { cshape : Shape.t; dec : decoder }
+
+let shape c = c.cshape
+let reject_struct : decoder = fun _ -> raise Mismatch
+let reject_scalar : Data_value.t -> tvalue = fun _ -> raise Mismatch
+
+(* Decode one value against a compiled shape: dispatch on the first
+   token character. Structured openers are left for the shape's own
+   decoder to consume. *)
+let run (cs : compiled_shape) : decoder =
+ fun st ->
+  Raw.skip_ws st;
+  match Raw.peek_char st with
+  | '{' -> cs.on_record st
+  | '[' -> cs.on_array st
+  | '"' -> cs.of_string (Raw.parse_string st)
+  | '-' | '0' .. '9' -> cs.of_scalar (Raw.parse_number st)
+  | 't' | 'f' | 'n' -> cs.of_scalar (Raw.parse_value st)
+  | _ -> raise Mismatch
+
+(* Decode one generic value and normalize it: the unconstrained-position
+   reader (top shapes, unknown tags, fallback). *)
+let dec_any st = Vany (Primitive.normalize (Raw.parse_value st))
+
+(* ----- Shape-directed literal classification -----
+
+   Every [of_string] below is extensionally [of_scalar] composed with
+   [fst (Primitive.to_value s)] — the differential suite checks this —
+   but runs only the classification steps whose outcome the expected
+   shape can observe, in [Primitive.classify]'s priority order. *)
+
+(* [List.mem t Primitive.missing_markers], dispatched on length first:
+   this runs on every string literal a compiled decoder touches. *)
+let is_missing_lit t =
+  match String.length t with
+  | 0 -> true
+  | 1 -> t.[0] = ':' || t.[0] = '-'
+  | 2 -> String.equal t "NA"
+  | 3 -> String.equal t "N/A"
+  | 4 -> String.equal t "#N/A"
+  | _ -> false
+
+(* [Primitive.parse_bool] on an already-trimmed literal, without the
+   lowercased copy: true/false/yes/no, any case. *)
+let bool_lit t =
+  let eq_ci lower =
+    (* same length by construction of the caller's dispatch *)
+    let n = String.length lower in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if Char.lowercase_ascii t.[i] <> lower.[i] then ok := false
+    done;
+    !ok
+  in
+  match String.length t with
+  | 2 -> if eq_ci "no" then Some false else None
+  | 3 -> if eq_ci "yes" then Some true else None
+  | 4 -> if eq_ci "true" then Some true else None
+  | 5 -> if eq_ci "false" then Some false else None
+  | _ -> None
+
+let prim_of_string (p : Shape.primitive) : string -> tvalue =
+  match p with
+  | Shape.Int -> (
+      fun s ->
+        match Primitive.parse_int s with
+        | Some i -> Vint i
+        | None -> raise Mismatch)
+  | Shape.Float -> (
+      fun s ->
+        match Primitive.parse_int s with
+        | Some i -> Vfloat (float_of_int i)
+        | None -> (
+            match Primitive.parse_float s with
+            | Some f -> Vfloat f
+            | None -> raise Mismatch))
+  | Shape.Bool -> (
+      fun s ->
+        match Primitive.parse_int s with
+        | Some 0 -> Vbool false
+        | Some 1 -> Vbool true
+        | Some _ -> raise Mismatch
+        | None -> (
+            match bool_lit (String.trim s) with
+            | Some b -> Vbool b
+            | None -> raise Mismatch))
+  | Shape.Bit -> (
+      fun s ->
+        match Primitive.parse_int s with
+        | Some 0 -> Vbool false
+        | Some 1 -> Vbool true
+        | _ -> raise Mismatch)
+  | Shape.Bit0 -> (
+      fun s ->
+        match Primitive.parse_int s with
+        | Some 0 -> Vint 0
+        | _ -> raise Mismatch)
+  | Shape.Bit1 -> (
+      fun s ->
+        match Primitive.parse_int s with
+        | Some 1 -> Vint 1
+        | _ -> raise Mismatch)
+  | Shape.Date ->
+      fun s ->
+        let t = String.trim s in
+        if
+          is_missing_lit t
+          || Primitive.parse_int t <> None
+          || Primitive.parse_float t <> None
+          || bool_lit t <> None
+        then raise Mismatch
+        else (
+          match Date.of_string s with
+          | Some d -> Vdate d
+          | None -> raise Mismatch)
+  | Shape.String ->
+      fun s ->
+        let t = String.trim s in
+        if
+          is_missing_lit t
+          || Primitive.parse_int t <> None
+          || Primitive.parse_float t <> None
+          || bool_lit t <> None
+        then raise Mismatch
+        else Vstring s
+
+let slot_missing = Vany (Data_value.String "\000fsdata-compile-missing")
+
+let rec compile_shape (s : Shape.t) : compiled_shape =
+  match s with
+  | Shape.Bottom ->
+      { on_record = reject_struct; on_array = reject_struct;
+        of_scalar = reject_scalar;
+        of_string = (fun _ -> raise Mismatch) }
+  | Shape.Null ->
+      { on_record = reject_struct;
+        on_array = reject_struct;
+        of_scalar =
+          (function Data_value.Null -> Vnull | _ -> raise Mismatch);
+        of_string =
+          (fun s ->
+            if is_missing_lit (String.trim s) then Vnull else raise Mismatch);
+      }
+  | Shape.Top _ ->
+      { on_record = dec_any; on_array = dec_any;
+        of_scalar = (fun v -> Vany v);
+        of_string = (fun s -> Vany (fst (Primitive.to_value s))) }
+  | Shape.Primitive p ->
+      { on_record = reject_struct; on_array = reject_struct;
+        of_scalar = prim_of_value p;
+        of_string = prim_of_string p }
+  | Shape.Nullable s' ->
+      (* a null token (or a literal normalizing to null) short-circuits;
+         everything else is the payload's business, same token *)
+      let cs = compile_shape s' in
+      {
+        cs with
+        of_scalar =
+          (function Data_value.Null -> Vnull | v -> cs.of_scalar v);
+        of_string =
+          (fun s ->
+            if is_missing_lit (String.trim s) then Vnull else cs.of_string s);
+      }
+  | Shape.Record r -> compile_record r
+  | Shape.Collection entries -> compile_collection entries
+
+and compile_record { Shape.name; fields } : compiled_shape =
+  if not (String.equal name Data_value.json_record_name) then
+    (* JSON objects are all named [json_record_name]; an XML-derived
+       record shape can never match JSON input directly *)
+    { on_record = reject_struct; on_array = reject_struct;
+      of_scalar = reject_scalar;
+      of_string = (fun _ -> raise Mismatch) }
+  else begin
+    let slots =
+      Array.of_list
+        (List.map
+           (fun (key, fs) ->
+             (key, run (compile_shape fs), missing_field_default fs))
+           fields)
+    in
+    let nslots = Array.length slots in
+    (* raw byte images of the keys for the in-order fast path: matching
+       ["key"] against the source directly skips the decode+hash of the
+       common case (escaped spellings fall through to the hashtable) *)
+    let quoted = Array.map (fun (key, _, _) -> "\"" ^ key ^ "\"") slots in
+    let index = Hashtbl.create (max 4 (2 * nslots)) in
+    Array.iteri (fun i (key, _, _) -> Hashtbl.replace index key i) slots;
+    let on_record st =
+      Raw.advance st (* past '{' *);
+      let values = Array.make nslots slot_missing in
+      (* fields usually arrive in shape order: try the next expected slot
+         before the hashtable *)
+      let expected = ref 0 in
+      Raw.skip_ws st;
+      (match Raw.peek_char st with
+      | '}' -> Raw.advance st
+      | _ ->
+          let rec members () =
+            Raw.skip_ws st;
+            let slot =
+              let e = !expected in
+              if e < nslots && Raw.lit st quoted.(e) then begin
+                expected := e + 1;
+                e
+              end
+              else
+                let key = Raw.parse_string st in
+                match Hashtbl.find_opt index key with
+                | Some i ->
+                    (* keep the in-order fast path alive across skipped
+                       optional fields *)
+                    expected := i + 1;
+                    i
+                | None -> -1
+            in
+            Raw.skip_ws st;
+            Raw.expect st ':';
+            if slot >= 0 then begin
+              let _, dec, _ = slots.(slot) in
+              (* last binding wins on duplicate keys, like the generic
+                 parser *)
+              values.(slot) <- dec st
+            end
+            else ignore (Raw.parse_value st);
+            Raw.skip_ws st;
+            match Raw.peek_char st with
+            | ',' ->
+                Raw.advance st;
+                members ()
+            | '}' -> Raw.advance st
+            | _ -> raise Mismatch
+          in
+          members ());
+      let out =
+        Array.mapi
+          (fun i v ->
+            let key, _, default = slots.(i) in
+            if v != slot_missing then (key, v)
+            else
+              match default with
+              | Some t -> (key, t)
+              | None -> raise Mismatch)
+          values
+      in
+      Vrecord (name, out)
+    in
+    { on_record; on_array = reject_struct; of_scalar = reject_scalar;
+      of_string = (fun _ -> raise Mismatch) }
+  end
+
+and compile_collection entries : compiled_shape =
+  let null_ok =
+    Shape_check.has_shape (Shape.Collection entries) Data_value.Null
+  in
+  let dec_elements = compile_elements entries in
+  {
+    on_record = reject_struct;
+    on_array =
+      (fun st ->
+        Raw.advance st (* past '[' *);
+        Vlist (dec_elements st));
+    of_scalar =
+      (* a null (or a literal normalizing to null) reads as the empty
+         collection when the shape admits it *)
+      (function
+      | Data_value.Null when null_ok -> Vlist [||]
+      | _ -> raise Mismatch);
+    of_string =
+      (fun s ->
+        if null_ok && is_missing_lit (String.trim s) then Vlist [||]
+        else raise Mismatch);
+  }
+
+(* Decode the elements of an already-opened array (the '[' is consumed),
+   returning them in order and consuming the closing ']'. *)
+and compile_elements entries : Raw.state -> tvalue array =
+  let dec_one = run (compile_element entries) in
+  fun st ->
+    Raw.skip_ws st;
+    if Raw.peek_char st = ']' then begin
+      Raw.advance st;
+      finish_elements entries [] st
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        items := dec_one st :: !items;
+        Raw.skip_ws st;
+        match Raw.peek_char st with
+        | ',' ->
+            Raw.advance st;
+            Raw.skip_ws st;
+            elements ()
+        | ']' -> Raw.advance st
+        | _ -> raise Mismatch
+      in
+      elements ();
+      finish_elements entries (List.rev !items) st
+    end
+
+and finish_elements entries items _st =
+  (* Exactly-once entries of a multi-entry collection must be matched by
+     some element. The compiled path tracks only which entry each element
+     decoded through; an element can also satisfy an entry it did not
+     decode through (a top-shaped entry, a null against a collection
+     entry), so rather than re-deriving [has_shape] here we are
+     conservative: when the cheap check fails, raise and let the generic
+     fallback decide — it either converts cleanly (no diagnostic) or
+     produces the exact diagnosis. *)
+  match non_null_entries entries with
+  | [] | [ _ ] -> Array.of_list items
+  | consumers ->
+      List.iter
+        (fun (e : Shape.entry) ->
+          if
+            e.mult = Multiplicity.Single
+            && not
+                 (List.exists
+                    (fun t -> Shape_check.has_shape e.shape (to_data t))
+                    items)
+          then raise Mismatch)
+        consumers;
+      Array.of_list items
+
+and compile_element entries : compiled_shape =
+  let null_ok = has_null_entry entries in
+  match non_null_entries entries with
+  | [] ->
+      { on_record = reject_struct;
+        on_array = reject_struct;
+        of_scalar =
+          (function Data_value.Null -> Vnull | _ -> raise Mismatch);
+        of_string =
+          (fun s ->
+            if is_missing_lit (String.trim s) then Vnull else raise Mismatch);
+      }
+  | [ f ] ->
+      let cs = compile_shape f.shape in
+      let null_elem =
+        if null_ok then Some Vnull
+        else
+          match convert f.shape Data_value.Null with
+          | t -> Some t
+          | exception Mismatch -> None
+      in
+      let as_null () =
+        match null_elem with Some t -> t | None -> raise Mismatch
+      in
+      {
+        cs with
+        of_scalar =
+          (function Data_value.Null -> as_null () | v -> cs.of_scalar v);
+        of_string =
+          (fun s ->
+            if is_missing_lit (String.trim s) then as_null ()
+            else cs.of_string s);
+      }
+  | consumers ->
+      (* dispatch on the exhibited tag of the next token; unknown tags
+         are never accessed by provided code and read as [Vany] *)
+      let consumer tag =
+        List.find_opt
+          (fun (e : Shape.entry) -> Tag.equal (Shape.tagof e.shape) tag)
+          consumers
+      in
+      let struct_for tag proj =
+        match consumer tag with
+        | Some e -> proj (compile_shape e.shape)
+        | None -> dec_any
+      in
+      let scalar_for tag =
+        match consumer tag with
+        | Some e -> (compile_shape e.shape).of_scalar
+        | None -> fun v -> Vany v
+      in
+      let on_number = scalar_for Tag.Number in
+      let on_bool = scalar_for Tag.Bool in
+      let on_string = scalar_for Tag.String in
+      let of_scalar =
+        (* the literal decides the tag only after normalization:
+           "12" exhibits Number, "" exhibits Null *)
+        function
+        | Data_value.Null -> Vnull
+        | (Data_value.Int _ | Data_value.Float _) as v -> on_number v
+        | Data_value.Bool _ as v -> on_bool v
+        | v -> on_string v
+      in
+      {
+        on_record =
+          struct_for (Tag.Record Data_value.json_record_name) (fun cs ->
+              cs.on_record);
+        on_array = struct_for Tag.Collection (fun cs -> cs.on_array);
+        of_scalar;
+        of_string = (fun s -> of_scalar (fst (Primitive.to_value s)));
+      }
+
+let compile (s : Shape.t) : compiled =
+  Fsdata_obs.Trace.with_span "compile.build" @@ fun () ->
+  Fsdata_obs.Metrics.incr m_parsers;
+  Fsdata_obs.Metrics.time m_build_ns @@ fun () ->
+  { cshape = s; dec = run (compile_shape s) }
+
+(* ----- Decoding drivers ----- *)
+
+type outcome = Direct of tvalue | Fallback of tvalue * Diagnostic.t
+
+type stats = { direct : int; fallback : int; skipped : int }
+
+let reraise_legacy (d : Diagnostic.t) =
+  raise
+    (Json.Parse_error { line = d.line; column = d.column; message = d.message })
+
+(* Decode one document starting at the current position. On a compiled
+   mismatch — or a parse error, which on a desynchronized compiled path
+   may be spurious — rewind to the document start and re-derive the truth
+   generically: parse, normalize, diagnose. The cursor always ends at a
+   sound position: after the document on any parse (the generic re-parse
+   consumed it), and the caller resynchronizes on `Malformed. *)
+let decode_one (c : compiled) st =
+  let m = Raw.mark st in
+  match c.dec st with
+  | v ->
+      Fsdata_obs.Metrics.incr m_direct;
+      `Direct v
+  | exception (Mismatch | Diagnostic.Parse_error _) -> (
+      Raw.reset st m;
+      match Raw.parse_value st with
+      | dv -> (
+          let dv = Primitive.normalize dv in
+          match diagnose c.cshape dv with
+          | Some d ->
+              Fsdata_obs.Metrics.incr m_fallback;
+              `Fallback (Vany dv, d)
+          | None ->
+              (* the compiled decoder was conservative (duplicate keys,
+                 multiplicity corner cases): the document conforms *)
+              Fsdata_obs.Metrics.incr m_direct;
+              `Direct (convert c.cshape dv))
+      | exception Diagnostic.Parse_error d -> `Malformed d)
+
+let parse (c : compiled) (src : string) : outcome =
+  Fsdata_obs.Trace.with_span "compile.parse" @@ fun () ->
+  let st = Raw.make src in
+  Raw.skip_ws st;
+  let finish () =
+    Raw.skip_ws st;
+    match Raw.peek st with
+    | Some ch ->
+        Raw.fail st (Printf.sprintf "trailing content after JSON value: %C" ch)
+    | None -> ()
+  in
+  match
+    match decode_one c st with
+    | `Direct v ->
+        finish ();
+        Direct v
+    | `Fallback (v, d) ->
+        finish ();
+        Fallback (v, d)
+    | `Malformed d -> raise (Diagnostic.Parse_error d)
+  with
+  | outcome -> outcome
+  | exception Diagnostic.Parse_error d -> reraise_legacy d
+
+let parse_corpus ?on_fallback ?on_error (c : compiled) (src : string) :
+    tvalue list * stats =
+  Fsdata_obs.Trace.with_span "compile.parse" @@ fun () ->
+  let st = Raw.make src in
+  let results = ref [] in
+  let direct = ref 0 and fellback = ref 0 and skipped = ref 0 in
+  let rec loop idx =
+    Raw.skip_ws st;
+    if not (Raw.at_eof st) then begin
+      let start = Raw.offset st in
+      (match decode_one c st with
+      | `Direct v ->
+          incr direct;
+          results := v :: !results
+      | `Fallback (v, d) ->
+          incr fellback;
+          (match on_fallback with
+          | Some f -> f (Diagnostic.with_index idx d)
+          | None -> ());
+          results := v :: !results
+      | `Malformed d -> (
+          match on_error with
+          | None -> reraise_legacy d
+          | Some handler ->
+              (* skip the malformed document and resynchronize at the
+                 next top-level boundary, exactly like [Json.fold_many]'s
+                 recovering mode *)
+              ignore (Raw.resync st ~start);
+              let text =
+                String.trim (String.sub src start (Raw.offset st - start))
+              in
+              incr skipped;
+              handler (Diagnostic.with_index idx d) ~skipped:text));
+      loop (idx + 1)
+    end
+  in
+  loop 0;
+  ( List.rev !results,
+    { direct = !direct; fallback = !fellback; skipped = !skipped } )

@@ -1,0 +1,135 @@
+(** Parsers from shapes: shape-specialized parser compilation.
+
+    The paper's pipeline is interpretive at runtime: parse JSON into a
+    {!Fsdata_data.Data_value.t}, normalize string literals, then convert
+    through the provided accessors, re-checking [hasShape] along the way.
+    Once a shape [σ] is known — inferred from samples or supplied by the
+    caller — that interpreter can be compiled away: [compile σ] builds a
+    {e direct} parser that matches record fields by their expected keys,
+    decodes primitives straight into the target representation
+    ({!tvalue}), and never materializes the intermediate [Data_value.t]
+    on the conforming path.
+
+    Semantics are pinned to the existing interpreted pipeline, which
+    stays the specification:
+
+    - a document is decoded directly iff
+      [Shape_check.has_shape σ (Primitive.normalize (Json.parse text))]
+      holds, and the direct result equals {!convert} of that normalized
+      value (the differential test harness asserts both);
+    - on a mismatch the driver {e falls back} per document: it rewinds to
+      the document start, re-parses generically, and either emits the
+      normalized value with a {!Diagnostic.t} explaining the first
+      violation ({!diagnose}), or — when the compiled decoder was merely
+      conservative (duplicate keys, multiplicity corner cases) — the
+      converted value with no diagnostic;
+    - malformed documents behave exactly like [Json.fold_many]'s
+      recovering mode: same diagnostics, same resynchronization at
+      top-level boundaries (the decoders drive [Json.Raw], the generic
+      parser's own lexer), same 0-based document indices.
+
+    Instrumented with [compile.*] counters and [compile.build] /
+    [compile.parse] spans (docs/OBSERVABILITY.md). *)
+
+open Fsdata_data
+
+(** {1 Target representation} *)
+
+(** The direct decode target: what the provided accessors would have
+    extracted, without the detour through [Data_value.t]. [Vany] carries
+    the normalized generic value for the positions a shape does not
+    constrain (top-shaped subtrees, unknown-tag collection elements,
+    fallback documents). *)
+type tvalue =
+  | Vnull
+  | Vbool of bool
+  | Vint of int
+  | Vfloat of float
+  | Vstring of string
+  | Vdate of Date.t
+  | Vlist of tvalue array
+  | Vrecord of string * (string * tvalue) array
+  | Vany of Data_value.t
+
+val equal_tvalue : tvalue -> tvalue -> bool
+
+val to_data : tvalue -> Data_value.t
+(** Lower back to the generic representation (dates render as ISO 8601
+    strings); [to_data (convert s d)] is observationally the conforming
+    part of [d]. *)
+
+val pp_tvalue : Format.formatter -> tvalue -> unit
+(** JSON rendering of {!to_data}. *)
+
+(** {1 The interpreted reference} *)
+
+exception Mismatch
+(** Raised by {!convert} (and internally by compiled decoders) when a
+    value does not have the shape. Carries no payload on purpose — the
+    explanatory API is {!diagnose}. *)
+
+val convert : Shape.t -> Data_value.t -> tvalue
+(** [convert s d] is the interpreted conversion of the {e normalized}
+    value [d] through shape [s] — the executable specification the
+    compiled parsers are tested against. Succeeds exactly when
+    [Shape_check.has_shape s d] (property-tested).
+    @raise Mismatch when [not (has_shape s d)]. *)
+
+val diagnose : Shape.t -> Data_value.t -> Diagnostic.t option
+(** [diagnose s d] is [None] iff [Shape_check.has_shape s d]; otherwise a
+    warning-severity JSON diagnostic (positions unknown, hence 0/0)
+    pinpointing the first violation: the path from the root, the expected
+    shape and the found value kind. Both the compiled fallback and any
+    strict conformance report use this one function, so their fields
+    agree by construction. *)
+
+(** {1 Compilation} *)
+
+type compiled
+(** A parser specialized to one shape. Immutable and domain-safe: decoding
+    allocates only per-document state, so one compiled parser may be used
+    from several domains concurrently. *)
+
+val compile : Shape.t -> compiled
+(** Build the direct decoder tree for [σ]: per-record key-slot tables with
+    an expected-order fast path, per-collection element dispatchers,
+    primitive token readers. Cost is proportional to [Shape.size σ] and
+    paid once; counted by [compile.parsers] / [compile.build_ns]. *)
+
+val shape : compiled -> Shape.t
+(** The shape the parser was compiled from (as given, not interned). *)
+
+(** {1 Decoding} *)
+
+(** How a document was decoded. [Fallback] documents parsed but did not
+    conform; they carry the normalized generic value and the {!diagnose}
+    diagnostic. *)
+type outcome = Direct of tvalue | Fallback of tvalue * Diagnostic.t
+
+val parse : compiled -> string -> outcome
+(** Decode one JSON document, rejecting trailing content.
+    @raise Json.Parse_error on malformed input — same positions and
+    message as [Json.parse]. *)
+
+type stats = { direct : int; fallback : int; skipped : int }
+(** Per-call decode accounting: documents decoded by the compiled path,
+    documents that fell back to the generic path, and malformed documents
+    skipped under [on_error]. *)
+
+val parse_corpus :
+  ?on_fallback:(Diagnostic.t -> unit) ->
+  ?on_error:(Diagnostic.t -> skipped:string -> unit) ->
+  compiled ->
+  string ->
+  tvalue list * stats
+(** Decode a stream of whitespace-separated JSON documents, the compiled
+    counterpart of [Json.fold_many]. Conforming documents take the direct
+    path; non-conforming ones fall back per document (their normalized
+    value is included in the results and [on_fallback], if given,
+    receives the {!diagnose} diagnostic carrying the 0-based document
+    index). Malformed documents raise [Json.Parse_error] unless
+    [on_error] is given, in which case they are skipped and reported
+    exactly like [Json.fold_many]'s recovering mode: same diagnostic,
+    same index accounting (skipped documents consume an index), same
+    resynchronization at the next top-level boundary — a mid-document
+    fault can never desynchronize the following documents. *)

@@ -104,8 +104,9 @@ let parse_hex4 st =
   done;
   !v
 
-let parse_string st =
-  expect st '"';
+(* Slow path: decode escape sequences through a buffer. The cursor is
+   just past the opening quote. *)
+let parse_string_slow st =
   let buf = Buffer.create 16 in
   let rec loop () =
     match peek st with
@@ -160,45 +161,92 @@ let parse_string st =
   in
   loop ()
 
-let parse_number st =
+let parse_string st =
+  expect st '"';
+  (* Fast path: a literal without escapes or control characters decodes
+     to a substring of the source. Nothing in the scanned run can be a
+     newline (those are control characters), so no line bookkeeping. *)
+  let src = st.src and len = st.len in
   let start = st.pos in
+  let i = ref start in
+  let stop = ref '\000' in
+  while
+    !i < len
+    &&
+    let c = String.unsafe_get src !i in
+    if c = '"' || c = '\\' || Char.code c < 0x20 then begin
+      stop := c;
+      false
+    end
+    else true
+  do
+    incr i
+  done;
+  if !stop = '"' then begin
+    st.pos <- !i + 1;
+    String.sub src start (!i - start)
+  end
+  else parse_string_slow st
+
+let parse_number st =
+  (* Index-scanned for speed: none of the scanned characters can be a
+     newline, so no line bookkeeping until the position is committed. *)
+  let src = st.src and len = st.len in
+  let start = st.pos in
+  let i = ref start in
+  let neg = !i < len && String.unsafe_get src !i = '-' in
+  if neg then incr i;
+  let is_digit j = j < len && src.[j] >= '0' && src.[j] <= '9' in
   let is_float = ref false in
-  if peek st = Some '-' then advance st;
-  let digits () =
-    let n = ref 0 in
-    let continue = ref true in
-    while !continue do
-      match peek st with
-      | Some ('0' .. '9') ->
-          incr n;
-          advance st
-      | _ -> continue := false
-    done;
-    !n
-  in
-  (match peek st with
-  | Some '0' -> advance st
-  | Some ('1' .. '9') -> ignore (digits ())
-  | _ -> error st "invalid number");
-  (match peek st with
-  | Some '.' ->
-      is_float := true;
-      advance st;
-      if digits () = 0 then error st "expected digits after decimal point"
-  | _ -> ());
-  (match peek st with
-  | Some ('e' | 'E') ->
-      is_float := true;
-      advance st;
-      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
-      if digits () = 0 then error st "expected digits in exponent"
-  | _ -> ());
-  let text = String.sub st.src start (st.pos - start) in
-  if !is_float then Data_value.Float (float_of_string text)
-  else
-    match int_of_string_opt text with
-    | Some i -> Data_value.Int i
-    | None -> Data_value.Float (float_of_string text)
+  (* integer part: a lone '0', or a run starting with a nonzero digit *)
+  (match if !i < len then String.unsafe_get src !i else '\000' with
+  | '0' -> incr i
+  | '1' .. '9' -> while is_digit !i do incr i done
+  | _ ->
+      st.pos <- !i;
+      error st "invalid number");
+  if !i < len && String.unsafe_get src !i = '.' then begin
+    is_float := true;
+    incr i;
+    let d0 = !i in
+    while is_digit !i do incr i done;
+    if !i = d0 then begin
+      st.pos <- !i;
+      error st "expected digits after decimal point"
+    end
+  end;
+  if !i < len && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+    is_float := true;
+    incr i;
+    if !i < len && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+    let d0 = !i in
+    while is_digit !i do incr i done;
+    if !i = d0 then begin
+      st.pos <- !i;
+      error st "expected digits in exponent"
+    end
+  end;
+  let stop = !i in
+  st.pos <- stop;
+  if !is_float then
+    Data_value.Float (float_of_string (String.sub src start (stop - start)))
+  else begin
+    let dig0 = if neg then start + 1 else start in
+    if stop - dig0 <= 18 then begin
+      (* at most 18 digits always fits a native int: accumulate without
+         the substring + int_of_string round-trip *)
+      let acc = ref 0 in
+      for j = dig0 to stop - 1 do
+        acc := (!acc * 10) + (Char.code (String.unsafe_get src j) - 48)
+      done;
+      Data_value.Int (if neg then - !acc else !acc)
+    end
+    else
+      let text = String.sub src start (stop - start) in
+      match int_of_string_opt text with
+      | Some v -> Data_value.Int v
+      | None -> Data_value.Float (float_of_string text)
+  end
 
 let parse_literal st word value =
   String.iter (fun c -> expect st c) word;
@@ -526,6 +574,69 @@ module Cursor = struct
       cur.bol <- 0;
       List.rev !docs
     end
+end
+
+(* Raw lexer access for shape-specialized parser compilation
+   (lib/core/shape_compile). Compiled decoders drive the same state,
+   token readers, error reporting and resynchronization as the generic
+   parser, so their diagnostics and recovery boundaries are identical by
+   construction. *)
+module Raw = struct
+  type nonrec state = state
+  type mark = { m_pos : int; m_line : int; m_bol : int }
+
+  let make = make_state
+  let mark st = { m_pos = st.pos; m_line = st.line; m_bol = st.bol }
+
+  let reset st m =
+    st.pos <- m.m_pos;
+    st.line <- m.m_line;
+    st.bol <- m.m_bol;
+    st.depth <- 0
+
+  let offset st = st.pos
+  let offset_of_mark m = m.m_pos
+  let source st = st.src
+  let at_eof st = st.pos >= st.len
+
+  (* Non-allocating peek for decoder hot loops: [peek] boxes its option
+     on every call. NUL doubles as the end-of-input sentinel; a literal
+     NUL byte in the source is a control character and errors on every
+     path that could consume it. *)
+  let peek_char st =
+    if st.pos >= st.len then '\000' else String.unsafe_get st.src st.pos
+
+  (* Zero-allocation literal match: when the source bytes at the cursor
+     are exactly [s], consume them and return true; otherwise leave the
+     cursor untouched. [s] must not contain newlines (no line
+     bookkeeping). Used by compiled record decoders to match an expected
+     ["key"] without decoding it. *)
+  let lit st s =
+    let n = String.length s in
+    st.pos + n <= st.len
+    && begin
+         let i = ref 0 in
+         while
+           !i < n
+           && String.unsafe_get st.src (st.pos + !i) = String.unsafe_get s !i
+         do
+           incr i
+         done;
+         if !i = n then begin
+           st.pos <- st.pos + n;
+           true
+         end
+         else false
+       end
+  let peek = peek
+  let advance = advance
+  let skip_ws = skip_ws
+  let expect = expect
+  let parse_string = parse_string
+  let parse_number = parse_number
+  let parse_value = parse_value
+  let resync = resync
+  let fail st msg = error st "%s" msg
 end
 
 (* ----- Printing ----- *)

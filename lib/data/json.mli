@@ -92,6 +92,78 @@ module Cursor : sig
       cursors only), with stream-global positions. *)
 end
 
+(** Raw access to the parser's lexing machinery, for shape-specialized
+    parser compilation ([Fsdata_core.Shape_compile]). A compiled decoder
+    drives the same mutable state, token readers and resynchronization
+    as the generic parser, so its error positions (via
+    [Diagnostic.Parse_error]) and recovery boundaries are identical to
+    the interpreted path by construction. Not a stable public API:
+    intended for in-tree consumers. *)
+module Raw : sig
+  type state
+  (** Mutable scan state over one source string: position, line
+      bookkeeping and nesting depth. *)
+
+  type mark
+  (** Immutable snapshot of a position (offset, line, line start), used
+      to rewind to a document start for fallback re-parsing. *)
+
+  val make : string -> state
+  val mark : state -> mark
+
+  val reset : state -> mark -> unit
+  (** Rewind to [mark] and clear the nesting depth (a failed descent may
+      have left it non-zero). *)
+
+  val offset : state -> int
+  val offset_of_mark : mark -> int
+  val source : state -> string
+  val at_eof : state -> bool
+
+  val peek_char : state -> char
+  (** Non-allocating [peek]: the next character, or ['\000'] at end of
+      input (a literal NUL in the source is a control character and
+      errors on any path that could consume it). *)
+
+  val lit : state -> string -> bool
+  (** [lit st s] consumes the source bytes at the cursor when they are
+      exactly [s] and returns [true]; otherwise leaves the cursor
+      untouched. [s] must not contain newlines (no line bookkeeping).
+      Lets a compiled record decoder match an expected ["key"] without
+      decoding or allocating. *)
+
+  val peek : state -> char option
+  val advance : state -> unit
+  val skip_ws : state -> unit
+
+  val expect : state -> char -> unit
+  (** @raise Diagnostic.Parse_error when the next character differs. *)
+
+  val parse_string : state -> string
+  (** Scan a JSON string literal (opening quote included), decoding the
+      full escape syntax. @raise Diagnostic.Parse_error on faults. *)
+
+  val parse_number : state -> Data_value.t
+  (** Scan a JSON number: [Int] when written without fraction/exponent
+      and it fits a native [int], else [Float].
+      @raise Diagnostic.Parse_error on faults. *)
+
+  val parse_value : state -> Data_value.t
+  (** The generic recursive-descent parser, from the current position.
+      @raise Diagnostic.Parse_error on faults. *)
+
+  val resync : state -> start:int -> bool
+  (** Advance past a malformed document (whose text began at [start]) to
+      the most plausible next top-level document boundary; see
+      {!fold_many}'s recovering mode. Returns [false] when the rest of
+      the input was consumed instead. *)
+
+  val fail : state -> string -> 'a
+  (** Raise [Diagnostic.Parse_error] at the current position with the
+      given message — the same diagnostic shape the parser itself
+      raises. *)
+end
+
 val to_string : ?indent:int -> Data_value.t -> string
 (** Print a data value as JSON. With [indent] (spaces per level) the output
     is pretty-printed; default is compact. Record names are not printed

@@ -1,0 +1,65 @@
+open Fsdata_core.Shape_compile
+module Dv = Fsdata_data.Data_value
+
+type value = tvalue
+
+let kind = function
+  | Vnull -> "null"
+  | Vbool _ -> "bool"
+  | Vint _ -> "int"
+  | Vfloat _ -> "float"
+  | Vstring _ -> "string"
+  | Vdate _ -> "date"
+  | Vlist _ -> "collection"
+  | Vrecord _ -> "record"
+  | Vany d -> Ops.summarize_value d
+
+let get_int = function
+  | Vint i -> i
+  | Vany d -> Ops.conv_int d
+  | v -> Ops.conversion_failure ~expected:"int" ~op:"get_int" (kind v)
+
+let get_float = function
+  | Vfloat f -> f
+  | Vint i -> float_of_int i
+  | Vany d -> Ops.conv_float d
+  | v -> Ops.conversion_failure ~expected:"float" ~op:"get_float" (kind v)
+
+let get_bool = function
+  | Vbool b -> b
+  | Vany d -> Ops.conv_bool d
+  | v -> Ops.conversion_failure ~expected:"bool" ~op:"get_bool" (kind v)
+
+let get_string = function
+  | Vstring s -> s
+  | Vany d -> Ops.conv_string d
+  | v -> Ops.conversion_failure ~expected:"string" ~op:"get_string" (kind v)
+
+let get_date = function
+  | Vdate d -> d
+  | Vany d -> Ops.conv_date d
+  | v -> Ops.conversion_failure ~expected:"date" ~op:"get_date" (kind v)
+
+let get_option = function
+  | Vnull | Vany Dv.Null -> None
+  | v -> Some v
+
+let field v name =
+  match v with
+  | Vrecord (record, fields) -> (
+      match Array.find_opt (fun (k, _) -> String.equal k name) fields with
+      | Some (_, v) -> v
+      | None ->
+          Ops.conversion_failure ~path:[ name ]
+            ~expected:(Printf.sprintf "a field of %s" record)
+            ~op:"field" "a missing field")
+  | Vany d -> Vany (Ops.conv_field ~record:Dv.json_record_name ~field:name d)
+  | v -> Ops.conversion_failure ~expected:"record" ~op:"field" (kind v)
+
+let elements = function
+  | Vlist items -> Array.to_list items
+  | Vnull -> []
+  | Vany d -> List.map (fun d -> Vany d) (Ops.conv_elements Fun.id d)
+  | v -> Ops.conversion_failure ~expected:"collection" ~op:"elements" (kind v)
+
+let to_data = to_data

@@ -1,0 +1,39 @@
+(** Typed access over shape-compiled parse results.
+
+    {!Fsdata_core.Shape_compile} decodes conforming documents straight
+    into {!Fsdata_core.Shape_compile.tvalue} — primitives already in
+    their target representation, records as key-slot arrays. This module
+    is the accessor layer over that representation, the compiled
+    counterpart of {!Typed} over generic data: member access on values
+    of an unexpected kind raises {!Ops.Conversion_error}, exactly like
+    the interpreted runtime.
+
+    [Vany] nodes (top-shaped subtrees, unknown-tag collection elements,
+    fallback documents) carry normalized generic data; accessors bridge
+    to the {!Ops} conversions for them, so code written against this
+    interface behaves identically on direct and fallback results. *)
+
+type value = Fsdata_core.Shape_compile.tvalue
+
+val get_int : value -> int
+val get_float : value -> float
+(** Accepts [Vint] too (the [convFloat] widening rule). *)
+
+val get_bool : value -> bool
+val get_string : value -> string
+val get_date : value -> Fsdata_data.Date.t
+
+val get_option : value -> value option
+(** [None] on [Vnull] (and [Vany Null]), [Some v] otherwise. *)
+
+val field : value -> string -> value
+(** Record field by name.
+    @raise Ops.Conversion_error when the value is not a record or the
+    field is absent. *)
+
+val elements : value -> value list
+(** Collection elements; null reads as the empty collection, mirroring
+    [convElements]. *)
+
+val to_data : value -> Fsdata_data.Data_value.t
+(** Re-export of {!Fsdata_core.Shape_compile.to_data}. *)

@@ -1,0 +1,54 @@
+module Shape = Fsdata_core.Shape
+module Shape_compile = Fsdata_core.Shape_compile
+module Metrics = Fsdata_obs.Metrics
+
+let hits = Metrics.counter "compile.cache.hits"
+let misses = Metrics.counter "compile.cache.misses"
+let evictions = Metrics.counter "compile.cache.evictions"
+
+(* An MRU list is the right structure at serving-cache sizes (a few dozen
+   hot shapes): hits are a pointer-equality scan with no allocation, and
+   the hot shapes bubble to the front. *)
+type t = {
+  lock : Mutex.t;
+  capacity : int;
+  mutable entries : (Shape.t * Shape_compile.compiled) list;
+}
+
+let create ~capacity = { lock = Mutex.create (); capacity; entries = [] }
+
+let length t = Mutex.protect t.lock (fun () -> List.length t.entries)
+
+let get t shape =
+  if t.capacity <= 0 then Shape_compile.compile shape
+  else
+    let cached =
+      Mutex.protect t.lock (fun () ->
+          match List.find_opt (fun (s, _) -> s == shape) t.entries with
+          | Some (_, compiled) as hit ->
+              (* move to front so hot shapes stay resident *)
+              t.entries <-
+                (shape, compiled) :: List.filter (fun (s, _) -> s != shape) t.entries;
+              hit
+          | None -> None)
+    in
+    match cached with
+    | Some (_, compiled) ->
+        Metrics.incr hits;
+        compiled
+    | None ->
+        Metrics.incr misses;
+        (* compile outside the lock: concurrent misses on the same shape
+           may compile twice, which is only wasted work, never wrong *)
+        let compiled = Shape_compile.compile shape in
+        Mutex.protect t.lock (fun () ->
+            if not (List.exists (fun (s, _) -> s == shape) t.entries) then begin
+              let entries = (shape, compiled) :: t.entries in
+              let n = List.length entries in
+              if n > t.capacity then begin
+                Metrics.incr evictions;
+                t.entries <- List.filteri (fun i _ -> i < t.capacity) entries
+              end
+              else t.entries <- entries
+            end);
+        compiled

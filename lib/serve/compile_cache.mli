@@ -1,0 +1,25 @@
+(** Cache of shape-compiled parsers for the serving layer.
+
+    Compiling a parser ({!Fsdata_core.Shape_compile.compile}) costs one
+    traversal of the shape; a server answering repeated [/check] requests
+    against the same hot shapes should pay it once. Keys are {e interned}
+    shapes ({!Fsdata_core.Shape.hcons}), so the lookup is a physical
+    -equality scan of a small MRU list — no hashing of shape trees on the
+    request path. Safe for concurrent use from worker domains (one lock;
+    the critical section is the scan).
+
+    Instrumented as [compile.cache.hits] / [compile.cache.misses] /
+    [compile.cache.evictions] (docs/OBSERVABILITY.md). *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity <= 0] disables caching: {!get} always compiles. *)
+
+val get : t -> Fsdata_core.Shape.t -> Fsdata_core.Shape_compile.compiled
+(** [get t shape] returns the cached parser for [shape] — which must be
+    an {!Fsdata_core.Shape.hcons} result for hits to occur — compiling
+    and inserting it (evicting the least recently used entry beyond
+    capacity) on a miss. *)
+
+val length : t -> int

@@ -3,6 +3,7 @@ module Infer = Fsdata_core.Infer
 module Par_infer = Fsdata_core.Par_infer
 module Shape_parser = Fsdata_core.Shape_parser
 module Shape_check = Fsdata_core.Shape_check
+module Shape_compile = Fsdata_core.Shape_compile
 module Preference = Fsdata_core.Preference
 module Explain = Fsdata_core.Explain
 module Diagnostic = Fsdata_data.Diagnostic
@@ -54,9 +55,19 @@ let default_config =
     port_file = None;
   }
 
-type t = { cfg : config; cache : string Cache.t }
+type t = { cfg : config; cache : string Cache.t; compiled : Compile_cache.t }
 
-let create cfg = { cfg; cache = Cache.create ~capacity:cfg.cache_entries }
+(* Compiled parsers are small (proportional to the shape) and hot shapes
+   are few; a fixed capacity decoupled from the response cache is
+   enough. *)
+let compiled_cache_capacity = 32
+
+let create cfg =
+  {
+    cfg;
+    cache = Cache.create ~capacity:cfg.cache_entries;
+    compiled = Compile_cache.create ~capacity:compiled_cache_capacity;
+  }
 
 (* --- response helpers --- *)
 
@@ -154,6 +165,10 @@ let handle_infer t req =
             | Ok report ->
                 let shape = Shape.hcons report.Infer.shape in
                 hcons_guard ();
+                (* warm the compiled-parser cache: a client that infers a
+                   shape and then re-parses documents against it (POST
+                   /check?compiled=1) hits compiled code immediately *)
+                if format = "json" then ignore (Compile_cache.get t.compiled shape);
                 let body = render_report ~format report shape in
                 Metrics.add cache_evictions (Cache.add t.cache key body);
                 Http.response
@@ -175,52 +190,78 @@ let mismatch_entry (m : Explain.mismatch) =
         ("reason", Dv.String m.Explain.reason);
       ] )
 
-let handle_checkish ~explain req =
+let handle_checkish t ~explain req =
   if req.Http.meth <> "POST" then method_not_allowed "POST"
   else
-    match Http.query_param req "shape" with
-    | None -> json_error 400 "missing required query parameter shape"
-    | Some text -> (
+    let compiled_mode =
+      match Http.query_param req "compiled" with
+      | None | Some "0" -> Ok false
+      | Some ("1" | "true") -> Ok true
+      | Some v -> Error (Printf.sprintf "bad compiled value %S (use 0 or 1)" v)
+    in
+    match (Http.query_param req "shape", compiled_mode) with
+    | _, Error m -> json_error 400 m
+    | None, _ -> json_error 400 "missing required query parameter shape"
+    | Some text, Ok compiled_mode -> (
         match Shape_parser.parse_result text with
         | Error m -> json_error 400 m
         | Ok shape -> (
             let format =
               Option.value ~default:"json" (Http.query_param req "format")
             in
-            let doc =
-              match format with
-              | "json" -> Json.parse_result req.Http.body
-              | "xml" ->
-                  Result.map
-                    (fun tree -> Xml.to_data tree)
-                    (Xml.parse_result req.Http.body)
-              | f ->
-                  Error
-                    (Printf.sprintf "unsupported format %S (use json or xml)" f)
-            in
-            match doc with
-            | Error m -> json_error 422 m
-            | Ok doc ->
-                let mode = if format = "xml" then `Xml else `Practical in
-                let input_shape = Infer.shape_of_value ~mode doc in
-                json_ok
-                  (if explain then
-                     [
-                       ("input_shape", Dv.String (shape_string input_shape));
-                       ("shape", Dv.String (shape_string shape));
-                       ( "mismatches",
-                         Dv.List
-                           (List.map mismatch_entry
-                              (Explain.explain input_shape shape)) );
-                     ]
-                   else
-                     [
-                       ("has_shape", Dv.Bool (Shape_check.has_shape shape doc));
-                       ( "preferred",
-                         Dv.Bool (Preference.is_preferred input_shape shape) );
-                       ("input_shape", Dv.String (shape_string input_shape));
-                       ("shape", Dv.String (shape_string shape));
-                     ])))
+            if compiled_mode && (explain || format <> "json") then
+              json_error 400 "compiled=1 applies to /check with format json"
+            else
+              let doc =
+                match format with
+                | "json" -> Json.parse_result req.Http.body
+                | "xml" ->
+                    Result.map
+                      (fun tree -> Xml.to_data tree)
+                      (Xml.parse_result req.Http.body)
+                | f ->
+                    Error
+                      (Printf.sprintf "unsupported format %S (use json or xml)"
+                         f)
+              in
+              match doc with
+              | Error m -> json_error 422 m
+              | Ok doc ->
+                  let mode = if format = "xml" then `Xml else `Practical in
+                  let input_shape = Infer.shape_of_value ~mode doc in
+                  let conforms () =
+                    if compiled_mode then begin
+                      (* the shape-compiled engine: hot shapes hit a cached
+                         parser; conformance is judged on the normalized
+                         document (docs/COMPILED_PARSERS.md) *)
+                      let shape = Shape.hcons shape in
+                      hcons_guard ();
+                      let parser = Compile_cache.get t.compiled shape in
+                      match Shape_compile.parse parser req.Http.body with
+                      | Shape_compile.Direct _ -> true
+                      | Shape_compile.Fallback _ -> false
+                    end
+                    else Shape_check.has_shape shape doc
+                  in
+                  json_ok
+                    (if explain then
+                       [
+                         ("input_shape", Dv.String (shape_string input_shape));
+                         ("shape", Dv.String (shape_string shape));
+                         ( "mismatches",
+                           Dv.List
+                             (List.map mismatch_entry
+                                (Explain.explain input_shape shape)) );
+                       ]
+                     else
+                       [
+                         ("has_shape", Dv.Bool (conforms ()));
+                         ( "preferred",
+                           Dv.Bool (Preference.is_preferred input_shape shape)
+                         );
+                         ("input_shape", Dv.String (shape_string input_shape));
+                         ("shape", Dv.String (shape_string shape));
+                       ])))
 
 (* --- routing --- *)
 
@@ -235,8 +276,8 @@ let handle_healthz req =
 let route t req =
   match req.Http.path with
   | "/infer" -> handle_infer t req
-  | "/check" -> handle_checkish ~explain:false req
-  | "/explain" -> handle_checkish ~explain:true req
+  | "/check" -> handle_checkish t ~explain:false req
+  | "/explain" -> handle_checkish t ~explain:true req
   | "/metrics" -> handle_metrics req
   | "/healthz" -> handle_healthz req
   | p -> json_error 404 (Printf.sprintf "no such endpoint %s" p)

@@ -1,0 +1,62 @@
+Shape-compiled parsing at the CLI: --compiled drives the corpus through
+a parser compiled from the shape (lib/core/shape_compile). The printed
+output must be byte-identical to the interpreted path — the compiled
+engine's outcome surfaces only in the compile.* metrics. See
+docs/COMPILED_PARSERS.md.
+
+  $ FSDATA=../../bin/fsdata.exe
+  $ DATA=../../examples/data
+
+Inference over the worldbank sample is byte-identical with and without
+--compiled, and the document decodes on the direct path (no fallback):
+
+  $ $FSDATA infer $DATA/worldbank.json > plain.out
+  $ $FSDATA infer --compiled --metrics metrics.json $DATA/worldbank.json > compiled.out
+  $ cmp plain.out compiled.out
+  $ grep -E '"compile\.(docs_direct|docs_fallback|parsers)"' metrics.json
+    "compile.docs_direct": 1,
+    "compile.docs_fallback": 0,
+    "compile.parsers": 1,
+
+Conformance checking likewise — same verdict bytes either way:
+
+  $ printf '[ { "name": "ada", "age": 3 } ]\n' > ok.json
+  $ $FSDATA check -i ok.json $DATA/people.json > check_plain.out
+  $ $FSDATA check -i ok.json --compiled $DATA/people.json > check_compiled.out
+  $ cmp check_plain.out check_compiled.out
+  $ cat check_compiled.out
+  OK: the input's shape is preferred over the samples' shape;
+  by relative safety (Theorem 3) all provided accesses are safe.
+
+A mid-document shape mismatch must not desynchronize the compiled
+decoder: in a three-document stream whose middle document violates the
+shape, the decoder falls back for that document only and resumes the
+direct path at the next top-level boundary — exactly Json.Cursor's
+recovering discipline. (The strict checker then rejects the multi-doc
+stream deterministically; the resynchronization is visible in the
+metrics: two direct documents around one fallback.)
+
+  $ cat > stream.json <<'EOF'
+  > {"name": "ada", "age": 36}
+  > {"name": 42}
+  > {"name": "grace", "age": 41}
+  > EOF
+  $ $FSDATA check --shape '{name: string, age: nullable float}' --compiled --metrics metrics.json -i stream.json
+  fsdata: JSON parse error at line 2, column 1: trailing content after JSON value: '{'
+  [124]
+  $ grep -E '"compile\.(docs_direct|docs_fallback)"' metrics.json
+    "compile.docs_direct": 2,
+    "compile.docs_fallback": 1,
+
+--compiled is a practical-mode JSON engine; other formats and modes are
+rejected up front:
+
+  $ $FSDATA check -i $DATA/another.xml --compiled $DATA/sample.xml
+  fsdata: --compiled applies to JSON samples
+  [124]
+  $ $FSDATA infer --compiled --paper $DATA/worldbank.json
+  fsdata: --compiled uses practical-mode JSON semantics and applies to neither --global nor --paper
+  [124]
+  $ $FSDATA infer --compiled --global $DATA/worldbank.json
+  fsdata: --compiled uses practical-mode JSON semantics and applies to neither --global nor --paper
+  [124]

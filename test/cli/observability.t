@@ -14,6 +14,13 @@ Values vary run to run; strip them:
   $ $FSDATA infer --metrics - --jobs 2 a.json b.json | sed -n 's/^  "\([^"]*\)": .*/\1/p'
   codegen.bytes
   codegen.runs
+  compile.build_ns
+  compile.cache.evictions
+  compile.cache.hits
+  compile.cache.misses
+  compile.docs_direct
+  compile.docs_fallback
+  compile.parsers
   csh.merges
   csh.top_label_saturations
   gc.render.heap_words

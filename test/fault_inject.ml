@@ -135,3 +135,80 @@ let ragged_csv ~headers ~rows ~ragged =
       rows
   in
   String.concat "\n" (line headers :: body) ^ "\n"
+
+(* ----- Parseable deviations (compiled-parser fallback) ----- *)
+
+(* Byte-for-byte diagnostic equality: the parity properties for the
+   compiled parsers assert that the fallback/quarantine reports carry
+   *identical* fields to the interpreted path, not merely the same
+   indices. *)
+let diag_equal (a : Fsdata_data.Diagnostic.t) (b : Fsdata_data.Diagnostic.t) =
+  a.format = b.format && a.line = b.line && a.column = b.column
+  && a.index = b.index && a.severity = b.severity
+  && String.equal a.message b.message
+
+(* A corruption that keeps the document *parseable*: the wrapper's value
+   is swapped for a marker record no clean subset infers. A decoder
+   compiled from the clean subset's shape must treat such a document as
+   data — falling back to the generic path with a conformance
+   diagnostic — never as a fault eating into the error budget. *)
+let miscast _text = {|{"v": {"deviant": [1, "two", null]}}|}
+
+type mixed_corpus = {
+  m_texts : string list;  (** the corpus as ingested *)
+  m_clean : string list;  (** untouched documents, in order *)
+  m_deviant : int list;  (** parseable but value swapped: fallback *)
+  m_malformed : int list;  (** unparseable (stream-safe): quarantine *)
+}
+
+let print_mixed_corpus m =
+  Printf.sprintf "deviant=[%s] malformed=[%s]\n%s"
+    (String.concat "," (List.map string_of_int m.m_deviant))
+    (String.concat "," (List.map string_of_int m.m_malformed))
+    (String.concat "\n" m.m_texts)
+
+(* Like [mark_and_corrupt], but with three outcomes per document; the
+   malformed ones use the stream-safe faults so resynchronization skips
+   exactly the corrupted document. *)
+let gen_mixed_corpus () : mixed_corpus Gen.t =
+  let open Gen in
+  let* docs = list_size (int_range 1 14) Generators.gen_data in
+  let texts = List.map doc_text docs in
+  let* marks =
+    gen_list
+      (List.map
+         (fun t ->
+           let* m =
+             frequency
+               [
+                 (3, return `Clean);
+                 (1, return `Deviant);
+                 (1, map (fun f -> `Malformed f) (oneofl stream_safe_faults));
+               ]
+           in
+           return (t, m))
+         texts)
+  in
+  let m_texts =
+    List.map
+      (fun (t, m) ->
+        match m with
+        | `Clean -> t
+        | `Deviant -> miscast t
+        | `Malformed f -> corrupt f t)
+      marks
+  in
+  let m_clean =
+    List.filter_map (fun (t, m) -> if m = `Clean then Some t else None) marks
+  in
+  let indices_of p =
+    List.mapi (fun i (_, m) -> if p m then Some i else None) marks
+    |> List.filter_map Fun.id
+  in
+  return
+    {
+      m_texts;
+      m_clean;
+      m_deviant = indices_of (fun m -> m = `Deviant);
+      m_malformed = indices_of (function `Malformed _ -> true | _ -> false);
+    }

@@ -96,6 +96,115 @@ let prop_xml_tolerant =
       && report_matches c expect
            (Par_infer.of_xml_samples_tolerant ~jobs:2 ~budget c.texts))
 
+(* ----- Compiled-parser parity under error budgets ----- *)
+
+module Sc = Fsdata_core.Shape_compile
+module Prim = Fsdata_data.Primitive
+
+(* Mixed corpora separate the two failure currencies: an *unparseable*
+   document is quarantined (eating into the error budget) identically on
+   the compiled and interpreted paths, while a parseable-but-deviant
+   document is data — the compiled decoder falls back to the generic
+   path with a conformance diagnostic and must never touch the budget. *)
+let prop_compiled_ingestion_parity =
+  QCheck2.Test.make ~count:100
+    ~name:"compiled ingestion ≡ interpreted under budgets (jobs 1/7)"
+    ~print:print_mixed_corpus (gen_mixed_corpus ())
+    (fun m ->
+      let src = String.concat "\n" m.m_texts in
+      let sigma =
+        Shape.hcons (Infer.shape_of_samples (List.map Json.parse m.m_clean))
+      in
+      let compiled = Sc.compile sigma in
+      (* interpreted reference: recovering fold_many *)
+      let gen_errs = ref [] in
+      let docs =
+        Json.fold_many
+          ~on_error:(fun d ~skipped -> gen_errs := (d, skipped) :: !gen_errs)
+          (fun acc ds -> acc @ ds)
+          [] src
+      in
+      let comp_errs = ref [] and fbs = ref [] in
+      let vs, st =
+        Sc.parse_corpus
+          ~on_fallback:(fun d -> fbs := d :: !fbs)
+          ~on_error:(fun d ~skipped -> comp_errs := (d, skipped) :: !comp_errs)
+          compiled src
+      in
+      let comp_errs = List.rev !comp_errs
+      and gen_errs = List.rev !gen_errs
+      and fbs = List.rev !fbs in
+      (* survivors, paired with their global stream indices *)
+      let surviving =
+        List.init (List.length m.m_texts) Fun.id
+        |> List.filter (fun i -> not (List.mem i m.m_malformed))
+        |> fun idx -> List.combine idx docs
+      in
+      let expected_fb =
+        List.filter_map
+          (fun (i, d) ->
+            Option.map (Diagnostic.with_index i)
+              (Sc.diagnose sigma (Prim.normalize d)))
+          surviving
+      in
+      (* quarantine parity: same documents, same diagnostics, same text *)
+      List.length comp_errs = List.length gen_errs
+      && List.for_all2
+           (fun (d1, s1) (d2, s2) -> diag_equal d1 d2 && String.equal s1 s2)
+           comp_errs gen_errs
+      && List.map (fun (d, _) -> d.Diagnostic.index) comp_errs
+         = List.map Option.some m.m_malformed
+      && st.Sc.skipped = List.length m.m_malformed
+      (* survivor values equal the interpreted convert-or-fallback *)
+      && List.length vs = List.length docs
+      && List.for_all2
+           (fun v (_, d) ->
+             let n = Prim.normalize d in
+             let r =
+               match Sc.convert sigma n with
+               | v -> v
+               | exception Sc.Mismatch -> Sc.Vany n
+             in
+             Sc.equal_tvalue v r)
+           vs surviving
+      (* fallbacks carry exactly the strict path's diagnoses, and only
+         deviant documents fall back (inference soundness keeps every
+         clean document on the direct path) *)
+      && st.Sc.fallback = List.length expected_fb
+      && List.for_all2 diag_equal fbs expected_fb
+      && List.for_all
+           (fun (d : Diagnostic.t) ->
+             match d.Diagnostic.index with
+             | Some i -> List.mem i m.m_deviant
+             | None -> false)
+           fbs
+      && st.Sc.direct = List.length docs - List.length expected_fb
+      (* the budget counts malformed documents only: |malformed| absorbs
+         the corpus at jobs 1 and 7, deviants notwithstanding; one less
+         fails *)
+      && (let budget =
+            match m.m_malformed with
+            | [] -> Diagnostic.Strict
+            | l -> Diagnostic.Count (List.length l)
+          in
+          List.for_all
+            (fun jobs ->
+              match
+                Par_infer.of_json_tolerant ~jobs ~chunk_size:3 ~budget src
+              with
+              | Error e ->
+                  QCheck2.Test.fail_reportf "tolerant ingestion failed: %s" e
+              | Ok r ->
+                  List.map (fun q -> q.Infer.q_index) r.Infer.quarantined
+                  = m.m_malformed
+                  && r.Infer.total = List.length m.m_texts)
+            [ 1; 7 ])
+      && (m.m_malformed = []
+         || Result.is_error
+              (Par_infer.of_json_tolerant ~jobs:7 ~chunk_size:3
+                 ~budget:(Diagnostic.Count (List.length m.m_malformed - 1))
+                 src)))
+
 (* ----- Per-sample isolation across domain chunks ----- *)
 
 (* Poisoned samples at a chunk boundary: with jobs=2 over 8 samples the
@@ -547,4 +656,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_samples_tolerant;
     QCheck_alcotest.to_alcotest prop_stream_tolerant;
     QCheck_alcotest.to_alcotest prop_xml_tolerant;
+    QCheck_alcotest.to_alcotest prop_compiled_ingestion_parity;
   ]
