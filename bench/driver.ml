@@ -19,7 +19,7 @@
 let default_groups =
   [
     "fig1"; "fig2"; "loc"; "infer"; "parse"; "access"; "shape"; "provider";
-    "par"; "faults"; "obs"; "hetero"; "serve";
+    "par"; "faults"; "obs"; "hetero"; "serve"; "compile"; "loadgen";
   ]
 
 let () =

@@ -973,6 +973,157 @@ let compile_bench () =
   end;
   print_newline ()
 
+(* ----- loadgen: keep-alive load against a live server ----- *)
+
+(* Socket-level load generation (B11's serving-path companion): boot a
+   real server on an ephemeral port, then drive it with [conns]
+   concurrent keep-alive connections, each issuing [reqs] requests — a
+   pinned mix of cache hits, per-connection unique corpora (forced
+   inference) and health checks. Reports throughput and the status mix;
+   in smoke mode additionally asserts that this light load produces not
+   a single 5xx — the server must never shed or fail under load it can
+   trivially absorb. *)
+let loadgen_bench () =
+  let module Server = Fsdata_serve.Server in
+  print_endline "== loadgen: keep-alive load against a live server ==";
+  let conns = if !smoke then 4 else 16 in
+  let reqs = if !smoke then 25 else 400 in
+  let stop = Atomic.make false in
+  let port = Atomic.make 0 in
+  let srv =
+    Domain.spawn (fun () ->
+        Server.run ~stop
+          ~on_ready:(fun p -> Atomic.set port p)
+          {
+            Server.default_config with
+            Server.port = 0;
+            Server.host = "127.0.0.1";
+            Server.workers = 4;
+          })
+  in
+  while Atomic.get port = 0 do
+    Unix.sleepf 0.005
+  done;
+  let port = Atomic.get port in
+  let hot = Workloads.corpus_text 50 in
+  let post body =
+    Printf.sprintf "POST /infer HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s"
+      (String.length body) body
+  in
+  let healthz = "GET /healthz HTTP/1.1\r\n\r\n" in
+  let send_all fd s =
+    let len = String.length s in
+    let pos = ref 0 in
+    while !pos < len do
+      match Unix.write_substring fd s !pos (len - !pos) with
+      | n -> pos := !pos + n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  let find_sub sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub s i m = sub then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  (* read one keep-alive response: headers to the blank line, then
+     content-length body bytes; returns the status *)
+  let recv_status fd buf bytes =
+    Buffer.clear buf;
+    let read_more () =
+      match Unix.read fd bytes 0 (Bytes.length bytes) with
+      | 0 -> failwith "loadgen: server closed a keep-alive connection"
+      | n -> Buffer.add_subbytes buf bytes 0 n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    in
+    let rec header_end () =
+      match find_sub "\r\n\r\n" (Buffer.contents buf) with
+      | Some i -> i
+      | None ->
+          read_more ();
+          header_end ()
+    in
+    let hdr_end = header_end () in
+    let head = String.lowercase_ascii (String.sub (Buffer.contents buf) 0 hdr_end) in
+    let status =
+      match String.split_on_char ' ' head with
+      | _ :: code :: _ -> int_of_string (String.trim code)
+      | _ -> failwith "loadgen: malformed status line"
+    in
+    let clen =
+      match find_sub "content-length:" head with
+      | None -> 0
+      | Some i ->
+          let rest = String.sub head (i + 15) (String.length head - i - 15) in
+          int_of_string (String.trim (List.hd (String.split_on_char '\r' rest)))
+    in
+    let total = hdr_end + 4 + clen in
+    while Buffer.length buf < total do
+      read_more ()
+    done;
+    status
+  in
+  let client id =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    let buf = Buffer.create 65536 in
+    let bytes = Bytes.create 65536 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    let counts = [| 0; 0; 0 |] in
+    Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    for i = 1 to reqs do
+      let raw =
+        match i mod 4 with
+        | 0 -> healthz
+        | 1 -> post (Printf.sprintf "{\"conn\": %d, \"req\": %d}\n" id i)
+        | _ -> post hot
+      in
+      send_all fd raw;
+      let status = recv_status fd buf bytes in
+      let bucket =
+        if status < 300 then 0 else if status < 500 then 1 else 2
+      in
+      counts.(bucket) <- counts.(bucket) + 1
+    done;
+    counts
+  in
+  let t0 = Unix.gettimeofday () in
+  let domains = List.init conns (fun id -> Domain.spawn (fun () -> client id)) in
+  let totals = [| 0; 0; 0 |] in
+  List.iter
+    (fun d ->
+      let c = Domain.join d in
+      Array.iteri (fun i n -> totals.(i) <- totals.(i) + n) c)
+    domains;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Atomic.set stop true;
+  Domain.join srv;
+  let total = totals.(0) + totals.(1) + totals.(2) in
+  Printf.printf
+    "  %2d conns x %4d reqs: %6d answered in %6.2f s (%7.0f req/s)   2xx %d   \
+     4xx %d   5xx %d\n\
+     %!"
+    conns reqs total elapsed
+    (float_of_int total /. elapsed)
+    totals.(0) totals.(1) totals.(2);
+  let fail msg =
+    Printf.eprintf "loadgen: smoke assertion failed: %s\n" msg;
+    exit 1
+  in
+  if !smoke then begin
+    if total <> conns * reqs then
+      fail
+        (Printf.sprintf "expected %d responses, got %d" (conns * reqs) total);
+    if totals.(2) <> 0 then
+      fail (Printf.sprintf "%d 5xx responses under a light pinned load" totals.(2));
+    if totals.(1) <> 0 then
+      fail (Printf.sprintf "%d unexpected 4xx responses" totals.(1))
+  end;
+  print_newline ()
+
 let groups =
   [
     ("fig1", fig1);
@@ -989,6 +1140,7 @@ let groups =
     ("hetero", hetero_bench);
     ("serve", serve_bench);
     ("compile", compile_bench);
+    ("loadgen", loadgen_bench);
   ]
 
 let () =

@@ -756,21 +756,49 @@ let serve_cmd =
       & opt (some string) None
       & info [ "port-file" ] ~docv:"FILE"
           ~doc:"Write the bound port number to $(docv) once listening —
-                for scripts that start the server with $(b,--port 0).")
+                for scripts that start the server with $(b,--port 0). The
+                file is removed on every exit path, crashes included.")
   in
-  let run () port host workers timeout_ms cache_entries port_file =
+  let queue_depth_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Capacity of the bounded connection queue in front of the
+                workers; connections beyond it are shed with $(b,503) and
+                $(b,Retry-After). $(b,0) (the default) means
+                $(i,workers) × 16.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "max-inflight-mb" ] ~docv:"MB"
+          ~doc:"In-flight request-body budget across all workers, in
+                mebibytes. A request whose declared $(b,Content-Length)
+                does not fit the remaining budget is shed with $(b,503)
+                and $(b,Retry-After) before its body is read, and
+                $(b,/healthz) reports $(i,overloaded) once less than an
+                eighth of the budget remains.")
+  in
+  let run () port host workers timeout_ms cache_entries port_file queue_depth
+      max_inflight_mb =
     if workers < 1 then `Error (false, "--workers must be at least 1")
     else if timeout_ms < 1 then `Error (false, "--timeout-ms must be positive")
+    else if queue_depth < 0 then
+      `Error (false, "--queue-depth must not be negative")
+    else if max_inflight_mb < 1 then
+      `Error (false, "--max-inflight-mb must be at least 1")
     else begin
       Fsdata_serve.Server.run
         {
+          Fsdata_serve.Server.default_config with
           Fsdata_serve.Server.port;
           host;
           workers;
           timeout_ms;
           cache_entries;
-          max_body = Fsdata_serve.Server.default_config.Fsdata_serve.Server.max_body;
           port_file;
+          queue_depth;
+          max_inflight_bytes = max_inflight_mb * 1024 * 1024;
         };
       `Ok ()
     end
@@ -786,7 +814,8 @@ let serve_cmd =
     Term.(
       ret
         (const run $ obs_term $ port_arg $ host_arg $ workers_arg
-       $ timeout_arg $ cache_arg $ port_file_arg))
+       $ timeout_arg $ cache_arg $ port_file_arg $ queue_depth_arg
+       $ max_inflight_arg))
 
 (* --- migrate --- *)
 

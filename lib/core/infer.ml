@@ -145,11 +145,16 @@ let shape_of_sample ~mode ~format ~index ~parse text =
         (Diagnostic.make ~index ~format ~line:1 ~column:0
            ("unexpected error: " ^ Printexc.to_string exn))
 
-let samples_tolerant ~mode ~format ~parse ~budget texts =
+let samples_tolerant ?(cancel = Cancel.never) ~mode ~format ~parse ~budget texts
+    =
   let qs = ref [] in
   let shapes = ref [] in
   List.iteri
     (fun i t ->
+      (* Polled outside {!shape_of_sample}: that function converts every
+         exception into a per-sample diagnostic, which would silently
+         swallow [Cancelled] as a quarantine entry. *)
+      Cancel.check cancel;
       match shape_of_sample ~mode ~format ~index:i ~parse t with
       | Ok s -> shapes := s :: !shapes
       | Error d -> qs := { q_index = i; q_diagnostic = d; q_text = Some t } :: !qs)
@@ -166,17 +171,17 @@ let samples_tolerant ~mode ~format ~parse ~budget texts =
           quarantined = qs;
         }
 
-let of_json_samples_tolerant ?(mode : mode = `Practical) ~budget texts =
-  samples_tolerant ~mode ~format:Diagnostic.Json ~parse:Json.parse_diag ~budget
-    texts
+let of_json_samples_tolerant ?cancel ?(mode : mode = `Practical) ~budget texts =
+  samples_tolerant ?cancel ~mode ~format:Diagnostic.Json ~parse:Json.parse_diag
+    ~budget texts
 
-let of_xml_samples_tolerant ?(mode : mode = `Xml) ~budget texts =
+let of_xml_samples_tolerant ?cancel ?(mode : mode = `Xml) ~budget texts =
   let parse t =
     Result.map (Xml.to_data ~convert_primitives:false) (Xml.parse_diag t)
   in
-  samples_tolerant ~mode ~format:Diagnostic.Xml ~parse ~budget texts
+  samples_tolerant ?cancel ~mode ~format:Diagnostic.Xml ~parse ~budget texts
 
-let of_json_tolerant ?(mode : mode = `Practical) ~budget src =
+let of_json_tolerant ?cancel ?(mode : mode = `Practical) ~budget src =
   Obs_trace.with_span "infer.stream" @@ fun () ->
   let qs = ref [] in
   let on_error (d : Diagnostic.t) ~skipped =
@@ -186,7 +191,7 @@ let of_json_tolerant ?(mode : mode = `Practical) ~budget src =
     qs := { q_index = index; q_diagnostic = d; q_text = Some skipped } :: !qs
   in
   let shape, parsed =
-    Json.fold_many ~on_error
+    Json.fold_many ?cancel ~on_error
       (fun (acc, n) ds ->
         let k = List.length ds in
         if Obs_metrics.enabled () then begin
@@ -204,7 +209,7 @@ let of_json_tolerant ?(mode : mode = `Practical) ~budget src =
     | Some msg -> Error msg
     | None -> Ok { shape; total; quarantined = qs }
 
-let of_csv_tolerant ?separator ?has_headers ~budget src =
+let of_json_feed_tolerant ?cancel ?(mode : mode = `Practical) ~budget feed =
   Obs_trace.with_span "infer.stream" @@ fun () ->
   let qs = ref [] in
   let on_error (d : Diagnostic.t) ~skipped =
@@ -213,6 +218,41 @@ let of_csv_tolerant ?separator ?has_headers ~budget src =
     let index = match d.Diagnostic.index with Some i -> i | None -> 0 in
     qs := { q_index = index; q_diagnostic = d; q_text = Some skipped } :: !qs
   in
+  let cur = Json.Cursor.create ?cancel ~on_error () in
+  let acc = ref Shape.Bottom and parsed = ref 0 in
+  let fold ds =
+    match ds with
+    | [] -> ()
+    | ds ->
+        let k = List.length ds in
+        if Obs_metrics.enabled () then begin
+          Obs_metrics.add m_ingest_total k;
+          Obs_metrics.add m_ingest_clean k
+        end;
+        acc := Csh.csh ~mode:(csh_mode mode) !acc (shape_of_samples ~mode ds);
+        parsed := !parsed + k
+  in
+  feed (fun fragment -> fold (Json.Cursor.feed cur fragment));
+  fold (Json.Cursor.finish cur);
+  let qs = List.rev !qs in
+  let total = !parsed + List.length qs in
+  if total = 0 then Error "no JSON sample documents found"
+  else
+    match budget_error ~budget ~total qs with
+    | Some msg -> Error msg
+    | None -> Ok { shape = !acc; total; quarantined = qs }
+
+let of_csv_tolerant ?(cancel = Cancel.never) ?separator ?has_headers ~budget src
+    =
+  Obs_trace.with_span "infer.stream" @@ fun () ->
+  let qs = ref [] in
+  let on_error (d : Diagnostic.t) ~skipped =
+    Obs_metrics.incr m_ingest_total;
+    Obs_metrics.incr m_ingest_quarantined;
+    let index = match d.Diagnostic.index with Some i -> i | None -> 0 in
+    qs := { q_index = index; q_diagnostic = d; q_text = Some skipped } :: !qs
+  in
+  Cancel.check cancel;
   match Csv.parse_tolerant ?separator ?has_headers ~on_error src with
   | Error d -> Error (Diagnostic.message_of d)
   | Ok table ->

@@ -45,7 +45,14 @@ val csh_mode : mode -> Csh.mode
     recording a structured diagnostic and the skipped text, and leaving
     them out of the csh fold — as long as the number of faults stays
     within an error budget. With budget {!Fsdata_data.Diagnostic.Strict}
-    any fault is over budget, so tolerance is strictly opt-in. *)
+    any fault is over budget, so tolerance is strictly opt-in.
+
+    Every tolerant driver takes an optional [cancel] token
+    ({!Fsdata_data.Cancel.t}), polled between samples — outside
+    {!shape_of_sample}'s isolation boundary, so cancellation is never
+    swallowed as a quarantine diagnostic. When the token trips the
+    driver raises {!Fsdata_data.Cancel.Cancelled}; the serve layer uses
+    this to cut off requests whose deadline expired mid-parse. *)
 
 type quarantined = {
   q_index : int;  (** global 0-based sample index within the corpus *)
@@ -83,12 +90,14 @@ val shape_of_sample :
     per-sample isolation boundary the parallel drivers rely on. *)
 
 val of_json_samples_tolerant :
+  ?cancel:Fsdata_data.Cancel.t ->
   ?mode:mode ->
   budget:Fsdata_data.Diagnostic.budget ->
   string list ->
   (report, string) result
 
 val of_xml_samples_tolerant :
+  ?cancel:Fsdata_data.Cancel.t ->
   ?mode:mode ->
   budget:Fsdata_data.Diagnostic.budget ->
   string list ->
@@ -96,6 +105,7 @@ val of_xml_samples_tolerant :
 (** Default mode is [`Xml], as for {!of_xml_samples}. *)
 
 val of_json_tolerant :
+  ?cancel:Fsdata_data.Cancel.t ->
   ?mode:mode ->
   budget:Fsdata_data.Diagnostic.budget ->
   string ->
@@ -105,14 +115,34 @@ val of_json_tolerant :
     recovering mode, resynchronizing at the next top-level document
     boundary. *)
 
+val of_json_feed_tolerant :
+  ?cancel:Fsdata_data.Cancel.t ->
+  ?mode:mode ->
+  budget:Fsdata_data.Diagnostic.budget ->
+  ((string -> unit) -> unit) ->
+  (report, string) result
+(** Incremental variant of {!of_json_tolerant}: [of_json_feed_tolerant
+    ~budget feed] calls [feed push] and infers over every fragment the
+    caller [push]es, holding at most one partial document (plus the
+    current fragment) in memory via {!Fsdata_data.Json.Cursor}. Same
+    recovering semantics, diagnostics, stream-global indices and ingest
+    accounting as {!of_json_tolerant}; the serve layer uses it to infer
+    over request bodies without buffering them. Merge batching follows
+    fragment boundaries instead of [fold_many]'s document chunks, so
+    outputs agree byte-for-byte wherever csh is representation-level
+    associative (everywhere but the mixed-tag corpora documented in
+    {!Csh}). *)
+
 val of_csv_tolerant :
+  ?cancel:Fsdata_data.Cancel.t ->
   ?separator:char ->
   ?has_headers:bool ->
   budget:Fsdata_data.Diagnostic.budget ->
   string ->
   (report, string) result
 (** Each data row is a sample; ragged rows are quarantined. Structural
-    faults (unterminated quoted cells) abort regardless of budget. *)
+    faults (unterminated quoted cells) abort regardless of budget.
+    [cancel] is polled once at entry (row parsing is a single pass). *)
 
 (** {1 Format entry points}
 

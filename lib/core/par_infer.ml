@@ -189,12 +189,16 @@ let of_samples ~mode ~parse ~jobs texts =
    or crashing — is quarantined with a diagnostic carrying its global
    index ({!Infer.shape_of_sample} is the isolation boundary), so
    [Domain.join] below can only ever return data. *)
-let fold_chunk_tolerant ~mode ~format ~parse ~offset texts =
+let fold_chunk_tolerant ?(cancel = Cancel.never) ~mode ~format ~parse ~offset
+    texts =
   let cmode = Infer.csh_mode mode in
   let qs = ref [] in
   let acc = ref Shape.Bottom in
   List.iteri
     (fun i t ->
+      (* Outside {!Infer.shape_of_sample}: the isolation boundary would
+         otherwise swallow [Cancelled] as a quarantine diagnostic. *)
+      Cancel.check cancel;
       let index = offset + i in
       match Infer.shape_of_sample ~mode ~format ~index ~parse t with
       | Ok s -> acc := Csh.csh ~mode:cmode !acc s
@@ -204,20 +208,29 @@ let fold_chunk_tolerant ~mode ~format ~parse ~offset texts =
     texts;
   (!acc, List.rev !qs)
 
-let of_samples_tolerant ~mode ~format ~parse ~budget ~jobs texts =
+let of_samples_tolerant ?(cancel = Cancel.never) ~mode ~format ~parse ~budget
+    ~jobs texts =
   let jobs = normalize_jobs jobs in
   let cmode = Infer.csh_mode mode in
-  let run (offset, c) =
+  (* The token is polled only on the coordinating domain's chunk: worker
+     chunks are bounded work already in flight, and joining them below
+     (even on the cancellation path) keeps every domain accounted for. *)
+  let run ?cancel (offset, c) =
     traced_chunk ~offset ~size:(List.length c) (fun () ->
-        fold_chunk_tolerant ~mode ~format ~parse ~offset c)
+        fold_chunk_tolerant ?cancel ~mode ~format ~parse ~offset c)
   in
   let results =
     match with_offsets (chunk jobs texts) with
     | [] -> []
-    | [ oc ] -> [ run oc ]
+    | [ oc ] -> [ run ~cancel oc ]
     | first :: rest ->
         let workers = List.map (fun oc -> spawn (fun () -> run oc)) rest in
-        let r0 = run first in
+        let r0 =
+          try run ~cancel first
+          with exn ->
+            List.iter (fun w -> ignore (Domain.join w)) workers;
+            raise exn
+        in
         r0 :: List.map Domain.join workers
   in
   let shapes = List.map fst results in
@@ -233,15 +246,17 @@ let of_samples_tolerant ~mode ~format ~parse ~budget ~jobs texts =
           quarantined = qs;
         }
 
-let of_json_samples_tolerant ?(mode : mode = `Practical) ?jobs ~budget texts =
-  of_samples_tolerant ~mode ~format:Diagnostic.Json ~parse:Json.parse_diag
-    ~budget ~jobs texts
+let of_json_samples_tolerant ?cancel ?(mode : mode = `Practical) ?jobs ~budget
+    texts =
+  of_samples_tolerant ?cancel ~mode ~format:Diagnostic.Json
+    ~parse:Json.parse_diag ~budget ~jobs texts
 
-let of_xml_samples_tolerant ?(mode : mode = `Xml) ?jobs ~budget texts =
+let of_xml_samples_tolerant ?cancel ?(mode : mode = `Xml) ?jobs ~budget texts =
   let parse t =
     Result.map (Xml.to_data ~convert_primitives:false) (Xml.parse_diag t)
   in
-  of_samples_tolerant ~mode ~format:Diagnostic.Xml ~parse ~budget ~jobs texts
+  of_samples_tolerant ?cancel ~mode ~format:Diagnostic.Xml ~parse ~budget ~jobs
+    texts
 
 let of_json_samples ?(mode : mode = `Practical) ?jobs texts =
   of_samples ~mode ~parse:Json.parse_result ~jobs texts
@@ -344,8 +359,8 @@ let of_json ?(mode : mode = `Practical) ?jobs ?chunk_size ?chunk_bytes src =
    fold itself never raises. Worker-domain inference is wrapped so a
    crash surfaces as an [Error], never as a raw exception out of
    [Domain.join]. *)
-let of_json_tolerant ?(mode : mode = `Practical) ?jobs ?chunk_size ?chunk_bytes
-    ~budget src =
+let of_json_tolerant ?cancel ?(mode : mode = `Practical) ?jobs ?chunk_size
+    ?chunk_bytes ~budget src =
   let jobs = normalize_jobs jobs in
   let chunk_size, chunk_bytes =
     adaptive_granularity ~jobs ~src_bytes:(String.length src) chunk_size
@@ -374,17 +389,24 @@ let of_json_tolerant ?(mode : mode = `Practical) ?jobs ?chunk_size ?chunk_bytes
       drain_one ()
     done
   in
-  Json.fold_many ~chunk_size ~chunk_bytes ~on_error
-    (fun () ds ->
-      let offset = !seen in
-      count_clean (List.length ds);
-      seen := !seen + List.length ds;
-      if jobs = 1 then results := infer_chunk ~offset ds :: !results
-      else begin
-        if Queue.length inflight >= jobs then drain_one ();
-        Queue.add (spawn (fun () -> infer_chunk ~offset ds)) inflight
-      end)
-    () src;
+  (* The feeder loop runs on the coordinating domain, so [cancel] trips
+     there; join stragglers before re-raising so no domain outlives the
+     call even when it is cut short. *)
+  (try
+     Json.fold_many ?cancel ~chunk_size ~chunk_bytes ~on_error
+       (fun () ds ->
+         let offset = !seen in
+         count_clean (List.length ds);
+         seen := !seen + List.length ds;
+         if jobs = 1 then results := infer_chunk ~offset ds :: !results
+         else begin
+           if Queue.length inflight >= jobs then drain_one ();
+           Queue.add (spawn (fun () -> infer_chunk ~offset ds)) inflight
+         end)
+       () src
+   with exn ->
+     drain_all ();
+     raise exn);
   drain_all ();
   let qs = List.rev !qs in
   let total = !seen + List.length qs in

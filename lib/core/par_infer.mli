@@ -97,9 +97,17 @@ val of_xml_samples :
     corpus index ({!Infer.shape_of_sample}), so a poisoned sample never
     spoils its chunk and no exception ever propagates raw out of a
     [Domain.join]. The resulting {!Infer.report} is identical to the
-    sequential one on the same corpus (quarantine order included). *)
+    sequential one on the same corpus (quarantine order included).
+
+    [cancel] ({!Fsdata_data.Cancel.t}) is polled on the coordinating
+    domain — between documents in the streaming feeder, between samples
+    of the chunk kept on the calling domain — and raises
+    {!Fsdata_data.Cancel.Cancelled} when it trips. Worker domains run
+    their (bounded) chunks to completion and are always joined before
+    the exception escapes, so cancellation never leaks a domain. *)
 
 val of_json_samples_tolerant :
+  ?cancel:Fsdata_data.Cancel.t ->
   ?mode:mode ->
   ?jobs:int ->
   budget:Fsdata_data.Diagnostic.budget ->
@@ -107,6 +115,7 @@ val of_json_samples_tolerant :
   (Infer.report, string) result
 
 val of_xml_samples_tolerant :
+  ?cancel:Fsdata_data.Cancel.t ->
   ?mode:mode ->
   ?jobs:int ->
   budget:Fsdata_data.Diagnostic.budget ->
@@ -115,6 +124,7 @@ val of_xml_samples_tolerant :
 (** Default mode is [`Xml]. *)
 
 val of_json_tolerant :
+  ?cancel:Fsdata_data.Cancel.t ->
   ?mode:mode ->
   ?jobs:int ->
   ?chunk_size:int ->

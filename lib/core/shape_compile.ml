@@ -788,8 +788,8 @@ let parse (c : compiled) (src : string) : outcome =
   | outcome -> outcome
   | exception Diagnostic.Parse_error d -> reraise_legacy d
 
-let parse_corpus ?on_fallback ?on_error (c : compiled) (src : string) :
-    tvalue list * stats =
+let parse_corpus ?(cancel = Cancel.never) ?on_fallback ?on_error (c : compiled)
+    (src : string) : tvalue list * stats =
   Fsdata_obs.Trace.with_span "compile.parse" @@ fun () ->
   let st = Raw.make src in
   let results = ref [] in
@@ -797,6 +797,7 @@ let parse_corpus ?on_fallback ?on_error (c : compiled) (src : string) :
   let rec loop idx =
     Raw.skip_ws st;
     if not (Raw.at_eof st) then begin
+      Cancel.check cancel;
       let start = Raw.offset st in
       (match decode_one c st with
       | `Direct v ->

@@ -117,6 +117,7 @@ type stats = { direct : int; fallback : int; skipped : int }
     skipped under [on_error]. *)
 
 val parse_corpus :
+  ?cancel:Cancel.t ->
   ?on_fallback:(Diagnostic.t -> unit) ->
   ?on_error:(Diagnostic.t -> skipped:string -> unit) ->
   compiled ->
@@ -132,4 +133,6 @@ val parse_corpus :
     exactly like [Json.fold_many]'s recovering mode: same diagnostic,
     same index accounting (skipped documents consume an index), same
     resynchronization at the next top-level boundary — a mid-document
-    fault can never desynchronize the following documents. *)
+    fault can never desynchronize the following documents. [cancel] is
+    polled between documents and raises {!Cancel.Cancelled} when it
+    trips, as in the interpreted drivers. *)

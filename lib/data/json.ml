@@ -406,7 +406,8 @@ let resync st ~start =
   done;
   !found
 
-let fold_many ?(chunk_size = 256) ?chunk_bytes ?on_error f acc s =
+let fold_many ?(cancel = Cancel.never) ?(chunk_size = 256) ?chunk_bytes ?on_error
+    f acc s =
   if chunk_size < 1 then invalid_arg "Json.fold_many: chunk_size must be positive";
   let byte_cap =
     match chunk_bytes with
@@ -420,6 +421,7 @@ let fold_many ?(chunk_size = 256) ?chunk_bytes ?on_error f acc s =
     skip_ws st;
     if st.pos >= st.len then if n = 0 then acc else f acc (List.rev chunk)
     else begin
+      Cancel.check cancel;
       let mark = st.pos in
       match Fsdata_obs.Metrics.time m_ns (fun () -> parse_value st) with
       | v ->
@@ -466,9 +468,11 @@ module Cursor = struct
     mutable bol : int; (* line-start offset relative to [pending]'s start, <= 0 *)
     mutable seen : int; (* documents consumed so far, parsed or skipped *)
     on_error : (Diagnostic.t -> skipped:string -> unit) option;
+    cancel : Cancel.t;
   }
 
-  let create ?on_error () = { pending = ""; line = 1; bol = 0; seen = 0; on_error }
+  let create ?(cancel = Cancel.never) ?on_error () =
+    { pending = ""; line = 1; bol = 0; seen = 0; on_error; cancel }
 
   let seeded_state cur buf =
     let st = make_state buf in
@@ -493,6 +497,7 @@ module Cursor = struct
         cur.bol <- st.bol - st.len
       end
       else begin
+        Cancel.check cur.cancel;
         let mark = st.pos and mark_line = st.line and mark_bol = st.bol in
         match parse_value st with
         | v ->
@@ -547,6 +552,7 @@ module Cursor = struct
       let rec loop () =
         skip_ws st;
         if st.pos < st.len then begin
+          Cancel.check cur.cancel;
           let mark = st.pos in
           match parse_value st with
           | v ->

@@ -31,6 +31,7 @@ val parse_many : string -> Data_value.t list
     sample file contains several samples). *)
 
 val fold_many :
+  ?cancel:Cancel.t ->
   ?chunk_size:int ->
   ?chunk_bytes:int ->
   ?on_error:(Diagnostic.t -> skipped:string -> unit) ->
@@ -57,7 +58,11 @@ val fold_many :
     the next top-level document boundary (the closing bracket that
     re-balances the corrupt document, or failing that the next line
     starting with ['{'] or ['[']) and continues. Without [on_error] the
-    first fault raises {!Parse_error}, exactly as before. *)
+    first fault raises {!Parse_error}, exactly as before.
+
+    [cancel] is polled before each document; when it trips the driver
+    raises {!Cancel.Cancelled} immediately, without consuming further
+    input or invoking the fold function again. *)
 
 (** Incremental parsing of a document stream fed in arbitrary string
     fragments (e.g. fixed-size file reads). The cursor retains at most
@@ -66,13 +71,19 @@ val fold_many :
 module Cursor : sig
   type t
 
-  val create : ?on_error:(Diagnostic.t -> skipped:string -> unit) -> unit -> t
+  val create :
+    ?cancel:Cancel.t ->
+    ?on_error:(Diagnostic.t -> skipped:string -> unit) ->
+    unit ->
+    t
   (** With [on_error], the cursor runs in recovering mode: a
       definitely-malformed document whose recovery boundary lies within
       the input fed so far is skipped and reported to the handler (with
       its stream-global document index and raw text) instead of raising;
       a fault whose document might still be completed by future input is
-      held back until more input or {!finish} decides. *)
+      held back until more input or {!finish} decides. [cancel] is
+      polled before each document inside {!feed} and {!finish}; when it
+      trips, {!Cancel.Cancelled} is raised. *)
 
   val feed : t -> string -> Data_value.t list
   (** Parse as many complete documents as the input fed so far allows

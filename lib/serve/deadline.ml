@@ -1,0 +1,25 @@
+module Clock = Fsdata_obs.Clock
+
+type t = int64 (* absolute monotonic ns; max_int means no deadline *)
+
+exception Expired
+
+let never : t = Int64.max_int
+
+let after_ms ms =
+  if ms <= 0 then Clock.now_ns ()
+  else Int64.add (Clock.now_ns ()) (Int64.mul (Int64.of_int ms) 1_000_000L)
+
+let min a b : t = if Int64.compare a b <= 0 then a else b
+let expired (d : t) = d <> never && Int64.compare (Clock.now_ns ()) d >= 0
+
+let remaining_seconds (d : t) =
+  if d = never then infinity
+  else
+    let ns = Int64.sub d (Clock.now_ns ()) in
+    if Int64.compare ns 0L <= 0 then 0. else Int64.to_float ns /. 1e9
+
+let check d = if expired d then raise Expired
+
+let cancel (d : t) : Fsdata_data.Cancel.t =
+ fun () -> expired d

@@ -5,22 +5,43 @@
 (* A reader holds the unconsumed tail of the stream plus a refill
    function; [""] from refill means end of stream. Reads from sockets
    propagate [Unix_error] (in particular EAGAIN/EWOULDBLOCK when a
-   receive timeout is set on the fd) out of [refill]. *)
+   receive timeout is set on the fd) out of [refill]; an expired
+   deadline surfaces as [Deadline.Expired]. [refill] is a mutable field
+   only to tie the recursive knot with the deadline the reader itself
+   carries. *)
 type reader = {
-  refill : unit -> string;
+  mutable refill : unit -> string;
   mutable pending : string;
   mutable pos : int;  (* consumed prefix of [pending] *)
+  mutable deadline : Deadline.t;
 }
 
-let reader_of_fd fd =
-  let buf = Bytes.create 8192 in
-  let refill () =
-    let n = Unix.read fd buf 0 (Bytes.length buf) in
-    if n = 0 then "" else Bytes.sub_string buf 0 n
-  in
-  { refill; pending = ""; pos = 0 }
+let set_deadline r d = r.deadline <- d
 
-let reader_of_string s = { refill = (fun () -> ""); pending = s; pos = 0 }
+let reader_of_fd ?fault fd =
+  let buf = Bytes.create 8192 in
+  let r = { refill = (fun () -> ""); pending = ""; pos = 0; deadline = Deadline.never } in
+  let rec refill () =
+    (* The deadline is absolute, so a peer trickling one byte per
+       receive-timeout window (slowloris) still runs out of time: each
+       refill both checks expiry and shrinks the socket timeout to the
+       time actually left. *)
+    Deadline.check r.deadline;
+    (match Deadline.remaining_seconds r.deadline with
+    | s when s = infinity -> ()
+    | s -> (
+        try Unix.setsockopt_float fd Unix.SO_RCVTIMEO (Float.max 0.001 s)
+        with Unix.Unix_error _ | Invalid_argument _ -> ()));
+    match Fault_net.read fault fd buf 0 (Bytes.length buf) with
+    | 0 -> ""
+    | n -> Bytes.sub_string buf 0 n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> refill ()
+  in
+  r.refill <- refill;
+  r
+
+let reader_of_string s =
+  { refill = (fun () -> ""); pending = s; pos = 0; deadline = Deadline.never }
 
 let available r = String.length r.pending - r.pos
 
@@ -183,7 +204,38 @@ let keep_alive req =
   | `Http_1_1 -> conn <> Some "close"
   | `Http_1_0 -> conn = Some "keep-alive"
 
-let read_request ?(limits = default_limits) r =
+(* A body deliberately left on the wire: [remaining] declared bytes not
+   yet pulled off [br]. *)
+type body_rest = { br : reader; mutable remaining : int }
+
+let body_remaining rest = rest.remaining
+
+let read_body_chunk rest =
+  if rest.remaining = 0 then ""
+  else begin
+    let r = rest.br in
+    if available r = 0 && not (grow r) then
+      bad 400 "truncated body: peer closed mid-request";
+    let n = Stdlib.min (available r) rest.remaining in
+    let s = String.sub r.pending r.pos n in
+    r.pos <- r.pos + n;
+    rest.remaining <- rest.remaining - n;
+    s
+  end
+
+let read_body_all rest =
+  let buf = Buffer.create (Stdlib.min rest.remaining 65536) in
+  let rec go () =
+    match read_body_chunk rest with
+    | "" -> Buffer.contents buf
+    | s ->
+        Buffer.add_string buf s;
+        go ()
+  in
+  go ()
+
+let read_request_stream ?(limits = default_limits) ?reserve
+    ?(stream_over = max_int) r =
   (* Distinguish "peer closed / went idle between requests" (a normal
      keep-alive ending: Ok None) from a fault mid-request (an error the
      peer should hear about). [started] flips once the request line is
@@ -202,9 +254,21 @@ let read_request ?(limits = default_limits) r =
     let headers = read_headers [] 0 in
     if find_header headers "transfer-encoding" <> None then
       bad 501 "transfer-encoding is not supported; send Content-Length";
-    let body =
+    (* A client-supplied deadline must govern the body bytes too, so
+       tighten the reader before the body is read (the server re-derives
+       the same minimum for the handler). Malformed values are ignored
+       here and rejected with 400 by the server once the request is in
+       hand. *)
+    (match find_header headers "x-fsdata-deadline-ms" with
+    | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some ms when ms > 0 ->
+            r.deadline <- Deadline.min r.deadline (Deadline.after_ms ms)
+        | _ -> ())
+    | None -> ());
+    let body, rest =
       match find_header headers "content-length" with
-      | None -> ""
+      | None -> ("", None)
       | Some v -> (
           match int_of_string_opt (String.trim v) with
           | None ->
@@ -215,9 +279,17 @@ let read_request ?(limits = default_limits) r =
               bad 413
                 (Printf.sprintf "body of %d bytes exceeds the %d-byte limit" n
                    limits.max_body)
-          | Some n -> read_exact r n)
+          | Some n ->
+              (* admission control happens on the declared length,
+                 before a single body byte is buffered *)
+              (match reserve with
+              | Some f when n > 0 && not (f n) ->
+                  bad 503 "in-flight body budget exhausted"
+              | _ -> ());
+              if n > stream_over then ("", Some { br = r; remaining = n })
+              else (read_exact r n, None))
     in
-    { meth; path; query; version; headers; body }
+    ({ meth; path; query; version; headers; body }, rest)
   in
   try
     match read_line ~max_len:limits.max_request_line r with
@@ -231,8 +303,23 @@ let read_request ?(limits = default_limits) r =
   with
   | Bad e -> Error e
   | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-      if !started then Error { status = 408; reason = "request timed out" }
+      (* a partial request line left in the buffer is a started request
+         too: a slowloris peer stalling mid-line hears 408, only a truly
+         idle keep-alive connection is closed silently *)
+      if !started || available r > 0 then
+        Error { status = 408; reason = "request timed out" }
       else Ok None
+  | Deadline.Expired ->
+      if !started || available r > 0 then
+        Error { status = 408; reason = "request timed out" }
+      else Ok None
+
+let read_request ?limits r =
+  (* [stream_over] defaults to [max_int], so the rest is always [None] *)
+  match read_request_stream ?limits r with
+  | Ok (Some (req, _)) -> Ok (Some req)
+  | Ok None -> Ok None
+  | Error _ as e -> e
 
 (* ----- responses ----- *)
 
@@ -258,6 +345,7 @@ let status_reason = function
   | 500 -> "Internal Server Error"
   | 501 -> "Not Implemented"
   | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
   | 505 -> "HTTP Version Not Supported"
   | _ -> "Unknown"
 

@@ -16,11 +16,21 @@
 
 type reader
 
-val reader_of_fd : Unix.file_descr -> reader
+val reader_of_fd : ?fault:Fault_net.t -> Unix.file_descr -> reader
 (** Buffered reads from a socket or file. A receive timeout configured
     on the fd ([SO_RCVTIMEO]) surfaces as [Unix_error (EAGAIN | EWOULDBLOCK)]
     from the underlying [read]; {!read_request} maps it to 408 or to a
-    clean end-of-stream depending on whether a request was underway. *)
+    clean end-of-stream depending on whether a request was underway.
+    [EINTR] is retried transparently. With [fault], all reads go
+    through the {!Fault_net} shim (chaos tests only). *)
+
+val set_deadline : reader -> Deadline.t -> unit
+(** Arm the reader with an absolute deadline: every subsequent refill
+    first checks it (raising {!Deadline.Expired} once past — mapped by
+    {!read_request} like a receive timeout) and then shrinks the fd's
+    [SO_RCVTIMEO] to the time remaining, so a peer trickling bytes
+    cannot extend a request past its deadline. Readers start with
+    {!Deadline.never}. *)
 
 val reader_of_string : string -> reader
 (** The whole stream up front; used by the parser unit tests and capable
@@ -52,7 +62,13 @@ val default_limits : limits
 type error = { status : int; reason : string }
 (** A request that could not be parsed, with the response status that
     should be sent before closing the connection (400, 408, 413, 431,
-    501 or 505). *)
+    501, 505 — or 503 when admission control refused the body). *)
+
+exception Bad of error
+(** How parse failures travel inside the reader functions.
+    {!read_request} and {!read_request_stream} catch it and return it
+    as [Error]; it escapes only from the {!body_rest} readers, whose
+    caller (the request handler) is past the parse phase. *)
 
 val read_request : ?limits:limits -> reader -> (request option, error) result
 (** Read and parse one request. [Ok None] means the peer closed (or went
@@ -60,6 +76,41 @@ val read_request : ?limits:limits -> reader -> (request option, error) result
     of a keep-alive connection, nothing to respond to. [Error _] means
     the connection is in an unknown state: respond with [error.status]
     and close. *)
+
+type body_rest
+(** A request body deliberately left on the wire by
+    {!read_request_stream}: the declared bytes are still unread. The
+    connection cannot serve another request until it is consumed. *)
+
+val read_request_stream :
+  ?limits:limits ->
+  ?reserve:(int -> bool) ->
+  ?stream_over:int ->
+  reader ->
+  ((request * body_rest option) option, error) result
+(** {!read_request} generalized for the server: [reserve], when given,
+    is called with the declared [Content-Length] {e before any body
+    byte is read} — returning [false] rejects the request with 503
+    ("in-flight body budget exhausted"), the server's admission
+    control. Bodies larger than [stream_over] (default [max_int]) are
+    not buffered: the request comes back with [body = ""] and a
+    {!body_rest} to pull incrementally. A well-formed
+    [X-Fsdata-Deadline-Ms] header tightens the reader deadline before
+    the body is read, so a client budget cuts slow body bytes too;
+    malformed values are left in the request for the server to
+    reject. *)
+
+val body_remaining : body_rest -> int
+(** Declared body bytes not yet consumed. *)
+
+val read_body_chunk : body_rest -> string
+(** The next chunk of the body, at most one buffered read's worth;
+    [""] once the declared length is consumed. Raises like the header
+    reads: [Bad] 400 if the peer closes mid-body, [Unix_error] on
+    receive timeout, {!Deadline.Expired} past the reader deadline. *)
+
+val read_body_all : body_rest -> string
+(** Drain the rest of the body into one string. *)
 
 val header : request -> string -> string option
 (** Case-insensitive header lookup (first occurrence). *)

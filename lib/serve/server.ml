@@ -31,6 +31,10 @@ let http_errors = Metrics.counter "serve.http_errors"
 let connections = Metrics.counter "serve.connections"
 let latency_ms = Metrics.histogram "serve.latency_ms"
 let inflight = Metrics.gauge "serve.inflight"
+let shed_total = Metrics.counter "serve.shed_total"
+let deadline_expired = Metrics.counter "serve.deadline_expired"
+let stream_bodies = Metrics.counter "serve.stream.bodies"
+let inflight_bytes_gauge = Metrics.gauge "serve.inflight_bytes"
 
 (* --- configuration and handler state --- *)
 
@@ -42,6 +46,10 @@ type config = {
   cache_entries : int;
   max_body : int;
   port_file : string option;
+  queue_depth : int;
+  max_inflight_bytes : int;
+  stream_threshold : int;
+  fault : Fault_net.t option;
 }
 
 let default_config =
@@ -53,21 +61,64 @@ let default_config =
     cache_entries = 64;
     max_body = 64 * 1024 * 1024;
     port_file = None;
+    queue_depth = 0;
+    max_inflight_bytes = 256 * 1024 * 1024;
+    stream_threshold = 256 * 1024;
+    fault = None;
   }
 
-type t = { cfg : config; cache : string Cache.t; compiled : Compile_cache.t }
+type t = {
+  cfg : config;
+  cache : string Cache.t;
+  compiled : Compile_cache.t;
+  draining : bool Atomic.t;
+  inflight_bytes : int Atomic.t;
+}
 
 (* Compiled parsers are small (proportional to the shape) and hot shapes
    are few; a fixed capacity decoupled from the response cache is
    enough. *)
 let compiled_cache_capacity = 32
 
-let create cfg =
+let create ?(draining = Atomic.make false) cfg =
   {
     cfg;
     cache = Cache.create ~capacity:cfg.cache_entries;
     compiled = Compile_cache.create ~capacity:compiled_cache_capacity;
+    draining;
+    inflight_bytes = Atomic.make 0;
   }
+
+let draining t = t.draining
+
+(* --- the in-flight body budget (admission control) --- *)
+
+(* Reservations are taken on the declared Content-Length before the
+   first body byte is read, so the sum of bodies resident across all
+   workers — buffered or streaming — never exceeds the budget. *)
+let try_reserve t n =
+  let rec go () =
+    let cur = Atomic.get t.inflight_bytes in
+    if cur + n > t.cfg.max_inflight_bytes then false
+    else if Atomic.compare_and_set t.inflight_bytes cur (cur + n) then begin
+      Metrics.gauge_add inflight_bytes_gauge (float_of_int n);
+      true
+    end
+    else go ()
+  in
+  n <= 0 || go ()
+
+let release t n =
+  if n > 0 then begin
+    ignore (Atomic.fetch_and_add t.inflight_bytes (-n));
+    Metrics.gauge_add inflight_bytes_gauge (float_of_int (-n))
+  end
+
+(* Load balancers should back off before the budget is exhausted, not
+   after: report overloaded once less than 1/8 of it remains. *)
+let overloaded t =
+  t.cfg.max_inflight_bytes - Atomic.get t.inflight_bytes
+  < t.cfg.max_inflight_bytes / 8
 
 (* --- response helpers --- *)
 
@@ -114,7 +165,16 @@ let render_report ~format (report : Infer.report) shape =
       ("samples", Dv.List (List.map quarantine_entry report.Infer.quarantined));
     ]
 
-let handle_infer t req =
+let render_ok t ~format ~cache_header report =
+  let shape = Shape.hcons report.Infer.shape in
+  hcons_guard ();
+  (* warm the compiled-parser cache: a client that infers a shape and
+     then re-parses documents against it (POST /check?compiled=1) hits
+     compiled code immediately *)
+  if format = "json" then ignore (Compile_cache.get t.compiled shape);
+  (render_report ~format report shape, cache_header, shape)
+
+let handle_infer t ~cancel ~rest req =
   if req.Http.meth <> "POST" then method_not_allowed "POST"
   else
     let format = Option.value ~default:"json" (Http.query_param req "format") in
@@ -134,7 +194,40 @@ let handle_infer t req =
     in
     match (format, jobs, budget) with
     | _, Error m, _ | _, _, Error m -> json_error 400 m
+    | "json", Ok _, Ok budget when rest <> None -> (
+        (* Streamed JSON: the body never materializes — fragments feed
+           the recovering cursor as they arrive off the socket. No
+           digest key exists without the bytes, so this path bypasses
+           the response cache. *)
+        Metrics.incr stream_bodies;
+        let rest = Option.get rest in
+        let feed push =
+          let rec go () =
+            match Http.read_body_chunk rest with
+            | "" -> ()
+            | s ->
+                push s;
+                go ()
+          in
+          go ()
+        in
+        match Infer.of_json_feed_tolerant ~cancel ~budget feed with
+        | Error m -> json_error 422 m
+        | Ok report ->
+            let body, header, _ =
+              render_ok t ~format ~cache_header:"bypass" report
+            in
+            Http.response
+              ~headers:[ ("x-fsdata-cache", header) ]
+              ~status:200 body)
     | ("json" | "csv" | "xml"), Ok jobs, Ok budget -> (
+        (* Buffered (or non-JSON streamed: drained here, still under the
+           reservation) — the digest-keyed cache path. *)
+        let body_text =
+          match rest with
+          | None -> req.Http.body
+          | Some rest -> Http.read_body_all rest
+        in
         let key =
           Digest.to_hex
             (Digest.string
@@ -143,7 +236,7 @@ let handle_infer t req =
                     format;
                     string_of_int jobs;
                     Diagnostic.budget_to_string budget;
-                    req.Http.body;
+                    body_text;
                   ]))
         in
         match Cache.find t.cache key with
@@ -154,25 +247,22 @@ let handle_infer t req =
             Metrics.incr cache_misses;
             let result =
               match format with
-              | "json" -> Par_infer.of_json_tolerant ~jobs ~budget req.Http.body
+              | "json" ->
+                  Par_infer.of_json_tolerant ~cancel ~jobs ~budget body_text
               | "xml" ->
-                  Par_infer.of_xml_samples_tolerant ~jobs ~budget
-                    [ req.Http.body ]
-              | _ -> Infer.of_csv_tolerant ~budget req.Http.body
+                  Par_infer.of_xml_samples_tolerant ~cancel ~jobs ~budget
+                    [ body_text ]
+              | _ -> Infer.of_csv_tolerant ~cancel ~budget body_text
             in
             match result with
             | Error m -> json_error 422 m
             | Ok report ->
-                let shape = Shape.hcons report.Infer.shape in
-                hcons_guard ();
-                (* warm the compiled-parser cache: a client that infers a
-                   shape and then re-parses documents against it (POST
-                   /check?compiled=1) hits compiled code immediately *)
-                if format = "json" then ignore (Compile_cache.get t.compiled shape);
-                let body = render_report ~format report shape in
+                let body, header, _ =
+                  render_ok t ~format ~cache_header:"miss" report
+                in
                 Metrics.add cache_evictions (Cache.add t.cache key body);
                 Http.response
-                  ~headers:[ ("x-fsdata-cache", "miss") ]
+                  ~headers:[ ("x-fsdata-cache", header) ]
                   ~status:200 body))
     | fmt, _, _ ->
         json_error 400
@@ -269,18 +359,36 @@ let handle_metrics req =
   if req.Http.meth <> "GET" then method_not_allowed "GET"
   else Http.response ~status:200 (Metrics.to_json ())
 
-let handle_healthz req =
+(* Health degrades in the order a load balancer should learn about it:
+   draining (the process is on its way out) beats overloaded (back off
+   and retry), beats ok. Both degraded states answer 503 so the check
+   itself is the back-off signal. *)
+let handle_healthz t req =
   if req.Http.meth <> "GET" then method_not_allowed "GET"
+  else if Atomic.get t.draining then
+    Http.response ~status:503 (json_body [ ("status", Dv.String "draining") ])
+  else if overloaded t then
+    Http.response ~status:503
+      ~headers:[ ("retry-after", "1") ]
+      (json_body [ ("status", Dv.String "overloaded") ])
   else json_ok [ ("status", Dv.String "ok") ]
 
-let route t req =
+let route t ~cancel ~rest req =
   match req.Http.path with
-  | "/infer" -> handle_infer t req
-  | "/check" -> handle_checkish t ~explain:false req
-  | "/explain" -> handle_checkish t ~explain:true req
-  | "/metrics" -> handle_metrics req
-  | "/healthz" -> handle_healthz req
-  | p -> json_error 404 (Printf.sprintf "no such endpoint %s" p)
+  | "/infer" -> handle_infer t ~cancel ~rest req
+  | p -> (
+      (* only /infer streams; any other endpoint needs the whole body *)
+      let req =
+        match rest with
+        | None -> req
+        | Some rest -> { req with Http.body = Http.read_body_all rest }
+      in
+      match p with
+      | "/check" -> handle_checkish t ~explain:false req
+      | "/explain" -> handle_checkish t ~explain:true req
+      | "/metrics" -> handle_metrics req
+      | "/healthz" -> handle_healthz t req
+      | p -> json_error 404 (Printf.sprintf "no such endpoint %s" p))
 
 let request_counter = function
   | "/infer" -> req_infer
@@ -290,13 +398,28 @@ let request_counter = function
   | "/healthz" -> req_healthz
   | _ -> req_other
 
-let handle t req =
+let handle ?(cancel = Fsdata_data.Cancel.never) ?rest t req =
   Metrics.incr (request_counter req.Http.path);
   Metrics.gauge_add inflight 1.0;
   let t0 = Clock.now_ns () in
   let resp =
-    match route t req with
+    match route t ~cancel ~rest req with
     | resp -> resp
+    | exception Fsdata_data.Cancel.Cancelled ->
+        (* the deadline tripped mid-inference: the cooperative token cut
+           the drivers off between documents *)
+        Metrics.incr deadline_expired;
+        json_error 504 "deadline exceeded while processing request"
+    | exception Deadline.Expired ->
+        (* the deadline tripped while pulling a streamed body *)
+        Metrics.incr deadline_expired;
+        json_error 408 "request timed out reading body"
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Metrics.incr deadline_expired;
+        json_error 408 "request timed out reading body"
+    | exception Http.Bad e ->
+        (* a streamed body cut short: the peer closed mid-request *)
+        json_error e.Http.status e.Http.reason
     | exception e -> json_error 500 (Printexc.to_string e)
   in
   Metrics.observe latency_ms
@@ -310,42 +433,119 @@ let handle t req =
 
 (* --- connection handling --- *)
 
-let write_all fd s =
+let write_all ?fault fd s =
   let len = String.length s in
   let pos = ref 0 in
   while !pos < len do
-    pos := !pos + Unix.write_substring fd s !pos (len - !pos)
+    match Fault_net.write_substring fault fd s !pos (len - !pos) with
+    | n -> pos := !pos + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
+(* The client may tighten (never extend) the server deadline for its
+   request. *)
+let deadline_of_header req =
+  match Http.header req "x-fsdata-deadline-ms" with
+  | None -> Ok Deadline.never
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some ms when ms > 0 -> Ok (Deadline.after_ms ms)
+      | _ -> Error (Printf.sprintf "bad X-Fsdata-Deadline-Ms value %S" v))
+
 (* One keep-alive connection, start to close. Any socket fault (peer
-   reset, send timeout) just ends the connection — the server never
-   dies for a client's sake. *)
-let serve_connection t ~stop fd =
+   reset, send timeout, expired deadline) just ends the connection — the
+   server never dies for a client's sake. Anything else escaping is a
+   crash for the supervisor. *)
+let serve_connection t fd =
   Metrics.incr connections;
+  let fault = t.cfg.fault in
   let tmo = float_of_int t.cfg.timeout_ms /. 1000. in
   (try
      Unix.setsockopt_float fd Unix.SO_RCVTIMEO tmo;
      Unix.setsockopt_float fd Unix.SO_SNDTIMEO tmo
    with Unix.Unix_error _ -> ());
   let limits = { Http.default_limits with Http.max_body = t.cfg.max_body } in
-  let r = Http.reader_of_fd fd in
+  let r = Http.reader_of_fd ?fault fd in
+  (* Admission bookkeeping lives with the connection: the reserve hook
+     records what it took so every exit path — response written, error,
+     peer reset — gives the bytes back exactly once. *)
+  let reserved = ref 0 in
+  let give_back () =
+    release t !reserved;
+    reserved := 0
+  in
+  let reserve n =
+    try_reserve t n
+    && begin
+         reserved := !reserved + n;
+         true
+       end
+  in
+  let send ~keep_alive resp =
+    write_all ?fault fd (Http.serialize_response ~keep_alive resp)
+  in
   let rec loop () =
-    match Http.read_request ~limits r with
-    | Ok None -> ()
+    (* the deadline covers the whole request: header read, body read
+       (buffered or streamed) and handler work *)
+    Http.set_deadline r (Deadline.after_ms t.cfg.timeout_ms);
+    let result =
+      Http.read_request_stream ~limits ~reserve
+        ~stream_over:t.cfg.stream_threshold r
+    in
+    match result with
+    | Ok None -> give_back ()
     | Error e ->
         Metrics.incr http_errors;
+        if e.Http.status = 503 then Metrics.incr shed_total;
         Metrics.incr (if e.Http.status < 500 then resp_4xx else resp_5xx);
-        write_all fd
-          (Http.serialize_response ~keep_alive:false
-             (json_error e.Http.status e.Http.reason))
-    | Ok (Some req) ->
-        let resp = handle t req in
-        (* during a drain, answer what's in hand but don't linger *)
-        let ka = Http.keep_alive req && not (Atomic.get stop) in
-        write_all fd (Http.serialize_response ~keep_alive:ka resp);
-        if ka then loop ()
+        let headers =
+          if e.Http.status = 503 then [ ("retry-after", "1") ] else []
+        in
+        send ~keep_alive:false
+          (Http.response ~headers ~status:e.Http.status
+             (json_body [ ("error", Dv.String e.Http.reason) ]));
+        give_back ()
+    | Ok (Some (req, rest)) -> (
+        match deadline_of_header req with
+        | Error m ->
+            (* can't trust the connection state with the body possibly
+               unread: answer and close *)
+            Metrics.incr resp_4xx;
+            send ~keep_alive:false (json_error 400 m);
+            give_back ()
+        | Ok header_deadline ->
+            let deadline =
+              Deadline.min
+                (Deadline.after_ms t.cfg.timeout_ms)
+                header_deadline
+            in
+            Http.set_deadline r deadline;
+            let resp = handle ~cancel:(Deadline.cancel deadline) ?rest t req in
+            let body_consumed =
+              match rest with
+              | None -> true
+              | Some rest -> Http.body_remaining rest = 0
+            in
+            (* during a drain, answer what's in hand but don't linger; a
+               part-read streamed body leaves the wire unusable *)
+            let ka =
+              body_consumed
+              && Http.keep_alive req
+              && not (Atomic.get t.draining)
+            in
+            send ~keep_alive:ka resp;
+            give_back ();
+            if ka then loop ())
   in
-  (try loop () with Unix.Unix_error _ -> ());
+  (try loop () with
+  | Unix.Unix_error _ | Deadline.Expired -> ()
+  | crash ->
+      (* a genuine crash (or an injected worker kill): still release the
+         budget and the fd, then let the supervisor see it *)
+      give_back ();
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise crash);
+  give_back ();
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* --- bounded connection queue --- *)
@@ -388,23 +588,33 @@ let queue_pop q =
   Mutex.unlock q.lock;
   v
 
-let rec worker_loop t ~stop q =
+let rec worker_loop t q =
   match queue_pop q with
   | None -> ()
   | Some fd ->
-      serve_connection t ~stop fd;
-      worker_loop t ~stop q
+      serve_connection t fd;
+      worker_loop t q
 
 (* --- the accept loop --- *)
 
-let run cfg =
+let run ?stop ?on_ready cfg =
   Metrics.set_enabled true;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let stop = Atomic.make false in
-  let quit _ = Atomic.set stop true in
-  Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
-  let t = create cfg in
+  (* In-process callers (tests) pass their own stop flag and keep the
+     process's signal dispositions; standalone serving installs the
+     drain-on-SIGINT/SIGTERM handlers. *)
+  let stop =
+    match stop with
+    | Some stop -> stop
+    | None ->
+        let stop = Atomic.make false in
+        let quit _ = Atomic.set stop true in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
+        stop
+  in
+  let quiet = on_ready <> None in
+  let t = create ~draining:stop cfg in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
@@ -414,7 +624,8 @@ let run cfg =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> cfg.port
   in
-  Printf.printf "fsdata: serving on http://%s:%d\n%!" cfg.host port;
+  if not quiet then
+    Printf.printf "fsdata: serving on http://%s:%d\n%!" cfg.host port;
   (match cfg.port_file with
   | Some path ->
       let oc = open_out path in
@@ -422,14 +633,37 @@ let run cfg =
       output_char oc '\n';
       close_out oc
   | None -> ());
+  (* From here on the port file exists and the socket is live: whatever
+     takes the accept loop down — drain or crash — must clean both up,
+     or a restarted server would be found through a stale port file. *)
+  let finally () =
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    match cfg.port_file with
+    | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+    | None -> ()
+  in
+  Fun.protect ~finally @@ fun () ->
+  (match on_ready with Some f -> f port | None -> ());
   let workers = max 1 cfg.workers in
-  let q = queue_create (workers * 16) in
+  let depth = if cfg.queue_depth > 0 then cfg.queue_depth else workers * 16 in
+  let q = queue_create depth in
   let domains =
-    List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t ~stop q))
+    List.init workers (fun i ->
+        Domain.spawn (fun () ->
+            (* crash-only: an exception out of a connection respawns the
+               loop (backoff doubling from 10ms); the queue, the accept
+               loop and the other workers never notice *)
+            Supervisor.supervise
+              ~name:(Printf.sprintf "worker-%d" i)
+              ~should_restart:(fun () -> not (Atomic.get stop))
+              (fun () -> worker_loop t q)))
   in
   let overloaded =
     Http.serialize_response ~keep_alive:false
-      (json_error 503 "server over capacity")
+      (Http.response
+         ~headers:[ ("retry-after", "1") ]
+         ~status:503
+         (json_body [ ("error", Dv.String "server over capacity") ]))
   in
   while not (Atomic.get stop) do
     (* select with a short timeout so termination signals are honoured
@@ -441,6 +675,7 @@ let run cfg =
         | fd, _ ->
             if not (queue_try_push q fd) then begin
               Metrics.incr resp_5xx;
+              Metrics.incr shed_total;
               (try write_all fd overloaded with Unix.Unix_error _ -> ());
               try Unix.close fd with Unix.Unix_error _ -> ()
             end
@@ -450,7 +685,6 @@ let run cfg =
             ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
-  Unix.close sock;
   List.iter (fun _ -> queue_push_sentinel q) domains;
   List.iter Domain.join domains;
-  print_endline "fsdata: shutting down"
+  if not quiet then print_endline "fsdata: shutting down"

@@ -27,47 +27,107 @@
     [X-Fsdata-Cache] response header (and the [serve.cache.*] counters)
     — bodies are byte-identical either way.
 
+    {2 Robustness}
+
+    Every request runs under a {!Deadline}: [timeout_ms] from first
+    byte, tightened by an [X-Fsdata-Deadline-Ms] request header. The
+    deadline governs header and body reads (slowloris defense; expiry
+    answers 408) and is threaded as a {!Fsdata_data.Cancel.t} through
+    the tolerant ingestion drivers, so inference over an adversarial
+    corpus stops between documents and answers 504. JSON [/infer]
+    bodies above [stream_threshold] are never buffered — they stream
+    off the socket into the recovering cursor (bypassing the response
+    cache). Admission control reserves each declared [Content-Length]
+    against [max_inflight_bytes] before reading it; over-budget and
+    over-queue requests are shed with [503] + [Retry-After]. Worker
+    domains are supervised ({!Supervisor}): an escaped exception is
+    counted, logged with its backtrace, and the loop respawned with
+    exponential backoff, so the accept loop survives any connection.
+    [/healthz] degrades to [503 {"status":"draining"}] during shutdown
+    and [503 {"status":"overloaded"}] when less than 1/8 of the body
+    budget remains.
+
     {2 [serve.*] metrics}
 
     Counters [serve.requests.{infer,check,explain,metrics,healthz,other}],
     [serve.responses.{2xx,4xx,5xx}], [serve.cache.{hits,misses,evictions}],
     [serve.http_errors] (malformed requests answered from the parser),
-    [serve.connections]; histogram [serve.latency_ms] (handler time per
-    request); gauge [serve.inflight] (requests currently in a handler).
-    Documented in [docs/OBSERVABILITY.md]. *)
+    [serve.connections], [serve.shed_total] (503s from queue overflow or
+    body-budget admission), [serve.deadline_expired] (408/504 cut-offs),
+    [serve.stream.bodies] (bodies streamed, not buffered),
+    [serve.worker.crashes] (supervisor respawns),
+    [serve.faults.injected] (chaos shim, tests only); histogram
+    [serve.latency_ms] (handler time per request); gauges
+    [serve.inflight] (requests currently in a handler) and
+    [serve.inflight_bytes] (reserved body bytes). Documented in
+    [docs/OBSERVABILITY.md]. *)
 
 type config = {
   port : int;  (** 0 picks an ephemeral port *)
   host : string;  (** address to bind, e.g. ["127.0.0.1"] *)
   workers : int;  (** worker domains handling connections *)
-  timeout_ms : int;  (** per-connection receive/send timeout *)
+  timeout_ms : int;
+      (** per-request deadline and per-connection receive/send timeout *)
   cache_entries : int;  (** LRU capacity; 0 disables the cache *)
   max_body : int;  (** request body limit in bytes *)
   port_file : string option;
       (** when set, the bound port is written here once listening —
-          how the cram tests find an ephemeral port *)
+          how the cram tests find an ephemeral port — and removed on
+          every exit path, crash included *)
+  queue_depth : int;
+      (** bounded connection-queue capacity; [0] means [workers * 16] *)
+  max_inflight_bytes : int;
+      (** body bytes admitted across all workers before shedding *)
+  stream_threshold : int;
+      (** bodies with a declared length above this stream instead of
+          buffering *)
+  fault : Fault_net.t option;
+      (** chaos-test shim over socket I/O; [None] in production *)
 }
 
 val default_config : config
 (** Port 8080 on 127.0.0.1, 4 workers, 10s timeout, 64-entry cache,
-    64 MiB bodies, no port file. *)
+    64 MiB bodies, no port file, [workers * 16] queue depth, 256 MiB
+    in-flight body budget, 256 KiB stream threshold, no fault shim. *)
 
 type t
-(** Handler state: the response cache plus the config. Independent of
-    any socket, so unit tests exercise {!handle} directly. *)
+(** Handler state: the response cache, the config, and the drain /
+    admission state. Independent of any socket, so unit tests exercise
+    {!handle} directly. *)
 
-val create : config -> t
+val create : ?draining:bool Atomic.t -> config -> t
+(** [draining] (default: a fresh flag) is shared with {!run}'s stop
+    flag so [/healthz] reports the drain. *)
 
-val handle : t -> Http.request -> Http.response
+val draining : t -> bool Atomic.t
+(** The drain flag: set it and [/healthz] answers 503 draining. *)
+
+val handle :
+  ?cancel:Fsdata_data.Cancel.t ->
+  ?rest:Http.body_rest ->
+  t ->
+  Http.request ->
+  Http.response
 (** Route and answer one parsed request. Total: handler exceptions
-    become a 500 with an [{"error": ...}] body. *)
+    become a 500 with an [{"error": ...}] body — except the deadline
+    family, which maps to 504 ([Cancel.Cancelled] from a driver) or 408
+    ([Deadline.Expired] / receive timeout while pulling [rest]). [rest]
+    is a body still on the wire ({!Http.read_request_stream}): JSON
+    [/infer] consumes it incrementally, everything else drains it
+    first. *)
 
-val run : config -> unit
+val run : ?stop:bool Atomic.t -> ?on_ready:(int -> unit) -> config -> unit
 (** Bind, print ["fsdata: serving on http://HOST:PORT"] on stdout, and
     serve until SIGINT or SIGTERM. The accept loop hands connections to
-    a fixed pool of worker domains over a bounded queue (overflow is
-    answered [503] without queuing); each connection gets the
-    configured receive/send timeouts and keep-alive semantics. On the
-    first termination signal the listener closes, queued and in-flight
-    requests drain (their responses are sent with [Connection: close]),
-    the workers join, and ["fsdata: shutting down"] is printed. *)
+    a fixed pool of supervised worker domains over a bounded queue
+    (overflow is shed with [503] + [Retry-After] without queuing); each
+    connection gets the configured timeouts, a per-request deadline and
+    keep-alive semantics. On the first termination signal the listener
+    closes, queued and in-flight requests drain (their responses are
+    sent with [Connection: close]), the workers join, and
+    ["fsdata: shutting down"] is printed. The port file, if any, is
+    removed on every exit, including a crash of the accept loop.
+
+    For in-process tests: [stop] supplies the drain flag (no signal
+    handlers are installed), and [on_ready] receives the bound port
+    once listening — and silences the stdout chatter. *)

@@ -1,0 +1,49 @@
+module Metrics = Fsdata_obs.Metrics
+module Clock = Fsdata_obs.Clock
+
+let m_crashes = Metrics.counter "serve.worker.crashes"
+
+type crash = { name : string; message : string; backtrace : string }
+
+(* Last crash seen, for tests and post-mortem; mutex rather than Atomic
+   because several supervised domains may crash at once. *)
+let last = ref None
+let last_lock = Mutex.create ()
+let last_crash () = Mutex.protect last_lock (fun () -> !last)
+
+let record ~name exn bt =
+  let c =
+    { name; message = Printexc.to_string exn; backtrace = Printexc.raw_backtrace_to_string bt }
+  in
+  Mutex.protect last_lock (fun () -> last := Some c);
+  c
+
+let default_log c =
+  Printf.eprintf "fsdata: %s crashed: %s\n%s%!" c.name c.message c.backtrace
+
+(* A run that survives this long is considered healthy: the next crash
+   starts the backoff ladder from the bottom again, so a worker that
+   crashes once an hour never climbs to the max sleep. *)
+let healthy_run_ns = 1_000_000_000L
+
+let supervise ~name ?(base_backoff_ms = 10) ?(max_backoff_ms = 1000)
+    ?(log = default_log) ~should_restart f =
+  let rec go backoff_ms =
+    let t0 = Clock.now_ns () in
+    match f () with
+    | () -> ()
+    | exception exn ->
+        let bt = Printexc.get_raw_backtrace () in
+        Metrics.incr m_crashes;
+        log (record ~name exn bt);
+        if should_restart () then begin
+          Unix.sleepf (float_of_int backoff_ms /. 1000.);
+          let ran = Int64.sub (Clock.now_ns ()) t0 in
+          let next =
+            if Int64.compare ran healthy_run_ns >= 0 then base_backoff_ms
+            else Stdlib.min max_backoff_ms (backoff_ms * 2)
+          in
+          go next
+        end
+  in
+  go base_backoff_ms

@@ -1,0 +1,35 @@
+(** Crash-only supervision for worker domains.
+
+    The serve worker loops are written so that expected faults (peer
+    resets, timeouts) never escape — anything that does escape is a
+    bug or an injected crash, and the server's answer is the crash-only
+    one: count it ([serve.worker.crashes]), log the backtrace, and
+    respawn the loop after an exponential backoff, so the accept loop
+    and the remaining workers keep serving throughout. *)
+
+type crash = {
+  name : string;  (** the supervised loop, e.g. ["worker-3"] *)
+  message : string;  (** [Printexc.to_string] of the escaped exception *)
+  backtrace : string;
+}
+
+val last_crash : unit -> crash option
+(** The most recent crash seen by any supervisor in this process;
+    [None] if nothing has crashed. Used by the chaos tests. *)
+
+val supervise :
+  name:string ->
+  ?base_backoff_ms:int ->
+  ?max_backoff_ms:int ->
+  ?log:(crash -> unit) ->
+  should_restart:(unit -> bool) ->
+  (unit -> unit) ->
+  unit
+(** [supervise ~name ~should_restart f] runs [f ()]; a normal return
+    ends supervision. An escaped exception is recorded (counter, crash
+    log — default to stderr) and, when [should_restart ()] holds, [f]
+    is restarted after a backoff that doubles from [base_backoff_ms]
+    (default 10) up to [max_backoff_ms] (default 1000) on each crash in
+    quick succession, resetting once a run survives a full second. The
+    exception itself never propagates: supervision is the last line of
+    defense for the domain. *)

@@ -64,8 +64,11 @@ Values vary run to run; strip them:
   serve.cache.hits
   serve.cache.misses
   serve.connections
+  serve.deadline_expired
+  serve.faults.injected
   serve.http_errors
   serve.inflight
+  serve.inflight_bytes
   serve.latency_ms.count
   serve.latency_ms.max
   serve.latency_ms.mean
@@ -80,6 +83,9 @@ Values vary run to run; strip them:
   serve.responses.2xx
   serve.responses.4xx
   serve.responses.5xx
+  serve.shed_total
+  serve.stream.bodies
+  serve.worker.crashes
   shape.hcons.hits
   shape.hcons.misses
 

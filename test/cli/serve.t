@@ -110,8 +110,11 @@ pipeline's own counters:
   serve.cache.hits
   serve.cache.misses
   serve.connections
+  serve.deadline_expired
+  serve.faults.injected
   serve.http_errors
   serve.inflight
+  serve.inflight_bytes
   serve.latency_ms.count
   serve.latency_ms.max
   serve.latency_ms.mean
@@ -126,6 +129,9 @@ pipeline's own counters:
   serve.responses.2xx
   serve.responses.4xx
   serve.responses.5xx
+  serve.shed_total
+  serve.stream.bodies
+  serve.worker.crashes
 
 Request and cache counters are deterministic for the sequence above:
 six /infer requests, of which two were cache hits:

@@ -143,6 +143,102 @@ let test_transfer_encoding_rejected () =
   in
   check Alcotest.int "501" 501 e.Http.status
 
+let test_header_line_limit_boundary () =
+  let limits = { Http.default_limits with Http.max_header_line = 32 } in
+  let pad n = String.make n 'v' in
+  (* "h: " + 28 value bytes + CR is exactly the 32-byte limit (the CR
+     counts; only the LF is outside the measured line) *)
+  let r = get_request ~limits ("GET / HTTP/1.1\r\nh: " ^ pad 28 ^ "\r\n\r\n") in
+  check (Alcotest.option Alcotest.string) "a line at the limit parses"
+    (Some (pad 28)) (Http.header r "h");
+  let e0 = get_error ~limits ("GET / HTTP/1.1\r\nh: " ^ pad 29 ^ "\r\n\r\n") in
+  check Alcotest.int "431 one byte over, terminated" 431 e0.Http.status;
+  (* one byte over, never terminated: oversized, not truncated *)
+  let e = get_error ~limits ("GET / HTTP/1.1\r\nh: " ^ pad 30) in
+  check Alcotest.int "431 over the limit without CRLF" 431 e.Http.status;
+  (* exactly at the limit but the stream ends with no terminator: a
+     truncated request, not an oversized one *)
+  let e2 = get_error ~limits ("GET / HTTP/1.1\r\nh: " ^ pad 29) in
+  check Alcotest.int "400 at the limit without CRLF" 400 e2.Http.status
+
+(* ----- read_request_stream: bodies left on the wire ----- *)
+
+let test_stream_body_rest () =
+  let r =
+    Http.reader_of_string
+      ("POST /infer HTTP/1.1\r\ncontent-length: 10\r\n\r\n0123456789"
+      ^ "GET /healthz HTTP/1.1\r\n\r\n")
+  in
+  match Http.read_request_stream ~stream_over:4 r with
+  | Ok (Some (req, Some rest)) ->
+      check Alcotest.string "body left on the wire" "" req.Http.body;
+      check Alcotest.int "declared bytes remaining" 10 (Http.body_remaining rest);
+      let chunk = Http.read_body_chunk rest in
+      check Alcotest.bool "first chunk is nonempty" true (String.length chunk > 0);
+      let all = chunk ^ Http.read_body_all rest in
+      check Alcotest.string "streamed body round-trips" "0123456789" all;
+      check Alcotest.int "drained" 0 (Http.body_remaining rest);
+      check Alcotest.string "chunks after the drain are empty" ""
+        (Http.read_body_chunk rest);
+      (* the connection is usable again once the body is consumed *)
+      (match Http.read_request r with
+      | Ok (Some nxt) ->
+          check Alcotest.string "next pipelined request parses" "/healthz"
+            nxt.Http.path
+      | _ -> Alcotest.fail "expected a pipelined request after the body")
+  | _ -> Alcotest.fail "expected a streamed body"
+
+let test_stream_small_body_buffered () =
+  let r = Http.reader_of_string "POST / HTTP/1.1\r\ncontent-length: 3\r\n\r\nabc" in
+  match Http.read_request_stream ~stream_over:4 r with
+  | Ok (Some (req, None)) ->
+      check Alcotest.string "at or under the threshold buffers" "abc" req.Http.body
+  | _ -> Alcotest.fail "expected a buffered body"
+
+let test_stream_reserve_admission () =
+  let parse ~reserve s =
+    Http.read_request_stream ~reserve (Http.reader_of_string s)
+  in
+  (* the declared length is offered to [reserve] before any body byte *)
+  let offered = ref 0 in
+  (match
+     parse
+       ~reserve:(fun n ->
+         offered := n;
+         true)
+       "POST / HTTP/1.1\r\ncontent-length: 3\r\n\r\nabc"
+   with
+  | Ok (Some (req, None)) ->
+      check Alcotest.int "reserve saw the declared length" 3 !offered;
+      check Alcotest.string "admitted body reads" "abc" req.Http.body
+  | _ -> Alcotest.fail "expected an admitted request");
+  (* refusal is a 503 before the body is touched *)
+  (match
+     parse ~reserve:(fun _ -> false)
+       "POST / HTTP/1.1\r\ncontent-length: 3\r\n\r\nabc"
+   with
+  | Error e ->
+      check Alcotest.int "refused admission is 503" 503 e.Http.status;
+      check Alcotest.bool "names the budget" true
+        (Astring.String.is_infix ~affix:"budget" e.Http.reason)
+  | _ -> Alcotest.fail "expected a 503");
+  (* bodiless requests never consult the budget *)
+  match parse ~reserve:(fun _ -> false) "GET / HTTP/1.1\r\n\r\n" with
+  | Ok (Some _) -> ()
+  | _ -> Alcotest.fail "expected a bodiless request to pass"
+
+let test_stream_truncated_body () =
+  let r =
+    Http.reader_of_string "POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\n012345"
+  in
+  match Http.read_request_stream ~stream_over:4 r with
+  | Ok (Some (_, Some rest)) -> (
+      match Http.read_body_all rest with
+      | _ -> Alcotest.fail "expected the truncation to surface"
+      | exception Http.Bad e ->
+          check Alcotest.int "peer closing mid-stream is a 400" 400 e.Http.status)
+  | _ -> Alcotest.fail "expected a streamed body"
+
 let test_end_of_stream () =
   (match parse "" with
   | Ok None -> ()
@@ -183,6 +279,11 @@ let suite =
     tc "truncated requests" `Quick test_truncated_body;
     tc "content-length validation" `Quick test_content_length_validation;
     tc "transfer-encoding rejected" `Quick test_transfer_encoding_rejected;
+    tc "header line at the limit boundary" `Quick test_header_line_limit_boundary;
+    tc "streamed body rest" `Quick test_stream_body_rest;
+    tc "small bodies stay buffered" `Quick test_stream_small_body_buffered;
+    tc "reserve hook gates admission" `Quick test_stream_reserve_admission;
+    tc "truncated streamed body" `Quick test_stream_truncated_body;
     tc "clean end of stream" `Quick test_end_of_stream;
     tc "response serialization" `Quick test_response_serialization;
   ]

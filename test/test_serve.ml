@@ -273,6 +273,82 @@ let test_explain_clean () =
   | Some (Dv.List []) -> ()
   | _ -> Alcotest.fail "expected no mismatches for a conforming document"
 
+(* ----- robustness: drain, deadlines and streamed bodies ----- *)
+
+let test_healthz_draining () =
+  let flag = Atomic.make false in
+  let t = Server.create ~draining:flag Server.default_config in
+  check Alcotest.int "healthy while live" 200
+    (Server.handle t (request ~meth:"GET" "/healthz")).Http.status;
+  Atomic.set flag true;
+  let resp = Server.handle t (request ~meth:"GET" "/healthz") in
+  check Alcotest.int "503 while draining" 503 resp.Http.status;
+  check Alcotest.string "reports draining" "draining" (field_string "status" resp);
+  Atomic.set (Server.draining t) false;
+  check Alcotest.int "recovers when the flag clears" 200
+    (Server.handle t (request ~meth:"GET" "/healthz")).Http.status
+
+let test_handle_cancelled_504 () =
+  let resp =
+    Server.handle ~cancel:(fun () -> true) (server ())
+      (request ~body:corpus "/infer")
+  in
+  check Alcotest.int "a tripped cancel token is 504" 504 resp.Http.status;
+  check Alcotest.bool "names the deadline" true
+    (Astring.String.is_infix ~affix:"deadline" (field_string "error" resp))
+
+(* Build a streamed request the way the server does: parse off a string
+   reader with a low stream threshold, leaving the body on the wire. *)
+let streamed_request ?(target = "/infer") body =
+  let raw =
+    Printf.sprintf "POST %s HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s" target
+      (String.length body) body
+  in
+  match Http.read_request_stream ~stream_over:4 (Http.reader_of_string raw) with
+  | Ok (Some (req, Some rest)) -> (req, rest)
+  | _ -> Alcotest.fail "expected a streamed request"
+
+let test_streamed_infer_bypasses_cache () =
+  let t = server () in
+  let buffered = Server.handle t (request ~body:corpus "/infer") in
+  let req, rest = streamed_request corpus in
+  let streamed = Server.handle ~rest t req in
+  check Alcotest.int "200" 200 streamed.Http.status;
+  check (Alcotest.option Alcotest.string) "streamed JSON bypasses the cache"
+    (Some "bypass") (cache_header streamed);
+  check Alcotest.string "body identical to the buffered path"
+    buffered.Http.resp_body streamed.Http.resp_body;
+  (* a second streamed pass is another bypass, never a hit *)
+  let req2, rest2 = streamed_request corpus in
+  check (Alcotest.option Alcotest.string) "still a bypass" (Some "bypass")
+    (cache_header (Server.handle ~rest:rest2 t req2))
+
+let test_streamed_csv_drained_and_cached () =
+  let t = server () in
+  let body = "A,B\n1,x\n2,y\n" in
+  let req, rest = streamed_request ~target:"/infer?format=csv" body in
+  let first = Server.handle ~rest t req in
+  check Alcotest.int "200" 200 first.Http.status;
+  check (Alcotest.option Alcotest.string)
+    "non-JSON formats drain the stream and stay cacheable" (Some "miss")
+    (cache_header first);
+  let second =
+    Server.handle t (request ~query:[ ("format", "csv") ] ~body "/infer")
+  in
+  check (Alcotest.option Alcotest.string) "the drained body primed the cache"
+    (Some "hit") (cache_header second);
+  check Alcotest.string "bodies identical" first.Http.resp_body
+    second.Http.resp_body
+
+let test_streamed_other_endpoint_drained () =
+  let doc = "{\"name\": \"ada\", \"age\": 36}" in
+  let req, rest =
+    streamed_request ~target:"/check?shape=%7Bname:%20string,%20age:%20nullable%20float%7D" doc
+  in
+  let resp = Server.handle ~rest (server ()) req in
+  check Alcotest.int "/check drains a streamed body" 200 resp.Http.status;
+  check Alcotest.bool "and judges the document" true (field_bool "has_shape" resp)
+
 (* ----- concurrency: shapes stay byte-identical under parallel load ----- *)
 
 let test_concurrent_infer_identical () =
@@ -326,6 +402,14 @@ let suite =
     tc "check parameter validation" `Quick test_check_errors;
     tc "explain mismatches" `Quick test_explain;
     tc "explain on a conforming document" `Quick test_explain_clean;
+    tc "healthz reports draining" `Quick test_healthz_draining;
+    tc "cancelled inference is 504" `Quick test_handle_cancelled_504;
+    tc "streamed infer bypasses the cache" `Quick
+      test_streamed_infer_bypasses_cache;
+    tc "streamed csv drains and caches" `Quick
+      test_streamed_csv_drained_and_cached;
+    tc "streamed body drained for /check" `Quick
+      test_streamed_other_endpoint_drained;
     tc "concurrent infer responses byte-identical" `Quick
       test_concurrent_infer_identical;
   ]
