@@ -20,6 +20,7 @@ let default_groups =
   [
     "fig1"; "fig2"; "loc"; "infer"; "parse"; "access"; "shape"; "provider";
     "par"; "faults"; "obs"; "hetero"; "serve"; "compile"; "loadgen";
+    "registry";
   ]
 
 let () =

@@ -1124,6 +1124,125 @@ let loadgen_bench () =
   end;
   print_newline ()
 
+(* ----- registry: incremental inference vs re-inferring the corpus ----- *)
+
+(* The registry's claim is O(merge) per push: folding a delta into the
+   accumulated shape costs one csh, independent of how many documents
+   the stream has seen. The baseline it replaces re-infers the whole
+   corpus on every arrival — quadratic in stream length. Also measured:
+   the WAL tax under both fsync policies, and recovery (replay) time
+   against WAL length. In smoke mode the run asserts that the
+   incremental fold equals re-inference of the full corpus and that a
+   close/reopen recovers the stream byte-identically. *)
+let registry_bench () =
+  let module R = Fsdata_registry.Registry in
+  let module Csh = Fsdata_core.Csh in
+  print_endline "== registry: incremental shape accumulation ==";
+  let n = if !smoke then 200 else 2_000 in
+  let repeats = if !smoke then 1 else 3 in
+  let fail msg =
+    Printf.eprintf "registry: smoke assertion failed: %s\n" msg;
+    exit 1
+  in
+  (* per-document deltas: a stable core plus a rotating field, so the
+     shape grows for a while and then saturates — the live-stream
+     profile the registry is built for *)
+  let deltas =
+    List.init n (fun i ->
+        Fsdata_core.Shape_parser.parse
+          (Printf.sprintf "{name: string, v: int, f%d: nullable float}"
+             (i mod 17)))
+  in
+  let temp_dir () =
+    let path = Filename.temp_file "fsdata-bench-registry" "" in
+    Sys.remove path;
+    path
+  in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  let push_all t = List.fold_left (fun _ d -> R.push t ~stream:"s" d) (R.push t ~stream:"s" (List.hd deltas)) (List.tl deltas) in
+  (* incremental, in memory: the pure O(merge) fold *)
+  let mem_state, t_mem =
+    time_best ~repeats (fun () -> push_all (R.open_ ~dir:None ()))
+  in
+  Printf.printf "  %6d pushes: incremental, in-memory %10.1f ms  (%6.2f us/push)\n%!"
+    n (t_mem *. 1e3)
+    (t_mem /. float_of_int n *. 1e6);
+  (* the re-infer baseline: every arrival re-folds the whole prefix *)
+  let base_shape, t_base =
+    time_best ~repeats (fun () ->
+        let seen = ref [] in
+        let last = ref Fsdata_core.Shape.Bottom in
+        List.iter
+          (fun d ->
+            seen := d :: !seen;
+            last :=
+              List.fold_left Csh.csh Fsdata_core.Shape.Bottom (List.rev !seen))
+          deltas;
+        !last)
+  in
+  Printf.printf
+    "  %6d pushes: re-infer corpus baseline %10.1f ms  (%6.2f us/push, %5.1fx)\n%!"
+    n (t_base *. 1e3)
+    (t_base /. float_of_int n *. 1e6)
+    (t_base /. t_mem);
+  if !smoke && not (Shape.equal mem_state.R.shape base_shape) then
+    fail "incremental fold differs from re-inferring the corpus";
+  (* the WAL tax, both fsync policies (fewer pushes under `Always: each
+     one is a real fsync) *)
+  List.iter
+    (fun (label, fsync, m) ->
+      let dir = temp_dir () in
+      let t = R.open_ ~fsync ~snapshot_every:max_int ~dir:(Some dir) () in
+      let _, dt =
+        time_best ~repeats:1 (fun () ->
+            List.iteri
+              (fun i d -> if i < m then ignore (R.push t ~stream:"s" d))
+              deltas)
+      in
+      R.close t;
+      rm_rf dir;
+      Printf.printf "  %6d pushes: durable, fsync %-6s %12.1f ms  (%6.2f us/push)\n%!"
+        m label (dt *. 1e3)
+        (dt /. float_of_int m *. 1e6))
+    [ ("never", `Never, n); ("always", `Always, min n (if !smoke then 50 else 500)) ];
+  (* recovery: replay time against WAL length, and the round-trip pin *)
+  let lengths = if !smoke then [ n ] else [ 1_000; 10_000 ] in
+  List.iter
+    (fun len ->
+      let dir = temp_dir () in
+      let t = R.open_ ~fsync:`Never ~snapshot_every:max_int ~dir:(Some dir) () in
+      let live = ref None in
+      for i = 0 to len - 1 do
+        live := Some (R.push t ~stream:"s" (List.nth deltas (i mod n)))
+      done;
+      R.close t;
+      let t2, t_recover =
+        time_best ~repeats:1 (fun () ->
+            R.open_ ~fsync:`Never ~snapshot_every:max_int ~dir:(Some dir) ())
+      in
+      Printf.printf "  %6d-record WAL: recovery (replay) %10.1f ms\n%!" len
+        (t_recover *. 1e3);
+      (match (R.find t2 "s", !live) with
+      | Some recovered, Some live ->
+          if !smoke then begin
+            if
+              Shape.to_string recovered.R.shape <> Shape.to_string live.R.shape
+            then fail "recovered shape not byte-identical to the live one";
+            if recovered.R.version <> live.R.version then
+              fail "recovered version differs from the live one"
+          end
+      | _ -> if !smoke then fail "stream lost across close/reopen");
+      R.close t2;
+      rm_rf dir)
+    lengths;
+  print_newline ()
+
 let groups =
   [
     ("fig1", fig1);
@@ -1141,6 +1260,7 @@ let groups =
     ("serve", serve_bench);
     ("compile", compile_bench);
     ("loadgen", loadgen_bench);
+    ("registry", registry_bench);
   ]
 
 let () =

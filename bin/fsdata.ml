@@ -779,14 +779,51 @@ let serve_cmd =
                 $(b,/healthz) reports $(i,overloaded) once less than an
                 eighth of the budget remains.")
   in
+  let state_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:"Durable state directory for the live shape registry
+                ($(b,/streams/*) endpoints): a checksummed write-ahead
+                log plus periodic snapshots, recovered on startup.
+                Without it the registry is in-memory only. See
+                $(b,docs/REGISTRY.md).")
+  in
+  let fsync_arg =
+    Arg.(
+      value
+      & opt (enum [ ("always", `Always); ("never", `Never) ]) `Always
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:"WAL durability: $(b,always) fsyncs before a push is
+                acknowledged; $(b,never) leaves it to the OS (for
+                benchmarks).")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Compact the registry WAL into a snapshot every $(docv)
+                records.")
+  in
+  let cache_ttl_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "cache-ttl-ms" ] ~docv:"MS"
+          ~doc:"Time-to-live for cached responses; an expired entry is a
+                miss. $(b,0) (the default) means entries never expire —
+                eviction and $(b,POST /cache/invalidate) still apply.")
+  in
   let run () port host workers timeout_ms cache_entries port_file queue_depth
-      max_inflight_mb =
+      max_inflight_mb state_dir state_fsync snapshot_every cache_ttl_ms =
     if workers < 1 then `Error (false, "--workers must be at least 1")
     else if timeout_ms < 1 then `Error (false, "--timeout-ms must be positive")
     else if queue_depth < 0 then
       `Error (false, "--queue-depth must not be negative")
     else if max_inflight_mb < 1 then
       `Error (false, "--max-inflight-mb must be at least 1")
+    else if snapshot_every < 1 then
+      `Error (false, "--snapshot-every must be at least 1")
     else begin
       Fsdata_serve.Server.run
         {
@@ -799,6 +836,10 @@ let serve_cmd =
           port_file;
           queue_depth;
           max_inflight_bytes = max_inflight_mb * 1024 * 1024;
+          state_dir;
+          state_fsync;
+          snapshot_every;
+          cache_ttl_ms;
         };
       `Ok ()
     end
@@ -808,14 +849,17 @@ let serve_cmd =
        ~doc:"Run the HTTP inference service: POST sample corpora to
              $(b,/infer) (with $(b,format), $(b,jobs) and $(b,max-errors)
              query parameters), documents to $(b,/check) and
-             $(b,/explain), and scrape $(b,/metrics). Repeated corpora
-             are answered from a digest-keyed LRU cache of hash-consed
-             shapes. See $(b,docs/SERVING.md).")
+             $(b,/explain), document batches to the live shape registry
+             at $(b,/streams/NAME/push) (durable with $(b,--state-dir)),
+             and scrape $(b,/metrics). Repeated corpora are answered
+             from a digest-keyed LRU cache of hash-consed shapes. See
+             $(b,docs/SERVING.md) and $(b,docs/REGISTRY.md).")
     Term.(
       ret
         (const run $ obs_term $ port_arg $ host_arg $ workers_arg
        $ timeout_arg $ cache_arg $ port_file_arg $ queue_depth_arg
-       $ max_inflight_arg))
+       $ max_inflight_arg $ state_dir_arg $ fsync_arg $ snapshot_every_arg
+       $ cache_ttl_arg))
 
 (* --- migrate --- *)
 

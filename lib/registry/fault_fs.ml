@@ -1,0 +1,129 @@
+let m_injected = Fsdata_obs.Metrics.counter "registry.faults.injected"
+
+exception Crash
+
+type fault = Pass | Error of Unix.error | Kill | Delay of float
+
+type t = {
+  lock : Mutex.t;
+  mutable max_write : int;
+  mutable write_faults : fault list;
+  mutable fsync_faults : fault list;
+  mutable rename_faults : fault list;
+  mutable truncate_faults : fault list;
+  mutable kill_after : int;  (* negative = disabled *)
+  mutable ops : int;
+  mutable injected : int;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    max_write = max_int;
+    write_faults = [];
+    fsync_faults = [];
+    rename_faults = [];
+    truncate_faults = [];
+    kill_after = -1;
+    ops = 0;
+    injected = 0;
+  }
+
+let set_max_write t n =
+  Mutex.protect t.lock (fun () -> t.max_write <- (if n < 1 then max_int else n))
+
+let set_kill_after t n = Mutex.protect t.lock (fun () -> t.kill_after <- n)
+let ops t = Mutex.protect t.lock (fun () -> t.ops)
+let injected t = Mutex.protect t.lock (fun () -> t.injected)
+
+let inject_write t faults =
+  Mutex.protect t.lock (fun () -> t.write_faults <- t.write_faults @ faults)
+
+let inject_fsync t faults =
+  Mutex.protect t.lock (fun () -> t.fsync_faults <- t.fsync_faults @ faults)
+
+let inject_rename t faults =
+  Mutex.protect t.lock (fun () -> t.rename_faults <- t.rename_faults @ faults)
+
+let inject_truncate t faults =
+  Mutex.protect t.lock (fun () -> t.truncate_faults <- t.truncate_faults @ faults)
+
+let count_injection t =
+  t.injected <- t.injected + 1;
+  Fsdata_obs.Metrics.incr m_injected
+
+(* Account for one faultable operation and decide its fate: the
+   kill-after countdown beats the per-kind queue (the sweep must kill at
+   exactly the n-th operation whatever else is queued). *)
+let next_fault t pick set =
+  Mutex.protect t.lock (fun () ->
+      t.ops <- t.ops + 1;
+      if t.kill_after = 0 then begin
+        t.kill_after <- -1;
+        count_injection t;
+        Some Kill
+      end
+      else begin
+        if t.kill_after > 0 then t.kill_after <- t.kill_after - 1;
+        match pick t with
+        | [] -> None
+        | f :: rest ->
+            set t rest;
+            (match f with Pass -> () | _ -> count_injection t);
+            Some f
+      end)
+
+let rec fire t fault op =
+  match fault with
+  | None | Some Pass -> op ()
+  | Some (Error e) -> raise (Unix.Unix_error (e, "fault_fs", ""))
+  | Some Kill -> raise Crash
+  | Some (Delay s) ->
+      Unix.sleepf s;
+      fire t None op
+
+let write_substring t fd s pos len =
+  match t with
+  | None -> Unix.write_substring fd s pos len
+  | Some t ->
+      let fault =
+        next_fault t
+          (fun t -> t.write_faults)
+          (fun t rest -> t.write_faults <- rest)
+      in
+      fire t fault (fun () ->
+          Unix.write_substring fd s pos
+            (Stdlib.min len (Mutex.protect t.lock (fun () -> t.max_write))))
+
+let fsync t fd =
+  match t with
+  | None -> Unix.fsync fd
+  | Some t ->
+      let fault =
+        next_fault t
+          (fun t -> t.fsync_faults)
+          (fun t rest -> t.fsync_faults <- rest)
+      in
+      fire t fault (fun () -> Unix.fsync fd)
+
+let rename t src dst =
+  match t with
+  | None -> Unix.rename src dst
+  | Some t ->
+      let fault =
+        next_fault t
+          (fun t -> t.rename_faults)
+          (fun t rest -> t.rename_faults <- rest)
+      in
+      fire t fault (fun () -> Unix.rename src dst)
+
+let ftruncate t fd len =
+  match t with
+  | None -> Unix.ftruncate fd len
+  | Some t ->
+      let fault =
+        next_fault t
+          (fun t -> t.truncate_faults)
+          (fun t rest -> t.truncate_faults <- rest)
+      in
+      fire t fault (fun () -> Unix.ftruncate fd len)

@@ -1,0 +1,79 @@
+(** Test-only fault injection over file-system writes.
+
+    The storage twin of [Fsdata_serve.Fault_net]: a shim between the
+    registry's write-ahead log / snapshot machinery and the [Unix]
+    file operations it durability depends on — [write], [fsync],
+    [rename] and [ftruncate]. With no shim installed ([None]) the calls
+    pass straight through at zero cost; with one, each operation first
+    consumes the next queued fault for its kind (raising it) and
+    otherwise proceeds, writes with their length clamped — short
+    writes and torn record tails on demand. The storage-chaos suite
+    ([test/test_chaos_fs.ml]) drives the registry through this shim to
+    prove the WAL's recovery invariants: injected [EIO]/[ENOSPC] fail
+    the push without corrupting state, a {!Kill} between the write and
+    the fsync leaves a torn tail that recovery truncates, a kill
+    anywhere inside snapshot compaction leaves a state that replays to
+    exactly the last acknowledged version.
+
+    Deterministic by construction: faults fire in queue order, one per
+    operation, with no randomness and no clock. All bookkeeping is
+    mutex-protected; one shim may serve several domains. Injections are
+    counted in [registry.faults.injected]. *)
+
+exception Crash
+(** Not an I/O error: deliberately escapes every [Unix_error] recovery
+    path to simulate the process dying (kill -9) at exactly this
+    operation — between a write and its fsync, mid-rename, wherever the
+    test queued it. The chaos tests catch it, re-open the state
+    directory, and assert recovery. *)
+
+(** One injected fault, consumed by the next matching operation:
+    [Pass] performs the operation normally (a placeholder to aim a
+    later fault at the n-th call), [Error e] raises
+    [Unix.Unix_error (e, _, _)], [Kill] raises {!Crash}, [Delay s]
+    stalls the call by [s] seconds and then performs it. *)
+type fault = Pass | Error of Unix.error | Kill | Delay of float
+
+type t
+
+val create : unit -> t
+(** A shim with no faults queued and no length clamp. *)
+
+val set_max_write : t -> int -> unit
+(** Clamp every subsequent write to at most [n] bytes (short writes, so
+    multi-call record appends can be torn mid-record); [n < 1] removes
+    the clamp. *)
+
+val set_kill_after : t -> int -> unit
+(** [set_kill_after t n] lets the next [n] faultable operations (of any
+    kind, across all shimmed calls) proceed and raises {!Crash} on the
+    one after — the primitive behind the chaos sweep that kills the
+    registry at {e every} injection point in turn. A negative [n]
+    disables the countdown. *)
+
+val ops : t -> int
+(** Faultable operations observed so far (fired or passed through). *)
+
+val injected : t -> int
+(** Faults fired so far ({!fault-Pass} does not count). *)
+
+val inject_write : t -> fault list -> unit
+(** Queue faults to be consumed, in order, by subsequent writes. *)
+
+val inject_fsync : t -> fault list -> unit
+val inject_rename : t -> fault list -> unit
+val inject_truncate : t -> fault list -> unit
+
+val write_substring : t option -> Unix.file_descr -> string -> int -> int -> int
+(** [Unix.write_substring] through the shim; [None] is the production
+    path. The clamp may return fewer bytes than asked — callers loop,
+    which is exactly what lets a queued fault tear a record. *)
+
+val fsync : t option -> Unix.file_descr -> unit
+(** [Unix.fsync] through the shim. *)
+
+val rename : t option -> string -> string -> unit
+(** [Unix.rename] through the shim (the snapshot commit point). *)
+
+val ftruncate : t option -> Unix.file_descr -> int -> unit
+(** [Unix.ftruncate] through the shim (WAL reset after compaction). *)

@@ -1,0 +1,91 @@
+(** The durable live shape registry: incremental inference as a service.
+
+    Lemma 1 makes [csh] an associative, commutative least upper bound,
+    so a collection's shape is a {e mergeable accumulator}: the registry
+    keeps one per named stream and folds each pushed document batch's
+    shape into it in O(merge) — the corpus is never re-inferred. The
+    stream's [version] bumps only when the fold {e strictly grows} the
+    shape under the preferred-shape order ⊑ (since [csh] is the LUB, the
+    merged shape always satisfies [old ⊑ merged]; strict growth is
+    [not (Shape.equal merged old)]), and every bump is remembered, so
+    clients can diff versions and migrate.
+
+    With a state directory the registry is durable and crash-only:
+    every push appends its {e delta} (the pushed shape, not the merged
+    result) to a checksummed write-ahead log ({!Wal}) before the
+    in-memory state changes, and recovery replays the log over the last
+    snapshot. Replay is made exactly idempotent by per-stream sequence
+    numbers — a record whose [seq] the snapshot already covers is
+    skipped — so every crash window of the compaction protocol (see
+    docs/REGISTRY.md) recovers to precisely the last acknowledged
+    state: an unacknowledged push is either fully applied or absent,
+    never a torn shape. The lattice gives the same guarantee a second
+    way: re-folding an already-merged delta cannot change the shape or
+    the version, because [csh] is idempotent.
+
+    All operations are serialized under one mutex; a server's worker
+    domains share a single registry. *)
+
+module Shape := Fsdata_core.Shape
+
+type t
+
+type stream = {
+  name : string;
+  version : int;  (** 0 for a fresh stream (shape ⊥); bumps on strict growth *)
+  seq : int;  (** sequence number of the last applied push record *)
+  pushes : int;  (** documents folded in (batch pushes count their size) *)
+  shape : Shape.t;  (** the running csh fold *)
+  history : (int * int * Shape.t) list;
+      (** one entry per version bump, oldest first: (version, seq, shape) *)
+}
+
+val open_ :
+  ?fault:Fault_fs.t ->
+  ?fsync:Wal.fsync_policy ->
+  ?snapshot_every:int ->
+  dir:string option ->
+  unit ->
+  t
+(** [open_ ~dir:(Some d) ()] opens (creating as needed) the state
+    directory [d]: loads [snapshot.bin] if present, discards any
+    [snapshot.tmp] from an interrupted compaction, recovers [wal.log]
+    — truncating a torn tail — and replays its records. [~dir:None] is
+    a purely in-memory registry (the server runs one when no
+    [--state-dir] is given). [fsync] defaults to [`Always];
+    [snapshot_every] (default 512) is the WAL record count that
+    triggers compaction. Raises [Failure] on a snapshot or record that
+    passes its checksum but does not decode — that is corruption, not
+    a crash, and the registry refuses to guess. *)
+
+val push : t -> stream:string -> ?count:int -> Shape.t -> stream
+(** [push t ~stream delta] folds [delta] into the stream's shape
+    (creating the stream at version 0 / ⊥ on first contact) and returns
+    the resulting state. Durability before acknowledgement: the WAL
+    record is appended — and, under [`Always], fsynced — before the
+    in-memory state changes, so if [push] raises (injected [EIO],
+    [ENOSPC], a {!Fault_fs.Crash}) the in-memory state is unchanged and
+    the on-disk tail is at worst torn, which recovery truncates.
+    [count] (default 1) is the number of documents the delta
+    summarizes, for the [pushes] tally. *)
+
+val find : t -> string -> stream option
+val list : t -> stream list
+(** All streams, sorted by name. *)
+
+val version_shape : stream -> int -> Shape.t option
+(** The shape the stream had at a version: [Some Bottom] for version 0,
+    the recorded history entry for bumped versions, [None] for versions
+    the stream never reached. *)
+
+val snapshot : t -> unit
+(** Force compaction now: serialize every stream into [snapshot.tmp],
+    fsync, atomically rename over [snapshot.bin], then truncate the
+    WAL. A no-op for in-memory registries. Crash windows are analyzed
+    in docs/REGISTRY.md; each recovers to the same logical state. *)
+
+val wal_records : t -> int
+(** Records in the current WAL segment (0 for in-memory registries);
+    exposed for tests and the compaction trigger. *)
+
+val close : t -> unit

@@ -3,6 +3,7 @@
 type 'a node = {
   key : string;
   mutable value : 'a;
+  mutable expires_at : int64;  (* monotonic ns deadline; Int64.max_int = never *)
   mutable prev : 'a node option;  (* towards MRU *)
   mutable next : 'a node option;  (* towards LRU *)
 }
@@ -39,28 +40,40 @@ let push_front t n =
   (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
   t.head <- Some n
 
+let expired n = n.expires_at <> Int64.max_int && Fsdata_obs.Clock.now_ns () >= n.expires_at
+
 let find t key =
   if t.cap <= 0 then None
   else
     Mutex.protect t.lock (fun () ->
         match Hashtbl.find_opt t.tbl key with
         | None -> None
+        | Some n when expired n ->
+            unlink t n;
+            Hashtbl.remove t.tbl key;
+            None
         | Some n ->
             unlink t n;
             push_front t n;
             Some n.value)
 
-let add t key value =
+let add t ?ttl_ns key value =
   if t.cap <= 0 then 0
   else
+    let expires_at =
+      match ttl_ns with
+      | None -> Int64.max_int
+      | Some ttl -> Int64.add (Fsdata_obs.Clock.now_ns ()) ttl
+    in
     Mutex.protect t.lock (fun () ->
         (match Hashtbl.find_opt t.tbl key with
         | Some n ->
             n.value <- value;
+            n.expires_at <- expires_at;
             unlink t n;
             push_front t n
         | None ->
-            let n = { key; value; prev = None; next = None } in
+            let n = { key; value; expires_at; prev = None; next = None } in
             Hashtbl.replace t.tbl key n;
             push_front t n);
         if Hashtbl.length t.tbl > t.cap then (
@@ -71,3 +84,36 @@ let add t key value =
               1
           | None -> 0)
         else 0)
+
+let remove t key =
+  if t.cap <= 0 then false
+  else
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | None -> false
+        | Some n ->
+            unlink t n;
+            Hashtbl.remove t.tbl key;
+            true)
+
+let remove_where t pred =
+  if t.cap <= 0 then 0
+  else
+    Mutex.protect t.lock (fun () ->
+        let doomed =
+          Hashtbl.fold (fun k n acc -> if pred k then n :: acc else acc) t.tbl []
+        in
+        List.iter
+          (fun n ->
+            unlink t n;
+            Hashtbl.remove t.tbl n.key)
+          doomed;
+        List.length doomed)
+
+let clear t =
+  Mutex.protect t.lock (fun () ->
+      let n = Hashtbl.length t.tbl in
+      Hashtbl.reset t.tbl;
+      t.head <- None;
+      t.tail <- None;
+      n)

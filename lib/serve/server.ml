@@ -12,6 +12,7 @@ module Json = Fsdata_data.Json
 module Xml = Fsdata_data.Xml
 module Metrics = Fsdata_obs.Metrics
 module Clock = Fsdata_obs.Clock
+module Registry = Fsdata_registry.Registry
 
 (* --- instruments (docs/OBSERVABILITY.md, "serve.*") --- *)
 
@@ -20,6 +21,7 @@ let req_check = Metrics.counter "serve.requests.check"
 let req_explain = Metrics.counter "serve.requests.explain"
 let req_metrics = Metrics.counter "serve.requests.metrics"
 let req_healthz = Metrics.counter "serve.requests.healthz"
+let req_stream = Metrics.counter "serve.requests.stream"
 let req_other = Metrics.counter "serve.requests.other"
 let resp_2xx = Metrics.counter "serve.responses.2xx"
 let resp_4xx = Metrics.counter "serve.responses.4xx"
@@ -27,6 +29,7 @@ let resp_5xx = Metrics.counter "serve.responses.5xx"
 let cache_hits = Metrics.counter "serve.cache.hits"
 let cache_misses = Metrics.counter "serve.cache.misses"
 let cache_evictions = Metrics.counter "serve.cache.evictions"
+let cache_invalidations = Metrics.counter "serve.cache.invalidations"
 let http_errors = Metrics.counter "serve.http_errors"
 let connections = Metrics.counter "serve.connections"
 let latency_ms = Metrics.histogram "serve.latency_ms"
@@ -50,6 +53,10 @@ type config = {
   max_inflight_bytes : int;
   stream_threshold : int;
   fault : Fault_net.t option;
+  state_dir : string option;
+  state_fsync : Fsdata_registry.Wal.fsync_policy;
+  snapshot_every : int;
+  cache_ttl_ms : int;  (* <= 0: cached responses never expire *)
 }
 
 let default_config =
@@ -65,12 +72,17 @@ let default_config =
     max_inflight_bytes = 256 * 1024 * 1024;
     stream_threshold = 256 * 1024;
     fault = None;
+    state_dir = None;
+    state_fsync = `Always;
+    snapshot_every = 512;
+    cache_ttl_ms = 0;
   }
 
 type t = {
   cfg : config;
   cache : string Cache.t;
   compiled : Compile_cache.t;
+  registry : Fsdata_registry.Registry.t;
   draining : bool Atomic.t;
   inflight_bytes : int Atomic.t;
 }
@@ -85,11 +97,19 @@ let create ?(draining = Atomic.make false) cfg =
     cfg;
     cache = Cache.create ~capacity:cfg.cache_entries;
     compiled = Compile_cache.create ~capacity:compiled_cache_capacity;
+    registry =
+      Fsdata_registry.Registry.open_ ~fsync:cfg.state_fsync
+        ~snapshot_every:cfg.snapshot_every ~dir:cfg.state_dir ();
     draining;
     inflight_bytes = Atomic.make 0;
   }
 
+let cache_ttl t =
+  if t.cfg.cache_ttl_ms <= 0 then None
+  else Some (Int64.mul (Int64.of_int t.cfg.cache_ttl_ms) 1_000_000L)
+
 let draining t = t.draining
+let registry t = t.registry
 
 (* --- the in-flight body budget (admission control) --- *)
 
@@ -260,7 +280,8 @@ let handle_infer t ~cancel ~rest req =
                 let body, header, _ =
                   render_ok t ~format ~cache_header:"miss" report
                 in
-                Metrics.add cache_evictions (Cache.add t.cache key body);
+                Metrics.add cache_evictions
+                  (Cache.add ?ttl_ns:(cache_ttl t) t.cache key body);
                 Http.response
                   ~headers:[ ("x-fsdata-cache", header) ]
                   ~status:200 body))
@@ -353,6 +374,211 @@ let handle_checkish t ~explain req =
                          ("shape", Dv.String (shape_string shape));
                        ])))
 
+(* --- /streams/:name/* — the durable live shape registry --- *)
+
+(* Rendered stream responses live in the same LRU as /infer responses,
+   under a recognizable prefix so a push can invalidate exactly the
+   entries it supersedes. *)
+let stream_cache_prefix name = "stream:" ^ name ^ ":"
+
+let invalidate_prefix t prefix =
+  let n = Cache.remove_where t.cache (String.starts_with ~prefix) in
+  Metrics.add cache_invalidations n;
+  n
+
+let stream_fields (st : Registry.stream) =
+  [
+    ("stream", Dv.String st.Registry.name);
+    ("version", Dv.Int st.Registry.version);
+    ("pushes", Dv.Int st.Registry.pushes);
+    ("shape", Dv.String (shape_string st.Registry.shape));
+  ]
+
+(* POST /streams/:name/push — fold the body's inferred shape into the
+   stream in O(merge). Never cached and never served from cache: the
+   response is the registry's word on the new version. A storage fault
+   (the WAL append raised) answers 503 — the push was not acknowledged
+   and the in-memory shape is unchanged, so the client may simply
+   retry. *)
+let handle_stream_push t ~cancel name req =
+  if req.Http.meth <> "POST" then method_not_allowed "POST"
+  else
+    let format = Option.value ~default:"json" (Http.query_param req "format") in
+    let budget =
+      match Http.query_param req "max-errors" with
+      | None -> Ok Diagnostic.Strict
+      | Some s -> Diagnostic.budget_of_string s
+    in
+    match (format, budget) with
+    | _, Error m -> json_error 400 m
+    | ("json" | "csv" | "xml"), Ok budget -> (
+        let result =
+          match format with
+          | "json" -> Infer.of_json_tolerant ~cancel ~budget req.Http.body
+          | "xml" ->
+              Infer.of_xml_samples_tolerant ~cancel ~budget [ req.Http.body ]
+          | _ -> Infer.of_csv_tolerant ~cancel ~budget req.Http.body
+        in
+        match result with
+        | Error m -> json_error 422 m
+        | Ok report -> (
+            let delta = Shape.hcons report.Infer.shape in
+            hcons_guard ();
+            let clean =
+              report.Infer.total - List.length report.Infer.quarantined
+            in
+            match
+              Registry.push t.registry ~stream:name
+                ~count:(max 1 clean) delta
+            with
+            | exception Unix.Unix_error (e, _, _) ->
+                json_error 503
+                  (Printf.sprintf "storage error, push not applied: %s"
+                     (Unix.error_message e))
+            | st ->
+                ignore (invalidate_prefix t (stream_cache_prefix name));
+                json_ok
+                  ~headers:[ ("x-fsdata-cache", "bypass") ]
+                  (stream_fields st
+                  @ [
+                      ("total", Dv.Int report.Infer.total);
+                      ( "quarantined",
+                        Dv.Int (List.length report.Infer.quarantined) );
+                    ])))
+    | fmt, _ ->
+        json_error 400
+          (Printf.sprintf "unsupported format %S (use json, csv or xml)" fmt)
+
+(* GET /streams/:name/shape?format=paper|schema — the current shape, in
+   the paper notation or as the exported JSON Schema. Responses are
+   cached under the stream's prefix (with the configured TTL) and
+   invalidated by the next applied push. *)
+let handle_stream_shape t name req =
+  if req.Http.meth <> "GET" then method_not_allowed "GET"
+  else
+    let format = Option.value ~default:"paper" (Http.query_param req "format") in
+    match format with
+    | "paper" | "schema" -> (
+        match Registry.find t.registry name with
+        | None -> json_error 404 (Printf.sprintf "no such stream %S" name)
+        | Some st -> (
+            let key = stream_cache_prefix name ^ "shape:" ^ format in
+            match Cache.find t.cache key with
+            | Some body ->
+                Metrics.incr cache_hits;
+                Http.response
+                  ~headers:[ ("x-fsdata-cache", "hit") ]
+                  ~status:200 body
+            | None ->
+                Metrics.incr cache_misses;
+                let body =
+                  if format = "schema" then
+                    Fsdata_codegen.Json_schema.to_string st.Registry.shape
+                    ^ "\n"
+                  else json_body (stream_fields st)
+                in
+                Metrics.add cache_evictions
+                  (Cache.add ?ttl_ns:(cache_ttl t) t.cache key body);
+                Http.response
+                  ~headers:[ ("x-fsdata-cache", "miss") ]
+                  ~status:200 body))
+    | fmt ->
+        json_error 400
+          (Printf.sprintf "unsupported format %S (use paper or schema)" fmt)
+
+(* GET /streams/:name/history — one entry per version bump. *)
+let handle_stream_history t name req =
+  if req.Http.meth <> "GET" then method_not_allowed "GET"
+  else
+    match Registry.find t.registry name with
+    | None -> json_error 404 (Printf.sprintf "no such stream %S" name)
+    | Some st ->
+        let entry (version, seq, shape) =
+          Dv.Record
+            ( Dv.json_record_name,
+              [
+                ("version", Dv.Int version);
+                ("seq", Dv.Int seq);
+                ("shape", Dv.String (shape_string shape));
+              ] )
+        in
+        json_ok
+          [
+            ("stream", Dv.String st.Registry.name);
+            ("version", Dv.Int st.Registry.version);
+            ("history", Dv.List (List.map entry st.Registry.history));
+          ]
+
+(* GET /streams/:name/diff?from=A&to=B — what grew between two versions,
+   rendered with Explain: the newer shape is checked against the older
+   one, so each mismatch pinpoints a place where the stream outgrew the
+   old contract. Defaults: [to] is the current version, [from] is the
+   one before it. *)
+let handle_stream_diff t name req =
+  if req.Http.meth <> "GET" then method_not_allowed "GET"
+  else
+    match Registry.find t.registry name with
+    | None -> json_error 404 (Printf.sprintf "no such stream %S" name)
+    | Some st -> (
+        let version_of param default =
+          match Http.query_param req param with
+          | None -> Ok default
+          | Some s -> (
+              match int_of_string_opt s with
+              | Some v when v >= 0 -> Ok v
+              | _ -> Error (Printf.sprintf "bad %s value %S" param s))
+        in
+        match version_of "to" st.Registry.version with
+        | Error m -> json_error 400 m
+        | Ok to_v -> (
+            match version_of "from" (max 0 (to_v - 1)) with
+            | Error m -> json_error 400 m
+            | Ok from_v -> (
+                match
+                  ( Registry.version_shape st from_v,
+                    Registry.version_shape st to_v )
+                with
+                | None, _ ->
+                    json_error 404
+                      (Printf.sprintf "stream %S never had version %d" name
+                         from_v)
+                | _, None ->
+                    json_error 404
+                      (Printf.sprintf "stream %S never had version %d" name
+                         to_v)
+                | Some from_shape, Some to_shape ->
+                    json_ok
+                      [
+                        ("stream", Dv.String st.Registry.name);
+                        ("from", Dv.Int from_v);
+                        ("to", Dv.Int to_v);
+                        ("from_shape", Dv.String (shape_string from_shape));
+                        ("to_shape", Dv.String (shape_string to_shape));
+                        ( "grew",
+                          Dv.Bool (not (Shape.equal from_shape to_shape)) );
+                        ( "changes",
+                          Dv.List
+                            (List.map mismatch_entry
+                               (Explain.explain to_shape from_shape)) );
+                      ])))
+
+(* POST /cache/invalidate[?key=K|stream=NAME] — drop cached responses:
+   one exact key, one stream's entries, or (with no parameter)
+   everything. *)
+let handle_cache_invalidate t req =
+  if req.Http.meth <> "POST" then method_not_allowed "POST"
+  else
+    let n =
+      match (Http.query_param req "key", Http.query_param req "stream") with
+      | Some key, _ -> if Cache.remove t.cache key then 1 else 0
+      | None, Some stream ->
+          Cache.remove_where t.cache
+            (String.starts_with ~prefix:(stream_cache_prefix stream))
+      | None, None -> Cache.clear t.cache
+    in
+    Metrics.add cache_invalidations n;
+    json_ok [ ("invalidated", Dv.Int n) ]
+
 (* --- routing --- *)
 
 let handle_metrics req =
@@ -373,6 +599,12 @@ let handle_healthz t req =
       (json_body [ ("status", Dv.String "overloaded") ])
   else json_ok [ ("status", Dv.String "ok") ]
 
+(* "/streams/:name/:op" *)
+let split_stream_path p =
+  match String.split_on_char '/' p with
+  | [ ""; "streams"; name; op ] when name <> "" -> Some (name, op)
+  | _ -> None
+
 let route t ~cancel ~rest req =
   match req.Http.path with
   | "/infer" -> handle_infer t ~cancel ~rest req
@@ -388,15 +620,25 @@ let route t ~cancel ~rest req =
       | "/explain" -> handle_checkish t ~explain:true req
       | "/metrics" -> handle_metrics req
       | "/healthz" -> handle_healthz t req
-      | p -> json_error 404 (Printf.sprintf "no such endpoint %s" p))
+      | "/cache/invalidate" -> handle_cache_invalidate t req
+      | p -> (
+          match split_stream_path p with
+          | Some (name, "push") -> handle_stream_push t ~cancel name req
+          | Some (name, "shape") -> handle_stream_shape t name req
+          | Some (name, "history") -> handle_stream_history t name req
+          | Some (name, "diff") -> handle_stream_diff t name req
+          | _ -> json_error 404 (Printf.sprintf "no such endpoint %s" p)))
 
-let request_counter = function
-  | "/infer" -> req_infer
-  | "/check" -> req_check
-  | "/explain" -> req_explain
-  | "/metrics" -> req_metrics
-  | "/healthz" -> req_healthz
-  | _ -> req_other
+let request_counter p =
+  if String.starts_with ~prefix:"/streams/" p then req_stream
+  else
+    match p with
+    | "/infer" -> req_infer
+    | "/check" -> req_check
+    | "/explain" -> req_explain
+    | "/metrics" -> req_metrics
+    | "/healthz" -> req_healthz
+    | _ -> req_other
 
 let handle ?(cancel = Fsdata_data.Cancel.never) ?rest t req =
   Metrics.incr (request_counter req.Http.path);
@@ -638,6 +880,7 @@ let run ?stop ?on_ready cfg =
      or a restarted server would be found through a stale port file. *)
   let finally () =
     (try Unix.close sock with Unix.Unix_error _ -> ());
+    (try Registry.close t.registry with Unix.Unix_error _ -> ());
     match cfg.port_file with
     | Some path -> ( try Sys.remove path with Sys_error _ -> ())
     | None -> ()

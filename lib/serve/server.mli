@@ -20,6 +20,29 @@
       including the [serve.*] instruments below.
     - [GET /healthz] — liveness.
 
+    {2 The live shape registry}
+
+    With [state_dir] set, streams survive crashes
+    ({!Fsdata_registry.Registry}, docs/REGISTRY.md); without it the
+    registry is in-memory with the same semantics.
+
+    - [POST /streams/:name/push?format=json|csv|xml&max-errors=...] —
+      body is a document batch; its inferred shape is folded into the
+      named stream in O(merge) (the corpus is never re-inferred) and
+      the response carries the merged shape and the stream version,
+      which bumps only when the shape strictly grew. Never touches the
+      response cache except to invalidate the stream's entries. A
+      storage fault answers 503 and leaves the stream unchanged — the
+      push was not acknowledged and is safe to retry.
+    - [GET /streams/:name/shape?format=paper|schema] — the current
+      shape, paper notation or JSON Schema; cached under the stream's
+      prefix with the configured TTL.
+    - [GET /streams/:name/history] — one entry per version bump.
+    - [GET /streams/:name/diff?from=A&to=B] — the growth between two
+      versions, rendered as {!Fsdata_core.Explain} mismatches.
+    - [POST /cache/invalidate[?key=K|stream=NAME]] — drop one cached
+      response, one stream's, or all of them.
+
     Results of [/infer] are cached in an LRU keyed by the digest of
     (format, jobs, budget, body); the inferred shape is interned with
     {!Fsdata_core.Shape.hcons} so hot shapes share one heap
@@ -49,8 +72,11 @@
 
     {2 [serve.*] metrics}
 
-    Counters [serve.requests.{infer,check,explain,metrics,healthz,other}],
-    [serve.responses.{2xx,4xx,5xx}], [serve.cache.{hits,misses,evictions}],
+    Counters
+    [serve.requests.{infer,check,explain,metrics,healthz,stream,other}]
+    (every [/streams/*] request counts under [stream]),
+    [serve.responses.{2xx,4xx,5xx}],
+    [serve.cache.{hits,misses,evictions,invalidations}],
     [serve.http_errors] (malformed requests answered from the parser),
     [serve.connections], [serve.shed_total] (503s from queue overflow or
     body-budget admission), [serve.deadline_expired] (408/504 cut-offs),
@@ -83,6 +109,17 @@ type config = {
           buffering *)
   fault : Fault_net.t option;
       (** chaos-test shim over socket I/O; [None] in production *)
+  state_dir : string option;
+      (** registry state directory ([snapshot.bin] + [wal.log]); [None]
+          keeps the registry in memory only *)
+  state_fsync : Fsdata_registry.Wal.fsync_policy;
+      (** [`Always] (the default): a push is durable before it is
+          acknowledged *)
+  snapshot_every : int;
+      (** WAL records between snapshot compactions *)
+  cache_ttl_ms : int;
+      (** time-to-live for cached responses; [<= 0] means entries never
+          expire (eviction and invalidation still apply) *)
 }
 
 val default_config : config
@@ -101,6 +138,9 @@ val create : ?draining:bool Atomic.t -> config -> t
 
 val draining : t -> bool Atomic.t
 (** The drain flag: set it and [/healthz] answers 503 draining. *)
+
+val registry : t -> Fsdata_registry.Registry.t
+(** The live shape registry behind [/streams/*] — exposed for tests. *)
 
 val handle :
   ?cancel:Fsdata_data.Cancel.t ->

@@ -27,20 +27,25 @@ let default_log c =
 let healthy_run_ns = 1_000_000_000L
 
 let supervise ~name ?(base_backoff_ms = 10) ?(max_backoff_ms = 1000)
-    ?(log = default_log) ~should_restart f =
+    ?(healthy_after_ns = healthy_run_ns) ?on_restart ?(log = default_log)
+    ~should_restart f =
   let rec go backoff_ms =
     let t0 = Clock.now_ns () in
     match f () with
     | () -> ()
     | exception exn ->
         let bt = Printexc.get_raw_backtrace () in
+        (* the healthy-run clock stops at the crash, before the backoff
+           sleep — otherwise a max-length sleep would itself count as a
+           healthy run and reset the ladder for a crash-looping worker *)
+        let ran = Int64.sub (Clock.now_ns ()) t0 in
         Metrics.incr m_crashes;
         log (record ~name exn bt);
         if should_restart () then begin
+          (match on_restart with Some f -> f backoff_ms | None -> ());
           Unix.sleepf (float_of_int backoff_ms /. 1000.);
-          let ran = Int64.sub (Clock.now_ns ()) t0 in
           let next =
-            if Int64.compare ran healthy_run_ns >= 0 then base_backoff_ms
+            if Int64.compare ran healthy_after_ns >= 0 then base_backoff_ms
             else Stdlib.min max_backoff_ms (backoff_ms * 2)
           in
           go next

@@ -21,6 +21,8 @@ val supervise :
   name:string ->
   ?base_backoff_ms:int ->
   ?max_backoff_ms:int ->
+  ?healthy_after_ns:int64 ->
+  ?on_restart:(int -> unit) ->
   ?log:(crash -> unit) ->
   should_restart:(unit -> bool) ->
   (unit -> unit) ->
@@ -30,6 +32,9 @@ val supervise :
     log — default to stderr) and, when [should_restart ()] holds, [f]
     is restarted after a backoff that doubles from [base_backoff_ms]
     (default 10) up to [max_backoff_ms] (default 1000) on each crash in
-    quick succession, resetting once a run survives a full second. The
-    exception itself never propagates: supervision is the last line of
-    defense for the domain. *)
+    quick succession, resetting once a {e run} — crash to crash, the
+    backoff sleep excluded — survives [healthy_after_ns] (default 1s).
+    [on_restart] observes each backoff (in ms) just before its sleep;
+    the tests use it to pin the ladder. The exception itself never
+    propagates: supervision is the last line of defense for the
+    domain. *)

@@ -60,8 +60,20 @@ Values vary run to run; strip them:
   parse.xml.ns
   provide.classes
   provide.runs
+  registry.faults.injected
+  registry.pushes
+  registry.snapshot_failures
+  registry.snapshots
+  registry.streams
+  registry.version_bumps
+  registry.wal.appends
+  registry.wal.bytes
+  registry.wal.fsyncs
+  registry.wal.recovered_records
+  registry.wal.truncated_bytes
   serve.cache.evictions
   serve.cache.hits
+  serve.cache.invalidations
   serve.cache.misses
   serve.connections
   serve.deadline_expired
@@ -80,6 +92,7 @@ Values vary run to run; strip them:
   serve.requests.infer
   serve.requests.metrics
   serve.requests.other
+  serve.requests.stream
   serve.responses.2xx
   serve.responses.4xx
   serve.responses.5xx

@@ -1,0 +1,170 @@
+fsdata serve --state-dir: the durable live shape registry, driven end to
+end — incremental pushes, version bumps only on strict growth, a kill -9
+with recovery from the write-ahead log, and version diffs. See
+docs/REGISTRY.md.
+
+  $ FSDATA=../../bin/fsdata.exe
+
+Start the server with a state directory; streams now survive restarts:
+
+  $ $FSDATA serve --port 0 --port-file port --workers 2 --state-dir state > serve.log 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 150); do [ -s port ] && break; sleep 0.1; done
+  $ URL="http://127.0.0.1:$(cat port)"
+
+The first push creates the stream and bumps it to version 1:
+
+  $ curl -s --data-binary '{"name": "ada"}' "$URL/streams/people/push"
+  {
+    "stream": "people",
+    "version": 1,
+    "pushes": 1,
+    "shape": "• {name: string}",
+    "total": 1,
+    "quarantined": 0
+  }
+
+A push whose shape is already subsumed is folded in O(merge) without a
+version bump — the document is tallied, the contract is unchanged:
+
+  $ curl -s --data-binary '{"name": "grace"}' "$URL/streams/people/push"
+  {
+    "stream": "people",
+    "version": 1,
+    "pushes": 2,
+    "shape": "• {name: string}",
+    "total": 1,
+    "quarantined": 0
+  }
+
+Strict growth under the preference order bumps the version:
+
+  $ curl -s --data-binary '{"name": "alan", "age": 36}' "$URL/streams/people/push"
+  {
+    "stream": "people",
+    "version": 2,
+    "pushes": 3,
+    "shape": "• {name: string, age: nullable int}",
+    "total": 1,
+    "quarantined": 0
+  }
+
+The current shape, in the paper notation or as a JSON Schema:
+
+  $ curl -s "$URL/streams/people/shape"
+  {
+    "stream": "people",
+    "version": 2,
+    "pushes": 3,
+    "shape": "• {name: string, age: nullable int}"
+  }
+
+  $ curl -s "$URL/streams/people/shape?format=schema"
+  {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "properties": {
+      "name": {
+        "type": "string"
+      },
+      "age": {
+        "anyOf": [
+          {
+            "type": "integer"
+          },
+          {
+            "type": "null"
+          }
+        ]
+      }
+    },
+    "required": [
+      "name"
+    ]
+  }
+
+A second read is served from the cache; a push supersedes it:
+
+  $ curl -sD - -o /dev/null "$URL/streams/people/shape" | tr -d '\r' | grep x-fsdata-cache
+  x-fsdata-cache: hit
+  $ curl -s -o /dev/null --data-binary '{"name": "x"}' "$URL/streams/people/push"
+  $ curl -sD - -o /dev/null "$URL/streams/people/shape" | tr -d '\r' | grep x-fsdata-cache
+  x-fsdata-cache: miss
+
+One history entry per version bump:
+
+  $ curl -s "$URL/streams/people/history"
+  {
+    "stream": "people",
+    "version": 2,
+    "history": [
+      {
+        "version": 1,
+        "seq": 1,
+        "shape": "• {name: string}"
+      },
+      {
+        "version": 2,
+        "seq": 3,
+        "shape": "• {name: string, age: nullable int}"
+      }
+    ]
+  }
+
+The diff between versions, rendered with Explain — growing a nullable
+field is backward-compatible, so there are no mismatches to report:
+
+  $ curl -s "$URL/streams/people/diff?from=1&to=2"
+  {
+    "stream": "people",
+    "from": 1,
+    "to": 2,
+    "from_shape": "• {name: string}",
+    "to_shape": "• {name: string, age: nullable int}",
+    "grew": true,
+    "changes": []
+  }
+
+kill -9: the process dies with no chance to clean up…
+
+  $ kill -9 $SRV
+  $ wait $SRV
+  [137]
+  $ rm -f port
+
+…and a restart on the same state directory recovers every acknowledged
+push from the WAL, byte-identically:
+
+  $ $FSDATA serve --port 0 --port-file port --workers 2 --state-dir state > serve2.log 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 150); do [ -s port ] && break; sleep 0.1; done
+  $ URL="http://127.0.0.1:$(cat port)"
+  $ curl -s "$URL/streams/people/shape"
+  {
+    "stream": "people",
+    "version": 2,
+    "pushes": 4,
+    "shape": "• {name: string, age: nullable int}"
+  }
+
+Replay is idempotent: re-pushing an already-merged shape cannot move the
+version (csh is a least upper bound):
+
+  $ curl -s --data-binary '{"name": "ada", "age": 1}' "$URL/streams/people/push" | grep '"version"'
+    "version": 2,
+
+Explicit cache invalidation:
+
+  $ curl -s -o /dev/null "$URL/streams/people/shape"
+  $ curl -s -X POST "$URL/cache/invalidate?stream=people"
+  {
+    "invalidated": 1
+  }
+
+SIGTERM drains cleanly:
+
+  $ kill -TERM $SRV
+  $ wait $SRV
+  $ sed 's/:[0-9]*$/:PORT/' serve2.log
+  fsdata: serving on http://127.0.0.1:PORT
+  fsdata: shutting down

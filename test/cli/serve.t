@@ -108,6 +108,7 @@ pipeline's own counters:
   $ curl -s "$URL/metrics" | sed -n 's/^  "\(serve\.[^"]*\)": .*/\1/p'
   serve.cache.evictions
   serve.cache.hits
+  serve.cache.invalidations
   serve.cache.misses
   serve.connections
   serve.deadline_expired
@@ -126,6 +127,7 @@ pipeline's own counters:
   serve.requests.infer
   serve.requests.metrics
   serve.requests.other
+  serve.requests.stream
   serve.responses.2xx
   serve.responses.4xx
   serve.responses.5xx

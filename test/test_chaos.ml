@@ -71,6 +71,32 @@ let test_supervisor_restarts () =
       check Alcotest.bool "crash keeps the message" true
         (is_infix "boom" c.Supervisor.message)
 
+let test_supervisor_backoff_reset () =
+  (* the ladder climbs 1→2→4→8 while crashes are instant, then resets to
+     the base after a healthy run — and the backoff sleep itself must
+     not count as healthy time, or a crash-looping worker at max backoff
+     would reset the ladder forever *)
+  let ladder = ref [] in
+  let calls = ref 0 in
+  Supervisor.supervise ~name:"chaos-backoff" ~base_backoff_ms:1
+    ~max_backoff_ms:8
+    ~healthy_after_ns:2_000_000L (* 2ms of real run time is "healthy" *)
+    ~on_restart:(fun b -> ladder := b :: !ladder)
+    ~log:(fun _ -> ())
+    ~should_restart:(fun () -> true)
+    (fun () ->
+      incr calls;
+      match !calls with
+      | n when n <= 5 -> failwith "instant crash" (* climb: 1 2 4 8 8 *)
+      | 6 ->
+          Unix.sleepf 0.01;
+          failwith "crash after a healthy run" (* next backoff resets *)
+      | 7 -> failwith "instant again" (* restart from the base *)
+      | _ -> ());
+  check (Alcotest.list Alcotest.int) "the backoff ladder"
+    [ 1; 2; 4; 8; 8; 8; 1 ]
+    (List.rev !ladder)
+
 let test_supervisor_respects_stop () =
   let calls = ref 0 in
   Supervisor.supervise ~name:"chaos-stop" ~base_backoff_ms:1
@@ -673,6 +699,8 @@ let suite =
     tc "supervisor: restarts until a clean return" `Quick
       test_supervisor_restarts;
     tc "supervisor: respects should_restart" `Quick test_supervisor_respects_stop;
+    tc "supervisor: backoff ladder resets only after a healthy run" `Quick
+      test_supervisor_backoff_reset;
     tc "fault_net: deterministic shim" `Quick test_fault_net_shim;
     tc "healthy responses byte-identical to the CLI path" `Quick
       test_healthy_byte_identity;

@@ -1,0 +1,296 @@
+(* Tests for the durable live shape registry (lib/registry): version
+   semantics of the incremental fold, the WAL framing, the durable
+   round-trip, and the QCheck pin that WAL replay is exactly the
+   in-memory csh fold. The storage-chaos side lives in
+   test_chaos_fs.ml. *)
+
+module Registry = Fsdata_registry.Registry
+module Wal = Fsdata_registry.Wal
+module Shape = Fsdata_core.Shape
+module Csh = Fsdata_core.Csh
+module Shape_parser = Fsdata_core.Shape_parser
+module Preference = Fsdata_core.Preference
+module Gen = QCheck2.Gen
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+let sh = Shape_parser.parse
+
+(* A fresh directory path the registry will create on open. *)
+let temp_dir () =
+  let path = Filename.temp_file "fsdata-registry" "" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f dir)
+
+let find_exn t name =
+  match Registry.find t name with
+  | Some st -> st
+  | None -> Alcotest.failf "stream %S not found" name
+
+(* ----- the incremental fold and version semantics ----- *)
+
+let test_fresh_stream () =
+  let t = Registry.open_ ~dir:None () in
+  let st = Registry.push t ~stream:"s" (sh "{a: int}") in
+  check Alcotest.int "first push bumps to version 1" 1 st.Registry.version;
+  check Alcotest.int "one document" 1 st.Registry.pushes;
+  check Generators.shape_testable "shape is the delta" (sh "{a: int}")
+    st.Registry.shape;
+  check Alcotest.int "one history entry" 1 (List.length st.Registry.history)
+
+let test_idempotent_push_keeps_version () =
+  let t = Registry.open_ ~dir:None () in
+  let _ = Registry.push t ~stream:"s" (sh "{a: int}") in
+  let st = Registry.push t ~stream:"s" (sh "{a: int}") in
+  check Alcotest.int "no growth, no bump" 1 st.Registry.version;
+  check Alcotest.int "but the push is tallied" 2 st.Registry.pushes;
+  check Alcotest.int "history unchanged" 1 (List.length st.Registry.history)
+
+let test_strict_growth_bumps () =
+  let t = Registry.open_ ~dir:None () in
+  let st1 = Registry.push t ~stream:"s" (sh "{a: int}") in
+  let st2 = Registry.push t ~stream:"s" (sh "{a: int, b: string}") in
+  check Alcotest.int "growth bumps" 2 st2.Registry.version;
+  check Alcotest.bool "old preferred over merged (old ⊑ new)" true
+    (Preference.is_preferred st1.Registry.shape st2.Registry.shape);
+  (* a shape already below the accumulator cannot bump *)
+  let st3 = Registry.push t ~stream:"s" (sh "{a: int}") in
+  check Alcotest.int "subsumed push keeps version" 2 st3.Registry.version
+
+let test_version_shape () =
+  let t = Registry.open_ ~dir:None () in
+  let _ = Registry.push t ~stream:"s" (sh "{a: int}") in
+  let st = Registry.push t ~stream:"s" (sh "{a: int, b: string}") in
+  check (Alcotest.option Generators.shape_testable) "version 0 is bottom"
+    (Some Shape.Bottom)
+    (Registry.version_shape st 0);
+  check (Alcotest.option Generators.shape_testable) "version 1 recorded"
+    (Some (sh "{a: int}"))
+    (Registry.version_shape st 1);
+  check (Alcotest.option Generators.shape_testable) "version 2 is current"
+    (Some st.Registry.shape)
+    (Registry.version_shape st 2);
+  check (Alcotest.option Generators.shape_testable) "unknown version" None
+    (Registry.version_shape st 3)
+
+let test_count_tallies_documents () =
+  let t = Registry.open_ ~dir:None () in
+  let st = Registry.push t ~stream:"s" ~count:5 (sh "{a: int}") in
+  check Alcotest.int "batch counts its documents" 5 st.Registry.pushes
+
+let test_streams_are_independent () =
+  let t = Registry.open_ ~dir:None () in
+  let _ = Registry.push t ~stream:"a" (sh "{a: int}") in
+  let _ = Registry.push t ~stream:"b" (sh "{b: string}") in
+  check Alcotest.int "two streams" 2 (List.length (Registry.list t));
+  check Alcotest.int "a at version 1" 1 (find_exn t "a").Registry.version;
+  check Generators.shape_testable "b untouched by a" (sh "{b: string}")
+    (find_exn t "b").Registry.shape
+
+(* ----- WAL framing ----- *)
+
+let test_crc32_check_value () =
+  (* the standard CRC-32/IEEE check value *)
+  check Alcotest.int "crc32(123456789)" 0xCBF43926 (Wal.crc32 "123456789")
+
+let test_wal_roundtrip () =
+  with_dir @@ fun dir ->
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "wal.log" in
+  let w, r = Wal.open_ ~fsync:`Never path in
+  check (Alcotest.list Alcotest.string) "fresh log" [] r.Wal.records;
+  Wal.append w "one";
+  Wal.append w "two";
+  check Alcotest.int "two records" 2 (Wal.records w);
+  Wal.close w;
+  let w, r = Wal.open_ ~fsync:`Never path in
+  check (Alcotest.list Alcotest.string) "recovered in order" [ "one"; "two" ]
+    r.Wal.records;
+  check Alcotest.int "no torn tail" 0 r.Wal.truncated_bytes;
+  Wal.close w
+
+let test_wal_truncates_torn_tail () =
+  with_dir @@ fun dir ->
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "wal.log" in
+  let w, _ = Wal.open_ ~fsync:`Never path in
+  Wal.append w "solid";
+  Wal.close w;
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "\x40\x00\x00\x00torn";
+  close_out oc;
+  let w, r = Wal.open_ ~fsync:`Never path in
+  check (Alcotest.list Alcotest.string) "valid prefix kept" [ "solid" ]
+    r.Wal.records;
+  check Alcotest.int "tail truncated" 8 r.Wal.truncated_bytes;
+  check Alcotest.int "file repaired on disk" (8 + String.length "solid")
+    (Unix.stat path).Unix.st_size;
+  Wal.close w
+
+(* ----- durability ----- *)
+
+let streams_equal a b =
+  check Alcotest.int "version" a.Registry.version b.Registry.version;
+  check Alcotest.int "seq" a.Registry.seq b.Registry.seq;
+  check Alcotest.int "pushes" a.Registry.pushes b.Registry.pushes;
+  (* byte-identical, not just equal up to csh laws *)
+  check Alcotest.string "shape text"
+    (Shape.to_string a.Registry.shape)
+    (Shape.to_string b.Registry.shape);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "history versions"
+    (List.map (fun (v, s, _) -> (v, s)) a.Registry.history)
+    (List.map (fun (v, s, _) -> (v, s)) b.Registry.history);
+  List.iter2
+    (fun (_, _, x) (_, _, y) ->
+      check Alcotest.string "history shape" (Shape.to_string x)
+        (Shape.to_string y))
+    a.Registry.history b.Registry.history
+
+let test_durable_roundtrip () =
+  with_dir @@ fun dir ->
+  let t = Registry.open_ ~dir:(Some dir) () in
+  let _ = Registry.push t ~stream:"s" (sh "{a: int}") in
+  let _ = Registry.push t ~stream:"s" (sh "{a: int, b: [string]}") in
+  let _ = Registry.push t ~stream:"other" ~count:3 (sh "[int]") in
+  let before = Registry.list t in
+  Registry.close t;
+  let t2 = Registry.open_ ~dir:(Some dir) () in
+  let after = Registry.list t2 in
+  check Alcotest.int "stream count" (List.length before) (List.length after);
+  List.iter2 streams_equal before after;
+  Registry.close t2
+
+let test_snapshot_compaction () =
+  with_dir @@ fun dir ->
+  let t = Registry.open_ ~snapshot_every:2 ~dir:(Some dir) () in
+  let _ = Registry.push t ~stream:"s" (sh "{a: int}") in
+  let _ = Registry.push t ~stream:"s" (sh "{a: int, b: string}") in
+  (* the second push hit the threshold: records moved into the snapshot *)
+  check Alcotest.int "wal compacted" 0 (Registry.wal_records t);
+  check Alcotest.bool "snapshot exists" true
+    (Sys.file_exists (Filename.concat dir "snapshot.bin"));
+  let _ = Registry.push t ~stream:"s" (sh "{c: bool}") in
+  let before = Registry.list t in
+  Registry.close t;
+  let t2 = Registry.open_ ~dir:(Some dir) () in
+  List.iter2 streams_equal before (Registry.list t2);
+  Registry.close t2
+
+let test_explicit_snapshot_then_reopen () =
+  with_dir @@ fun dir ->
+  let t = Registry.open_ ~dir:(Some dir) () in
+  let _ = Registry.push t ~stream:"s" (sh "{a: int}") in
+  Registry.snapshot t;
+  check Alcotest.int "wal reset" 0 (Registry.wal_records t);
+  let before = Registry.list t in
+  Registry.close t;
+  let t2 = Registry.open_ ~dir:(Some dir) () in
+  List.iter2 streams_equal before (Registry.list t2);
+  Registry.close t2
+
+(* ----- replay ≡ the in-memory fold (QCheck) ----- *)
+
+(* The reference: fold the same deltas through csh in memory, tracking
+   versions the way the registry specifies them — bump iff the merge
+   changed the shape. *)
+let reference deltas =
+  List.fold_left
+    (fun (shape, version) delta ->
+      let merged = Csh.csh shape delta in
+      if Shape.equal merged shape then (shape, version)
+      else (merged, version + 1))
+    (Shape.Bottom, 0) deltas
+
+let gen_deltas = Gen.list_size (Gen.int_range 1 8) Generators.gen_core_shape
+
+let replay_equals_fold =
+  QCheck2.Test.make ~count:1000 ~name:"WAL replay = in-memory csh fold"
+    ~print:(fun ds -> String.concat " ; " (List.map Shape.to_string ds))
+    gen_deltas
+    (fun deltas ->
+      with_dir @@ fun dir ->
+      let t = Registry.open_ ~fsync:`Never ~dir:(Some dir) () in
+      let live =
+        List.fold_left
+          (fun _ d -> Registry.push t ~stream:"s" d)
+          (Registry.push t ~stream:"s" (List.hd deltas))
+          (List.tl deltas)
+      in
+      Registry.close t;
+      let t2 = Registry.open_ ~fsync:`Never ~dir:(Some dir) () in
+      let recovered =
+        match Registry.find t2 "s" with
+        | Some st -> st
+        | None -> QCheck2.Test.fail_report "stream lost on recovery"
+      in
+      Registry.close t2;
+      let expected_shape, expected_version = reference deltas in
+      if not (Shape.equal live.Registry.shape recovered.Registry.shape) then
+        QCheck2.Test.fail_report "recovered shape differs from live";
+      if
+        Shape.to_string live.Registry.shape
+        <> Shape.to_string recovered.Registry.shape
+      then QCheck2.Test.fail_report "recovered shape not byte-identical";
+      if not (Shape.equal expected_shape recovered.Registry.shape) then
+        QCheck2.Test.fail_report "recovered shape differs from reference fold";
+      if expected_version <> recovered.Registry.version then
+        QCheck2.Test.fail_report "recovered version differs from reference";
+      if live.Registry.pushes <> recovered.Registry.pushes then
+        QCheck2.Test.fail_report "push tally not recovered";
+      true)
+
+let growth_is_monotone =
+  QCheck2.Test.make ~count:300 ~name:"version bumps only on strict ⊑ growth"
+    ~print:(fun ds -> String.concat " ; " (List.map Shape.to_string ds))
+    gen_deltas
+    (fun deltas ->
+      let t = Registry.open_ ~dir:None () in
+      List.iter
+        (fun delta ->
+          let before =
+            match Registry.find t "s" with
+            | Some st -> (st.Registry.version, st.Registry.shape)
+            | None -> (0, Shape.Bottom)
+          in
+          let st = Registry.push t ~stream:"s" delta in
+          let bumped = st.Registry.version > fst before in
+          let grew = not (Shape.equal st.Registry.shape (snd before)) in
+          if bumped <> grew then
+            QCheck2.Test.fail_report "bump without growth (or vice versa)";
+          if not (Preference.is_preferred (snd before) st.Registry.shape) then
+            QCheck2.Test.fail_report "accumulator not monotone under ⊑")
+        deltas;
+      true)
+
+let suite =
+  [
+    tc "fresh stream: first push is version 1" `Quick test_fresh_stream;
+    tc "idempotent push keeps the version" `Quick
+      test_idempotent_push_keeps_version;
+    tc "strict growth bumps the version" `Quick test_strict_growth_bumps;
+    tc "version_shape walks the history" `Quick test_version_shape;
+    tc "count tallies batch documents" `Quick test_count_tallies_documents;
+    tc "streams are independent" `Quick test_streams_are_independent;
+    tc "crc32 matches the IEEE check value" `Quick test_crc32_check_value;
+    tc "wal: append and recover in order" `Quick test_wal_roundtrip;
+    tc "wal: torn tail truncated on open" `Quick test_wal_truncates_torn_tail;
+    tc "durable round-trip is byte-identical" `Quick test_durable_roundtrip;
+    tc "snapshot compaction preserves state" `Quick test_snapshot_compaction;
+    tc "explicit snapshot then reopen" `Quick test_explicit_snapshot_then_reopen;
+    QCheck_alcotest.to_alcotest replay_equals_fold;
+    QCheck_alcotest.to_alcotest growth_is_monotone;
+  ]

@@ -50,6 +50,61 @@ let test_cache_disabled () =
   check (Alcotest.option Alcotest.int) "find always misses" None (Cache.find c "a");
   check Alcotest.int "empty" 0 (Cache.length c)
 
+let test_cache_ttl_expires () =
+  let c = Cache.create ~capacity:4 in
+  ignore (Cache.add c ~ttl_ns:1_000_000L "fast" 1);
+  ignore (Cache.add c "forever" 2);
+  check (Alcotest.option Alcotest.int) "live before the deadline" (Some 1)
+    (Cache.find c "fast");
+  Unix.sleepf 0.005;
+  check (Alcotest.option Alcotest.int) "expired entry is a miss" None
+    (Cache.find c "fast");
+  check Alcotest.int "and is dropped on the way out" 1 (Cache.length c);
+  check (Alcotest.option Alcotest.int) "no TTL means no expiry" (Some 2)
+    (Cache.find c "forever");
+  (* re-adding refreshes the clock *)
+  ignore (Cache.add c ~ttl_ns:60_000_000_000L "fast" 3);
+  check (Alcotest.option Alcotest.int) "refreshed entry lives" (Some 3)
+    (Cache.find c "fast")
+
+let test_cache_invalidation () =
+  let c = Cache.create ~capacity:8 in
+  ignore (Cache.add c "stream:a:shape" 1);
+  ignore (Cache.add c "stream:a:history" 2);
+  ignore (Cache.add c "stream:b:shape" 3);
+  ignore (Cache.add c "other" 4);
+  check Alcotest.bool "remove an existing key" true (Cache.remove c "other");
+  check Alcotest.bool "absent key reports false" false (Cache.remove c "other");
+  check Alcotest.int "prefix removal takes the stream's entries" 2
+    (Cache.remove_where c (String.starts_with ~prefix:"stream:a:"));
+  check (Alcotest.option Alcotest.int) "sibling stream untouched" (Some 3)
+    (Cache.find c "stream:b:shape");
+  check Alcotest.int "clear drops the rest" 1 (Cache.clear c);
+  check Alcotest.int "empty" 0 (Cache.length c)
+
+let test_cache_concurrent_same_key () =
+  (* hammer one key (plus per-domain keys to force evictions) from
+     several domains: no crash, no corruption, and the shared key is
+     either absent or holds a value some domain actually put there *)
+  let c = Cache.create ~capacity:4 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 500 do
+              ignore (Cache.add c "hot" (d * 1000 + i));
+              ignore (Cache.find c "hot");
+              ignore (Cache.add c (Printf.sprintf "cold-%d-%d" d i) i);
+              ignore (Cache.find c (Printf.sprintf "cold-%d-%d" d (i - 1)))
+            done))
+  in
+  List.iter Domain.join domains;
+  check Alcotest.bool "length bounded by capacity" true (Cache.length c <= 4);
+  match Cache.find c "hot" with
+  | None -> ()
+  | Some v ->
+      check Alcotest.bool "hot value is one that was put" true
+        (v >= 1 && v <= 3500 && v mod 1000 <= 500 && v mod 1000 >= 1)
+
 (* ----- handler plumbing ----- *)
 
 let request ?(meth = "POST") ?(query = []) ?(body = "") path =
@@ -349,6 +404,133 @@ let test_streamed_other_endpoint_drained () =
   check Alcotest.int "/check drains a streamed body" 200 resp.Http.status;
   check Alcotest.bool "and judges the document" true (field_bool "has_shape" resp)
 
+(* ----- the live shape registry endpoints ----- *)
+
+let test_stream_push_version_semantics () =
+  let t = server () in
+  let push body = Server.handle t (request ~body "/streams/people/push") in
+  let r1 = push "{\"name\": \"ada\"}" in
+  check Alcotest.int "first push 200" 200 r1.Http.status;
+  check Alcotest.int "fresh stream bumps to 1" 1 (field_int "version" r1);
+  check (Alcotest.option Alcotest.string) "push bypasses the cache"
+    (Some "bypass") (cache_header r1);
+  let r2 = push "{\"name\": \"grace\"}" in
+  check Alcotest.int "same shape keeps the version" 1 (field_int "version" r2);
+  check Alcotest.int "but tallies the documents" 2 (field_int "pushes" r2);
+  let r3 = push "{\"name\": \"alan\", \"age\": 36}" in
+  check Alcotest.int "strict growth bumps" 2 (field_int "version" r3);
+  check Alcotest.bool "merged shape keeps both fields" true
+    (Astring.String.is_infix ~affix:"age" (field_string "shape" r3));
+  (* a batch body counts every clean document *)
+  let r4 = push "{\"name\": \"x\"}\n{\"name\": \"y\"}\n" in
+  check Alcotest.int "batch documents tallied" 5 (field_int "pushes" r4);
+  let bad = Server.handle t (request ~meth:"GET" "/streams/people/push") in
+  check Alcotest.int "push is POST-only" 405 bad.Http.status
+
+let test_stream_shape_cached_until_push () =
+  let t = server () in
+  let get () =
+    Server.handle t (request ~meth:"GET" "/streams/people/shape")
+  in
+  check Alcotest.int "unknown stream is 404" 404 (get ()).Http.status;
+  let _ = Server.handle t (request ~body:"{\"name\": \"ada\"}" "/streams/people/push") in
+  let r1 = get () in
+  check Alcotest.int "200 after a push" 200 r1.Http.status;
+  check (Alcotest.option Alcotest.string) "first read misses" (Some "miss")
+    (cache_header r1);
+  let r2 = get () in
+  check (Alcotest.option Alcotest.string) "second read hits" (Some "hit")
+    (cache_header r2);
+  check Alcotest.string "bodies identical" r1.Http.resp_body r2.Http.resp_body;
+  (* an applied push supersedes the cached rendering *)
+  let _ =
+    Server.handle t
+      (request ~body:"{\"name\": \"alan\", \"age\": 36}" "/streams/people/push")
+  in
+  let r3 = get () in
+  check (Alcotest.option Alcotest.string) "push invalidated the entry"
+    (Some "miss") (cache_header r3);
+  check Alcotest.int "and the version moved" 2 (field_int "version" r3);
+  (* the JSON Schema export of the same shape *)
+  let rs =
+    Server.handle t
+      (request ~meth:"GET" ~query:[ ("format", "schema") ] "/streams/people/shape")
+  in
+  check Alcotest.int "schema format 200" 200 rs.Http.status;
+  check Alcotest.bool "schema is a JSON Schema document" true
+    (Astring.String.is_infix ~affix:"$schema" rs.Http.resp_body);
+  let rb =
+    Server.handle t
+      (request ~meth:"GET" ~query:[ ("format", "yaml") ] "/streams/people/shape")
+  in
+  check Alcotest.int "unknown format 400" 400 rb.Http.status
+
+let test_stream_history_and_diff () =
+  let t = server () in
+  let push body = Server.handle t (request ~body "/streams/s/push") in
+  let _ = push "{\"a\": 1}" in
+  (* a heterogeneous field: the growth is not backward-compatible, so
+     the diff must render Explain mismatches (compatible growth, like a
+     new nullable field, legitimately renders none) *)
+  let _ = push "{\"a\": \"x\"}" in
+  let hist = Server.handle t (request ~meth:"GET" "/streams/s/history") in
+  check Alcotest.int "history 200" 200 hist.Http.status;
+  (match List.assoc_opt "history" (body_fields hist) with
+  | Some (Dv.List entries) ->
+      check Alcotest.int "one entry per bump" 2 (List.length entries)
+  | _ -> Alcotest.fail "missing history list");
+  let diff = Server.handle t (request ~meth:"GET" "/streams/s/diff") in
+  check Alcotest.int "default diff is (current-1, current)" 200 diff.Http.status;
+  check Alcotest.int "from" 1 (field_int "from" diff);
+  check Alcotest.int "to" 2 (field_int "to" diff);
+  check Alcotest.bool "the shape grew" true (field_bool "grew" diff);
+  (match List.assoc_opt "changes" (body_fields diff) with
+  | Some (Dv.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "growth must render at least one Explain mismatch");
+  let full =
+    Server.handle t
+      (request ~meth:"GET"
+         ~query:[ ("from", "0"); ("to", "2") ]
+         "/streams/s/diff")
+  in
+  check Alcotest.int "explicit versions" 200 full.Http.status;
+  check Alcotest.string "version 0 is bottom" "\xe2\x8a\xa5"
+    (field_string "from_shape" full);
+  let missing =
+    Server.handle t (request ~meth:"GET" ~query:[ ("to", "9") ] "/streams/s/diff")
+  in
+  check Alcotest.int "unknown version is 404" 404 missing.Http.status;
+  let bad =
+    Server.handle t
+      (request ~meth:"GET" ~query:[ ("from", "x") ] "/streams/s/diff")
+  in
+  check Alcotest.int "unparseable version is 400" 400 bad.Http.status
+
+let test_cache_invalidate_endpoint () =
+  let t = server () in
+  let infer = request ~body:corpus "/infer" in
+  let _ = Server.handle t infer in
+  check (Alcotest.option Alcotest.string) "cache primed" (Some "hit")
+    (cache_header (Server.handle t infer));
+  let inv = Server.handle t (request "/cache/invalidate") in
+  check Alcotest.int "invalidate 200" 200 inv.Http.status;
+  check Alcotest.bool "something was dropped" true
+    (field_int "invalidated" inv >= 1);
+  check (Alcotest.option Alcotest.string) "cache cold again" (Some "miss")
+    (cache_header (Server.handle t infer));
+  (* stream-scoped invalidation leaves other entries alone *)
+  let _ = Server.handle t infer in
+  let _ = Server.handle t (request ~body:"{\"a\": 1}" "/streams/s/push") in
+  let _ = Server.handle t (request ~meth:"GET" "/streams/s/shape") in
+  let inv =
+    Server.handle t (request ~query:[ ("stream", "s") ] "/cache/invalidate")
+  in
+  check Alcotest.int "one stream entry dropped" 1 (field_int "invalidated" inv);
+  check (Alcotest.option Alcotest.string) "/infer entry survives" (Some "hit")
+    (cache_header (Server.handle t infer));
+  let bad = Server.handle t (request ~meth:"GET" "/cache/invalidate") in
+  check Alcotest.int "invalidate is POST-only" 405 bad.Http.status
+
 (* ----- concurrency: shapes stay byte-identical under parallel load ----- *)
 
 let test_concurrent_infer_identical () =
@@ -388,6 +570,10 @@ let suite =
     tc "cache: hits refresh recency" `Quick test_cache_hit_refreshes;
     tc "cache: update in place" `Quick test_cache_update_in_place;
     tc "cache: capacity 0 disables" `Quick test_cache_disabled;
+    tc "cache: TTL expiry is a miss" `Quick test_cache_ttl_expires;
+    tc "cache: remove, remove_where, clear" `Quick test_cache_invalidation;
+    tc "cache: concurrent put/get of one key" `Quick
+      test_cache_concurrent_same_key;
     tc "healthz" `Quick test_healthz;
     tc "unknown endpoint is 404" `Quick test_not_found;
     tc "wrong method is 405" `Quick test_method_not_allowed;
@@ -410,6 +596,12 @@ let suite =
       test_streamed_csv_drained_and_cached;
     tc "streamed body drained for /check" `Quick
       test_streamed_other_endpoint_drained;
+    tc "stream push: version bumps only on growth" `Quick
+      test_stream_push_version_semantics;
+    tc "stream shape: cached until the next push" `Quick
+      test_stream_shape_cached_until_push;
+    tc "stream history and diff" `Quick test_stream_history_and_diff;
+    tc "cache invalidate endpoint" `Quick test_cache_invalidate_endpoint;
     tc "concurrent infer responses byte-identical" `Quick
       test_concurrent_infer_identical;
   ]
