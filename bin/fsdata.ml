@@ -806,6 +806,15 @@ let serve_cmd =
           ~doc:"Compact the registry WAL into a snapshot every $(docv)
                 records.")
   in
+  let history_limit_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "history-limit" ] ~docv:"N"
+          ~doc:"Version bumps each stream retains for
+                $(b,/streams/NAME/history) and $(b,/diff) (oldest
+                evicted first), bounding durable state for
+                frequently-growing streams.")
+  in
   let cache_ttl_arg =
     Arg.(
       value & opt int 0
@@ -815,7 +824,8 @@ let serve_cmd =
                 eviction and $(b,POST /cache/invalidate) still apply.")
   in
   let run () port host workers timeout_ms cache_entries port_file queue_depth
-      max_inflight_mb state_dir state_fsync snapshot_every cache_ttl_ms =
+      max_inflight_mb state_dir state_fsync snapshot_every history_limit
+      cache_ttl_ms =
     if workers < 1 then `Error (false, "--workers must be at least 1")
     else if timeout_ms < 1 then `Error (false, "--timeout-ms must be positive")
     else if queue_depth < 0 then
@@ -824,24 +834,32 @@ let serve_cmd =
       `Error (false, "--max-inflight-mb must be at least 1")
     else if snapshot_every < 1 then
       `Error (false, "--snapshot-every must be at least 1")
+    else if history_limit < 1 then
+      `Error (false, "--history-limit must be at least 1")
     else begin
-      Fsdata_serve.Server.run
-        {
-          Fsdata_serve.Server.default_config with
-          Fsdata_serve.Server.port;
-          host;
-          workers;
-          timeout_ms;
-          cache_entries;
-          port_file;
-          queue_depth;
-          max_inflight_bytes = max_inflight_mb * 1024 * 1024;
-          state_dir;
-          state_fsync;
-          snapshot_every;
-          cache_ttl_ms;
-        };
-      `Ok ()
+      match
+        Fsdata_serve.Server.run
+          {
+            Fsdata_serve.Server.default_config with
+            Fsdata_serve.Server.port;
+            host;
+            workers;
+            timeout_ms;
+            cache_entries;
+            port_file;
+            queue_depth;
+            max_inflight_bytes = max_inflight_mb * 1024 * 1024;
+            state_dir;
+            state_fsync;
+            snapshot_every;
+            history_limit;
+            cache_ttl_ms;
+          }
+      with
+      | () -> `Ok ()
+      (* a locked --state-dir or corrupt registry state fails startup
+         with a clean message, not a backtrace *)
+      | exception Failure msg -> `Error (false, msg)
     end
   in
   Cmd.v
@@ -859,7 +877,7 @@ let serve_cmd =
         (const run $ obs_term $ port_arg $ host_arg $ workers_arg
        $ timeout_arg $ cache_arg $ port_file_arg $ queue_depth_arg
        $ max_inflight_arg $ state_dir_arg $ fsync_arg $ snapshot_every_arg
-       $ cache_ttl_arg))
+       $ history_limit_arg $ cache_ttl_arg))
 
 (* --- migrate --- *)
 

@@ -26,10 +26,16 @@ type t = {
   fault : Fault_fs.t option;
   fsync : Wal.fsync_policy;
   snapshot_every : int;
+  history_limit : int;
   lock : Mutex.t;
   streams : (string, stream) Hashtbl.t;
   mutable wal : Wal.t option;
 }
+
+(* Stream names are str16-framed in the codec; a longer name would
+   encode a truncated length whose decode misparses — a poison pill
+   that permanently blocks recovery — so pushes reject it up front. *)
+let max_name_length = 0xFFFF
 
 let fresh_stream name =
   { name; version = 0; seq = 0; pushes = 0; shape = Shape.Bottom; history = [] }
@@ -40,7 +46,15 @@ let fresh_stream name =
    shape always satisfies old ⊑ merged and "strictly grew" is just
    inequality. Shapes are interned: streams live for the process and
    their sub-shapes repeat across versions. *)
-let apply st ~seq ~count delta =
+(* History is a bounded window: only the newest [limit] bumps are
+   retained (oldest evicted first), so a long-lived frequently-growing
+   stream cannot grow its snapshots — or the per-bump append cost —
+   without bound. *)
+let trim_history limit h =
+  let excess = List.length h - limit in
+  if excess <= 0 then h else List.filteri (fun i _ -> i >= excess) h
+
+let apply ~limit st ~seq ~count delta =
   let merged = Shape.hcons (Csh.csh st.shape delta) in
   let grew = not (Shape.equal merged st.shape) in
   let version = if grew then st.version + 1 else st.version in
@@ -51,7 +65,8 @@ let apply st ~seq ~count delta =
     shape = merged;
     version;
     history =
-      (if grew then st.history @ [ (version, seq, merged) ] else st.history);
+      (if grew then trim_history limit (st.history @ [ (version, seq, merged) ])
+       else st.history);
   }
 
 (* --- the binary codec ---
@@ -65,6 +80,8 @@ let apply st ~seq ~count delta =
    [Failure] rather than guessing. *)
 
 let add_str16 b s =
+  if String.length s > max_name_length then
+    invalid_arg "registry: string too long for u16 framing";
   Buffer.add_int16_le b (String.length s);
   Buffer.add_string b s
 
@@ -213,7 +230,10 @@ let load_snapshot t path =
   match Wal.scan_one text with
   | Some payload ->
       List.iter
-        (fun st -> Hashtbl.replace t.streams st.name st)
+        (fun st ->
+          (* a snapshot taken under a larger limit re-trims on load *)
+          Hashtbl.replace t.streams st.name
+            { st with history = trim_history t.history_limit st.history })
         (decode_snapshot payload)
   | None -> fail_corrupt "snapshot frame"
 
@@ -226,15 +246,19 @@ let replay_record t payload =
   in
   (* seq dedup makes replay idempotent across the compaction crash
      window where the WAL still holds records the snapshot covers *)
-  if seq > st.seq then Hashtbl.replace t.streams name (apply st ~seq ~count delta)
+  if seq > st.seq then
+    Hashtbl.replace t.streams name
+      (apply ~limit:t.history_limit st ~seq ~count delta)
 
-let open_ ?fault ?(fsync = `Always) ?(snapshot_every = 512) ~dir () =
+let open_ ?fault ?(fsync = `Always) ?(snapshot_every = 512)
+    ?(history_limit = 256) ~dir () =
   let t =
     {
       dir;
       fault;
       fsync;
       snapshot_every = max 1 snapshot_every;
+      history_limit = max 1 history_limit;
       lock = Mutex.create ();
       streams = Hashtbl.create 16;
       wal = None;
@@ -302,6 +326,10 @@ let maybe_snapshot t =
   | _ -> ()
 
 let push t ~stream:name ?(count = 1) delta =
+  if String.length name > max_name_length then
+    invalid_arg
+      (Printf.sprintf "Registry.push: stream name is %d bytes (max %d)"
+         (String.length name) max_name_length);
   Trace.with_span "registry.push" @@ fun () ->
   Mutex.protect t.lock @@ fun () ->
   let st =
@@ -315,7 +343,7 @@ let push t ~stream:name ?(count = 1) delta =
   (match t.wal with
   | Some wal -> Wal.append wal (encode_record ~name ~seq ~count delta)
   | None -> ());
-  let st' = apply st ~seq ~count delta in
+  let st' = apply ~limit:t.history_limit st ~seq ~count delta in
   Hashtbl.replace t.streams name st';
   set_streams_gauge t;
   Metrics.incr m_pushes;

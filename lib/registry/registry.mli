@@ -37,13 +37,16 @@ type stream = {
   pushes : int;  (** documents folded in (batch pushes count their size) *)
   shape : Shape.t;  (** the running csh fold *)
   history : (int * int * Shape.t) list;
-      (** one entry per version bump, oldest first: (version, seq, shape) *)
+      (** one entry per version bump, oldest first: (version, seq, shape).
+          A bounded window — only the newest [history_limit] bumps are
+          retained (see {!open_}) *)
 }
 
 val open_ :
   ?fault:Fault_fs.t ->
   ?fsync:Wal.fsync_policy ->
   ?snapshot_every:int ->
+  ?history_limit:int ->
   dir:string option ->
   unit ->
   t
@@ -54,9 +57,16 @@ val open_ :
     a purely in-memory registry (the server runs one when no
     [--state-dir] is given). [fsync] defaults to [`Always];
     [snapshot_every] (default 512) is the WAL record count that
-    triggers compaction. Raises [Failure] on a snapshot or record that
-    passes its checksum but does not decode — that is corruption, not
-    a crash, and the registry refuses to guess. *)
+    triggers compaction; [history_limit] (default 256) caps the version
+    bumps each stream retains — and therefore what snapshots persist —
+    evicting the oldest, so long-lived growing streams stay bounded.
+
+    The WAL is exclusively held (see {!Wal.open_}): a second open of
+    the same state directory, from this process or another, raises
+    [Failure] instead of corrupting it. Also raises [Failure] on a
+    snapshot or record that passes its checksum but does not decode —
+    that is corruption, not a crash, and the registry refuses to
+    guess. *)
 
 val push : t -> stream:string -> ?count:int -> Shape.t -> stream
 (** [push t ~stream delta] folds [delta] into the stream's shape
@@ -67,7 +77,13 @@ val push : t -> stream:string -> ?count:int -> Shape.t -> stream
     [ENOSPC], a {!Fault_fs.Crash}) the in-memory state is unchanged and
     the on-disk tail is at worst torn, which recovery truncates.
     [count] (default 1) is the number of documents the delta
-    summarizes, for the [pushes] tally. *)
+    summarizes, for the [pushes] tally. If an append fails with an I/O
+    error the WAL is rolled back to the acknowledged prefix before the
+    error propagates, so a failed push never strands torn bytes for
+    later acked pushes to land behind. Raises [Invalid_argument] on a
+    stream name longer than 65535 bytes — it would not survive the
+    codec's u16 framing (unreachable over HTTP, where the request line
+    is capped far lower). *)
 
 val find : t -> string -> stream option
 val list : t -> stream list
@@ -76,7 +92,8 @@ val list : t -> stream list
 val version_shape : stream -> int -> Shape.t option
 (** The shape the stream had at a version: [Some Bottom] for version 0,
     the recorded history entry for bumped versions, [None] for versions
-    the stream never reached. *)
+    the stream never reached — or whose entry the bounded history has
+    already evicted. *)
 
 val snapshot : t -> unit
 (** Force compaction now: serialize every stream into [snapshot.tmp],

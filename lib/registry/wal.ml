@@ -12,6 +12,8 @@ type t = {
   fd : Unix.file_descr;
   fault : Fault_fs.t option;
   fsync : fsync_policy;
+  lock_key : string;
+  mutable wedged : bool;
   mutable records : int;
   mutable size : int;
 }
@@ -78,8 +80,61 @@ let read_whole fd =
    with Exit -> ());
   Bytes.sub_string buf 0 !pos
 
+(* One writer per log, enforced twice over. Across processes: an
+   exclusive lockf over the whole file, held for the fd's lifetime and
+   released by the kernel if the process dies — so a second server
+   pointed at the same --state-dir (operator error, an overlapping
+   restart) fails fast instead of interleaving appends, while kill -9
+   never blocks recovery. Within a process: POSIX record locks do not
+   conflict between fds of the same process (and closing *any* fd for
+   the file would drop them), so in-process exclusion is a global table
+   claimed before the file is even opened. *)
+let held : (string, unit) Hashtbl.t = Hashtbl.create 4
+let held_mutex = Mutex.create ()
+
+let canonical path =
+  (* the log may not exist yet; resolve its directory instead *)
+  match Unix.realpath (Filename.dirname path) with
+  | d -> Filename.concat d (Filename.basename path)
+  | exception Unix.Unix_error _ -> path
+
+let claim key =
+  Mutex.protect held_mutex (fun () ->
+      if Hashtbl.mem held key then false
+      else begin
+        Hashtbl.add held key ();
+        true
+      end)
+
+let release key = Mutex.protect held_mutex (fun () -> Hashtbl.remove held key)
+
+let locked_failure path =
+  Failure
+    (Printf.sprintf
+       "wal: %s is locked by another registry (is a second server running \
+        on this state directory?)"
+       path)
+
 let open_ ?fault ~fsync path =
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let lock_key = canonical path in
+  if not (claim lock_key) then raise (locked_failure path);
+  let fd =
+    match Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 with
+    | fd -> fd
+    | exception e ->
+        release lock_key;
+        raise e
+  in
+  (match Unix.lockf fd Unix.F_TLOCK 0 with
+  | () -> ()
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      release lock_key;
+      raise (locked_failure path)
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      release lock_key;
+      raise e);
   let text = read_whole fd in
   let records, good_end = scan text in
   let truncated = String.length text - good_end in
@@ -92,7 +147,15 @@ let open_ ?fault ~fsync path =
   ignore (Unix.lseek fd good_end Unix.SEEK_SET);
   Metrics.add m_recovered (List.length records);
   Metrics.add m_truncated truncated;
-  ( { fd; fault; fsync; records = List.length records; size = good_end },
+  ( {
+      fd;
+      fault;
+      fsync;
+      lock_key;
+      wedged = false;
+      records = List.length records;
+      size = good_end;
+    },
     { records; truncated_bytes = truncated } )
 
 let write_all t s =
@@ -115,10 +178,33 @@ let sync_fd t =
   Fault_fs.fsync t.fault t.fd;
   Metrics.incr m_fsyncs
 
+(* A failed append must not leave bytes past the acknowledged prefix:
+   recovery keeps the longest valid prefix, so a torn frame sitting
+   *between* acked records (a short write followed by ENOSPC, say)
+   would make the next recovery silently discard every acked push
+   appended after it. Repair uses plain Unix calls — rolling back after
+   a failure is not itself a fault-injection point. A frame that was
+   fully written but whose fsync failed is rolled back too: it was
+   never acknowledged, and leaving it would let its seq collide with
+   the acked retry that follows. If even the rollback fails, the log is
+   wedged and refuses all further appends rather than corrupt. *)
+let rollback_to_acked t =
+  match Unix.ftruncate t.fd t.size with
+  | () -> ignore (Unix.lseek t.fd t.size Unix.SEEK_SET)
+  | exception Unix.Unix_error _ -> t.wedged <- true
+
 let append t payload =
+  if t.wedged then
+    raise (Unix.Unix_error (Unix.EIO, "Wal.append", "wedged after failed rollback"));
   let framed = frame payload in
-  write_all t framed;
-  (match t.fsync with `Always -> sync_fd t | `Never -> ());
+  (try
+     write_all t framed;
+     match t.fsync with `Always -> sync_fd t | `Never -> ()
+   with Unix.Unix_error _ as e ->
+     (* Fault_fs.Crash deliberately skips this: the process is "dead",
+        and recovery's prefix scan is what truncates its torn tail *)
+     rollback_to_acked t;
+     raise e);
   (* bookkeeping only after the record is (as durable as the policy
      makes it) on disk: a raised append leaves the counters at the
      acknowledged state, like the registry's own view *)
@@ -138,4 +224,6 @@ let reset t =
   t.records <- 0;
   t.size <- 0
 
-let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let close t =
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  release t.lock_key

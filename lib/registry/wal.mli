@@ -47,13 +47,25 @@ val scan_one : string -> string option
 val open_ : ?fault:Fault_fs.t -> fsync:fsync_policy -> string -> t * recovery
 (** Open (creating if absent) the log at the given path, recover its
     valid prefix, truncate any torn tail, and position for appending.
-    The recovered payloads are returned for the caller to replay. *)
+    The recovered payloads are returned for the caller to replay.
+
+    The log is exclusively held for the handle's lifetime — an
+    inter-process [lockf] over the whole file plus an in-process table
+    (POSIX locks do not conflict between fds of one process). A second
+    open of the same path, from this process or another, raises
+    [Failure] instead of silently interleaving appends; the lock is
+    released by {!close}, or by the kernel if the process dies. *)
 
 val append : t -> string -> unit
 (** Frame and append one record; under [`Always] the bytes are fsynced
     before returning. Raises whatever the {!Fault_fs} shim injects —
-    the caller must treat a raised append as "possibly torn on disk,
-    certainly not acknowledged". *)
+    a raised append is not acknowledged, and before the error
+    propagates the file is rolled back ([ftruncate]) to the
+    acknowledged prefix, so a short write or failed fsync never leaves
+    torn or unacknowledged bytes for later acked appends to land
+    behind. If that rollback itself fails the log is {e wedged}: every
+    further append raises [EIO] rather than risk appending after a
+    torn frame that recovery would truncate away. *)
 
 val records : t -> int
 (** Records in the current segment: recovered at {!open_} plus appended

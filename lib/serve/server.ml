@@ -56,6 +56,7 @@ type config = {
   state_dir : string option;
   state_fsync : Fsdata_registry.Wal.fsync_policy;
   snapshot_every : int;
+  history_limit : int;
   cache_ttl_ms : int;  (* <= 0: cached responses never expire *)
 }
 
@@ -75,6 +76,7 @@ let default_config =
     state_dir = None;
     state_fsync = `Always;
     snapshot_every = 512;
+    history_limit = 256;
     cache_ttl_ms = 0;
   }
 
@@ -99,7 +101,8 @@ let create ?(draining = Atomic.make false) cfg =
     compiled = Compile_cache.create ~capacity:compiled_cache_capacity;
     registry =
       Fsdata_registry.Registry.open_ ~fsync:cfg.state_fsync
-        ~snapshot_every:cfg.snapshot_every ~dir:cfg.state_dir ();
+        ~snapshot_every:cfg.snapshot_every ~history_limit:cfg.history_limit
+        ~dir:cfg.state_dir ();
     draining;
     inflight_bytes = Atomic.make 0;
   }

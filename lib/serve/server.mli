@@ -117,6 +117,9 @@ type config = {
           acknowledged *)
   snapshot_every : int;
       (** WAL records between snapshot compactions *)
+  history_limit : int;
+      (** version bumps each stream retains (oldest evicted), bounding
+          history and snapshot growth *)
   cache_ttl_ms : int;
       (** time-to-live for cached responses; [<= 0] means entries never
           expire (eviction and invalidation still apply) *)

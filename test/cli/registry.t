@@ -125,6 +125,13 @@ field is backward-compatible, so there are no mismatches to report:
     "changes": []
   }
 
+One writer per state directory: a second server pointed at the same
+--state-dir is refused at startup (the WAL is exclusively locked)
+instead of silently interleaving appends with the first:
+
+  $ $FSDATA serve --port 0 --state-dir state 2>&1 | grep -o "locked by another registry"
+  locked by another registry
+
 kill -9: the process dies with no chance to clean up…
 
   $ kill -9 $SRV

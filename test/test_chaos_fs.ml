@@ -114,6 +114,54 @@ let failed_append_is_clean err () =
 let test_eio_append = failed_append_is_clean Unix.EIO
 let test_enospc_append = failed_append_is_clean Unix.ENOSPC
 
+(* The nearly-full-disk shape of an append failure: a short write lands
+   part of the frame, then the next write raises ENOSPC. The torn bytes
+   must be rolled back before the push that retries — otherwise they
+   sit between acked records and the next recovery truncates away
+   everything after them, silently dropping acknowledged pushes. *)
+let test_torn_append_rolled_back () =
+  with_dir @@ fun dir ->
+  let fault = Fault_fs.create () in
+  let t = Registry.open_ ~fault ~dir:(Some dir) () in
+  let _ = Registry.push t ~stream:"s" (sh "{a: int}") in
+  Fault_fs.set_max_write fault 4;
+  Fault_fs.inject_write fault [ Fault_fs.Pass; Fault_fs.Error Unix.ENOSPC ];
+  (try
+     ignore (Registry.push t ~stream:"s" (sh "{a: int, b: string}"));
+     Alcotest.fail "push should have raised ENOSPC"
+   with Unix.Unix_error (Unix.ENOSPC, _, _) -> ());
+  Fault_fs.set_max_write fault 0;
+  (* the retry is acknowledged — it must survive recovery even though
+     torn bytes briefly preceded it in the file *)
+  let acked = observe (Registry.push t ~stream:"s" (sh "{a: int, b: string}")) in
+  Registry.close t;
+  let t2 = Registry.open_ ~dir:(Some dir) () in
+  check_state "acked retry recovered: no torn frame was left before it" acked
+    (find_exn t2 "s");
+  check Alcotest.int "both acked records replayed" 2 (Registry.wal_records t2);
+  Registry.close t2
+
+(* A frame whose write completed but whose fsync failed was never
+   acknowledged; it too is rolled back, or its seq would collide with
+   the acked retry that follows and replay would resurrect the failed
+   delta instead. The deltas differ so the test can tell them apart. *)
+let test_failed_fsync_rolls_back_frame () =
+  with_dir @@ fun dir ->
+  let fault = Fault_fs.create () in
+  let t = Registry.open_ ~fault ~dir:(Some dir) () in
+  let _ = Registry.push t ~stream:"s" (sh "{a: int}") in
+  Fault_fs.inject_fsync fault [ Fault_fs.Error Unix.EIO ];
+  (try
+     ignore (Registry.push t ~stream:"s" (sh "{b: bool}"));
+     Alcotest.fail "push should have raised EIO"
+   with Unix.Unix_error (Unix.EIO, _, _) -> ());
+  let acked = observe (Registry.push t ~stream:"s" (sh "{c: string}")) in
+  Registry.close t;
+  let t2 = Registry.open_ ~dir:(Some dir) () in
+  check_state "recovery sees the acked pushes, not the unfsynced frame" acked
+    (find_exn t2 "s");
+  Registry.close t2
+
 (* ----- kills around the write/fsync boundary ----- *)
 
 let test_kill_between_write_and_fsync () =
@@ -353,6 +401,10 @@ let suite =
     tc "fault shim: short-write clamp" `Quick test_short_writes_clamp;
     tc "EIO on append: push fails clean" `Quick test_eio_append;
     tc "ENOSPC on append: push fails clean" `Quick test_enospc_append;
+    tc "short write then ENOSPC: torn frame rolled back, acked retry survives"
+      `Quick test_torn_append_rolled_back;
+    tc "failed fsync: unacknowledged frame rolled back" `Quick
+      test_failed_fsync_rolls_back_frame;
     tc "kill between write and fsync: applied or absent" `Quick
       test_kill_between_write_and_fsync;
     tc "kill mid-record: torn tail, last ack byte-identical" `Quick

@@ -202,6 +202,81 @@ let test_explicit_snapshot_then_reopen () =
   List.iter2 streams_equal before (Registry.list t2);
   Registry.close t2
 
+(* ----- guard rails: locking, name framing, bounded history ----- *)
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_second_open_refused () =
+  with_dir @@ fun dir ->
+  let t = Registry.open_ ~dir:(Some dir) () in
+  let _ = Registry.push t ~stream:"s" (sh "{a: int}") in
+  (try
+     ignore (Registry.open_ ~dir:(Some dir) ());
+     Alcotest.fail "second open of a live state dir should be refused"
+   with Failure msg ->
+     check Alcotest.bool "the error names the lock" true
+       (contains ~sub:"locked" msg));
+  (* the holder is unharmed, and closing releases the lock *)
+  let _ = Registry.push t ~stream:"s" (sh "{a: int, b: string}") in
+  Registry.close t;
+  let t2 = Registry.open_ ~dir:(Some dir) () in
+  check Alcotest.int "reopen after close succeeds" 2
+    (find_exn t2 "s").Registry.version;
+  Registry.close t2
+
+let test_overlong_name_rejected () =
+  with_dir @@ fun dir ->
+  let t = Registry.open_ ~dir:(Some dir) () in
+  let _ = Registry.push t ~stream:"s" (sh "{a: int}") in
+  (try
+     ignore (Registry.push t ~stream:(String.make 70_000 'n') (sh "{a: int}"));
+     Alcotest.fail "a name too long for u16 framing should be rejected"
+   with Invalid_argument _ -> ());
+  check Alcotest.int "nothing was appended for it" 1 (Registry.wal_records t);
+  Registry.close t;
+  (* the log holds no truncated-length poison pill: recovery works *)
+  let t2 = Registry.open_ ~dir:(Some dir) () in
+  check Alcotest.int "one stream recovered" 1 (List.length (Registry.list t2));
+  Registry.close t2
+
+let test_history_is_bounded () =
+  with_dir @@ fun dir ->
+  let t = Registry.open_ ~history_limit:3 ~dir:(Some dir) () in
+  List.iter
+    (fun f ->
+      ignore (Registry.push t ~stream:"s" (sh (Printf.sprintf "{%s: int}" f))))
+    [ "a"; "b"; "c"; "d"; "e" ];
+  let st = find_exn t "s" in
+  check Alcotest.int "every growth bumped" 5 st.Registry.version;
+  check
+    (Alcotest.list Alcotest.int)
+    "only the newest bumps retained, oldest first" [ 3; 4; 5 ]
+    (List.map (fun (v, _, _) -> v) st.Registry.history);
+  check (Alcotest.option Generators.shape_testable) "evicted version is gone"
+    None
+    (Registry.version_shape st 1);
+  check (Alcotest.option Generators.shape_testable) "current still recorded"
+    (Some st.Registry.shape)
+    (Registry.version_shape st 5);
+  Registry.snapshot t;
+  Registry.close t;
+  let t2 = Registry.open_ ~history_limit:3 ~dir:(Some dir) () in
+  let st2 = find_exn t2 "s" in
+  check Alcotest.int "version survives the bound" 5 st2.Registry.version;
+  check Alcotest.int "bounded after snapshot + reopen" 3
+    (List.length st2.Registry.history);
+  Registry.close t2;
+  (* a snapshot taken under a larger limit re-trims on load *)
+  let t3 = Registry.open_ ~history_limit:2 ~dir:(Some dir) () in
+  check Alcotest.int "tighter limit trims loaded state" 2
+    (List.length (find_exn t3 "s").Registry.history);
+  Registry.close t3
+
 (* ----- replay ≡ the in-memory fold (QCheck) ----- *)
 
 (* The reference: fold the same deltas through csh in memory, tracking
@@ -291,6 +366,11 @@ let suite =
     tc "durable round-trip is byte-identical" `Quick test_durable_roundtrip;
     tc "snapshot compaction preserves state" `Quick test_snapshot_compaction;
     tc "explicit snapshot then reopen" `Quick test_explicit_snapshot_then_reopen;
+    tc "second open of a live state dir is refused" `Quick
+      test_second_open_refused;
+    tc "oversized stream name rejected, log not poisoned" `Quick
+      test_overlong_name_rejected;
+    tc "stream history is a bounded window" `Quick test_history_is_bounded;
     QCheck_alcotest.to_alcotest replay_equals_fold;
     QCheck_alcotest.to_alcotest growth_is_monotone;
   ]
