@@ -1243,6 +1243,80 @@ let registry_bench () =
     lengths;
   print_newline ()
 
+(* ----- query: typed pushdown, reference vs compiled (B14) ----- *)
+
+(* The two query engines over a corpus whose documents are mostly
+   payload the query never touches: the reference engine parses every
+   byte generically, the compiled engine decodes against the pruned σ
+   and skips the payload at the lexer level. Smoke asserts
+   byte-identical rows and stats, rejection of an ill-typed query
+   before any corpus work, early stop under [take], and eval_fast at
+   least matching eval. *)
+let query_bench () =
+  let module Q = Fsdata_query in
+  print_endline "== query: typed pushdown, eval vs eval_fast ==";
+  let fail msg =
+    Printf.eprintf "query: smoke assertion failed: %s\n" msg;
+    exit 1
+  in
+  let n = if !smoke then 500 else 20_000 in
+  let repeats = 3 in
+  let text = Workloads.query_corpus_text n in
+  let sigma =
+    match Infer.of_json text with Ok s -> s | Error e -> fail e
+  in
+  let parse q =
+    match Q.Parser.parse_result q with Ok q -> q | Error e -> fail e
+  in
+  let check q =
+    match Q.Check.check sigma (parse q) with
+    | Ok c -> c
+    | Error e -> fail (Format.asprintf "%a" Q.Check.pp_error e)
+  in
+  let render (r : Q.Value.result) =
+    String.concat "\n" (List.map Q.Value.render r.Q.Value.rows)
+  in
+  let checked = check "where .age >= 40 | select .name, .age" in
+  let ref_r, t_ref = time_best ~repeats (fun () -> Q.Eval.eval checked text) in
+  let plan = Q.Eval_fast.compile checked in
+  let fast_r, t_fast =
+    time_best ~repeats (fun () -> Q.Eval_fast.eval plan text)
+  in
+  let identical =
+    render ref_r = render fast_r && ref_r.Q.Value.stats = fast_r.Q.Value.stats
+  in
+  Printf.printf
+    "  %6d docs (%d KiB): eval %8.1f ms   eval_fast %8.1f ms   %5.1fx  \
+     rows=%d identical=%b\n\
+     %!"
+    n
+    (String.length text / 1024)
+    (t_ref *. 1e3) (t_fast *. 1e3) (t_ref /. t_fast)
+    (List.length ref_r.Q.Value.rows)
+    identical;
+  (* take pushdown: the scan must stop once the bound is met *)
+  let ct = check "where .age >= 40 | select .name | take 5" in
+  let tr = Q.Eval.eval ct text in
+  let tf = Q.Eval_fast.eval (Q.Eval_fast.compile ct) text in
+  Printf.printf "  take 5: scanned %d/%d docs (early stop), engines agree=%b\n%!"
+    tr.Q.Value.stats.Q.Value.scanned n
+    (render tr = render tf && tr.Q.Value.stats = tf.Q.Value.stats);
+  if !smoke then begin
+    if not identical then fail "eval and eval_fast disagree";
+    (match Q.Check.check sigma (parse "where .nope == 1") with
+    | Ok _ -> fail "ill-typed query was accepted"
+    | Error _ -> ());
+    if render tr <> render tf || tr.Q.Value.stats <> tf.Q.Value.stats then
+      fail "take: engines disagree";
+    if tr.Q.Value.stats.Q.Value.scanned >= n then
+      fail "take did not stop the scan early";
+    if t_fast > t_ref then
+      fail
+        (Printf.sprintf "eval_fast (%.2f ms) slower than eval (%.2f ms)"
+           (t_fast *. 1e3) (t_ref *. 1e3))
+  end;
+  print_newline ()
+
 let groups =
   [
     ("fig1", fig1);
@@ -1261,6 +1335,7 @@ let groups =
     ("compile", compile_bench);
     ("loadgen", loadgen_bench);
     ("registry", registry_bench);
+    ("query", query_bench);
   ]
 
 let () =

@@ -235,3 +235,34 @@ let faulty_corpus_text ?(stride = 50) n =
     Buffer.add_char buf '\n'
   done;
   Buffer.contents buf
+
+(* A corpus for the query-pushdown benchmarks (B14): every document
+   carries the three fields queries touch plus a [payload] record an
+   order of magnitude bigger than the rest — exactly the bytes a
+   pruned compiled decoder skips at the lexer level while the generic
+   reference evaluator must still parse them. *)
+let query_corpus_text ?(payload_fields = 30) n =
+  let r = rng 23 in
+  let buf = Buffer.create (n * 768) in
+  for i = 0 to n - 1 do
+    let payload =
+      Dv.Record
+        ( Dv.json_record_name,
+          List.init payload_fields (fun j ->
+              ( Printf.sprintf "p%02d" j,
+                Dv.String (Printf.sprintf "%016x" (pick r 1_000_000_000)) )) )
+    in
+    let d =
+      Dv.Record
+        ( Dv.json_record_name,
+          [
+            ("name", Dv.String (Printf.sprintf "user%d" i));
+            ("age", Dv.Int (18 + pick r 60));
+            ("active", Dv.Bool (pick r 2 = 0));
+            ("payload", payload);
+          ] )
+    in
+    Buffer.add_string buf (json_text d);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

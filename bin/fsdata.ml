@@ -933,6 +933,135 @@ let migrate_cmd =
              Section 6.5 (Remark 1) automatically.")
     Term.(ret (const run $ format_arg $ program_arg $ old_arg $ new_arg))
 
+(* --- query --- *)
+
+let query_cmd =
+  let query_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "q"; "query" ] ~docv:"QUERY"
+          ~doc:
+            "The query pipeline, e.g.
+             'where .age >= 30 | select .name, .age | take 10'.
+             See $(b,docs/QUERY.md) for the grammar and typing rules.")
+  in
+  let shape_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "s"; "shape" ] ~docv:"SHAPE"
+          ~doc:
+            "Check the query against this shape expression (paper
+             notation) instead of inferring one from the corpus. With
+             $(b,--shape), an ill-typed query is rejected before any
+             corpus file is opened.")
+  in
+  let fast_arg =
+    Arg.(
+      value & flag
+      & info [ "compiled" ]
+          ~doc:
+            "Evaluate with the compiled engine: documents are decoded by
+             a parser compiled from the pruned shape straight into the
+             query's projected slots, untouched fields skipped at the
+             lexer level. Output is byte-identical to the reference
+             evaluator (the default engine).")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print scan statistics (documents scanned, rows, skipped,
+             malformed) to standard error after the rows.")
+  in
+  let corpus_arg =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"CORPUS"
+          ~doc:
+            "JSON corpus file(s): whitespace-separated top-level
+             documents, each one row.")
+  in
+  let run () qtext shape compiled stats_flag paths =
+    match Fsdata_query.Parser.parse_result qtext with
+    | Error m -> `Error (false, m)
+    | Ok query -> (
+        let sigma =
+          match shape with
+          | Some text -> (
+              match Fsdata_core.Shape_parser.parse_result text with
+              | Ok s -> Ok (s, None)
+              | Error m -> Error (`Msg m))
+          | None -> (
+              (* no --shape: infer σ from the corpus first (each file a
+                 stream of whitespace-separated documents), keeping the
+                 text around for the evaluation pass *)
+              match
+                try Ok (String.concat "\n" (read_files paths))
+                with Sys_error m -> Error (`Msg m)
+              with
+              | Error e -> Error e
+              | Ok src -> (
+                  match Fsdata_core.Infer.of_json src with
+                  | Ok s -> Ok (s, Some src)
+                  | Error m -> Error (`Msg m)))
+        in
+        match sigma with
+        | Error (`Msg m) -> `Error (false, m)
+        | Ok (sigma, cached_src) -> (
+            match Fsdata_query.Check.check sigma query with
+            | Error e ->
+                (* rejected before reading any corpus byte; exit code 2
+                   distinguishes ill-typed queries from CLI errors *)
+                Format.eprintf "query rejected: %a@."
+                  Fsdata_query.Check.pp_error e;
+                Stdlib.exit 2
+            | Ok checked -> (
+                match
+                  match cached_src with
+                  | Some src -> Ok src
+                  | None -> (
+                      try Ok (String.concat "\n" (read_files paths))
+                      with Sys_error m -> Error m)
+                with
+                | Error m -> `Error (false, m)
+                | Ok src ->
+                    let result =
+                      if compiled then
+                        Fsdata_query.Eval_fast.eval
+                          (Fsdata_query.Eval_fast.compile checked)
+                          src
+                      else Fsdata_query.Eval.eval checked src
+                    in
+                    List.iter
+                      (fun r -> print_endline (Fsdata_query.Value.render r))
+                      result.Fsdata_query.Value.rows;
+                    let st = result.Fsdata_query.Value.stats in
+                    if stats_flag then
+                      Format.eprintf
+                        "query: scanned %d, rows %d, skipped %d, malformed %d@."
+                        st.Fsdata_query.Value.scanned
+                        st.Fsdata_query.Value.matched
+                        st.Fsdata_query.Value.skipped
+                        st.Fsdata_query.Value.malformed;
+                    `Ok ())))
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Run a typed query over a JSON corpus: the query is shape-checked
+          against the inferred (or given) shape before execution, then
+          streamed over the documents — one JSON row per output line.
+          Ill-typed queries are rejected with the offending path and
+          expected shape (exit code 2).")
+    Term.(
+      ret
+        (const run $ obs_term $ query_arg $ shape_arg $ fast_arg $ stats_arg
+       $ corpus_arg))
+
 let main =
   Cmd.group
     (Cmd.info "fsdata" ~version:"1.0.0"
@@ -940,7 +1069,7 @@ let main =
              XML and CSV (PLDI 2016 reproduction).")
     [
       infer_cmd; provide_cmd; codegen_cmd; check_cmd; schema_cmd; sample_cmd;
-      serve_cmd; migrate_cmd;
+      query_cmd; serve_cmd; migrate_cmd;
     ]
 
 let () = exit (Cmd.eval main)

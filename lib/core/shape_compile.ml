@@ -788,27 +788,29 @@ let parse (c : compiled) (src : string) : outcome =
   | outcome -> outcome
   | exception Diagnostic.Parse_error d -> reraise_legacy d
 
-let parse_corpus ?(cancel = Cancel.never) ?on_fallback ?on_error (c : compiled)
-    (src : string) : tvalue list * stats =
+let fold_corpus ?(cancel = Cancel.never) ?on_error (c : compiled)
+    (f : 'acc -> outcome -> [ `Continue of 'acc | `Stop of 'acc ])
+    (acc : 'acc) (src : string) : 'acc * stats =
   Fsdata_obs.Trace.with_span "compile.parse" @@ fun () ->
   let st = Raw.make src in
-  let results = ref [] in
   let direct = ref 0 and fellback = ref 0 and skipped = ref 0 in
-  let rec loop idx =
+  let rec loop acc idx =
     Raw.skip_ws st;
-    if not (Raw.at_eof st) then begin
+    if Raw.at_eof st then acc
+    else begin
       Cancel.check cancel;
       let start = Raw.offset st in
-      (match decode_one c st with
-      | `Direct v ->
+      match decode_one c st with
+      | `Direct v -> (
           incr direct;
-          results := v :: !results
-      | `Fallback (v, d) ->
+          match f acc (Direct v) with
+          | `Continue acc -> loop acc (idx + 1)
+          | `Stop acc -> acc)
+      | `Fallback (v, d) -> (
           incr fellback;
-          (match on_fallback with
-          | Some f -> f (Diagnostic.with_index idx d)
-          | None -> ());
-          results := v :: !results
+          match f acc (Fallback (v, Diagnostic.with_index idx d)) with
+          | `Continue acc -> loop acc (idx + 1)
+          | `Stop acc -> acc)
       | `Malformed d -> (
           match on_error with
           | None -> reraise_legacy d
@@ -821,10 +823,23 @@ let parse_corpus ?(cancel = Cancel.never) ?on_fallback ?on_error (c : compiled)
                 String.trim (String.sub src start (Raw.offset st - start))
               in
               incr skipped;
-              handler (Diagnostic.with_index idx d) ~skipped:text));
-      loop (idx + 1)
+              handler (Diagnostic.with_index idx d) ~skipped:text;
+              loop acc (idx + 1))
     end
   in
-  loop 0;
-  ( List.rev !results,
-    { direct = !direct; fallback = !fellback; skipped = !skipped } )
+  let acc = loop acc 0 in
+  (acc, { direct = !direct; fallback = !fellback; skipped = !skipped })
+
+let parse_corpus ?cancel ?on_fallback ?on_error (c : compiled) (src : string) :
+    tvalue list * stats =
+  let results, stats =
+    fold_corpus ?cancel ?on_error c
+      (fun acc outcome ->
+        match outcome with
+        | Direct v -> `Continue (v :: acc)
+        | Fallback (v, d) ->
+            (match on_fallback with Some f -> f d | None -> ());
+            `Continue (v :: acc))
+      [] src
+  in
+  (List.rev results, stats)

@@ -116,6 +116,25 @@ type stats = { direct : int; fallback : int; skipped : int }
     documents that fell back to the generic path, and malformed documents
     skipped under [on_error]. *)
 
+val fold_corpus :
+  ?cancel:Cancel.t ->
+  ?on_error:(Diagnostic.t -> skipped:string -> unit) ->
+  compiled ->
+  ('acc -> outcome -> [ `Continue of 'acc | `Stop of 'acc ]) ->
+  'acc ->
+  string ->
+  'acc * stats
+(** The fold underneath {!parse_corpus}: decode a stream of
+    whitespace-separated JSON documents one at a time and hand each
+    {!outcome} to [f], which decides whether to continue — [`Stop]
+    abandons the rest of the corpus without reading further bytes,
+    which is what lets a query's [take] bound a scan. [Fallback]
+    diagnostics carry the 0-based document index. Malformed documents
+    never reach [f]: without [on_error] the first one raises
+    [Json.Parse_error]; with it they are skipped, reported and counted
+    ([stats.skipped]) exactly like [Json.fold_many]'s recovering mode.
+    [cancel] is polled between documents. *)
+
 val parse_corpus :
   ?cancel:Cancel.t ->
   ?on_fallback:(Diagnostic.t -> unit) ->

@@ -1,0 +1,259 @@
+open Fsdata_core
+open Syntax
+
+type error = { at : string; expected : string; found : Shape.t }
+
+(* Render the shape with an effectively infinite margin so the
+   diagnostic stays a single line wherever it is printed or logged. *)
+let flat_shape s =
+  let b = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer b in
+  Format.pp_set_margin ppf 1_000_000;
+  Format.fprintf ppf "%a%!" Shape.pp s;
+  Buffer.contents b
+
+let pp_error ppf e =
+  Format.fprintf ppf "at %s: expected %s, found %s" e.at e.expected
+    (flat_shape e.found)
+
+type checked = {
+  query : Syntax.t;
+  input : Shape.t;
+  pruned : Shape.t;
+  output : Shape.t;
+}
+
+let m_checks = Fsdata_obs.Metrics.counter "query.checks"
+let m_rejected = Fsdata_obs.Metrics.counter "query.rejected"
+
+(* ----- Path resolution through σ ----- *)
+
+let path_str p = Format.asprintf "%a" pp_path p
+
+(* Resolve a path against the current row shape. Nullable shapes are
+   transparent to projection but taint the result: a row may carry null
+   where the document omitted the subtree, so everything reached through
+   a nullable position is itself nullable (the convField rule). *)
+let resolve (cur : Shape.t) (p : path) : (Shape.t * bool, error) result =
+  let rec go shape segs seen nullable =
+    match segs with
+    | [] -> Ok (shape, nullable)
+    | f :: rest -> (
+        let shape, nullable =
+          match shape with
+          | Shape.Nullable s -> (s, true)
+          | s -> (s, nullable)
+        in
+        match shape with
+        | Shape.Record { fields; _ } -> (
+            match List.assoc_opt f fields with
+            | Some s -> go s rest (f :: seen) nullable
+            | None ->
+                Error
+                  {
+                    at = path_str (List.rev (f :: seen));
+                    expected = Printf.sprintf "a record with a field '%s'" f;
+                    found = shape;
+                  })
+        | found ->
+            Error
+              {
+                at = path_str (List.rev (f :: seen));
+                expected = Printf.sprintf "a record with a field '%s'" f;
+                found;
+              })
+  in
+  go cur p [] false
+
+(* ----- Literal compatibility ----- *)
+
+(* The primitive fragment of the preferred-shape relation decides which
+   literals a path may be compared with — with one representation
+   caveat: [bit] is provided as bool (prim_of_value), so it compares
+   as a boolean, while [bit0]/[bit1] are provided as int and compare
+   numerically. *)
+let check_compare ~at (shape : Shape.t) (c : cmp) (lit : literal) :
+    (unit, error) result =
+  let s = Shape.strip_nullable shape in
+  let ordered = match c with Lt | Le | Gt | Ge -> true | Eq | Ne -> false in
+  let err expected = Error { at; expected; found = shape } in
+  match lit with
+  | Lnull ->
+      if ordered then err "an equality comparison with null (== or != only)"
+      else (
+        match shape with
+        | Shape.Null | Shape.Nullable _ -> Ok ()
+        | _ -> err "a nullable shape to compare with null")
+  | Lbool _ ->
+      if ordered then err "an equality comparison (booleans are not ordered)"
+      else (
+        match s with
+        | Shape.Primitive (Shape.Bool | Shape.Bit) -> Ok ()
+        | _ -> err "a boolean shape (bool or bit)")
+  | Lint _ | Lfloat _ -> (
+      match s with
+      | Shape.Primitive (Shape.Int | Shape.Float | Shape.Bit0 | Shape.Bit1) ->
+          Ok ()
+      | _ -> err "a numeric shape (int or float)")
+  | Lstring str -> (
+      match s with
+      | Shape.Primitive Shape.String -> Ok ()
+      | Shape.Primitive Shape.Date -> (
+          match Fsdata_data.Date.of_string str with
+          | Some _ -> Ok ()
+          | None -> err "a date literal (the shape at this path is date)")
+      | _ -> err "a string shape (string or date)")
+
+(* ----- Pruning: σ restricted to the touched paths ----- *)
+
+type trie = All | Fields of (string * trie) list
+
+let rec trie_add t p =
+  match (t, p) with
+  | All, _ -> All
+  | _, [] -> All
+  | Fields fs, f :: rest ->
+      let sub =
+        match List.assoc_opt f fs with Some s -> s | None -> Fields []
+      in
+      Fields ((f, trie_add sub rest) :: List.remove_assoc f fs)
+
+let rec prune (s : Shape.t) (t : trie) : Shape.t =
+  match t with
+  | All -> s
+  | Fields fs -> (
+      match s with
+      | Shape.Record r ->
+          Shape.Record
+            {
+              r with
+              fields =
+                List.filter_map
+                  (fun (f, sf) ->
+                    match List.assoc_opt f fs with
+                    | Some sub -> Some (f, prune sf sub)
+                    | None -> None)
+                  r.fields;
+            }
+      | Shape.Nullable s' -> Shape.nullable (prune s' t)
+      | other -> other)
+
+(* ----- The checker ----- *)
+
+(* Where a row came from, in original-document coordinates — how paths
+   typed against a transformed row translate back to σ for pruning. *)
+type origin =
+  | OPath of string list  (** the row is the document at this path *)
+  | ORecord of (string * string list) list
+      (** the row was built by [select]: output field ↦ original path *)
+
+let translate origin p =
+  match (origin, p) with
+  | OPath base, p -> [ base @ p ]
+  | ORecord m, [] -> List.map snd m
+  | ORecord m, f :: rest -> (
+      match List.assoc_opt f m with
+      | Some base -> [ base @ rest ]
+      | None -> [])
+
+let touch trie origin p =
+  List.fold_left trie_add trie (translate origin p)
+
+let ( let* ) = Result.bind
+
+let rec check_pred cur origin trie = function
+  | Compare (p, c, lit) ->
+      let* s, _nullable = resolve cur p in
+      let* () = check_compare ~at:(path_str p) s c lit in
+      Ok (touch trie origin p)
+  | Exists p ->
+      let* _ = resolve cur p in
+      Ok (touch trie origin p)
+  | And (a, b) | Or (a, b) ->
+      let* trie = check_pred cur origin trie a in
+      check_pred cur origin trie b
+  | Not a -> check_pred cur origin trie a
+
+let check (sigma : Shape.t) (q : Syntax.t) : (checked, error) result =
+  Fsdata_obs.Trace.with_span "query.check" @@ fun () ->
+  Fsdata_obs.Metrics.incr m_checks;
+  let rec go cur origin trie = function
+    | [] -> Ok (cur, trie)
+    | [ Count ] -> Ok (Shape.Primitive Shape.Int, trie)
+    | Count :: _ ->
+        Error { at = "."; expected = "count to be the final stage"; found = cur }
+    | Where p :: rest ->
+        let* trie = check_pred cur origin trie p in
+        go cur origin trie rest
+    | Select ps :: rest ->
+        let* fields =
+          List.fold_left
+            (fun acc p ->
+              let* acc = acc in
+              match List.rev p with
+              | [] ->
+                  Error
+                    {
+                      at = ".";
+                      expected = "a field path in select (a name for the output field)";
+                      found = cur;
+                    }
+              | name :: _ ->
+                  if List.mem_assoc name acc then
+                    Error
+                      {
+                        at = path_str p;
+                        expected =
+                          Printf.sprintf
+                            "distinct output field names in select ('%s' repeats)"
+                            name;
+                        found = cur;
+                      }
+                  else
+                    let* s, nullable = resolve cur p in
+                    let s = if nullable then Shape.nullable s else s in
+                    Ok (acc @ [ (name, s) ]))
+            (Ok []) ps
+        in
+        let trie = List.fold_left (fun t p -> touch t origin p) trie ps in
+        let origin =
+          ORecord
+            (List.map
+               (fun p ->
+                 let name = List.hd (List.rev p) in
+                 let base =
+                   match translate origin p with b :: _ -> b | [] -> p
+                 in
+                 (name, base))
+               ps)
+        in
+        let cur =
+          Shape.record Fsdata_data.Data_value.json_record_name fields
+        in
+        go cur origin trie rest
+    | Map p :: rest ->
+        let* s, nullable = resolve cur p in
+        let cur = if nullable then Shape.nullable s else s in
+        let trie = touch trie origin p in
+        let origin =
+          match (origin, p) with
+          | _, [] -> origin
+          | OPath base, p -> OPath (base @ p)
+          | ORecord m, f :: rest_p -> (
+              match List.assoc_opt f m with
+              | Some base -> OPath (base @ rest_p)
+              | None -> OPath p)
+        in
+        go cur origin trie rest
+    | Take n :: rest ->
+        if n < 0 then
+          Error
+            { at = "."; expected = "a non-negative take count"; found = cur }
+        else go cur origin trie rest
+  in
+  match go sigma (OPath []) (Fields []) q with
+  | Ok (output, trie) ->
+      Ok { query = q; input = sigma; pruned = prune sigma trie; output }
+  | Error e ->
+      Fsdata_obs.Metrics.incr m_rejected;
+      Error e

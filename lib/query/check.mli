@@ -1,0 +1,53 @@
+(** Shape-checking queries against the inferred σ, before execution.
+
+    [check σ q] types the pipeline [q] against the per-document shape
+    [σ] by mirroring the Foo typing rules over provided types
+    (Figure 7 of the paper): paths are projections through record
+    shapes (nullable shapes are transparent but mark the result
+    nullable, exactly like the [convField] null-propagation of
+    Figure 6), and comparisons demand primitive shapes compatible with
+    the literal under the preferred-shape relation
+    ({!Fsdata_core.Preference.is_preferred_primitive}) — an [int]
+    field may be compared with a float literal because [int ⊑ float],
+    a [date] field with a parseable date string because
+    [date ⊑ string]. Anything else is rejected with an
+    {!Fsdata_core.Explain}-style diagnostic naming the offending path,
+    what was expected there, and the shape σ actually provides —
+    {e before a single byte of the corpus is read}.
+
+    Checking also computes the {e pruned} shape: σ restricted to the
+    paths the query touches. Both evaluators decode documents against
+    the pruned shape, which is what makes projection pushdown real —
+    the compiled decoder skips untouched fields at the lexer level —
+    and keeps the two engines equivalent by construction (they agree
+    on which documents conform because they test the same shape).
+    docs/QUERY.md spells out the full rules. *)
+
+(** A typing error, in the style of {!Fsdata_core.Explain.mismatch}:
+    the path at which the query disagrees with σ, what the query
+    needed there, and the shape σ actually has. *)
+type error = {
+  at : string;  (** path from the document root, [.a.b] notation *)
+  expected : string;  (** what the query required there, in words *)
+  found : Fsdata_core.Shape.t;  (** the shape σ provides there *)
+}
+
+val pp_error : Format.formatter -> error -> unit
+(** Renders [at PATH: expected EXPECTED, found SHAPE] — the format
+    [fsdata query] prints and the serve layer returns as JSON. *)
+
+(** A successfully checked query, ready for either evaluator. *)
+type checked = {
+  query : Syntax.t;
+  input : Fsdata_core.Shape.t;  (** the σ the query was checked against *)
+  pruned : Fsdata_core.Shape.t;
+      (** σ restricted to the touched paths; what both evaluators
+          decode against (the pushdown shape) *)
+  output : Fsdata_core.Shape.t;  (** the shape of each result row *)
+}
+
+val check :
+  Fsdata_core.Shape.t -> Syntax.t -> (checked, error) result
+(** [check σ q] types [q] against the per-document shape [σ]. Pure —
+    reads no corpus data. Counted by [query.checks] / [query.rejected];
+    traced as [query.check]. *)

@@ -1,0 +1,95 @@
+open Fsdata_core
+open Fsdata_data
+open Syntax
+
+let m_evals = Fsdata_obs.Metrics.counter "query.evals"
+
+exception Stop
+
+let rec test_pred (p : pred) v =
+  match p with
+  | Compare (path, c, lit) -> Value.test_compare (Value.get v path) c lit
+  | Exists path -> Value.exists (Value.get v path)
+  | And (a, b) -> test_pred a v && test_pred b v
+  | Or (a, b) -> test_pred a v || test_pred b v
+  | Not a -> not (test_pred a v)
+
+(* Per-evaluation pipeline state: take budgets are refs instantiated
+   here, so a checked query can be evaluated many times. *)
+type rstage =
+  | RWhere of pred
+  | RSelect of (string * path) list
+  | RMap of path
+  | RTake of int ref
+  | RCount
+
+let instantiate (q : Syntax.t) : rstage list =
+  List.map
+    (function
+      | Where p -> RWhere p
+      | Select ps ->
+          RSelect (List.map (fun p -> (List.hd (List.rev p), p)) ps)
+      | Map p -> RMap p
+      | Take n -> RTake (ref n)
+      | Count -> RCount)
+    q
+
+let eval ?cancel (c : Check.checked) (src : string) : Value.result =
+  Fsdata_obs.Trace.with_span "query.eval" @@ fun () ->
+  Fsdata_obs.Metrics.incr m_evals;
+  let scanned = ref 0
+  and matched = ref 0
+  and skipped = ref 0
+  and malformed = ref 0 in
+  let out = ref [] in
+  let stages = instantiate c.query in
+  let counting = List.exists (function RCount -> true | _ -> false) stages in
+  let rec run stages v =
+    match stages with
+    | [] ->
+        incr matched;
+        out := v :: !out
+    | RWhere p :: rest -> if test_pred p v then run rest v
+    | RSelect fields :: rest ->
+        run rest
+          (Shape_compile.Vrecord
+             ( Data_value.json_record_name,
+               Array.of_list
+                 (List.map (fun (name, p) -> (name, Value.get v p)) fields) ))
+    | RMap p :: rest -> run rest (Value.get v p)
+    | RTake r :: rest ->
+        if !r <= 0 then raise Stop
+        else begin
+          decr r;
+          run rest v;
+          if !r = 0 then raise Stop
+        end
+    | RCount :: _ -> incr matched
+  in
+  (try
+     Json.fold_many ?cancel ~chunk_size:1
+       ~on_error:(fun _ ~skipped:_ -> incr malformed)
+       (fun () docs ->
+         List.iter
+           (fun d ->
+             let d = Primitive.normalize d in
+             incr scanned;
+             if Shape_check.has_shape c.pruned d then
+               run stages (Shape_compile.convert c.pruned d)
+             else incr skipped)
+           docs)
+       () src
+   with Stop -> ());
+  let rows =
+    if counting then [ Shape_compile.Vint !matched ] else List.rev !out
+  in
+  let stats : Value.stats =
+    {
+      scanned = !scanned;
+      matched = !matched;
+      skipped = !skipped;
+      malformed = !malformed;
+    }
+  in
+  Value.record_stats stats;
+  { Value.rows; stats }

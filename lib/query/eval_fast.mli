@@ -1,0 +1,37 @@
+(** The fast evaluator: shape-compiled decoding, precompiled stages.
+
+    [compile] pairs the checked query with a
+    {!Fsdata_core.Shape_compile} parser for the {e pruned} σ — so a
+    conforming document is decoded straight into the query's projected
+    slots, untouched fields skipped at the lexer level without
+    materializing a generic value — and precompiles every stage: paths
+    become integer slot indices into the pruned records (the decoder
+    emits fields in shape order), predicates become closures over
+    {!Value.test_compare}. A plan is immutable and reusable: the serve
+    layer caches plans per [(stream, version, query)] and evaluates
+    them concurrently.
+
+    Semantics are pinned to {!Eval}, the specification: identical rows
+    (byte-for-byte) and identical stats on every corpus — the two
+    engines agree on which documents conform because both test the
+    same pruned shape ([Direct] ⟺ [has_shape]), and they share the
+    comparison semantics of {!Value}. *)
+
+type plan
+(** A compiled query: pruned-shape decoder plus precompiled stages. *)
+
+val compile : Check.checked -> plan
+(** Build the plan; cost is proportional to the pruned shape's size
+    plus the query's, paid once. Counted by [query.plans]; traced as
+    [query.plan]. *)
+
+val checked : plan -> Check.checked
+(** The checked query the plan was compiled from. *)
+
+val eval :
+  ?cancel:Fsdata_data.Cancel.t -> plan -> string -> Value.result
+(** [eval p src] streams the corpus through the compiled decoder
+    ([Shape_compile.fold_corpus]) and the precompiled stages; [take]
+    stops the scan early. Skipped/malformed accounting, cancellation
+    and instrumentation mirror {!Eval.eval}; traced as
+    [query.eval_fast]. *)

@@ -1,0 +1,273 @@
+open Syntax
+
+exception Parse_error of { position : int; message : string }
+
+type state = { src : string; mutable pos : int }
+
+let fail st message = raise (Parse_error { position = st.pos; message })
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '-'
+
+let keywords =
+  [ "where"; "select"; "map"; "take"; "count"; "exists"; "and"; "or"; "not";
+    "true"; "false"; "null" ]
+
+(* Scan an identifier at the cursor, or return None without moving. *)
+let ident_opt st =
+  match peek st with
+  | Some c when is_ident_start c ->
+      let start = st.pos in
+      while
+        st.pos < String.length st.src && is_ident_char st.src.[st.pos]
+      do
+        st.pos <- st.pos + 1
+      done;
+      Some (String.sub st.src start (st.pos - start))
+  | _ -> None
+
+(* Peek the identifier at the cursor without consuming it. *)
+let peek_word st =
+  let saved = st.pos in
+  let w = ident_opt st in
+  st.pos <- saved;
+  w
+
+let eat_word st w =
+  match peek_word st with
+  | Some w' when String.equal w w' ->
+      st.pos <- st.pos + String.length w;
+      true
+  | _ -> false
+
+let string_lit st =
+  (* cursor is on the opening quote *)
+  let b = Buffer.create 16 in
+  st.pos <- st.pos + 1;
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string literal"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' -> (
+        st.pos <- st.pos + 1;
+        match peek st with
+        | Some (('"' | '\\' | '/') as c) ->
+            Buffer.add_char b c;
+            st.pos <- st.pos + 1;
+            loop ()
+        | Some 'n' -> Buffer.add_char b '\n'; st.pos <- st.pos + 1; loop ()
+        | Some 't' -> Buffer.add_char b '\t'; st.pos <- st.pos + 1; loop ()
+        | Some 'r' -> Buffer.add_char b '\r'; st.pos <- st.pos + 1; loop ()
+        | _ -> fail st "unsupported escape in string literal")
+    | Some c ->
+        Buffer.add_char b c;
+        st.pos <- st.pos + 1;
+        loop ()
+  in
+  loop ();
+  Buffer.contents b
+
+let segment st =
+  match peek st with
+  | Some '"' -> string_lit st
+  | _ -> (
+      match ident_opt st with
+      | Some w ->
+          if List.mem w keywords then
+            fail st (Printf.sprintf "'%s' is a keyword; quote it to use it as a field name" w)
+          else w
+      | None -> fail st "expected a field name after '.'")
+
+let path st =
+  skip_ws st;
+  match peek st with
+  | Some '.' ->
+      st.pos <- st.pos + 1;
+      let rec segs acc =
+        match peek st with
+        | Some c when is_ident_start c || c = '"' ->
+            let s = segment st in
+            if peek st = Some '.' then begin
+              st.pos <- st.pos + 1;
+              segs (s :: acc)
+            end
+            else List.rev (s :: acc)
+        | _ when acc = [] -> [] (* the bare '.' path: the document itself *)
+        | _ -> fail st "expected a field name after '.'"
+      in
+      segs []
+  | _ -> fail st "expected a path (paths start with '.')"
+
+let number st =
+  let start = st.pos in
+  if peek st = Some '-' then st.pos <- st.pos + 1;
+  let digits () =
+    let n0 = st.pos in
+    while
+      st.pos < String.length st.src
+      && st.src.[st.pos] >= '0'
+      && st.src.[st.pos] <= '9'
+    do
+      st.pos <- st.pos + 1
+    done;
+    if st.pos = n0 then fail st "expected a digit"
+  in
+  digits ();
+  let is_float = ref false in
+  if peek st = Some '.' then begin
+    is_float := true;
+    st.pos <- st.pos + 1;
+    digits ()
+  end;
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      st.pos <- st.pos + 1;
+      (match peek st with
+      | Some ('+' | '-') -> st.pos <- st.pos + 1
+      | _ -> ());
+      digits ()
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then Lfloat (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Lint i
+    | None -> Lfloat (float_of_string text)
+
+let literal st =
+  skip_ws st;
+  match peek st with
+  | Some '"' -> Lstring (string_lit st)
+  | Some ('-' | '0' .. '9') -> number st
+  | _ ->
+      if eat_word st "null" then Lnull
+      else if eat_word st "true" then Lbool true
+      else if eat_word st "false" then Lbool false
+      else fail st "expected a literal (null, true, false, a number or a string)"
+
+let cmp_op st =
+  skip_ws st;
+  let two op =
+    st.pos <- st.pos + 2;
+    op
+  and one op =
+    st.pos <- st.pos + 1;
+    op
+  in
+  let at i =
+    if st.pos + i < String.length st.src then Some st.src.[st.pos + i] else None
+  in
+  match (peek st, at 1) with
+  | Some '=', Some '=' -> two Eq
+  | Some '!', Some '=' -> two Ne
+  | Some '<', Some '=' -> two Le
+  | Some '<', _ -> one Lt
+  | Some '>', Some '=' -> two Ge
+  | Some '>', _ -> one Gt
+  | _ -> fail st "expected a comparison operator (== != < <= > >=)"
+
+let rec pred st =
+  let a = conj st in
+  skip_ws st;
+  if eat_word st "or" then Or (a, pred st) else a
+
+and conj st =
+  let a = unary st in
+  skip_ws st;
+  if eat_word st "and" then And (a, conj st) else a
+
+and unary st =
+  skip_ws st;
+  if eat_word st "not" then Not (unary st)
+  else if eat_word st "exists" then Exists (path st)
+  else
+    match peek st with
+    | Some '(' ->
+        st.pos <- st.pos + 1;
+        let p = pred st in
+        skip_ws st;
+        if peek st = Some ')' then begin
+          st.pos <- st.pos + 1;
+          p
+        end
+        else fail st "expected ')'"
+    | Some '.' ->
+        let p = path st in
+        let op = cmp_op st in
+        let l = literal st in
+        Compare (p, op, l)
+    | _ -> fail st "expected a predicate (a path comparison, 'exists', 'not' or '(')"
+
+(* [Or]/[And] parse right-nested above; the printer emits left-nested
+   trees, so rebalance is unnecessary — both associate, and evaluation
+   order is not observable. *)
+
+let int_lit st =
+  skip_ws st;
+  match number st with
+  | Lint i when i >= 0 -> i
+  | Lint _ -> fail st "take wants a non-negative count"
+  | _ -> fail st "take wants an integer"
+
+let stage st =
+  skip_ws st;
+  match peek_word st with
+  | Some "where" ->
+      ignore (eat_word st "where");
+      Where (pred st)
+  | Some "select" ->
+      ignore (eat_word st "select");
+      let rec fields acc =
+        let p = path st in
+        skip_ws st;
+        if peek st = Some ',' then begin
+          st.pos <- st.pos + 1;
+          fields (p :: acc)
+        end
+        else List.rev (p :: acc)
+      in
+      Select (fields [])
+  | Some "map" ->
+      ignore (eat_word st "map");
+      Map (path st)
+  | Some "take" ->
+      ignore (eat_word st "take");
+      Take (int_lit st)
+  | Some "count" ->
+      ignore (eat_word st "count");
+      Count
+  | _ -> fail st "expected a stage (where, select, map, take or count)"
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let rec stages acc =
+    let s = stage st in
+    skip_ws st;
+    match peek st with
+    | Some '|' ->
+        st.pos <- st.pos + 1;
+        stages (s :: acc)
+    | None -> List.rev (s :: acc)
+    | Some c -> fail st (Printf.sprintf "unexpected %C after stage" c)
+  in
+  skip_ws st;
+  if peek st = None then fail st "empty query";
+  stages []
+
+let parse_result src =
+  match parse src with
+  | q -> Ok q
+  | exception Parse_error { position; message } ->
+      Error (Printf.sprintf "query parse error at offset %d: %s" position message)

@@ -1,0 +1,37 @@
+(** Parsing the textual query syntax.
+
+    Accepts exactly the notation {!Syntax.pp} prints — queries
+    round-trip through text (property-tested) — with free whitespace
+    between tokens:
+
+    {v
+      query   ::= stage ('|' stage)*
+      stage   ::= 'where' pred
+                | 'select' path (',' path)*
+                | 'map' path
+                | 'take' INT
+                | 'count'
+      pred    ::= conj ('or' conj)*
+      conj    ::= unary ('and' unary)*
+      unary   ::= 'not' unary | '(' pred ')'
+                | path CMP literal | 'exists' path
+      CMP     ::= '==' | '!=' | '<' | '<=' | '>' | '>='
+      path    ::= '.' | ('.' segment)+
+      segment ::= IDENT | STRING
+      literal ::= 'null' | 'true' | 'false' | NUMBER | STRING
+    v}
+
+    [IDENT] is [[A-Za-z_][A-Za-z0-9_-]*]; quote a segment
+    ([."odd key"]) to reach fields the identifier syntax cannot spell.
+    [STRING] uses JSON's escapes. Keywords ([where], [and], [not], …)
+    are reserved as identifiers. See docs/QUERY.md for the full
+    reference with examples. *)
+
+exception Parse_error of { position : int; message : string }
+(** Raised on malformed input; [position] is a 0-based byte offset. *)
+
+val parse : string -> Syntax.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_result : string -> (Syntax.t, string) result
+(** Like {!parse} but returning the formatted error message. *)

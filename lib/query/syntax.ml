@@ -1,0 +1,138 @@
+type path = string list
+
+type literal =
+  | Lnull
+  | Lbool of bool
+  | Lint of int
+  | Lfloat of float
+  | Lstring of string
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type pred =
+  | Compare of path * cmp * literal
+  | Exists of path
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type stage =
+  | Where of pred
+  | Select of path list
+  | Map of path
+  | Take of int
+  | Count
+
+type t = stage list
+
+let escape_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+(* Mirrors the lexer: a segment prints bare only when it would lex
+   back as one IDENT token that is not a keyword; anything else is
+   quoted (and escaped) like a string literal. *)
+let keywords =
+  [
+    "where"; "select"; "map"; "take"; "count"; "exists"; "and"; "or"; "not";
+    "true"; "false"; "null";
+  ]
+
+let is_plain_segment s =
+  s <> ""
+  && (not (List.mem s keywords))
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+         | _ -> false)
+       s
+
+let pp_path ppf = function
+  | [] -> Format.pp_print_string ppf "."
+  | segs ->
+      List.iter
+        (fun s ->
+          if is_plain_segment s then Format.fprintf ppf ".%s" s
+          else Format.fprintf ppf ".%s" (escape_string s))
+        segs
+
+let pp_cmp ppf c =
+  Format.pp_print_string ppf
+    (match c with
+    | Eq -> "=="
+    | Ne -> "!="
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">=")
+
+let pp_literal ppf = function
+  | Lnull -> Format.pp_print_string ppf "null"
+  | Lbool b -> Format.pp_print_bool ppf b
+  | Lint i -> Format.pp_print_int ppf i
+  | Lfloat f ->
+      (* a float literal must reparse as a float: keep a decimal point *)
+      let s = Printf.sprintf "%.17g" f in
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+      then Format.pp_print_string ppf s
+      else Format.fprintf ppf "%s.0" s
+  | Lstring s -> Format.pp_print_string ppf (escape_string s)
+
+(* Predicate printing tracks the grammar's precedence (or < and < not)
+   and its right associativity, parenthesizing only where reparsing
+   would otherwise regroup. *)
+let rec pp_pred ppf p = pp_or ppf p
+
+and pp_or ppf = function
+  | Or (a, b) -> Format.fprintf ppf "%a or %a" pp_and a pp_or b
+  | p -> pp_and ppf p
+
+and pp_and ppf = function
+  | And (a, b) -> Format.fprintf ppf "%a and %a" pp_unary a pp_and b
+  | p -> pp_unary ppf p
+
+and pp_unary ppf = function
+  | Not p -> Format.fprintf ppf "not %a" pp_unary p
+  | Compare (p, c, l) ->
+      Format.fprintf ppf "%a %a %a" pp_path p pp_cmp c pp_literal l
+  | Exists p -> Format.fprintf ppf "exists %a" pp_path p
+  | (And _ | Or _) as p -> Format.fprintf ppf "(%a)" pp_pred p
+
+let pp_stage ppf = function
+  | Where p -> Format.fprintf ppf "where %a" pp_pred p
+  | Select ps ->
+      Format.fprintf ppf "select %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_path)
+        ps
+  | Map p -> Format.fprintf ppf "map %a" pp_path p
+  | Take n -> Format.fprintf ppf "take %d" n
+  | Count -> Format.pp_print_string ppf "count"
+
+let pp ppf q =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+    pp_stage ppf q
+
+let to_string q = Format.asprintf "%a" pp q
+
+let has_terminal_take n q =
+  List.exists
+    (function Take m -> m <= n | Count -> true | _ -> false)
+    q
+
+let ensure_limit n q = if has_terminal_take n q then q else q @ [ Take n ]

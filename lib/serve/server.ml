@@ -22,7 +22,10 @@ let req_explain = Metrics.counter "serve.requests.explain"
 let req_metrics = Metrics.counter "serve.requests.metrics"
 let req_healthz = Metrics.counter "serve.requests.healthz"
 let req_stream = Metrics.counter "serve.requests.stream"
+let req_query = Metrics.counter "serve.requests.query"
 let req_other = Metrics.counter "serve.requests.other"
+let plan_cache_hits = Metrics.counter "serve.plan_cache.hits"
+let plan_cache_misses = Metrics.counter "serve.plan_cache.misses"
 let resp_2xx = Metrics.counter "serve.responses.2xx"
 let resp_4xx = Metrics.counter "serve.responses.4xx"
 let resp_5xx = Metrics.counter "serve.responses.5xx"
@@ -80,10 +83,22 @@ let default_config =
     cache_ttl_ms = 0;
   }
 
+(* A checked (and possibly plan-compiled) stream query, cached per
+   (stream, version, query, engine): the version rides in the cache key,
+   so a version bump makes every cached plan unreachable and the next
+   query re-checks against the stream's current σ — a stale plan can
+   never decode against an outgrown contract. Pushes additionally evict
+   the stream's entries (bounding memory, not just reachability). *)
+type plan_entry = {
+  pe_checked : Fsdata_query.Check.checked;
+  pe_fast : Fsdata_query.Eval_fast.plan option;  (* Some iff compiled=1 *)
+}
+
 type t = {
   cfg : config;
   cache : string Cache.t;
   compiled : Compile_cache.t;
+  plans : plan_entry Cache.t;
   registry : Fsdata_registry.Registry.t;
   draining : bool Atomic.t;
   inflight_bytes : int Atomic.t;
@@ -94,11 +109,16 @@ type t = {
    enough. *)
 let compiled_cache_capacity = 32
 
+(* Checked stream queries are small too (a shape plus closures); one
+   slot per distinct (stream, version, query) in recent use. *)
+let plan_cache_capacity = 128
+
 let create ?(draining = Atomic.make false) cfg =
   {
     cfg;
     cache = Cache.create ~capacity:cfg.cache_entries;
     compiled = Compile_cache.create ~capacity:compiled_cache_capacity;
+    plans = Cache.create ~capacity:plan_cache_capacity;
     registry =
       Fsdata_registry.Registry.open_ ~fsync:cfg.state_fsync
         ~snapshot_every:cfg.snapshot_every ~history_limit:cfg.history_limit
@@ -440,6 +460,9 @@ let handle_stream_push t ~cancel name req =
                      (Unix.error_message e))
             | st ->
                 ignore (invalidate_prefix t (stream_cache_prefix name));
+                ignore
+                  (Cache.remove_where t.plans
+                     (String.starts_with ~prefix:(stream_cache_prefix name)));
                 json_ok
                   ~headers:[ ("x-fsdata-cache", "bypass") ]
                   (stream_fields st
@@ -565,6 +588,227 @@ let handle_stream_diff t name req =
                                (Explain.explain to_shape from_shape)) );
                       ])))
 
+(* --- /query and /streams/:name/query — typed query pushdown --- *)
+
+let default_query_limit = 1000
+
+let query_args req =
+  match Http.query_param req "q" with
+  | None -> Error "missing required query parameter q"
+  | Some qtext -> (
+      let compiled =
+        match Http.query_param req "compiled" with
+        | None | Some "0" -> Ok false
+        | Some "1" -> Ok true
+        | Some v -> Error (Printf.sprintf "bad compiled value %S (use 0 or 1)" v)
+      in
+      let limit =
+        match Http.query_param req "limit" with
+        | None -> Ok default_query_limit
+        | Some s -> (
+            match int_of_string_opt s with
+            | Some n when n > 0 -> Ok n
+            | _ -> Error (Printf.sprintf "bad limit value %S" s))
+      in
+      match (compiled, limit) with
+      | Error m, _ | _, Error m -> Error m
+      | Ok compiled, Ok limit -> (
+          match Fsdata_query.Parser.parse_result qtext with
+          | Error m -> Error m
+          | Ok query ->
+              Ok (qtext, Fsdata_query.Syntax.ensure_limit limit query, compiled, limit)))
+
+(* An ill-typed query is a client error: 400 with the Explain-style
+   diagnostic split into fields the client can act on. *)
+let query_rejection (e : Fsdata_query.Check.error) =
+  Http.response ~status:400
+    (json_body
+       [
+         ( "error",
+           Dv.String
+             (Fmt.str "query rejected: %a" Fsdata_query.Check.pp_error e) );
+         ("at", Dv.String e.Fsdata_query.Check.at);
+         ("expected", Dv.String e.Fsdata_query.Check.expected);
+         ("found", Dv.String (shape_string e.Fsdata_query.Check.found));
+       ])
+
+let query_fields ~compiled (checked : Fsdata_query.Check.checked)
+    (r : Fsdata_query.Value.result) =
+  let st = r.Fsdata_query.Value.stats in
+  [
+    ("engine", Dv.String (if compiled then "eval_fast" else "eval"));
+    ("output_shape", Dv.String (shape_string checked.Fsdata_query.Check.output));
+    ( "rows",
+      Dv.List
+        (List.map Shape_compile.to_data r.Fsdata_query.Value.rows) );
+    ("scanned", Dv.Int st.Fsdata_query.Value.scanned);
+    ("matched", Dv.Int st.Fsdata_query.Value.matched);
+    ("skipped", Dv.Int st.Fsdata_query.Value.skipped);
+    ("malformed", Dv.Int st.Fsdata_query.Value.malformed);
+  ]
+
+(* POST /query?q=Q[&shape=S][&compiled=0|1][&limit=N] — run Q over the
+   whitespace-separated JSON documents of the body. With [shape=] the
+   query is checked against that σ and an ill-typed query is rejected
+   before the corpus is even parsed; without it σ is first inferred
+   from the body. Responses are digest-keyed in the same LRU as
+   /infer. *)
+let handle_query t ~cancel req =
+  if req.Http.meth <> "POST" then method_not_allowed "POST"
+  else
+    match query_args req with
+    | Error m -> json_error 400 m
+    | Ok (qtext, query, compiled, limit) -> (
+        let shape_param = Http.query_param req "shape" in
+        let pre_checked =
+          (* the explicit-σ path typechecks before touching the body *)
+          match shape_param with
+          | None -> Ok None
+          | Some text -> (
+              match Shape_parser.parse_result text with
+              | Error m -> Error (json_error 400 m)
+              | Ok sigma -> (
+                  let sigma = Shape.hcons sigma in
+                  hcons_guard ();
+                  match Fsdata_query.Check.check sigma query with
+                  | Error e -> Error (query_rejection e)
+                  | Ok checked -> Ok (Some checked)))
+        in
+        match pre_checked with
+        | Error resp -> resp
+        | Ok pre_checked -> (
+            let key =
+              Digest.to_hex
+                (Digest.string
+                   (String.concat "\x00"
+                      [
+                        "query";
+                        qtext;
+                        string_of_bool compiled;
+                        string_of_int limit;
+                        Option.value ~default:"" shape_param;
+                        req.Http.body;
+                      ]))
+            in
+            match Cache.find t.cache key with
+            | Some body ->
+                Metrics.incr cache_hits;
+                Http.response
+                  ~headers:[ ("x-fsdata-cache", "hit") ]
+                  ~status:200 body
+            | None -> (
+                Metrics.incr cache_misses;
+                let checked =
+                  match pre_checked with
+                  | Some c -> Ok c
+                  | None -> (
+                      match Infer.of_json req.Http.body with
+                      | Error m -> Error (json_error 422 m)
+                      | Ok sigma -> (
+                          let sigma = Shape.hcons sigma in
+                          hcons_guard ();
+                          match Fsdata_query.Check.check sigma query with
+                          | Error e -> Error (query_rejection e)
+                          | Ok checked -> Ok checked))
+                in
+                match checked with
+                | Error resp -> resp
+                | Ok checked ->
+                    let result =
+                      if compiled then
+                        Fsdata_query.Eval_fast.eval ~cancel
+                          (Fsdata_query.Eval_fast.compile checked)
+                          req.Http.body
+                      else Fsdata_query.Eval.eval ~cancel checked req.Http.body
+                    in
+                    let body = json_body (query_fields ~compiled checked result) in
+                    Metrics.add cache_evictions
+                      (Cache.add ?ttl_ns:(cache_ttl t) t.cache key body);
+                    Http.response
+                      ~headers:[ ("x-fsdata-cache", "miss") ]
+                      ~status:200 body)))
+
+(* POST /streams/:name/query?q=Q[&compiled=0|1][&limit=N] — run Q over
+   the body, checked against the stream's CURRENT shape. Both caches
+   carry the stream version in their key, so a version bump re-checks
+   the query against the new σ automatically — a plan compiled against
+   version N can never serve version N+1 — and a push additionally
+   evicts the stream's plans and responses outright. *)
+let handle_stream_query t ~cancel name req =
+  if req.Http.meth <> "POST" then method_not_allowed "POST"
+  else
+    match Registry.find t.registry name with
+    | None -> json_error 404 (Printf.sprintf "no such stream %S" name)
+    | Some st -> (
+        match query_args req with
+        | Error m -> json_error 400 m
+        | Ok (qtext, query, compiled, limit) -> (
+            let version = st.Registry.version in
+            let vtag =
+              Printf.sprintf "v%d:%s:%d:" version
+                (if compiled then "fast" else "eval")
+                limit
+            in
+            let resp_key =
+              stream_cache_prefix name ^ "query:" ^ vtag
+              ^ Digest.to_hex (Digest.string (qtext ^ "\x00" ^ req.Http.body))
+            in
+            match Cache.find t.cache resp_key with
+            | Some body ->
+                Metrics.incr cache_hits;
+                Http.response
+                  ~headers:[ ("x-fsdata-cache", "hit") ]
+                  ~status:200 body
+            | None -> (
+                Metrics.incr cache_misses;
+                let plan_key = stream_cache_prefix name ^ "plan:" ^ vtag ^ qtext in
+                let entry =
+                  match Cache.find t.plans plan_key with
+                  | Some e ->
+                      Metrics.incr plan_cache_hits;
+                      Ok e
+                  | None -> (
+                      Metrics.incr plan_cache_misses;
+                      let sigma = Shape.hcons st.Registry.shape in
+                      hcons_guard ();
+                      match Fsdata_query.Check.check sigma query with
+                      | Error e -> Error (query_rejection e)
+                      | Ok checked ->
+                          let entry =
+                            {
+                              pe_checked = checked;
+                              pe_fast =
+                                (if compiled then
+                                   Some (Fsdata_query.Eval_fast.compile checked)
+                                 else None);
+                            }
+                          in
+                          ignore (Cache.add t.plans plan_key entry);
+                          Ok entry)
+                in
+                match entry with
+                | Error resp -> resp
+                | Ok entry ->
+                    let result =
+                      match entry.pe_fast with
+                      | Some plan ->
+                          Fsdata_query.Eval_fast.eval ~cancel plan req.Http.body
+                      | None ->
+                          Fsdata_query.Eval.eval ~cancel entry.pe_checked
+                            req.Http.body
+                    in
+                    let body =
+                      json_body
+                        (( "stream", Dv.String st.Registry.name )
+                         :: ("version", Dv.Int version)
+                         :: query_fields ~compiled entry.pe_checked result)
+                    in
+                    Metrics.add cache_evictions
+                      (Cache.add ?ttl_ns:(cache_ttl t) t.cache resp_key body);
+                    Http.response
+                      ~headers:[ ("x-fsdata-cache", "miss") ]
+                      ~status:200 body)))
+
 (* POST /cache/invalidate[?key=K|stream=NAME] — drop cached responses:
    one exact key, one stream's entries, or (with no parameter)
    everything. *)
@@ -575,9 +819,14 @@ let handle_cache_invalidate t req =
       match (Http.query_param req "key", Http.query_param req "stream") with
       | Some key, _ -> if Cache.remove t.cache key then 1 else 0
       | None, Some stream ->
+          ignore
+            (Cache.remove_where t.plans
+               (String.starts_with ~prefix:(stream_cache_prefix stream)));
           Cache.remove_where t.cache
             (String.starts_with ~prefix:(stream_cache_prefix stream))
-      | None, None -> Cache.clear t.cache
+      | None, None ->
+          ignore (Cache.clear t.plans);
+          Cache.clear t.cache
     in
     Metrics.add cache_invalidations n;
     json_ok [ ("invalidated", Dv.Int n) ]
@@ -624,9 +873,11 @@ let route t ~cancel ~rest req =
       | "/metrics" -> handle_metrics req
       | "/healthz" -> handle_healthz t req
       | "/cache/invalidate" -> handle_cache_invalidate t req
+      | "/query" -> handle_query t ~cancel req
       | p -> (
           match split_stream_path p with
           | Some (name, "push") -> handle_stream_push t ~cancel name req
+          | Some (name, "query") -> handle_stream_query t ~cancel name req
           | Some (name, "shape") -> handle_stream_shape t name req
           | Some (name, "history") -> handle_stream_history t name req
           | Some (name, "diff") -> handle_stream_diff t name req
@@ -637,6 +888,7 @@ let request_counter p =
   else
     match p with
     | "/infer" -> req_infer
+    | "/query" -> req_query
     | "/check" -> req_check
     | "/explain" -> req_explain
     | "/metrics" -> req_metrics

@@ -60,6 +60,14 @@ Values vary run to run; strip them:
   parse.xml.ns
   provide.classes
   provide.runs
+  query.checks
+  query.docs
+  query.evals
+  query.malformed
+  query.plans
+  query.rejected
+  query.rows
+  query.skipped
   registry.faults.injected
   registry.pushes
   registry.snapshot_failures
@@ -86,12 +94,15 @@ Values vary run to run; strip them:
   serve.latency_ms.mean
   serve.latency_ms.min
   serve.latency_ms.sum
+  serve.plan_cache.hits
+  serve.plan_cache.misses
   serve.requests.check
   serve.requests.explain
   serve.requests.healthz
   serve.requests.infer
   serve.requests.metrics
   serve.requests.other
+  serve.requests.query
   serve.requests.stream
   serve.responses.2xx
   serve.responses.4xx

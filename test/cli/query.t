@@ -1,0 +1,148 @@
+fsdata query: typed queries over corpora, checked against the inferred
+shape before a single corpus byte is read, evaluated by the reference
+engine or (--compiled) the shape-compiled one. See docs/QUERY.md.
+
+  $ FSDATA=../../bin/fsdata.exe
+
+  $ cat > people.json <<'EOF'
+  > {"name": "ada", "age": 36, "city": "london"}
+  > {"name": "bob", "age": 25, "city": "york"}
+  > {"name": "grace", "city": "rome"}
+  > EOF
+
+Filter and project; rows stream out as one JSON document per line:
+
+  $ $FSDATA query -q 'where .age >= 30 | select .name, .age' people.json
+  {"name":"ada","age":36}
+
+The two engines produce byte-identical rows:
+
+  $ $FSDATA query -q 'where .age >= 30 | select .name, .age' people.json > ref.out
+  $ $FSDATA query --compiled -q 'where .age >= 30 | select .name, .age' people.json > fast.out
+  $ cmp ref.out fast.out
+
+A missing optional field is nullable in σ, so comparing it with null is
+well-typed, and projecting it yields an explicit null:
+
+  $ $FSDATA query -q 'where .age == null | select .name, .age' people.json
+  {"name":"grace","age":null}
+
+map rebases the row; count replaces the rows by their number:
+
+  $ $FSDATA query -q 'where exists .age | map .name' people.json
+  "ada"
+  "bob"
+  $ $FSDATA query -q 'count' people.json
+  3
+
+--stats reports the scan accounting on stderr; take stops the scan as
+soon as the bound is met:
+
+  $ $FSDATA query --stats -q 'map .name | take 1' people.json
+  "ada"
+  query: scanned 1, rows 1, skipped 0, malformed 0
+
+An ill-typed query is rejected with the offending path and the shape
+that was found — exit code 2, distinct from parse (124) and runtime
+failures:
+
+  $ $FSDATA query -q 'where .zip == 1' people.json
+  query rejected: at .zip: expected a record with a field 'zip', found • {name: string, age: nullable int, city: string}
+  [2]
+
+  $ $FSDATA query -q 'where .name < 3' people.json
+  query rejected: at .name: expected a numeric shape (int or float), found string
+  [2]
+
+With --shape the check happens against the given σ before the corpus is
+even opened — the corpus file here does not exist:
+
+  $ $FSDATA query --shape '{name: string}' -q 'where .zip == 1' nonexistent.json
+  query rejected: at .zip: expected a record with a field 'zip', found • {name: string}
+  [2]
+
+A query that does not parse reports the offset:
+
+  $ $FSDATA query -q 'where .age >' people.json
+  fsdata: query parse error at offset 12: expected a literal (null, true, false, a number or a string)
+  [124]
+
+The same queries over HTTP. Start a server:
+
+  $ $FSDATA serve --port 0 --port-file port --workers 2 > serve.log 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 150); do [ -s port ] && break; sleep 0.1; done
+  $ URL="http://127.0.0.1:$(cat port)"
+
+POST /query infers σ from the body, checks the query, and answers rows
+plus accounting; compiled=1 selects the fast engine:
+
+  $ curl -s --data-binary @people.json "$URL/query?q=where+.age+%3E%3D+30+%7C+select+.name"
+  {
+    "engine": "eval",
+    "output_shape": "• {name: string}",
+    "rows": [
+      {
+        "name": "ada"
+      }
+    ],
+    "scanned": 3,
+    "matched": 1,
+    "skipped": 0,
+    "malformed": 0
+  }
+
+  $ curl -s --data-binary @people.json "$URL/query?q=count&compiled=1" | grep -E '"(engine|rows)"|^  [0-9]'
+    "engine": "eval_fast",
+    "rows": [
+
+An ill-typed query is a 400 carrying the diagnostic fields:
+
+  $ curl -s -o /dev/null -w '%{http_code}\n' --data-binary @people.json "$URL/query?q=where+.zip+%3D%3D+1"
+  400
+  $ curl -s --data-binary @people.json "$URL/query?q=where+.zip+%3D%3D+1" | grep '"at"'
+    "at": ".zip",
+
+A repeated request is answered from the response cache, byte-identical:
+
+  $ curl -s -D h1 -o r1 --data-binary @people.json "$URL/query?q=count"
+  $ curl -s -D h2 -o r2 --data-binary @people.json "$URL/query?q=count"
+  $ grep -i x-fsdata-cache h1 | tr -d '\r'
+  x-fsdata-cache: miss
+  $ grep -i x-fsdata-cache h2 | tr -d '\r'
+  x-fsdata-cache: hit
+  $ cmp r1 r2
+
+Stream queries are checked against the stream's current shape. Version
+1 knows only .name, so a query over .age is rejected:
+
+  $ curl -s --data-binary '{"name": "ada"}' "$URL/streams/people/push" | grep version
+    "version": 1,
+  $ curl -s -o /dev/null -w '%{http_code}\n' --data-binary @people.json "$URL/streams/people/query?q=where+.age+%3E%3D+30"
+  400
+
+After growth the stream re-checks against the new σ — the plan cache is
+keyed by version, so the stale rejection cannot be served:
+
+  $ curl -s --data-binary '{"name": "alan", "age": 36}' "$URL/streams/people/push" | grep version
+    "version": 2,
+  $ curl -s --data-binary @people.json "$URL/streams/people/query?q=where+.age+%3E%3D+30+%7C+count&compiled=1" | grep -E '"(version|engine|matched)"'
+    "version": 2,
+    "engine": "eval_fast",
+    "matched": 1,
+
+A push invalidates the stream's cached query responses:
+
+  $ curl -s -D qh1 -o /dev/null --data-binary @people.json "$URL/streams/people/query?q=count"
+  $ curl -s -D qh2 -o /dev/null --data-binary @people.json "$URL/streams/people/query?q=count"
+  $ grep -i x-fsdata-cache qh1 | tr -d '\r'
+  x-fsdata-cache: miss
+  $ grep -i x-fsdata-cache qh2 | tr -d '\r'
+  x-fsdata-cache: hit
+  $ curl -s -o /dev/null --data-binary '{"name": "y"}' "$URL/streams/people/push"
+  $ curl -s -D qh3 -o /dev/null --data-binary @people.json "$URL/streams/people/query?q=count"
+  $ grep -i x-fsdata-cache qh3 | tr -d '\r'
+  x-fsdata-cache: miss
+
+  $ kill $SRV 2> /dev/null
+  $ wait $SRV 2> /dev/null || true

@@ -121,12 +121,15 @@ pipeline's own counters:
   serve.latency_ms.mean
   serve.latency_ms.min
   serve.latency_ms.sum
+  serve.plan_cache.hits
+  serve.plan_cache.misses
   serve.requests.check
   serve.requests.explain
   serve.requests.healthz
   serve.requests.infer
   serve.requests.metrics
   serve.requests.other
+  serve.requests.query
   serve.requests.stream
   serve.responses.2xx
   serve.responses.4xx

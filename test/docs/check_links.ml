@@ -1,0 +1,188 @@
+(* Docs link-and-anchor checker, run under [dune runtest].
+
+   Scans every Markdown file at the repository root and under docs/ for
+   inline links [text](target) and verifies that each relative target
+   resolves to a file inside the repository, and that a #fragment names
+   a real heading of the target file (GitHub slug rules). External
+   schemes (http, https, mailto) are skipped. Fenced code blocks and
+   inline code spans are not scanned — a link-shaped string inside an
+   example is not a link. *)
+
+let errors = ref 0
+
+let fail file line fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr errors;
+      Printf.eprintf "%s:%d: %s\n" file line msg)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let lines_of s = String.split_on_char '\n' s
+
+let is_fence line =
+  let t = String.trim line in
+  String.length t >= 3 && (String.sub t 0 3 = "```" || String.sub t 0 3 = "~~~")
+
+(* Drop inline code spans: text between single backticks on one line.
+   An unbalanced backtick drops the rest of the line, which errs on the
+   side of not scanning. *)
+let strip_code_spans line =
+  let parts = String.split_on_char '`' line in
+  let b = Buffer.create (String.length line) in
+  List.iteri (fun i part -> if i mod 2 = 0 then Buffer.add_string b part) parts;
+  Buffer.contents b
+
+(* GitHub's heading-to-anchor slug: lowercase; keep alphanumerics,
+   hyphens and underscores; spaces become hyphens; everything else is
+   dropped. *)
+let slug heading =
+  let b = Buffer.create (String.length heading) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'A' .. 'Z' -> Buffer.add_char b (Char.lowercase_ascii c)
+      | 'a' .. 'z' | '0' .. '9' | '-' | '_' -> Buffer.add_char b c
+      | ' ' -> Buffer.add_char b '-'
+      | _ -> ())
+    (String.trim heading);
+  Buffer.contents b
+
+let headings content =
+  let fence = ref false in
+  List.filter_map
+    (fun line ->
+      if is_fence line then (
+        fence := not !fence;
+        None)
+      else if !fence then None
+      else
+        let n = String.length line in
+        let rec hashes i = if i < n && line.[i] = '#' then hashes (i + 1) else i in
+        let h = hashes 0 in
+        if h > 0 && h <= 6 && h < n && line.[h] = ' ' then
+          (* backticks in headings disappear from the slug's input *)
+          let text =
+            String.concat "" (String.split_on_char '`' (String.sub line h (n - h)))
+          in
+          Some (slug text)
+        else None)
+    (lines_of content)
+
+let heading_cache : (string, string list) Hashtbl.t = Hashtbl.create 16
+
+let headings_of path =
+  match Hashtbl.find_opt heading_cache path with
+  | Some hs -> hs
+  | None ->
+      let hs = headings (read_file path) in
+      Hashtbl.add heading_cache path hs;
+      hs
+
+let is_external target =
+  let has_prefix p =
+    String.length target >= String.length p
+    && String.sub target 0 (String.length p) = p
+  in
+  has_prefix "http://" || has_prefix "https://" || has_prefix "mailto:"
+
+(* Extract the targets of [text](target) links from one scannable line. *)
+let link_targets line =
+  let n = String.length line in
+  let rec go acc i =
+    if i + 1 >= n then List.rev acc
+    else if line.[i] = ']' && line.[i + 1] = '(' then (
+      match String.index_from_opt line (i + 2) ')' with
+      | None -> List.rev acc
+      | Some j -> go (String.sub line (i + 2) (j - i - 2) :: acc) (j + 1))
+    else go acc (i + 1)
+  in
+  go [] 0
+
+let check_file root file =
+  let content = read_file file in
+  let dir = Filename.dirname file in
+  let fence = ref false in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if is_fence line then fence := not !fence
+      else if not !fence then
+        let line = strip_code_spans line in
+        List.iter
+          (fun target ->
+            if target = "" then fail file lineno "empty link target"
+            else if not (is_external target) then
+              let path, frag =
+                match String.index_opt target '#' with
+                | Some k ->
+                    ( String.sub target 0 k,
+                      Some (String.sub target (k + 1) (String.length target - k - 1))
+                    )
+                | None -> (target, None)
+              in
+              let resolved =
+                if path = "" then file (* same-file #fragment *)
+                else Filename.concat dir path
+              in
+              if path <> "" && Filename.is_relative path = false then
+                fail file lineno "absolute link target %s" target
+              else if not (Sys.file_exists resolved) then
+                fail file lineno "broken link %s (no such file %s)" target
+                  resolved
+              else (
+                (* keep resolved targets inside the repository *)
+                let rec escapes acc = function
+                  | [] -> false
+                  | ".." :: rest -> acc = 0 || escapes (acc - 1) rest
+                  | ("." | "") :: rest -> escapes acc rest
+                  | _ :: rest -> escapes (acc + 1) rest
+                in
+                let rel =
+                  (* resolved is ROOT/... ; strip the root prefix *)
+                  let r = root ^ Filename.dir_sep in
+                  if String.length resolved > String.length r
+                     && String.sub resolved 0 (String.length r) = r
+                  then String.sub resolved (String.length r)
+                         (String.length resolved - String.length r)
+                  else resolved
+                in
+                if escapes 0 (String.split_on_char '/' rel) then
+                  fail file lineno "link %s escapes the repository" target;
+                match frag with
+                | None -> ()
+                | Some f ->
+                    if Filename.check_suffix resolved ".md" then
+                      if not (List.mem f (headings_of resolved)) then
+                        fail file lineno "broken anchor #%s (no such heading in %s)"
+                          f resolved))
+          (link_targets line))
+    (lines_of content)
+
+let md_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".md")
+  |> List.map (Filename.concat dir)
+  |> List.sort compare
+
+let () =
+  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
+  let files =
+    md_files root
+    @ (let docs = Filename.concat root "docs" in
+       if Sys.file_exists docs && Sys.is_directory docs then md_files docs
+       else [])
+  in
+  if files = [] then (
+    prerr_endline "check_links: no markdown files found";
+    exit 1);
+  List.iter (check_file root) files;
+  if !errors > 0 then (
+    Printf.eprintf "check_links: %d broken link(s)\n" !errors;
+    exit 1)

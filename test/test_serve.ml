@@ -406,6 +406,113 @@ let test_streamed_other_endpoint_drained () =
 
 (* ----- the live shape registry endpoints ----- *)
 
+(* ----- /query and /streams/:name/query ----- *)
+
+let query_corpus =
+  "{\"name\": \"ada\", \"age\": 36}\n{\"name\": \"bob\", \"age\": 25}\n\
+   {\"name\": \"grace\"}\n"
+
+let test_query_endpoint () =
+  let t = server () in
+  let run ?(query = []) ?(body = query_corpus) q =
+    Server.handle t (request ~query:(("q", q) :: query) ~body "/query")
+  in
+  let r = run "where .age >= 30 | select .name" in
+  check Alcotest.int "200" 200 r.Http.status;
+  check Alcotest.string "reference engine by default" "eval"
+    (field_string "engine" r);
+  check Alcotest.int "scanned all documents" 3 (field_int "scanned" r);
+  check Alcotest.int "one row matched" 1 (field_int "matched" r);
+  let rf = run ~query:[ ("compiled", "1") ] "where .age >= 30 | select .name" in
+  check Alcotest.string "compiled engine on request" "eval_fast"
+    (field_string "engine" rf);
+  (* same rows either way: everything but the engine label agrees *)
+  check Alcotest.bool "rows agree across engines" true
+    (List.assoc "rows" (body_fields r) = List.assoc "rows" (body_fields rf));
+  (* repeat is a response-cache hit with an identical body *)
+  let again = run "where .age >= 30 | select .name" in
+  check (Alcotest.option Alcotest.string) "repeat hits" (Some "hit")
+    (cache_header again);
+  check Alcotest.string "hit body identical" r.Http.resp_body
+    again.Http.resp_body;
+  (* parameter validation *)
+  check Alcotest.int "missing q is 400" 400
+    (Server.handle t (request ~body:query_corpus "/query")).Http.status;
+  check Alcotest.int "unparseable q is 400" 400 (run "where ==").Http.status;
+  check Alcotest.int "bad compiled is 400" 400
+    (run ~query:[ ("compiled", "yes") ] "count").Http.status;
+  check Alcotest.int "bad limit is 400" 400
+    (run ~query:[ ("limit", "0") ] "count").Http.status;
+  check Alcotest.int "GET is 405" 405
+    (Server.handle t (request ~meth:"GET" ~query:[ ("q", "count") ] "/query"))
+      .Http.status;
+  check Alcotest.int "malformed body without shape= is 422" 422
+    (run ~body:"{\"x\": " "count").Http.status
+
+let test_query_ill_typed () =
+  let t = server () in
+  let run ?(query = []) q =
+    Server.handle t (request ~query:(("q", q) :: query) ~body:query_corpus "/query")
+  in
+  let r = run "where .zip == 1" in
+  check Alcotest.int "ill-typed is 400" 400 r.Http.status;
+  check Alcotest.string "offending path" ".zip" (field_string "at" r);
+  check Alcotest.bool "expected names the missing field" true
+    (Astring.String.is_infix ~affix:"field 'zip'" (field_string "expected" r));
+  check Alcotest.bool "found carries σ" true
+    (Astring.String.is_infix ~affix:"name" (field_string "found" r));
+  (* with an explicit σ the corpus is never parsed: a body that would
+     422 under inference still yields the typing error *)
+  let r =
+    Server.handle t
+      (request
+         ~query:[ ("q", "where .zip == 1"); ("shape", "{name: string}") ]
+         ~body:"{\"x\": " "/query")
+  in
+  check Alcotest.int "rejected before the corpus is read" 400 r.Http.status;
+  check Alcotest.string "same diagnostic" ".zip" (field_string "at" r)
+
+let test_stream_query_recheck_on_growth () =
+  let t = server () in
+  let push body = Server.handle t (request ~body "/streams/people/push") in
+  let run ?(query = []) q =
+    Server.handle t
+      (request ~query:(("q", q) :: query) ~body:query_corpus
+         "/streams/people/query")
+  in
+  check Alcotest.int "unknown stream is 404" 404
+    (Server.handle t
+       (request ~query:[ ("q", "count") ] ~body:query_corpus
+          "/streams/nope/query"))
+      .Http.status;
+  let _ = push "{\"name\": \"ada\"}" in
+  (* v1 knows only .name: a query over .age is ill-typed *)
+  let r = run "where .age >= 30 | count" in
+  check Alcotest.int "rejected against v1" 400 r.Http.status;
+  check Alcotest.string "offending path" ".age" (field_string "at" r);
+  let ok = run ~query:[ ("compiled", "1") ] "select .name" in
+  check Alcotest.int "well-typed against v1" 200 ok.Http.status;
+  check Alcotest.int "response carries the version" 1 (field_int "version" ok);
+  (* growth: v2 gains .age, and the same query now typechecks — the
+     version-keyed plan cache cannot serve the stale rejection *)
+  let _ = push "{\"name\": \"alan\", \"age\": 36}" in
+  let r = run "where .age >= 30 | count" in
+  check Alcotest.int "accepted against v2" 200 r.Http.status;
+  check Alcotest.int "new version" 2 (field_int "version" r);
+  check Alcotest.int "rows counted" 1 (field_int "matched" r);
+  (* response cache: repeat hits, push invalidates *)
+  let a = run "select .name" in
+  check (Alcotest.option Alcotest.string) "fresh query misses" (Some "miss")
+    (cache_header a);
+  let b = run "select .name" in
+  check (Alcotest.option Alcotest.string) "repeat hits" (Some "hit")
+    (cache_header b);
+  check Alcotest.string "hit body identical" a.Http.resp_body b.Http.resp_body;
+  let _ = push "{\"name\": \"x\"}" in
+  let c = run "select .name" in
+  check (Alcotest.option Alcotest.string) "push evicts the stream's entries"
+    (Some "miss") (cache_header c)
+
 let test_stream_push_version_semantics () =
   let t = server () in
   let push body = Server.handle t (request ~body "/streams/people/push") in
@@ -596,6 +703,10 @@ let suite =
       test_streamed_csv_drained_and_cached;
     tc "streamed body drained for /check" `Quick
       test_streamed_other_endpoint_drained;
+    tc "query: typed pushdown endpoint" `Quick test_query_endpoint;
+    tc "query: ill-typed is 400 before the corpus" `Quick test_query_ill_typed;
+    tc "stream query: re-checked on version bump" `Quick
+      test_stream_query_recheck_on_growth;
     tc "stream push: version bumps only on growth" `Quick
       test_stream_push_version_semantics;
     tc "stream shape: cached until the next push" `Quick
