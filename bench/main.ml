@@ -1317,6 +1317,134 @@ let query_bench () =
   end;
   print_newline ()
 
+(* ----- B15: schema evolution — push->notify latency, /migrate ----- *)
+
+(* Two costs of the evolution service: how fast a parked long-poll
+   watcher learns about a version bump (Registry.push -> listener ->
+   Notify wake, the same path /watch rides), and /migrate throughput as
+   the submitted program grows. Smoke asserts every watcher saw exactly
+   the bumped version, that rewriting under a nullable-field growth is
+   the identity on the program text, and that repeated migrations are
+   byte-identical (the rewriter renumbers its fresh binders). *)
+let evolve_bench () =
+  let module Registry = Fsdata_registry.Registry in
+  let module Notify = Fsdata_evolve.Notify in
+  let module Service = Fsdata_evolve.Service in
+  let module Syntax = Fsdata_foo.Syntax in
+  print_endline "== evolve: push->notify latency, /migrate throughput (B15) ==";
+  let fail msg =
+    Printf.eprintf "evolve: smoke assertion failed: %s\n" msg;
+    exit 1
+  in
+  let sh = Fsdata_core.Shape_parser.parse in
+  (* push->notify: park a waiter, bump the stream, measure the wake *)
+  let rounds = if !smoke then 25 else 500 in
+  let reg = Registry.open_ ~dir:None () in
+  let notify = Notify.create ~capacity:4 in
+  Registry.set_listener reg (fun st -> Notify.notify notify st.Registry.name);
+  let field k = Printf.sprintf "f%d: int" k in
+  let shape_upto k =
+    sh ("{" ^ String.concat ", " (List.init (k + 1) field) ^ "}")
+  in
+  ignore (Registry.push reg ~stream:"s" (shape_upto 0));
+  let latencies = Array.make rounds 0. in
+  for i = 1 to rounds do
+    let want = i + 1 in
+    let waiter =
+      Domain.spawn (fun () ->
+          let r =
+            Notify.wait notify ~key:"s" ~seconds:10. ~poll:(fun () ->
+                match Registry.find reg "s" with
+                | Some st when st.Registry.version >= want ->
+                    Some st.Registry.version
+                | _ -> None)
+          in
+          (r, Unix.gettimeofday ()))
+    in
+    let rec parked tries =
+      if Notify.waiting notify = 0 && tries < 10_000 then begin
+        Unix.sleepf 0.0002;
+        parked (tries + 1)
+      end
+    in
+    parked 0;
+    let t0 = Unix.gettimeofday () in
+    ignore (Registry.push reg ~stream:"s" (shape_upto i));
+    (match Domain.join waiter with
+    | `Ready v, t1 ->
+        if v <> want then
+          fail (Printf.sprintf "watcher saw v%d, expected v%d" v want);
+        latencies.(i - 1) <- t1 -. t0
+    | (`Timeout | `Capacity), _ -> fail "parked watcher was not woken")
+  done;
+  Array.sort compare latencies;
+  let mean = Array.fold_left ( +. ) 0. latencies /. float_of_int rounds in
+  let pct p = latencies.(min (rounds - 1) (rounds * p / 100)) in
+  Printf.printf
+    "  push->notify over %4d bumps: mean %7.1f us   p50 %7.1f us   p99 \
+     %7.1f us\n\
+     %!"
+    rounds (mean *. 1e6)
+    (pct 50 *. 1e6)
+    (pct 99 *. 1e6);
+  (* /migrate throughput vs program size over a two-version stream *)
+  let mreg = Registry.open_ ~dir:None () in
+  ignore (Registry.push mreg ~stream:"people" (sh "{name: string}"));
+  ignore
+    (Registry.push mreg ~stream:"people" (sh "{name: string, age: int}"));
+  let program_of_depth k =
+    let rec go k acc =
+      if k = 0 then acc
+      else go (k - 1) ("if y.Name = y.Name then y.Name else (" ^ acc ^ ")")
+    in
+    go k "y.Name"
+  in
+  let repeats = if !smoke then 1 else 3 in
+  let sizes = if !smoke then [ 1; 16 ] else [ 1; 16; 128; 1024 ] in
+  List.iter
+    (fun depth ->
+      let program = program_of_depth depth in
+      let iters = if !smoke then 50 else 500 in
+      let results = ref [] in
+      let (), dt =
+        time_best ~repeats (fun () ->
+            results := [];
+            for _ = 1 to iters do
+              results :=
+                Service.migrate mreg ~stream:"people" ~since:1 ~program
+                :: !results
+            done)
+      in
+      let out =
+        match !results with
+        | Ok r :: _ -> Syntax.expr_to_string r.Service.program
+        | Error e :: _ ->
+            fail (Format.asprintf "migrate failed: %a" Service.pp_error e)
+        | [] -> fail "no migration ran"
+      in
+      if !smoke then begin
+        let canonical =
+          Syntax.expr_to_string (Fsdata_foo.Parser.parse_expr program)
+        in
+        if out <> canonical then
+          fail "nullable-growth rewrite was not the identity";
+        List.iter
+          (fun r ->
+            match r with
+            | Ok r ->
+                if Syntax.expr_to_string r.Service.program <> out then
+                  fail "repeated migrations are not byte-identical"
+            | Error _ -> fail "a repeat migration failed")
+          !results
+      end;
+      Printf.printf
+        "  migrate %7d-byte program: %8.1f us/req  (%7.0f req/s)\n%!"
+        (String.length program)
+        (dt /. float_of_int iters *. 1e6)
+        (float_of_int iters /. dt))
+    sizes;
+  print_newline ()
+
 let groups =
   [
     ("fig1", fig1);
@@ -1336,6 +1464,7 @@ let groups =
     ("loadgen", loadgen_bench);
     ("registry", registry_bench);
     ("query", query_bench);
+    ("evolve", evolve_bench);
   ]
 
 let () =

@@ -10,8 +10,11 @@
               explaining any mismatch
      schema   export the inferred shape as a JSON Schema document
      sample   generate representative documents from a shape
+     query    run a typed query over a JSON corpus
+     serve    run the HTTP inference service and live shape registry
      migrate  rewrite a user program for a provider re-run with added
-              samples (Remark 1's three transformations) *)
+              samples (Remark 1's three transformations)
+     watch    long-poll a served stream and print its version bumps *)
 
 open Cmdliner
 module Infer = Fsdata_core.Infer
@@ -823,9 +826,25 @@ let serve_cmd =
                 miss. $(b,0) (the default) means entries never expire —
                 eviction and $(b,POST /cache/invalidate) still apply.")
   in
+  let max_waiters_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-waiters" ] ~docv:"N"
+          ~doc:"Concurrent $(b,/streams/NAME/watch) long-polls admitted
+                before further watchers are shed with $(b,503); each
+                parked watcher occupies a worker domain.")
+  in
+  let hook_retry_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "hook-retry-ms" ] ~docv:"MS"
+          ~doc:"First-retry backoff for webhook delivery; doubles per
+                consecutive failure up to the delivery worker's ceiling.
+                See $(b,docs/EVOLUTION.md).")
+  in
   let run () port host workers timeout_ms cache_entries port_file queue_depth
       max_inflight_mb state_dir state_fsync snapshot_every history_limit
-      cache_ttl_ms =
+      cache_ttl_ms max_waiters hook_retry_ms =
     if workers < 1 then `Error (false, "--workers must be at least 1")
     else if timeout_ms < 1 then `Error (false, "--timeout-ms must be positive")
     else if queue_depth < 0 then
@@ -836,6 +855,10 @@ let serve_cmd =
       `Error (false, "--snapshot-every must be at least 1")
     else if history_limit < 1 then
       `Error (false, "--history-limit must be at least 1")
+    else if max_waiters < 1 then
+      `Error (false, "--max-waiters must be at least 1")
+    else if hook_retry_ms < 1 then
+      `Error (false, "--hook-retry-ms must be positive")
     else begin
       match
         Fsdata_serve.Server.run
@@ -854,6 +877,8 @@ let serve_cmd =
             snapshot_every;
             history_limit;
             cache_ttl_ms;
+            max_waiters;
+            hook_retry_ms;
           }
       with
       | () -> `Ok ()
@@ -877,7 +902,8 @@ let serve_cmd =
         (const run $ obs_term $ port_arg $ host_arg $ workers_arg
        $ timeout_arg $ cache_arg $ port_file_arg $ queue_depth_arg
        $ max_inflight_arg $ state_dir_arg $ fsync_arg $ snapshot_every_arg
-       $ history_limit_arg $ cache_ttl_arg))
+       $ history_limit_arg $ cache_ttl_arg $ max_waiters_arg
+       $ hook_retry_arg))
 
 (* --- migrate --- *)
 
@@ -932,6 +958,108 @@ let migrate_cmd =
              samples, applying the three local transformations of
              Section 6.5 (Remark 1) automatically.")
     Term.(ret (const run $ format_arg $ program_arg $ old_arg $ new_arg))
+
+(* --- watch --- *)
+
+let watch_cmd =
+  let stream_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"STREAM" ~doc:"Stream name to watch.")
+  in
+  let url_arg =
+    Arg.(
+      value
+      & opt string "http://127.0.0.1:8080"
+      & info [ "url" ] ~docv:"URL"
+          ~doc:"Base URL of the $(b,fsdata serve) instance.")
+  in
+  let since_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "since" ] ~docv:"V"
+          ~doc:"Report version bumps past $(docv); without it the watch
+                starts at the stream's current version, i.e. reports the
+                next bump.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "count" ] ~docv:"N" ~doc:"Exit after $(docv) version bumps.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt int 30_000
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Per-poll long-poll budget; a poll that ends without a bump
+                ($(b,204)) ends the watch with an error.")
+  in
+  let run () stream base since count timeout_ms =
+    if count < 1 then `Error (false, "--count must be at least 1")
+    else if timeout_ms < 1 then `Error (false, "--timeout-ms must be positive")
+    else begin
+      let module Client = Fsdata_evolve.Client in
+      let base =
+        let n = String.length base in
+        if n > 0 && base.[n - 1] = '/' then String.sub base 0 (n - 1) else base
+      in
+      (* the socket timeout exceeds the long-poll budget: a healthy
+         server always answers (bump or 204) within the budget *)
+      let timeout_s = (float_of_int timeout_ms /. 1e3) +. 2. in
+      let since = ref since in
+      let remaining = ref count in
+      let outcome = ref `Continue in
+      while !remaining > 0 && !outcome = `Continue do
+        let url =
+          Printf.sprintf "%s/streams/%s/watch?timeout-ms=%d%s" base stream
+            timeout_ms
+            (match !since with
+            | None -> ""
+            | Some v -> Printf.sprintf "&since=%d" v)
+        in
+        match Client.request ~timeout_s ~meth:"GET" ~url () with
+        | Error m -> outcome := `Fail m
+        | Ok (204, _) ->
+            outcome :=
+              `Fail
+                (Printf.sprintf
+                   "watch timed out after %dms without a version bump"
+                   timeout_ms)
+        | Ok (200, body) -> (
+            match Fsdata_data.Json.parse_result body with
+            | Ok (Dv.Record (_, fields)) -> (
+                match
+                  ( List.assoc_opt "version" fields,
+                    List.assoc_opt "shape" fields )
+                with
+                | Some (Dv.Int v), Some (Dv.String shape) ->
+                    Printf.printf "%s v%d %s\n%!" stream v shape;
+                    since := Some v;
+                    decr remaining
+                | _ -> outcome := `Fail ("malformed watch response: " ^ body))
+            | Ok _ | Error _ ->
+                outcome := `Fail ("malformed watch response: " ^ body))
+        | Ok (status, body) ->
+            outcome :=
+              `Fail
+                (Printf.sprintf "watch answered %d: %s" status
+                   (String.trim body))
+      done;
+      match !outcome with `Fail m -> `Error (false, m) | `Continue -> `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Long-poll a served stream's $(b,/watch) endpoint and print one
+             line per version bump ($(i,stream) $(b,v)$(i,N) $(i,shape))
+             until $(b,--count) bumps have been seen. See
+             $(b,docs/EVOLUTION.md).")
+    Term.(
+      ret
+        (const run $ obs_term $ stream_arg $ url_arg $ since_arg $ count_arg
+       $ timeout_arg))
 
 (* --- query --- *)
 
@@ -1069,7 +1197,7 @@ let main =
              XML and CSV (PLDI 2016 reproduction).")
     [
       infer_cmd; provide_cmd; codegen_cmd; check_cmd; schema_cmd; sample_cmd;
-      query_cmd; serve_cmd; migrate_cmd;
+      query_cmd; serve_cmd; migrate_cmd; watch_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,179 @@
+type io = {
+  read : Unix.file_descr -> bytes -> int -> int -> int;
+  write : Unix.file_descr -> string -> int -> int -> int;
+}
+
+let default_io = { read = Unix.read; write = Unix.write_substring }
+
+let parse_url url =
+  let prefix = "http://" in
+  if not (String.starts_with ~prefix url) then
+    Error (Printf.sprintf "%s: only http:// URLs are supported" url)
+  else
+    let rest =
+      String.sub url (String.length prefix)
+        (String.length url - String.length prefix)
+    in
+    let hostport, path =
+      match String.index_opt rest '/' with
+      | None -> (rest, "/")
+      | Some i ->
+          (String.sub rest 0 i, String.sub rest i (String.length rest - i))
+    in
+    let host, port =
+      match String.index_opt hostport ':' with
+      | None -> (hostport, Ok 80)
+      | Some i ->
+          let p = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+          ( String.sub hostport 0 i,
+            match int_of_string_opt p with
+            | Some n when n > 0 && n < 65536 -> Ok n
+            | _ -> Error (Printf.sprintf "%s: bad port %S" url p) )
+    in
+    match port with
+    | Error _ as e -> e
+    | Ok port ->
+        if host = "" then Error (Printf.sprintf "%s: missing host" url)
+        else Ok (host, port, path)
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+          Error (Printf.sprintf "cannot resolve host %S" host)
+      | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0))
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Read the response whole: tiny bodies (ours carry a shape and a
+   program), one connection per request. Stops at Content-Length when
+   declared, at EOF otherwise. *)
+let read_response io fd =
+  let buf = Bytes.create 8192 in
+  let acc = Buffer.create 1024 in
+  let rec fill stop_at =
+    let enough () =
+      match stop_at with Some n -> Buffer.length acc >= n | None -> false
+    in
+    if enough () then ()
+    else
+      match io.read fd buf 0 (Bytes.length buf) with
+      | 0 -> ()
+      | n ->
+          Buffer.add_subbytes acc buf 0 n;
+          fill stop_at
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill stop_at
+  in
+  (* first: enough bytes to see the header/body split *)
+  let rec header_end () =
+    let text = Buffer.contents acc in
+    match find_sub text "\r\n\r\n" with
+    | Some i -> Some (text, i)
+    | None -> (
+        match io.read fd buf 0 (Bytes.length buf) with
+        | 0 -> None
+        | n ->
+            Buffer.add_subbytes acc buf 0 n;
+            header_end ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> header_end ())
+  in
+  match header_end () with
+  | None -> Error "truncated response: no header terminator"
+  | Some (text, split) -> (
+      let head = String.sub text 0 split in
+      match String.split_on_char '\r' head with
+      | [] -> Error "empty response"
+      | status_line :: _ -> (
+          let status =
+            match String.split_on_char ' ' status_line with
+            | _ :: code :: _ -> int_of_string_opt code
+            | _ -> None
+          in
+          match status with
+          | None ->
+              Error (Printf.sprintf "malformed status line %S" status_line)
+          | Some status ->
+              let content_length =
+                String.split_on_char '\n' head
+                |> List.find_map (fun line ->
+                       let line = String.trim line in
+                       match String.index_opt line ':' with
+                       | Some i
+                         when String.lowercase_ascii (String.sub line 0 i)
+                              = "content-length" ->
+                           int_of_string_opt
+                             (String.trim
+                                (String.sub line (i + 1)
+                                   (String.length line - i - 1)))
+                       | _ -> None)
+              in
+              let body_start = split + 4 in
+              (match content_length with
+              | Some n -> fill (Some (body_start + n))
+              | None -> fill None);
+              let text = Buffer.contents acc in
+              let body =
+                String.sub text body_start (String.length text - body_start)
+              in
+              let body =
+                match content_length with
+                | Some n when n <= String.length body -> String.sub body 0 n
+                | _ -> body
+              in
+              Ok (status, body)))
+
+let write_all io fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    match io.write fd s !pos (len - !pos) with
+    | n -> pos := !pos + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let request ?(io = default_io) ?(timeout_s = 5.0) ?(headers = []) ~meth ~url
+    ?(body = "") () =
+  match parse_url url with
+  | Error _ as e -> e
+  | Ok (host, port, path) -> (
+      match resolve host with
+      | Error _ as e -> e
+      | Ok addr -> (
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+          match
+            Fun.protect ~finally (fun () ->
+                (try
+                   Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+                   Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
+                 with Unix.Unix_error _ -> ());
+                Unix.connect fd (Unix.ADDR_INET (addr, port));
+                let b = Buffer.create 256 in
+                Buffer.add_string b
+                  (Printf.sprintf "%s %s HTTP/1.1\r\n" meth path);
+                Buffer.add_string b
+                  (Printf.sprintf "host: %s:%d\r\n" host port);
+                Buffer.add_string b
+                  (Printf.sprintf "content-length: %d\r\n"
+                     (String.length body));
+                Buffer.add_string b "connection: close\r\n";
+                List.iter
+                  (fun (k, v) -> Buffer.add_string b (k ^ ": " ^ v ^ "\r\n"))
+                  headers;
+                Buffer.add_string b "\r\n";
+                Buffer.add_string b body;
+                write_all io fd (Buffer.contents b);
+                read_response io fd)
+          with
+          | result -> result
+          | exception Unix.Unix_error (e, fn, _) ->
+              Error (Printf.sprintf "%s: %s (%s)" url (Unix.error_message e) fn)))

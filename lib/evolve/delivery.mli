@@ -1,0 +1,60 @@
+(** The webhook delivery worker: at-least-once version notifications.
+
+    Registered hooks ({!Fsdata_registry.Registry.add_hook}) carry a
+    durable cursor — the last version whose notification the endpoint
+    acknowledged with a 2xx. The worker walks every stream's hooks,
+    POSTs one JSON notification per undelivered version {e in order}
+    (cursor+1 first; a version is never skipped), and advances the
+    cursor through the registry WAL only {e after} the 2xx — so a crash
+    anywhere between POST and ack redelivers, which is exactly
+    at-least-once. Endpoints must treat the [(stream, version)] pair as
+    an idempotency key.
+
+    Failures back off exponentially per hook (base doubling up to the
+    max), so one dead endpoint cannot hot-loop the worker while other
+    hooks keep delivering. The worker parks on a wildcard
+    {!Notify.waiter} between scans: a push wakes it immediately, an
+    idle registry costs a few wakeups per second.
+
+    The serve layer runs {!loop} in a dedicated domain under its
+    crash-only supervisor; tests drive {!step} directly and inject
+    socket faults through the {!Client.io} hook. *)
+
+type config = {
+  base_backoff_ms : int;  (** first retry delay (default 50) *)
+  max_backoff_ms : int;  (** backoff ceiling (default 5000) *)
+  timeout_s : float;  (** per-POST socket timeout (default 5.) *)
+  io : Client.io option;  (** fault-shimmed I/O for tests; [None] = real *)
+}
+
+val default_config : config
+
+val payload :
+  stream:string -> version:int -> shape:Fsdata_core.Shape.t option -> string
+(** The notification body: a JSON object with [stream], [version] and
+    [shape] (the paper notation at that version — [null] in the rare
+    case the bounded history evicted it before delivery caught up).
+    Exposed so tests and receivers can pin the format. *)
+
+type state
+(** Per-hook retry bookkeeping (backoff and next-due times). In-memory
+    only: after a restart every failing hook is due immediately, which
+    at worst redelivers — never skips. *)
+
+val state : unit -> state
+
+val step : ?cfg:config -> state -> Fsdata_registry.Registry.t -> float
+(** One scan: attempt every due delivery (at most one version per hook
+    per scan; a success leaves the next version due immediately) and
+    return the suggested sleep in seconds until the next due attempt —
+    [0.] if more work is ready now, [infinity] if every hook is idle. *)
+
+val loop :
+  ?cfg:config ->
+  notify:Notify.t ->
+  stop:(unit -> bool) ->
+  Fsdata_registry.Registry.t ->
+  unit
+(** Run {!step} until [stop ()], parking on a wildcard waiter between
+    scans (woken by every {!Notify.notify}); polls [stop] at least every
+    250ms. Exceptions propagate — the caller supervises. *)

@@ -1,0 +1,145 @@
+module Metrics = Fsdata_obs.Metrics
+module Clock = Fsdata_obs.Clock
+
+let g_watchers = Metrics.gauge "evolve.watchers"
+
+(* A registered waiter: its key (stream name, or None for wildcard) and
+   the write end notify pokes. The read end stays with the waiting
+   caller. *)
+type entry = { key : string option; wr : Unix.file_descr }
+
+type t = {
+  lock : Mutex.t;
+  mutable entries : entry list;
+  capacity : int;
+}
+
+let create ~capacity = { lock = Mutex.create (); entries = []; capacity = max 1 capacity }
+
+let is_request e = e.key <> None
+
+let waiting t =
+  Mutex.protect t.lock (fun () ->
+      List.length (List.filter is_request t.entries))
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Both ends non-blocking: notify must never stall on a full pipe (a
+   full pipe means a wake is already pending), and draining must never
+   stall on an empty one. *)
+let make_pipe () =
+  let rd, wr = Unix.pipe () in
+  Unix.set_nonblock rd;
+  Unix.set_nonblock wr;
+  (rd, wr)
+
+let register t key =
+  Mutex.protect t.lock (fun () ->
+      if
+        key <> None
+        && List.length (List.filter is_request t.entries) >= t.capacity
+      then None
+      else begin
+        let rd, wr = make_pipe () in
+        t.entries <- { key; wr } :: t.entries;
+        Some (rd, wr)
+      end)
+
+let deregister t wr =
+  Mutex.protect t.lock (fun () ->
+      t.entries <- List.filter (fun e -> e.wr != wr) t.entries)
+
+let notify t name =
+  let fds =
+    Mutex.protect t.lock (fun () ->
+        List.filter_map
+          (fun e ->
+            match e.key with
+            | Some k when k <> name -> None
+            | _ -> Some e.wr)
+          t.entries)
+  in
+  List.iter
+    (fun wr ->
+      try ignore (Unix.write_substring wr "!" 0 1) with Unix.Unix_error _ -> ())
+    fds
+
+let drain rd =
+  let buf = Bytes.create 256 in
+  try ignore (Unix.read rd buf 0 256) with Unix.Unix_error _ -> ()
+
+(* select until readable or timeout; EINTR retried against the same
+   absolute deadline *)
+let select_until rd deadline_ns =
+  let rec go () =
+    let remaining =
+      Int64.to_float (Int64.sub deadline_ns (Clock.now_ns ())) /. 1e9
+    in
+    if remaining <= 0. then false
+    else
+      match Unix.select [ rd ] [] [] remaining with
+      | [], _, _ -> false
+      | _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let wait t ~key ~seconds ~poll =
+  match poll () with
+  | Some v -> `Ready v
+  | None -> (
+      match register t (Some key) with
+      | None -> `Capacity
+      | Some (rd, wr) ->
+          Metrics.gauge_add g_watchers 1.0;
+          let cleanup () =
+            deregister t wr;
+            close_quiet rd;
+            close_quiet wr;
+            Metrics.gauge_add g_watchers (-1.0)
+          in
+          Fun.protect ~finally:cleanup @@ fun () ->
+          let deadline_ns =
+            Int64.add (Clock.now_ns ())
+              (Int64.of_float (Float.max 0. seconds *. 1e9))
+          in
+          (* re-poll after registration: a bump between the first poll
+             and the pipe landing in the table would otherwise be lost *)
+          let rec loop () =
+            match poll () with
+            | Some v -> `Ready v
+            | None ->
+                if select_until rd deadline_ns then begin
+                  drain rd;
+                  loop ()
+                end
+                else (* timed out; one last look in case a bump raced *)
+                  match poll () with Some v -> `Ready v | None -> `Timeout
+          in
+          loop ())
+
+type waiter = { w_rd : Unix.file_descr; w_wr : Unix.file_descr; owner : t }
+
+let waiter t =
+  match
+    Mutex.protect t.lock (fun () ->
+        let rd, wr = make_pipe () in
+        t.entries <- { key = None; wr } :: t.entries;
+        (rd, wr))
+  with
+  | rd, wr -> { w_rd = rd; w_wr = wr; owner = t }
+
+let await w ~seconds =
+  let deadline_ns =
+    Int64.add (Clock.now_ns ()) (Int64.of_float (Float.max 0. seconds *. 1e9))
+  in
+  if select_until w.w_rd deadline_ns then begin
+    drain w.w_rd;
+    true
+  end
+  else false
+
+let close_waiter w =
+  deregister w.owner w.w_wr;
+  close_quiet w.w_rd;
+  close_quiet w.w_wr

@@ -1,0 +1,69 @@
+(** The bounded waiter table behind version subscriptions.
+
+    Long-poll watchers ([GET /streams/:name/watch]) park here until
+    {!Fsdata_registry.Registry.push} bumps their stream's version; the
+    registry's bump listener calls {!notify}, which wakes exactly the
+    waiters keyed by that stream (plus any wildcard waiters, e.g. the
+    webhook delivery worker). Each waiter is a pipe: registration
+    creates one, {!notify} writes a byte to its write end, and the
+    waiter blocks in [select] on the read end with a timeout — the only
+    way to combine "woken by another domain" with "bounded by the
+    request deadline" without a timed condition wait, which OCaml's
+    stdlib does not have.
+
+    The table is {e bounded}: at most [capacity] request waiters may be
+    parked at once (each occupies a worker domain and two file
+    descriptors); one past the bound is refused with [`Capacity], which
+    the server answers 503 — long-polls are shed exactly like
+    over-budget bodies. Wildcard waiters ({!waiter}) are permanent,
+    owned by background workers, and do not count against the bound.
+
+    Waking is strictly a {e hint}: [wait] re-runs its [poll] after every
+    wake and after registration (closing the lost-wakeup window between
+    the caller's first check and the pipe landing in the table), so a
+    spurious wake — a bump that does not satisfy the watcher's [since]
+    — just re-arms the select with the time remaining. *)
+
+type t
+
+val create : capacity:int -> t
+(** An empty table admitting at most [capacity] concurrent {!wait}s
+    (clamped to at least 1). *)
+
+val wait :
+  t ->
+  key:string ->
+  seconds:float ->
+  poll:(unit -> 'a option) ->
+  [ `Ready of 'a | `Timeout | `Capacity ]
+(** [wait t ~key ~seconds ~poll] returns [`Ready v] as soon as
+    [poll () = Some v] — checked immediately, after registration, and
+    after every {!notify} on [key] — or [`Timeout] once [seconds] have
+    elapsed without the poll succeeding, or [`Capacity] if the table is
+    full. The waiter is always deregistered and its pipe closed before
+    returning. *)
+
+val notify : t -> string -> unit
+(** Wake every waiter registered under this key, and every wildcard
+    waiter. Never blocks: pipe write ends are non-blocking, and a full
+    pipe already guarantees the waiter has a wake pending. *)
+
+val waiting : t -> int
+(** Request waiters currently parked (wildcard waiters excluded). *)
+
+(** {2 Permanent wildcard waiters} *)
+
+type waiter
+
+val waiter : t -> waiter
+(** Register a permanent waiter woken by {e every} {!notify}. Owned by
+    background workers (the webhook delivery loop); not counted against
+    [capacity]. *)
+
+val await : waiter -> seconds:float -> bool
+(** Block until the waiter is woken or [seconds] elapse; [true] if
+    woken. Drains the pipe, so consecutive awaits do not busy-spin on
+    stale wakes. *)
+
+val close_waiter : waiter -> unit
+(** Deregister and close the pipe. Idempotent. *)

@@ -1,0 +1,104 @@
+module Registry = Fsdata_registry.Registry
+module Shape = Fsdata_core.Shape
+module Provide = Fsdata_provider.Provide
+module Migrate = Fsdata_provider.Migrate
+module Syntax = Fsdata_foo.Syntax
+module TC = Fsdata_foo.Typecheck
+module Metrics = Fsdata_obs.Metrics
+module Trace = Fsdata_obs.Trace
+
+(* --- instruments (docs/OBSERVABILITY.md, "evolve.*") --- *)
+
+let m_migrations = Metrics.counter "evolve.migrations"
+let m_failures = Metrics.counter "evolve.migration_failures"
+
+type rewritten = {
+  stream : string;
+  from_version : int;
+  to_version : int;
+  old_shape : Shape.t;
+  new_shape : Shape.t;
+  program : Syntax.expr;
+  ty : Syntax.ty;
+}
+
+type error =
+  | No_stream
+  | Unknown_version of int * int
+  | Evicted of int * int
+  | Parse_error of string
+  | Ill_typed of string
+  | Unsupported of string
+  | Internal of string
+
+let pp_error ppf = function
+  | No_stream -> Fmt.string ppf "no such stream"
+  | Unknown_version (v, cur) ->
+      Fmt.pf ppf "stream never had version %d (current version is %d)" v cur
+  | Evicted (v, oldest) ->
+      Fmt.pf ppf
+        "version %d was evicted by the history limit (oldest retained \
+         version is %d)"
+        v oldest
+  | Parse_error m -> Fmt.pf ppf "program does not parse: %s" m
+  | Ill_typed m ->
+      Fmt.pf ppf "program does not check against the old shape: %s" m
+  | Unsupported m -> Fmt.pf ppf "cannot migrate: %s" m
+  | Internal m -> Fmt.pf ppf "internal migration error: %s" m
+
+let compute reg ~stream ~since ~program =
+  match Registry.find reg stream with
+  | None -> Error No_stream
+  | Some st -> (
+      match Registry.version_status st since with
+      | `Unknown -> Error (Unknown_version (since, st.Registry.version))
+      | `Evicted -> Error (Evicted (since, Registry.oldest_retained st))
+      | `Shape old_shape -> (
+          match Fsdata_foo.Parser.parse_expr_result program with
+          | Error m -> Error (Parse_error m)
+          | Ok e -> (
+              let old_provided = Provide.provide ~format:`Json old_shape in
+              let new_provided =
+                Provide.provide ~format:`Json st.Registry.shape
+              in
+              let env p = [ ("y", p.Provide.root_ty) ] in
+              match
+                TC.synth old_provided.Provide.classes (env old_provided) e
+              with
+              | Error te -> Error (Ill_typed (Fmt.str "%a" TC.pp_error te))
+              | Ok _ -> (
+                  match Migrate.migrate ~old_provided ~new_provided e with
+                  | Error (Migrate.Unsupported m) -> Error (Unsupported m)
+                  | Ok e' -> (
+                      (* self-verification: the service never hands out a
+                         program it cannot itself check against the
+                         current σ's provided type *)
+                      match
+                        TC.synth new_provided.Provide.classes
+                          (env new_provided) e'
+                      with
+                      | Error te ->
+                          Error
+                            (Internal
+                               (Fmt.str
+                                  "rewritten program failed to re-check: %a"
+                                  TC.pp_error te))
+                      | Ok ty ->
+                          Ok
+                            {
+                              stream;
+                              from_version = since;
+                              to_version = st.Registry.version;
+                              old_shape;
+                              new_shape = st.Registry.shape;
+                              program = e';
+                              ty;
+                            })))))
+
+let migrate reg ~stream ~since ~program =
+  Trace.with_span "evolve.migrate" @@ fun () ->
+  let result = compute reg ~stream ~since ~program in
+  (match result with
+  | Ok _ -> Metrics.incr m_migrations
+  | Error _ -> Metrics.incr m_failures);
+  result

@@ -1,0 +1,61 @@
+(** Remark 1 as a service: rewrite a user program across registry
+    versions.
+
+    The registry's bounded history stores the shape at every retained
+    version bump; {!migrate} looks up the shape a program was compiled
+    against, re-runs the type provider on both it and the stream's
+    current shape, and applies {!Fsdata_provider.Migrate} — the paper's
+    three local transformations — to produce a program over the current
+    provided type. The service {e verifies its own output}: the
+    rewritten program is re-checked against the new provided classes
+    before it is returned, so a caller never receives a program that
+    does not shape-check against the current σ.
+
+    Both providers run with the JSON naming conventions (`Json), the
+    registry's lingua franca: shapes are format-agnostic once inferred,
+    and the provided member names only depend on the shape. *)
+
+type rewritten = {
+  stream : string;
+  from_version : int;
+  to_version : int;  (** the stream's current version *)
+  old_shape : Fsdata_core.Shape.t;
+  new_shape : Fsdata_core.Shape.t;
+  program : Fsdata_foo.Syntax.expr;  (** the rewritten program *)
+  ty : Fsdata_foo.Syntax.ty;
+      (** its type against the {e new} provided classes — by Remark 1,
+          also its type against the old ones *)
+}
+
+type error =
+  | No_stream  (** the stream does not exist: 404 *)
+  | Unknown_version of int * int
+      (** (asked, current): the stream never reached it — 404 *)
+  | Evicted of int * int
+      (** (asked, oldest retained): the version existed but
+          [--history-limit] dropped its shape — 409, the client must
+          re-infer or migrate from a retained version *)
+  | Parse_error of string  (** the program is not Foo syntax: 400 *)
+  | Ill_typed of string
+      (** the program does not check against the old shape's provided
+          type: 422 *)
+  | Unsupported of string
+      (** outside the migratable fragment
+          ({!Fsdata_provider.Migrate.error}): 422 *)
+  | Internal of string
+      (** the rewritten program failed its re-check — a migrator bug,
+          never the client's fault: 500 *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val migrate :
+  Fsdata_registry.Registry.t ->
+  stream:string ->
+  since:int ->
+  program:string ->
+  (rewritten, error) result
+(** [migrate reg ~stream ~since ~program] rewrites [program] (Foo
+    concrete syntax, free variable [y] = the provided root) from the
+    provided type of [stream]'s version [since] to that of its current
+    version. Counted in [evolve.migrations] / [evolve.migration_failures];
+    traced as [evolve.migrate]. *)

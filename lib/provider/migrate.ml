@@ -349,6 +349,63 @@ and member_access ~new_classes ~old_classes (e0, ot0, nt0) m =
   let* e', new_m_ty = route e0 nt0 in
   Ok (e', old_m_ty, new_m_ty)
 
+(* The rewrite draws binder names from a process-global counter, so the
+   same input migrated twice (or via different version chains) would
+   differ only in the [mig%N] suffixes. Renumbering them in traversal
+   order makes the output a function of the input alone — composed
+   migrations agree byte-for-byte and cached responses are
+   reproducible. Generated names are globally unique, so a flat
+   old-name -> canonical-name map cannot capture. *)
+let normalize_fresh e =
+  let map = Hashtbl.create 8 in
+  let next = ref 0 in
+  let is_fresh x = String.length x > 4 && String.sub x 0 4 = "mig%" in
+  let bind x =
+    if is_fresh x && not (Hashtbl.mem map x) then begin
+      incr next;
+      Hashtbl.replace map x (Printf.sprintf "mig%%%d" !next)
+    end
+  in
+  let name x = match Hashtbl.find_opt map x with Some y -> y | None -> x in
+  let rec go e =
+    match e with
+    | EData _ | EDate _ | ENone _ | ENil _ | EExn -> e
+    | EVar x -> EVar (name x)
+    | ELam (x, ty, body) ->
+        bind x;
+        ELam (name x, ty, go body)
+    | EApp (e1, e2) -> EApp (go e1, go e2)
+    | EMember (e1, m) -> EMember (go e1, m)
+    | ENew (c, args) -> ENew (c, List.map go args)
+    | ESome e1 -> ESome (go e1)
+    | EMatchOption (e0, x, e1, e2) ->
+        bind x;
+        let e0 = go e0 in
+        EMatchOption (e0, name x, go e1, go e2)
+    | EEq (e1, e2) -> EEq (go e1, go e2)
+    | EIf (e1, e2, e3) -> EIf (go e1, go e2, go e3)
+    | ECons (e1, e2) -> ECons (go e1, go e2)
+    | EMatchList (e0, x1, x2, e1, e2) ->
+        bind x1;
+        bind x2;
+        let e0 = go e0 in
+        EMatchList (e0, name x1, name x2, go e1, go e2)
+    | EOp op -> EOp (go_op op)
+  and go_op op =
+    match op with
+    | ConvFloat (s, e1) -> ConvFloat (s, go e1)
+    | ConvPrim (s, e1) -> ConvPrim (s, go e1)
+    | ConvField (a, b, e1, e2) -> ConvField (a, b, go e1, go e2)
+    | ConvNull (e1, e2) -> ConvNull (go e1, go e2)
+    | ConvElements (e1, e2) -> ConvElements (go e1, go e2)
+    | HasShape (s, e1) -> HasShape (s, go e1)
+    | ConvBool e1 -> ConvBool (go e1)
+    | ConvDate e1 -> ConvDate (go e1)
+    | ConvSelect (s, m, e1, e2) -> ConvSelect (s, m, go e1, go e2)
+    | IntOfFloat e1 -> IntOfFloat (go e1)
+  in
+  go e
+
 let migrate ~(old_provided : Provide.t) ~(new_provided : Provide.t) e =
   let old_classes = old_provided.Provide.classes in
   let new_classes = new_provided.Provide.classes in
@@ -364,4 +421,4 @@ let migrate ~(old_provided : Provide.t) ~(new_provided : Provide.t) e =
   let* e', ot, nt = rewrite ~new_classes ~old_classes env e in
   (* restore the program's original type (Remark 1: same τ) *)
   let* f = coerce ~new_classes ~old_classes nt ot in
-  Ok (f e')
+  Ok (normalize_fresh (f e'))

@@ -47,7 +47,13 @@ val migrate :
     [new_provided] with the same free variable convention.
 
     The program must be user code in the sense of Theorem 3: no dynamic
-    data operations except the [int(e)] coercion, no [Data] literals. *)
+    data operations except the [int(e)] coercion, no [Data] literals.
+
+    The output is deterministic: generated binders ([mig%N]) are
+    renumbered in traversal order, so the rewritten program depends
+    only on the input — migrating [v1 -> v3] directly produces the
+    same bytes as composing [v1 -> v2; v2 -> v3], and re-computed
+    service responses are reproducible. *)
 
 val coerce :
   new_classes:Fsdata_foo.Syntax.class_env ->

@@ -12,6 +12,8 @@ let m_snapshots = Metrics.counter "registry.snapshots"
 let m_snapshot_failures = Metrics.counter "registry.snapshot_failures"
 let g_streams = Metrics.gauge "registry.streams"
 
+type hook = { url : string; delivered : int }
+
 type stream = {
   name : string;
   version : int;
@@ -19,6 +21,7 @@ type stream = {
   pushes : int;
   shape : Shape.t;
   history : (int * int * Shape.t) list;
+  hooks : hook list;
 }
 
 type t = {
@@ -30,6 +33,7 @@ type t = {
   lock : Mutex.t;
   streams : (string, stream) Hashtbl.t;
   mutable wal : Wal.t option;
+  mutable listener : (stream -> unit) option;
 }
 
 (* Stream names are str16-framed in the codec; a longer name would
@@ -38,7 +42,15 @@ type t = {
 let max_name_length = 0xFFFF
 
 let fresh_stream name =
-  { name; version = 0; seq = 0; pushes = 0; shape = Shape.Bottom; history = [] }
+  {
+    name;
+    version = 0;
+    seq = 0;
+    pushes = 0;
+    shape = Shape.Bottom;
+    history = [];
+    hooks = [];
+  }
 
 (* The one fold both live pushes and WAL replay go through, so replay is
    the in-memory fold by construction (property-tested in
@@ -151,6 +163,60 @@ let decode_record payload =
   let delta = get_shape c "record shape" in
   (name, seq, count, delta)
 
+(* Hook records: webhook subscriptions ride in the same WAL as pushes,
+   so they share its durability story. Unlike pushes they carry no seq —
+   every hook mutation is idempotent on its own (set-add, set-remove,
+   cursor-max), which makes replay across the compaction crash window
+   safe without bookkeeping. The add record stores the delivery cursor
+   at registration time: recomputing it at replay would silently skip
+   any version pushed between registration and the crash. *)
+let hook_add_tag = '\003'
+let hook_remove_tag = '\004'
+let hook_ack_tag = '\005'
+
+let encode_hook_add ~name ~url ~delivered =
+  let b = Buffer.create 64 in
+  Buffer.add_char b hook_add_tag;
+  add_str16 b name;
+  add_str16 b url;
+  add_int b delivered;
+  Buffer.contents b
+
+let encode_hook_remove ~name ~url =
+  let b = Buffer.create 64 in
+  Buffer.add_char b hook_remove_tag;
+  add_str16 b name;
+  add_str16 b url;
+  Buffer.contents b
+
+let encode_hook_ack ~name ~url ~version =
+  let b = Buffer.create 64 in
+  Buffer.add_char b hook_ack_tag;
+  add_str16 b name;
+  add_str16 b url;
+  add_int b version;
+  Buffer.contents b
+
+let decode_hook_add payload =
+  let c = { text = payload; off = 1 } in
+  let name = get_str16 c "hook name" in
+  let url = get_str16 c "hook url" in
+  let delivered = get_int c "hook delivered" in
+  (name, url, delivered)
+
+let decode_hook_remove payload =
+  let c = { text = payload; off = 1 } in
+  let name = get_str16 c "hook name" in
+  let url = get_str16 c "hook url" in
+  (name, url)
+
+let decode_hook_ack payload =
+  let c = { text = payload; off = 1 } in
+  let name = get_str16 c "hook name" in
+  let url = get_str16 c "hook url" in
+  let version = get_int c "hook ack version" in
+  (name, url, version)
+
 (* Snapshot: every stream in full, history included. The current shape
    is not stored separately — it is the last history entry (or ⊥). *)
 let snapshot_tag = '\002'
@@ -171,7 +237,13 @@ let encode_snapshot streams =
           add_int b version;
           add_int b seq;
           add_str32 b (Shape.to_string shape))
-        st.history)
+        st.history;
+      add_int b (List.length st.hooks);
+      List.iter
+        (fun h ->
+          add_str16 b h.url;
+          add_int b h.delivered)
+        st.hooks)
     streams;
   Buffer.contents b
 
@@ -193,10 +265,17 @@ let decode_snapshot payload =
             let shape = get_shape c "history shape" in
             (version, seq, shape))
       in
+      let hook_count = get_int c "snapshot hook count" in
+      let hooks =
+        List.init hook_count (fun _ ->
+            let url = get_str16 c "snapshot hook url" in
+            let delivered = get_int c "snapshot hook delivered" in
+            { url; delivered })
+      in
       let shape =
         match List.rev history with (_, _, s) :: _ -> s | [] -> Shape.Bottom
       in
-      { name; version; seq; pushes; shape; history })
+      { name; version; seq; pushes; shape; history; hooks })
 
 (* --- persistence plumbing --- *)
 
@@ -237,18 +316,50 @@ let load_snapshot t path =
         (decode_snapshot payload)
   | None -> fail_corrupt "snapshot frame"
 
+let stream_or_fresh t name =
+  match Hashtbl.find_opt t.streams name with
+  | Some st -> st
+  | None -> fresh_stream name
+
 let replay_record t payload =
-  let name, seq, count, delta = decode_record payload in
-  let st =
-    match Hashtbl.find_opt t.streams name with
-    | Some st -> st
-    | None -> fresh_stream name
-  in
-  (* seq dedup makes replay idempotent across the compaction crash
-     window where the WAL still holds records the snapshot covers *)
-  if seq > st.seq then
-    Hashtbl.replace t.streams name
-      (apply ~limit:t.history_limit st ~seq ~count delta)
+  if payload = "" then fail_corrupt "empty record";
+  match payload.[0] with
+  | c when c = record_tag ->
+      let name, seq, count, delta = decode_record payload in
+      let st = stream_or_fresh t name in
+      (* seq dedup makes replay idempotent across the compaction crash
+         window where the WAL still holds records the snapshot covers *)
+      if seq > st.seq then
+        Hashtbl.replace t.streams name
+          (apply ~limit:t.history_limit st ~seq ~count delta)
+  | c when c = hook_add_tag ->
+      (* idempotent set-add; the recorded cursor wins only on first
+         sight, so a re-added hook keeps any later acked progress *)
+      let name, url, delivered = decode_hook_add payload in
+      let st = stream_or_fresh t name in
+      if not (List.exists (fun h -> h.url = url) st.hooks) then
+        Hashtbl.replace t.streams name
+          { st with hooks = st.hooks @ [ { url; delivered } ] }
+  | c when c = hook_remove_tag ->
+      let name, url = decode_hook_remove payload in
+      let st = stream_or_fresh t name in
+      Hashtbl.replace t.streams name
+        { st with hooks = List.filter (fun h -> h.url <> url) st.hooks }
+  | c when c = hook_ack_tag ->
+      (* cursor-max: replaying an already-covered ack changes nothing *)
+      let name, url, version = decode_hook_ack payload in
+      let st = stream_or_fresh t name in
+      Hashtbl.replace t.streams name
+        {
+          st with
+          hooks =
+            List.map
+              (fun h ->
+                if h.url = url then { h with delivered = max h.delivered version }
+                else h)
+              st.hooks;
+        }
+  | _ -> fail_corrupt "record tag"
 
 let open_ ?fault ?(fsync = `Always) ?(snapshot_every = 512)
     ?(history_limit = 256) ~dir () =
@@ -262,6 +373,7 @@ let open_ ?fault ?(fsync = `Always) ?(snapshot_every = 512)
       lock = Mutex.create ();
       streams = Hashtbl.create 16;
       wal = None;
+      listener = None;
     }
   in
   (match dir with
@@ -331,25 +443,106 @@ let push t ~stream:name ?(count = 1) delta =
       (Printf.sprintf "Registry.push: stream name is %d bytes (max %d)"
          (String.length name) max_name_length);
   Trace.with_span "registry.push" @@ fun () ->
-  Mutex.protect t.lock @@ fun () ->
-  let st =
-    match Hashtbl.find_opt t.streams name with
-    | Some st -> st
-    | None -> fresh_stream name
+  let st', bumped =
+    Mutex.protect t.lock @@ fun () ->
+    let st =
+      match Hashtbl.find_opt t.streams name with
+      | Some st -> st
+      | None -> fresh_stream name
+    in
+    let seq = st.seq + 1 in
+    (* WAL first, memory second: a raised append leaves the in-memory
+       state at the last acknowledged push *)
+    (match t.wal with
+    | Some wal -> Wal.append wal (encode_record ~name ~seq ~count delta)
+    | None -> ());
+    let st' = apply ~limit:t.history_limit st ~seq ~count delta in
+    Hashtbl.replace t.streams name st';
+    set_streams_gauge t;
+    Metrics.incr m_pushes;
+    if st'.version > st.version then Metrics.incr m_bumps;
+    maybe_snapshot t;
+    (st', st'.version > st.version)
   in
-  let seq = st.seq + 1 in
-  (* WAL first, memory second: a raised append leaves the in-memory
-     state at the last acknowledged push *)
-  (match t.wal with
-  | Some wal -> Wal.append wal (encode_record ~name ~seq ~count delta)
-  | None -> ());
-  let st' = apply ~limit:t.history_limit st ~seq ~count delta in
-  Hashtbl.replace t.streams name st';
-  set_streams_gauge t;
-  Metrics.incr m_pushes;
-  if st'.version > st.version then Metrics.incr m_bumps;
-  maybe_snapshot t;
+  (* the bump listener runs outside the lock: it may call back into the
+     registry (find, ack_delivery) without deadlocking *)
+  (if bumped then match t.listener with Some f -> f st' | None -> ());
   st'
+
+let set_listener t f = t.listener <- Some f
+
+(* --- webhook subscriptions --- *)
+
+let check_hook_args ~name ~url =
+  if String.length name > max_name_length then
+    invalid_arg "Registry hook: stream name too long for u16 framing";
+  if String.length url > max_name_length then
+    invalid_arg "Registry hook: url too long for u16 framing"
+
+let add_hook t ~stream:name ~url =
+  check_hook_args ~name ~url;
+  Mutex.protect t.lock @@ fun () ->
+  let st = stream_or_fresh t name in
+  match List.find_opt (fun h -> h.url = url) st.hooks with
+  | Some _ -> st (* idempotent: re-registration keeps the cursor *)
+  | None ->
+      (* the cursor starts at the current version: a hook hears about
+         bumps from registration onward, never the back catalogue *)
+      let delivered = st.version in
+      (match t.wal with
+      | Some wal -> Wal.append wal (encode_hook_add ~name ~url ~delivered)
+      | None -> ());
+      let st' = { st with hooks = st.hooks @ [ { url; delivered } ] } in
+      Hashtbl.replace t.streams name st';
+      set_streams_gauge t;
+      maybe_snapshot t;
+      st'
+
+let remove_hook t ~stream:name ~url =
+  check_hook_args ~name ~url;
+  Mutex.protect t.lock @@ fun () ->
+  match Hashtbl.find_opt t.streams name with
+  | None -> None
+  | Some st ->
+      if List.exists (fun h -> h.url = url) st.hooks then begin
+        (match t.wal with
+        | Some wal -> Wal.append wal (encode_hook_remove ~name ~url)
+        | None -> ());
+        let st' =
+          { st with hooks = List.filter (fun h -> h.url <> url) st.hooks }
+        in
+        Hashtbl.replace t.streams name st';
+        maybe_snapshot t;
+        Some st'
+      end
+      else Some st
+
+let ack_delivery t ~stream:name ~url ~version =
+  Mutex.protect t.lock @@ fun () ->
+  match Hashtbl.find_opt t.streams name with
+  | None -> ()
+  | Some st -> (
+      match List.find_opt (fun h -> h.url = url) st.hooks with
+      | None -> ()
+      | Some h when version <= h.delivered -> ()
+      | Some _ ->
+          (* WAL first, memory second, like a push: an unacked delivery
+             cursor is redelivered after a crash — at-least-once *)
+          (match t.wal with
+          | Some wal -> Wal.append wal (encode_hook_ack ~name ~url ~version)
+          | None -> ());
+          Hashtbl.replace t.streams name
+            {
+              st with
+              hooks =
+                List.map
+                  (fun h ->
+                    if h.url = url then
+                      { h with delivered = max h.delivered version }
+                    else h)
+                  st.hooks;
+            };
+          maybe_snapshot t)
 
 let find t name = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.streams name)
 
@@ -363,6 +556,13 @@ let version_shape st v =
   else
     List.find_opt (fun (version, _, _) -> version = v) st.history
     |> Option.map (fun (_, _, shape) -> shape)
+
+let oldest_retained st =
+  match st.history with (v, _, _) :: _ -> v | [] -> st.version
+
+let version_status st v =
+  if v < 0 || v > st.version then `Unknown
+  else match version_shape st v with Some s -> `Shape s | None -> `Evicted
 
 let snapshot t = Mutex.protect t.lock (fun () -> do_snapshot t)
 

@@ -30,6 +30,13 @@ module Shape := Fsdata_core.Shape
 
 type t
 
+type hook = { url : string; delivered : int }
+(** One webhook subscription: notification POSTs go to [url]; versions
+    up to and including [delivered] have been acknowledged as delivered
+    (the cursor starts at the stream version current at registration).
+    Hooks are persisted through the WAL and snapshots, so they survive
+    [kill -9] exactly like pushes do. *)
+
 type stream = {
   name : string;
   version : int;  (** 0 for a fresh stream (shape ⊥); bumps on strict growth *)
@@ -40,6 +47,8 @@ type stream = {
       (** one entry per version bump, oldest first: (version, seq, shape).
           A bounded window — only the newest [history_limit] bumps are
           retained (see {!open_}) *)
+  hooks : hook list;
+      (** webhook subscriptions, registration order (docs/EVOLUTION.md) *)
 }
 
 val open_ :
@@ -85,6 +94,34 @@ val push : t -> stream:string -> ?count:int -> Shape.t -> stream
     codec's u16 framing (unreachable over HTTP, where the request line
     is capped far lower). *)
 
+val set_listener : t -> (stream -> unit) -> unit
+(** [set_listener t f] registers [f] to be called (outside the registry
+    lock, with the post-push state) after every push that {e bumps} the
+    stream's version. One listener; the serve layer uses it to wake
+    long-poll watchers and the webhook delivery worker. Replay during
+    {!open_} never fires it — recovery is not growth. *)
+
+val add_hook : t -> stream:string -> url:string -> stream
+(** [add_hook t ~stream ~url] durably registers a webhook subscription
+    (WAL append before the in-memory update, like a push) and returns
+    the stream's state. Creates the stream at version 0 if it does not
+    exist yet. Idempotent: re-registering an existing URL changes
+    nothing and keeps its delivery cursor. The new hook's cursor starts
+    at the current version — it will be notified of future bumps only.
+    Raises [Invalid_argument] if the name or URL exceeds the codec's
+    u16 framing (65535 bytes). *)
+
+val remove_hook : t -> stream:string -> url:string -> stream option
+(** Durably unregister; [None] if the stream does not exist. Removing a
+    URL that was never registered is a no-op returning the stream. *)
+
+val ack_delivery : t -> stream:string -> url:string -> version:int -> unit
+(** [ack_delivery t ~stream ~url ~version] durably advances the hook's
+    delivery cursor to [version] (cursor-max; a stale or duplicate ack
+    is a no-op). Called by the delivery worker {e after} a successful
+    POST, so a crash between delivery and ack redelivers — at-least-once
+    semantics with no skipped versions. *)
+
 val find : t -> string -> stream option
 val list : t -> stream list
 (** All streams, sorted by name. *)
@@ -94,6 +131,17 @@ val version_shape : stream -> int -> Shape.t option
     the recorded history entry for bumped versions, [None] for versions
     the stream never reached — or whose entry the bounded history has
     already evicted. *)
+
+val version_status : stream -> int -> [ `Shape of Shape.t | `Evicted | `Unknown ]
+(** Like {!version_shape} but distinguishing the two [None] cases:
+    [`Unknown] for a version the stream never reached (negative, or
+    above the current version), [`Evicted] for one it did reach whose
+    history entry the bounded window has dropped. The distinction is
+    [/migrate]'s 404 vs 409. *)
+
+val oldest_retained : stream -> int
+(** The oldest version whose shape the bounded history still holds
+    (0 for a stream that never bumped — version 0 is always ⊥). *)
 
 val snapshot : t -> unit
 (** Force compaction now: serialize every stream into [snapshot.tmp],

@@ -335,10 +335,13 @@ let response ?(headers = []) ?(content_type = "application/json") ~status body =
 
 let status_reason = function
   | 200 -> "OK"
+  | 204 -> "No Content"
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 406 -> "Not Acceptable"
   | 408 -> "Request Timeout"
+  | 409 -> "Conflict"
   | 413 -> "Content Too Large"
   | 422 -> "Unprocessable Content"
   | 431 -> "Request Header Fields Too Large"

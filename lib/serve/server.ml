@@ -13,6 +13,9 @@ module Xml = Fsdata_data.Xml
 module Metrics = Fsdata_obs.Metrics
 module Clock = Fsdata_obs.Clock
 module Registry = Fsdata_registry.Registry
+module Notify = Fsdata_evolve.Notify
+module Evolve = Fsdata_evolve.Service
+module Delivery = Fsdata_evolve.Delivery
 
 (* --- instruments (docs/OBSERVABILITY.md, "serve.*") --- *)
 
@@ -42,6 +45,12 @@ let deadline_expired = Metrics.counter "serve.deadline_expired"
 let stream_bodies = Metrics.counter "serve.stream.bodies"
 let inflight_bytes_gauge = Metrics.gauge "serve.inflight_bytes"
 
+(* watch outcomes (docs/OBSERVABILITY.md, "evolve.*"): the waiter-table
+   gauge itself lives with the table in Fsdata_evolve.Notify *)
+let watch_notified = Metrics.counter "evolve.watch.notified"
+let watch_timeouts = Metrics.counter "evolve.watch.timeouts"
+let watch_shed = Metrics.counter "evolve.watch.shed"
+
 (* --- configuration and handler state --- *)
 
 type config = {
@@ -61,6 +70,8 @@ type config = {
   snapshot_every : int;
   history_limit : int;
   cache_ttl_ms : int;  (* <= 0: cached responses never expire *)
+  max_waiters : int;  (* concurrent long-polls admitted before shedding *)
+  hook_retry_ms : int;  (* webhook delivery first-retry backoff *)
 }
 
 let default_config =
@@ -81,6 +92,8 @@ let default_config =
     snapshot_every = 512;
     history_limit = 256;
     cache_ttl_ms = 0;
+    max_waiters = 64;
+    hook_retry_ms = 50;
   }
 
 (* A checked (and possibly plan-compiled) stream query, cached per
@@ -100,6 +113,7 @@ type t = {
   compiled : Compile_cache.t;
   plans : plan_entry Cache.t;
   registry : Fsdata_registry.Registry.t;
+  watch : Notify.t;
   draining : bool Atomic.t;
   inflight_bytes : int Atomic.t;
 }
@@ -114,15 +128,23 @@ let compiled_cache_capacity = 32
 let plan_cache_capacity = 128
 
 let create ?(draining = Atomic.make false) cfg =
+  let registry =
+    Fsdata_registry.Registry.open_ ~fsync:cfg.state_fsync
+      ~snapshot_every:cfg.snapshot_every ~history_limit:cfg.history_limit
+      ~dir:cfg.state_dir ()
+  in
+  let watch = Notify.create ~capacity:cfg.max_waiters in
+  (* every strict-growth bump wakes that stream's long-polls and the
+     delivery worker's wildcard waiter; the listener fires outside the
+     registry lock *)
+  Registry.set_listener registry (fun st -> Notify.notify watch st.Registry.name);
   {
     cfg;
     cache = Cache.create ~capacity:cfg.cache_entries;
     compiled = Compile_cache.create ~capacity:compiled_cache_capacity;
     plans = Cache.create ~capacity:plan_cache_capacity;
-    registry =
-      Fsdata_registry.Registry.open_ ~fsync:cfg.state_fsync
-        ~snapshot_every:cfg.snapshot_every ~history_limit:cfg.history_limit
-        ~dir:cfg.state_dir ();
+    registry;
+    watch;
     draining;
     inflight_bytes = Atomic.make 0;
   }
@@ -208,18 +230,75 @@ let render_report ~format (report : Infer.report) shape =
       ("samples", Dv.List (List.map quarantine_entry report.Infer.quarantined));
     ]
 
-let render_ok t ~format ~cache_header report =
+(* Content negotiation: the Accept header picks the response
+   representation — the full JSON report (default), the shape's JSON
+   Schema export, or the bare shape in paper notation. The first
+   supported media type listed wins (q-weights are ignored: our three
+   representations are disjoint enough that preference order is the
+   whole signal); a header naming only types we cannot produce is
+   406. *)
+let negotiate_accept req =
+  match Http.header req "accept" with
+  | None -> Ok `Report
+  | Some v -> (
+      let media_of item =
+        let item =
+          match String.index_opt item ';' with
+          | None -> item
+          | Some i -> String.sub item 0 i
+        in
+        String.lowercase_ascii (String.trim item)
+      in
+      let supported = function
+        | "application/json" | "application/*" | "*/*" -> Some `Report
+        | "application/schema+json" -> Some `Schema
+        | "text/x-fsdata-shape" | "text/plain" | "text/*" -> Some `Paper
+        | _ -> None
+      in
+      match
+        List.find_map supported (List.map media_of (String.split_on_char ',' v))
+      with
+      | Some a -> Ok a
+      | None ->
+          Error
+            (Printf.sprintf
+               "cannot satisfy Accept: %s (supported: application/json, \
+                application/schema+json, text/x-fsdata-shape)"
+               v))
+
+let accept_tag = function
+  | `Report -> "report"
+  | `Schema -> "schema"
+  | `Paper -> "paper"
+
+let accept_content_type = function
+  | `Report -> "application/json"
+  | `Schema -> "application/schema+json"
+  | `Paper -> "text/plain; charset=utf-8"
+
+let render_ok t ~format ~accept ~cache_header report =
   let shape = Shape.hcons report.Infer.shape in
   hcons_guard ();
   (* warm the compiled-parser cache: a client that infers a shape and
      then re-parses documents against it (POST /check?compiled=1) hits
      compiled code immediately *)
   if format = "json" then ignore (Compile_cache.get t.compiled shape);
-  (render_report ~format report shape, cache_header, shape)
+  let body =
+    match accept with
+    | `Report -> render_report ~format report shape
+    | `Schema -> Fsdata_codegen.Json_schema.to_string shape ^ "\n"
+    | `Paper -> shape_string shape ^ "\n"
+  in
+  (body, cache_header)
 
 let handle_infer t ~cancel ~rest req =
   if req.Http.meth <> "POST" then method_not_allowed "POST"
   else
+    match negotiate_accept req with
+    | Error m ->
+        Http.response ~status:406 (json_body [ ("error", Dv.String m) ])
+    | Ok accept -> (
+    let content_type = accept_content_type accept in
     let format = Option.value ~default:"json" (Http.query_param req "format") in
     let jobs =
       match Http.query_param req "jobs" with
@@ -257,15 +336,17 @@ let handle_infer t ~cancel ~rest req =
         match Infer.of_json_feed_tolerant ~cancel ~budget feed with
         | Error m -> json_error 422 m
         | Ok report ->
-            let body, header, _ =
-              render_ok t ~format ~cache_header:"bypass" report
+            let body, header =
+              render_ok t ~format ~accept ~cache_header:"bypass" report
             in
-            Http.response
+            Http.response ~content_type
               ~headers:[ ("x-fsdata-cache", header) ]
               ~status:200 body)
     | ("json" | "csv" | "xml"), Ok jobs, Ok budget -> (
         (* Buffered (or non-JSON streamed: drained here, still under the
-           reservation) — the digest-keyed cache path. *)
+           reservation) — the digest-keyed cache path. The negotiated
+           representation rides in the key: the same body under a
+           different Accept is a different response. *)
         let body_text =
           match rest with
           | None -> req.Http.body
@@ -277,6 +358,7 @@ let handle_infer t ~cancel ~rest req =
                (String.concat "\x00"
                   [
                     format;
+                    accept_tag accept;
                     string_of_int jobs;
                     Diagnostic.budget_to_string budget;
                     body_text;
@@ -285,7 +367,9 @@ let handle_infer t ~cancel ~rest req =
         match Cache.find t.cache key with
         | Some body ->
             Metrics.incr cache_hits;
-            Http.response ~headers:[ ("x-fsdata-cache", "hit") ] ~status:200 body
+            Http.response ~content_type
+              ~headers:[ ("x-fsdata-cache", "hit") ]
+              ~status:200 body
         | None -> (
             Metrics.incr cache_misses;
             let result =
@@ -300,17 +384,17 @@ let handle_infer t ~cancel ~rest req =
             match result with
             | Error m -> json_error 422 m
             | Ok report ->
-                let body, header, _ =
-                  render_ok t ~format ~cache_header:"miss" report
+                let body, header =
+                  render_ok t ~format ~accept ~cache_header:"miss" report
                 in
                 Metrics.add cache_evictions
                   (Cache.add ?ttl_ns:(cache_ttl t) t.cache key body);
-                Http.response
+                Http.response ~content_type
                   ~headers:[ ("x-fsdata-cache", header) ]
                   ~status:200 body))
     | fmt, _, _ ->
         json_error 400
-          (Printf.sprintf "unsupported format %S (use json, csv or xml)" fmt)
+          (Printf.sprintf "unsupported format %S (use json, csv or xml)" fmt))
 
 (* --- /check and /explain --- *)
 
@@ -588,6 +672,229 @@ let handle_stream_diff t name req =
                                (Explain.explain to_shape from_shape)) );
                       ])))
 
+(* --- /streams/:name/{migrate,watch,hooks} — schema evolution --- *)
+
+(* POST /streams/:name/migrate?since=V — rewrite the Foo program in the
+   body from the provided type of version V to the current one
+   (docs/EVOLUTION.md). Successes are cached under the stream's prefix
+   with both versions in the key, so a push both invalidates them and
+   makes them unreachable; errors are cheap and not cached. *)
+let handle_stream_migrate t name req =
+  if req.Http.meth <> "POST" then method_not_allowed "POST"
+  else
+    match Http.query_param req "since" with
+    | None ->
+        json_error 400
+          "missing required query parameter since (the version the program \
+           was compiled against)"
+    | Some s -> (
+        match int_of_string_opt s with
+        | None -> json_error 400 (Printf.sprintf "bad since value %S" s)
+        | Some since -> (
+            let program = String.trim req.Http.body in
+            if program = "" then
+              json_error 400 "missing program: send it as the request body"
+            else
+              let current =
+                match Registry.find t.registry name with
+                | Some st -> st.Registry.version
+                | None -> -1
+              in
+              let key =
+                stream_cache_prefix name
+                ^ Printf.sprintf "migrate:%d-%d:" since current
+                ^ Digest.to_hex (Digest.string program)
+              in
+              match Cache.find t.cache key with
+              | Some body ->
+                  Metrics.incr cache_hits;
+                  Http.response
+                    ~headers:[ ("x-fsdata-cache", "hit") ]
+                    ~status:200 body
+              | None -> (
+                  Metrics.incr cache_misses;
+                  match
+                    Evolve.migrate t.registry ~stream:name ~since ~program
+                  with
+                  | Error err ->
+                      let status =
+                        match err with
+                        | Evolve.No_stream | Evolve.Unknown_version _ -> 404
+                        | Evolve.Evicted _ -> 409
+                        | Evolve.Parse_error _ -> 400
+                        | Evolve.Ill_typed _ | Evolve.Unsupported _ -> 422
+                        | Evolve.Internal _ -> 500
+                      in
+                      let extra =
+                        match err with
+                        | Evolve.Unknown_version (_, cur) ->
+                            [ ("current_version", Dv.Int cur) ]
+                        | Evolve.Evicted (_, oldest) ->
+                            [ ("oldest_retained", Dv.Int oldest) ]
+                        | _ -> []
+                      in
+                      Http.response ~status
+                        (json_body
+                           (("error", Dv.String (Fmt.str "%a" Evolve.pp_error err))
+                           :: extra))
+                  | Ok r ->
+                      let body =
+                        json_body
+                          [
+                            ("stream", Dv.String r.Evolve.stream);
+                            ("from_version", Dv.Int r.Evolve.from_version);
+                            ("to_version", Dv.Int r.Evolve.to_version);
+                            ( "old_shape",
+                              Dv.String (shape_string r.Evolve.old_shape) );
+                            ( "new_shape",
+                              Dv.String (shape_string r.Evolve.new_shape) );
+                            ( "program",
+                              Dv.String
+                                (Fsdata_foo.Syntax.expr_to_string
+                                   r.Evolve.program) );
+                            ( "type",
+                              Dv.String
+                                (Fmt.str "%a" Fsdata_foo.Syntax.pp_ty
+                                   r.Evolve.ty) );
+                          ]
+                      in
+                      Metrics.add cache_evictions
+                        (Cache.add ?ttl_ns:(cache_ttl t) t.cache key body);
+                      Http.response
+                        ~headers:[ ("x-fsdata-cache", "miss") ]
+                        ~status:200 body)))
+
+(* How long a watch may park when neither the deadline nor timeout-ms
+   says otherwise (direct handler calls in tests; the live server's
+   request deadline is always finite and tighter). *)
+let watch_default_s = 25.
+
+(* GET /streams/:name/watch?since=V[&timeout-ms=N] — long-poll until the
+   stream's version exceeds V (default: its version at arrival, i.e.
+   "the next bump"). 200 with the stream fields on a bump, 204 when the
+   budget expires first, 503 when the waiter table is full. The wait is
+   bounded by the request deadline less a write margin, so the answer
+   always beats the socket timeout. *)
+let handle_stream_watch t ~deadline name req =
+  if req.Http.meth <> "GET" then method_not_allowed "GET"
+  else
+    match Registry.find t.registry name with
+    | None -> json_error 404 (Printf.sprintf "no such stream %S" name)
+    | Some st -> (
+        let since =
+          match Http.query_param req "since" with
+          | None -> Ok st.Registry.version
+          | Some s -> (
+              match int_of_string_opt s with
+              | Some v when v >= 0 -> Ok v
+              | _ -> Error (Printf.sprintf "bad since value %S" s))
+        in
+        let timeout_param =
+          match Http.query_param req "timeout-ms" with
+          | None -> Ok None
+          | Some s -> (
+              match int_of_string_opt s with
+              | Some ms when ms >= 0 -> Ok (Some ms)
+              | _ -> Error (Printf.sprintf "bad timeout-ms value %S" s))
+        in
+        match (since, timeout_param) with
+        | Error m, _ | _, Error m -> json_error 400 m
+        | Ok since, Ok timeout_param -> (
+            let poll () =
+              match Registry.find t.registry name with
+              | Some st when st.Registry.version > since -> Some st
+              | _ -> None
+            in
+            let budget =
+              let from_deadline =
+                let r = Deadline.remaining_seconds deadline in
+                if r = infinity then infinity else Float.max 0. (r -. 0.05)
+              in
+              let from_param =
+                match timeout_param with
+                | Some ms -> float_of_int ms /. 1e3
+                | None -> watch_default_s
+              in
+              Float.min from_deadline from_param
+            in
+            match Notify.wait t.watch ~key:name ~seconds:budget ~poll with
+            | `Ready st ->
+                Metrics.incr watch_notified;
+                json_ok
+                  ~headers:[ ("x-fsdata-watch", "notified") ]
+                  (stream_fields st)
+            | `Timeout ->
+                Metrics.incr watch_timeouts;
+                Http.response ~status:204
+                  ~headers:[ ("x-fsdata-watch", "timeout") ]
+                  ""
+            | `Capacity ->
+                Metrics.incr watch_shed;
+                Metrics.incr shed_total;
+                Http.response ~status:503
+                  ~headers:[ ("retry-after", "1") ]
+                  (json_body
+                     [ ("error", Dv.String "too many concurrent watchers") ])))
+
+(* /streams/:name/hooks?url=U — webhook registration. POST registers
+   (idempotently; the cursor starts at the current version, recorded
+   durably in the WAL), DELETE removes, GET lists with delivery
+   cursors. Registration is durable before it is acknowledged: a WAL
+   append failure answers 503 and registers nothing. *)
+let handle_stream_hooks t name req =
+  let url_param () =
+    match Http.query_param req "url" with
+    | None -> Error "missing required query parameter url"
+    | Some url when String.length url > 2048 -> Error "url too long"
+    | Some url -> (
+        match Fsdata_evolve.Client.parse_url url with
+        | Ok _ -> Ok url
+        | Error m -> Error m)
+  in
+  let hook_entry (h : Registry.hook) =
+    Dv.Record
+      ( Dv.json_record_name,
+        [
+          ("url", Dv.String h.Registry.url);
+          ("delivered", Dv.Int h.Registry.delivered);
+        ] )
+  in
+  let render (st : Registry.stream) =
+    json_ok
+      [
+        ("stream", Dv.String st.Registry.name);
+        ("version", Dv.Int st.Registry.version);
+        ("hooks", Dv.List (List.map hook_entry st.Registry.hooks));
+      ]
+  in
+  match req.Http.meth with
+  | "GET" -> (
+      match Registry.find t.registry name with
+      | None -> json_error 404 (Printf.sprintf "no such stream %S" name)
+      | Some st -> render st)
+  | "POST" -> (
+      match url_param () with
+      | Error m -> json_error 400 m
+      | Ok url -> (
+          match Registry.add_hook t.registry ~stream:name ~url with
+          | exception Unix.Unix_error (e, _, _) ->
+              json_error 503
+                (Printf.sprintf "storage error, hook not registered: %s"
+                   (Unix.error_message e))
+          | st -> render st))
+  | "DELETE" -> (
+      match url_param () with
+      | Error m -> json_error 400 m
+      | Ok url -> (
+          match Registry.remove_hook t.registry ~stream:name ~url with
+          | exception Unix.Unix_error (e, _, _) ->
+              json_error 503
+                (Printf.sprintf "storage error, hook not removed: %s"
+                   (Unix.error_message e))
+          | None -> json_error 404 (Printf.sprintf "no such stream %S" name)
+          | Some st -> render st))
+  | _ -> method_not_allowed "GET, POST, DELETE"
+
 (* --- /query and /streams/:name/query — typed query pushdown --- *)
 
 let default_query_limit = 1000
@@ -857,7 +1164,7 @@ let split_stream_path p =
   | [ ""; "streams"; name; op ] when name <> "" -> Some (name, op)
   | _ -> None
 
-let route t ~cancel ~rest req =
+let route t ~cancel ~deadline ~rest req =
   match req.Http.path with
   | "/infer" -> handle_infer t ~cancel ~rest req
   | p -> (
@@ -881,6 +1188,9 @@ let route t ~cancel ~rest req =
           | Some (name, "shape") -> handle_stream_shape t name req
           | Some (name, "history") -> handle_stream_history t name req
           | Some (name, "diff") -> handle_stream_diff t name req
+          | Some (name, "migrate") -> handle_stream_migrate t name req
+          | Some (name, "watch") -> handle_stream_watch t ~deadline name req
+          | Some (name, "hooks") -> handle_stream_hooks t name req
           | _ -> json_error 404 (Printf.sprintf "no such endpoint %s" p)))
 
 let request_counter p =
@@ -895,12 +1205,13 @@ let request_counter p =
     | "/healthz" -> req_healthz
     | _ -> req_other
 
-let handle ?(cancel = Fsdata_data.Cancel.never) ?rest t req =
+let handle ?(cancel = Fsdata_data.Cancel.never) ?(deadline = Deadline.never)
+    ?rest t req =
   Metrics.incr (request_counter req.Http.path);
   Metrics.gauge_add inflight 1.0;
   let t0 = Clock.now_ns () in
   let resp =
-    match route t ~cancel ~rest req with
+    match route t ~cancel ~deadline ~rest req with
     | resp -> resp
     | exception Fsdata_data.Cancel.Cancelled ->
         (* the deadline tripped mid-inference: the cooperative token cut
@@ -1017,7 +1328,9 @@ let serve_connection t fd =
                 header_deadline
             in
             Http.set_deadline r deadline;
-            let resp = handle ~cancel:(Deadline.cancel deadline) ?rest t req in
+            let resp =
+              handle ~cancel:(Deadline.cancel deadline) ~deadline ?rest t req
+            in
             let body_consumed =
               match rest with
               | None -> true
@@ -1156,6 +1469,23 @@ let run ?stop ?on_ready cfg =
               ~should_restart:(fun () -> not (Atomic.get stop))
               (fun () -> worker_loop t q)))
   in
+  (* the webhook delivery worker: its own domain, same crash-only
+     supervision as the request workers *)
+  let delivery_domain =
+    Domain.spawn (fun () ->
+        Supervisor.supervise ~name:"evolve-delivery"
+          ~should_restart:(fun () -> not (Atomic.get stop))
+          (fun () ->
+            Delivery.loop
+              ~cfg:
+                {
+                  Delivery.default_config with
+                  Delivery.base_backoff_ms = max 1 cfg.hook_retry_ms;
+                }
+              ~notify:t.watch
+              ~stop:(fun () -> Atomic.get stop)
+              t.registry))
+  in
   let overloaded =
     Http.serialize_response ~keep_alive:false
       (Http.response
@@ -1185,4 +1515,5 @@ let run ?stop ?on_ready cfg =
   done;
   List.iter (fun _ -> queue_push_sentinel q) domains;
   List.iter Domain.join domains;
+  Domain.join delivery_domain;
   if not quiet then print_endline "fsdata: shutting down"

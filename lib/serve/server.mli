@@ -43,6 +43,35 @@
     - [POST /cache/invalidate[?key=K|stream=NAME]] — drop one cached
       response, one stream's, or all of them.
 
+    {2 Schema evolution (docs/EVOLUTION.md)}
+
+    - [POST /streams/:name/migrate?since=V] — body is a Foo program
+      compiled against version [V]; responds with the program rewritten
+      to the stream's current provided type
+      ({!Fsdata_evolve.Service}). [404] if the stream never had [V],
+      [409] if [V] was evicted by [history_limit], [400] if the program
+      does not parse, [422] if it does not check against [V]'s shape or
+      falls outside the migratable fragment.
+    - [GET /streams/:name/watch?since=V&timeout-ms=N] — long-poll until
+      the version exceeds [V] (default: the version at arrival); [200]
+      with the stream fields on a bump, [204] on timeout, [503] when
+      more than [max_waiters] long-polls are already parked. Bounded by
+      the request deadline.
+    - [POST /streams/:name/hooks?url=U] — register a webhook
+      (durable in the registry WAL before it is acknowledged; survives
+      crash recovery). A supervised delivery worker POSTs one JSON
+      notification per version bump, in order, retrying with
+      exponential backoff from [hook_retry_ms], and advances the
+      durable per-hook cursor only on a 2xx — at-least-once, never a
+      skipped version. [GET] lists hooks with their cursors; [DELETE
+      ?url=U] removes.
+
+    [POST /infer] also negotiates its representation on the [Accept]
+    header: [application/json] (the default report),
+    [application/schema+json] (the shape's JSON Schema export) or
+    [text/x-fsdata-shape] / [text/plain] (the bare paper notation);
+    unsatisfiable headers answer [406].
+
     Results of [/infer] are cached in an LRU keyed by the digest of
     (format, jobs, budget, body); the inferred shape is interned with
     {!Fsdata_core.Shape.hcons} so hot shapes share one heap
@@ -123,6 +152,12 @@ type config = {
   cache_ttl_ms : int;
       (** time-to-live for cached responses; [<= 0] means entries never
           expire (eviction and invalidation still apply) *)
+  max_waiters : int;
+      (** concurrent [/watch] long-polls admitted before shedding 503
+          (each parked watcher occupies a worker domain) *)
+  hook_retry_ms : int;
+      (** first-retry backoff for webhook delivery (doubles per failure
+          up to the delivery worker's ceiling) *)
 }
 
 val default_config : config
@@ -147,6 +182,7 @@ val registry : t -> Fsdata_registry.Registry.t
 
 val handle :
   ?cancel:Fsdata_data.Cancel.t ->
+  ?deadline:Deadline.t ->
   ?rest:Http.body_rest ->
   t ->
   Http.request ->
@@ -157,7 +193,8 @@ val handle :
     ([Deadline.Expired] / receive timeout while pulling [rest]). [rest]
     is a body still on the wire ({!Http.read_request_stream}): JSON
     [/infer] consumes it incrementally, everything else drains it
-    first. *)
+    first. [deadline] (default: never) bounds how long a [/watch]
+    long-poll may park. *)
 
 val run : ?stop:bool Atomic.t -> ?on_ready:(int -> unit) -> config -> unit
 (** Bind, print ["fsdata: serving on http://HOST:PORT"] on stdout, and

@@ -1,0 +1,139 @@
+Schema evolution end to end: a client program compiled against an old
+stream version is rewritten to the current one over /migrate, version
+bumps are observed live with fsdata watch (long-poll) and delivered
+durably to webhooks — surviving a kill -9 of the server between the
+registration ack and delivery. See docs/EVOLUTION.md.
+
+  $ FSDATA=../../bin/fsdata.exe
+
+  $ $FSDATA serve --port 0 --port-file port --workers 3 --state-dir state > serve.log 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 150); do [ -s port ] && break; sleep 0.1; done
+  $ PORT=$(cat port)
+  $ URL="http://127.0.0.1:$PORT"
+
+Two pushes establish version 1 and grow it to version 2:
+
+  $ curl -s --data-binary '{"name": "ada"}' "$URL/streams/people/push" | grep '"version"'
+    "version": 1,
+  $ curl -s --data-binary '{"name": "alan", "age": 36}' "$URL/streams/people/push" | grep '"version"'
+    "version": 2,
+
+/migrate rewrites a program compiled against version 1 to the current
+provided type (Remark 1: the three coercion rules), returning the
+rewritten program and its unchanged type — the service re-checks the
+result against the new shape before answering:
+
+  $ printf 'y.Name' | curl -s --data-binary @- "$URL/streams/people/migrate?since=1"
+  {
+    "stream": "people",
+    "from_version": 1,
+    "to_version": 2,
+    "old_shape": "• {name: string}",
+    "new_shape": "• {name: string, age: nullable int}",
+    "program": "y.Name",
+    "type": "string"
+  }
+
+A program that never checked against the old shape is refused with 422;
+a version the stream never reached is 404:
+
+  $ printf 'y.Age' | curl -s -w '%{http_code}\n' -o /dev/null --data-binary @- "$URL/streams/people/migrate?since=1"
+  422
+  $ printf 'y.Name' | curl -s -w '%{http_code}\n' -o /dev/null --data-binary @- "$URL/streams/people/migrate?since=9"
+  404
+
+fsdata watch long-polls /watch. Behind the current version it answers
+immediately with the missed bump:
+
+  $ $FSDATA watch people --url "$URL" --since 1
+  people v2 • {name: string, age: nullable int}
+
+Parked at the current version, it is woken by the next push — the
+watcher below sees version 3 the moment the shape grows:
+
+  $ $FSDATA watch people --url "$URL" --since 2 --timeout-ms 15000 > watch.out &
+  $ WPID=$!
+  $ sleep 0.3
+  $ curl -s --data-binary '{"name": "x", "tags": ["a"]}' "$URL/streams/people/push" | grep '"version"'
+    "version": 3,
+  $ wait $WPID
+  $ cat watch.out
+  people v3 • {name: string, age: nullable int, tags: [string, 1?]}
+
+Webhooks: registration is durable (WAL) before it is acknowledged, and
+the delivery cursor starts at the current version — only later bumps
+are delivered. The sink here is the server's own /cache/invalidate
+endpoint, which answers 200:
+
+  $ curl -s -X POST "$URL/streams/people/hooks?url=$URL/cache/invalidate" | sed "s/$PORT/PORT/"
+  {
+    "stream": "people",
+    "version": 3,
+    "hooks": [
+      {
+        "url": "http://127.0.0.1:PORT/cache/invalidate",
+        "delivered": 3
+      }
+    ]
+  }
+
+The next bump is delivered asynchronously; the per-hook cursor advances
+once the sink acknowledges:
+
+  $ curl -s --data-binary '{"name": "x", "score": 1.5}' "$URL/streams/people/push" | grep '"version"'
+    "version": 4,
+  $ for i in $(seq 1 150); do curl -s "$URL/streams/people/hooks" | grep -q '"delivered": 4' && break; sleep 0.1; done
+  $ curl -s "$URL/streams/people/hooks" | grep -o '"delivered": 4'
+  "delivered": 4
+
+kill -9 in the delivery window: push version 5 and kill the server
+before the hook is (necessarily) delivered — the bump is acknowledged
+durable, the delivery is not:
+
+  $ curl -s --data-binary '{"name": "x", "opt": true}' "$URL/streams/people/push" | grep '"version"'
+    "version": 5,
+  $ curl -s "$URL/streams/people/history" > before.json
+  $ kill -9 $SRV
+  $ wait $SRV 2>/dev/null
+  [137]
+  $ rm -f port
+
+Restart on the same state directory and port: versions and hooks are
+recovered byte-identically, and the supervised delivery worker resumes
+from the durable cursor — at-least-once, no skipped version:
+
+  $ $FSDATA serve --port $PORT --port-file port --workers 3 --state-dir state > serve2.log 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 150); do [ -s port ] && break; sleep 0.1; done
+  $ curl -s "$URL/streams/people/history" > after.json
+  $ diff before.json after.json && echo recovered
+  recovered
+  $ for i in $(seq 1 150); do curl -s "$URL/streams/people/hooks" | grep -q '"delivered": 5' && break; sleep 0.1; done
+  $ curl -s "$URL/streams/people/hooks" | sed "s/$PORT/PORT/"
+  {
+    "stream": "people",
+    "version": 5,
+    "hooks": [
+      {
+        "url": "http://127.0.0.1:PORT/cache/invalidate",
+        "delivered": 5
+      }
+    ]
+  }
+
+…and the migrated program tracks the recovered history — version 1 is
+still migratable after the crash:
+
+  $ printf 'y.Name' | curl -s --data-binary @- "$URL/streams/people/migrate?since=1" | grep -E '"(to_version|program|type)"'
+    "to_version": 5,
+    "program": "y.Name",
+    "type": "string"
+
+SIGTERM drains cleanly:
+
+  $ kill -TERM $SRV
+  $ wait $SRV
+  $ sed 's/:[0-9]*$/:PORT/' serve2.log
+  fsdata: serving on http://127.0.0.1:PORT
+  fsdata: shutting down

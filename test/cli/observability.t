@@ -23,6 +23,15 @@ Values vary run to run; strip them:
   compile.parsers
   csh.merges
   csh.top_label_saturations
+  evolve.deliveries
+  evolve.delivery_failures
+  evolve.hooks
+  evolve.migration_failures
+  evolve.migrations
+  evolve.watch.notified
+  evolve.watch.shed
+  evolve.watch.timeouts
+  evolve.watchers
   gc.render.heap_words
   gc.render.major_collections
   gc.render.major_words

@@ -369,6 +369,7 @@ let test_kill_sweep () =
                           pushes = 0;
                           shape = Shape.Bottom;
                           history = [];
+                          hooks = [];
                         }
                   in
                   let merged = Fsdata_core.Csh.csh base.Registry.shape d in

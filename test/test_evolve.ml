@@ -1,0 +1,905 @@
+(* Tests for the schema-evolution service (lib/evolve) and its serve
+   wiring: the bounded waiter table, /migrate status mapping, long-poll
+   watch semantics, durable webhook registration (WAL round-trip and
+   crash recovery), the at-least-once delivery worker driven against an
+   in-process HTTP sink (including injected socket resets), Accept
+   negotiation on /infer, and the QCheck pin that migration composes
+   over registry history. The live-server side is test/cli/evolve.t. *)
+
+module Registry = Fsdata_registry.Registry
+module Fault_fs = Fsdata_registry.Fault_fs
+module Notify = Fsdata_evolve.Notify
+module Client = Fsdata_evolve.Client
+module Service = Fsdata_evolve.Service
+module Delivery = Fsdata_evolve.Delivery
+module Server = Fsdata_serve.Server
+module Http = Fsdata_serve.Http
+module Fault_net = Fsdata_serve.Fault_net
+module Shape = Fsdata_core.Shape
+module Shape_parser = Fsdata_core.Shape_parser
+module Infer = Fsdata_core.Infer
+module Provide = Fsdata_provider.Provide
+module Migrate = Fsdata_provider.Migrate
+module TC = Fsdata_foo.Typecheck
+module Syntax = Fsdata_foo.Syntax
+module Dv = Fsdata_data.Data_value
+module Json = Fsdata_data.Json
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+let sh = Shape_parser.parse
+
+let temp_dir () =
+  let path = Filename.temp_file "fsdata-evolve" "" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f dir)
+
+let find_exn t name =
+  match Registry.find t name with
+  | Some st -> st
+  | None -> Alcotest.failf "stream %S not found" name
+
+(* ----- the waiter table ----- *)
+
+let test_notify_immediate () =
+  let n = Notify.create ~capacity:4 in
+  match Notify.wait n ~key:"s" ~seconds:5. ~poll:(fun () -> Some 42) with
+  | `Ready v -> check Alcotest.int "poll satisfied before parking" 42 v
+  | `Timeout | `Capacity -> Alcotest.fail "expected `Ready"
+
+let test_notify_timeout () =
+  let n = Notify.create ~capacity:4 in
+  let t0 = Unix.gettimeofday () in
+  (match Notify.wait n ~key:"s" ~seconds:0.05 ~poll:(fun () -> None) with
+  | `Timeout -> ()
+  | `Ready _ | `Capacity -> Alcotest.fail "expected `Timeout");
+  check Alcotest.bool "waited at least the budget" true
+    (Unix.gettimeofday () -. t0 >= 0.045);
+  check Alcotest.int "waiter deregistered" 0 (Notify.waiting n)
+
+let test_notify_wakes_matching_key () =
+  let n = Notify.create ~capacity:4 in
+  let hit = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Notify.wait n ~key:"s" ~seconds:5. ~poll:(fun () ->
+            if Atomic.get hit then Some () else None))
+  in
+  (* wait until the waiter is parked, then flip the condition and wake *)
+  let rec park deadline =
+    if Notify.waiting n = 0 && Unix.gettimeofday () < deadline then begin
+      Unix.sleepf 0.002;
+      park deadline
+    end
+  in
+  park (Unix.gettimeofday () +. 2.);
+  Atomic.set hit true;
+  Notify.notify n "other-stream";
+  (* a non-matching key must not wake the waiter; the matching one must *)
+  Notify.notify n "s";
+  (match Domain.join d with
+  | `Ready () -> ()
+  | `Timeout -> Alcotest.fail "waiter timed out despite notify"
+  | `Capacity -> Alcotest.fail "unexpected capacity");
+  check Alcotest.int "waiter deregistered" 0 (Notify.waiting n)
+
+let test_notify_capacity () =
+  let n = Notify.create ~capacity:1 in
+  let d =
+    Domain.spawn (fun () ->
+        Notify.wait n ~key:"a" ~seconds:1. ~poll:(fun () -> None))
+  in
+  let rec park deadline =
+    if Notify.waiting n = 0 && Unix.gettimeofday () < deadline then begin
+      Unix.sleepf 0.002;
+      park deadline
+    end
+  in
+  park (Unix.gettimeofday () +. 2.);
+  (match Notify.wait n ~key:"b" ~seconds:0.2 ~poll:(fun () -> None) with
+  | `Capacity -> ()
+  | `Ready _ -> Alcotest.fail "unexpected ready"
+  | `Timeout -> Alcotest.fail "second waiter should have been refused");
+  ignore (Domain.join d)
+
+let test_notify_wildcard_waiter () =
+  let n = Notify.create ~capacity:1 in
+  let w = Notify.waiter n in
+  Fun.protect ~finally:(fun () -> Notify.close_waiter w) @@ fun () ->
+  check Alcotest.bool "no wake yet" false (Notify.await w ~seconds:0.02);
+  Notify.notify n "any-key-at-all";
+  check Alcotest.bool "woken by any key" true (Notify.await w ~seconds:1.);
+  (* wildcard waiters do not count against the request bound *)
+  check Alcotest.int "not a request waiter" 0 (Notify.waiting n)
+
+(* ----- the migration service ----- *)
+
+(* people v1: {name: string}; v2 adds a nullable age *)
+let people_registry () =
+  let t = Registry.open_ ~dir:None () in
+  let _ = Registry.push t ~stream:"people" (sh "{name: string}") in
+  let _ = Registry.push t ~stream:"people" (sh "{name: string, age: int}") in
+  t
+
+let migrate_exn t ~since ~program =
+  match Service.migrate t ~stream:"people" ~since ~program with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "migrate failed: %a" Service.pp_error e
+
+let test_service_rewrites () =
+  let t = people_registry () in
+  let r = migrate_exn t ~since:1 ~program:"y.Name" in
+  check Alcotest.int "from" 1 r.Service.from_version;
+  check Alcotest.int "to" 2 r.Service.to_version;
+  check Alcotest.string "rewritten program" "y.Name"
+    (Syntax.expr_to_string r.Service.program);
+  (* the returned program checks against the current provided type *)
+  let p = Provide.provide ~format:`Json r.Service.new_shape in
+  match
+    TC.synth p.Provide.classes [ ("y", p.Provide.root_ty) ] r.Service.program
+  with
+  | Ok ty ->
+      check Alcotest.string "same type as reported"
+        (Syntax.ty_to_string r.Service.ty)
+        (Syntax.ty_to_string ty)
+  | Error e -> Alcotest.failf "rewritten program ill-typed: %a" TC.pp_error e
+
+let expect_error t ~since ~program expected =
+  match Service.migrate t ~stream:"people" ~since ~program with
+  | Ok _ -> Alcotest.failf "expected %s, got Ok" expected
+  | Error e ->
+      let tag =
+        match e with
+        | Service.No_stream -> "no_stream"
+        | Service.Unknown_version _ -> "unknown_version"
+        | Service.Evicted _ -> "evicted"
+        | Service.Parse_error _ -> "parse_error"
+        | Service.Ill_typed _ -> "ill_typed"
+        | Service.Unsupported _ -> "unsupported"
+        | Service.Internal _ -> "internal"
+      in
+      check Alcotest.string "error class" expected tag
+
+let test_service_errors () =
+  let t = people_registry () in
+  (match Service.migrate t ~stream:"ghost" ~since:1 ~program:"y" with
+  | Error Service.No_stream -> ()
+  | _ -> Alcotest.fail "expected No_stream");
+  expect_error t ~since:7 ~program:"y.Name" "unknown_version";
+  expect_error t ~since:(-1) ~program:"y.Name" "unknown_version";
+  expect_error t ~since:1 ~program:"y.Name = " "parse_error";
+  (* Age only exists at version 2 *)
+  expect_error t ~since:1 ~program:"y.Age" "ill_typed"
+
+let test_service_evicted () =
+  let t = Registry.open_ ~dir:None ~history_limit:1 () in
+  let _ = Registry.push t ~stream:"people" (sh "{name: string}") in
+  let _ = Registry.push t ~stream:"people" (sh "{name: string, age: int}") in
+  match Service.migrate t ~stream:"people" ~since:1 ~program:"y.Name" with
+  | Error (Service.Evicted (asked, oldest)) ->
+      check Alcotest.int "asked" 1 asked;
+      check Alcotest.int "oldest retained" 2 oldest
+  | _ -> Alcotest.fail "expected Evicted"
+
+(* ----- /streams/:name/{migrate,watch,hooks} handlers ----- *)
+
+let request ?(meth = "POST") ?(query = []) ?(headers = []) ?(body = "") path =
+  { Http.meth; path; query; version = `Http_1_1; headers; body }
+
+let server ?(cfg = Server.default_config) () = Server.create cfg
+
+let body_field name resp =
+  match Json.parse_result resp.Http.resp_body with
+  | Ok (Dv.Record (_, fields)) -> List.assoc_opt name fields
+  | _ -> None
+
+let push_people t =
+  let push body =
+    Server.handle t (request ~body "/streams/people/push")
+  in
+  let r1 = push "{\"name\": \"ada\"}" in
+  check Alcotest.int "push 1 ok" 200 r1.Http.status;
+  let r2 = push "{\"name\": \"grace\", \"age\": 36}" in
+  check Alcotest.int "push 2 ok" 200 r2.Http.status
+
+let test_handler_migrate_ok () =
+  let t = server () in
+  push_people t;
+  let resp =
+    Server.handle t
+      (request ~query:[ ("since", "1") ] ~body:"y.Name"
+         "/streams/people/migrate")
+  in
+  check Alcotest.int "status" 200 resp.Http.status;
+  (match body_field "program" resp with
+  | Some (Dv.String p) -> check Alcotest.string "program" "y.Name" p
+  | _ -> Alcotest.fail "missing program field");
+  (match body_field "to_version" resp with
+  | Some (Dv.Int v) -> check Alcotest.int "to_version" 2 v
+  | _ -> Alcotest.fail "missing to_version");
+  (* byte-identical from the cache on repeat *)
+  let again =
+    Server.handle t
+      (request ~query:[ ("since", "1") ] ~body:"y.Name"
+         "/streams/people/migrate")
+  in
+  check Alcotest.string "cached repeat is byte-identical" resp.Http.resp_body
+    again.Http.resp_body;
+  check
+    (Alcotest.option Alcotest.string)
+    "second answer is a hit" (Some "hit")
+    (List.assoc_opt "x-fsdata-cache" again.Http.resp_headers)
+
+let test_handler_migrate_statuses () =
+  let t = server () in
+  push_people t;
+  let post ?(stream = "people") ?(program = "y.Name") since =
+    (Server.handle t
+       (request ~query:[ ("since", since) ] ~body:program
+          (Printf.sprintf "/streams/%s/migrate" stream)))
+      .Http.status
+  in
+  check Alcotest.int "unknown stream is 404" 404 (post ~stream:"ghost" "1");
+  check Alcotest.int "never-reached version is 404" 404 (post "9");
+  check Alcotest.int "unparsable program is 400" 400 (post ~program:"y.Name =" "1");
+  check Alcotest.int "ill-typed program is 422" 422 (post ~program:"y.Age" "1");
+  check Alcotest.int "missing since is 400" 400
+    (Server.handle t (request ~body:"y.Name" "/streams/people/migrate"))
+      .Http.status;
+  check Alcotest.int "empty program is 400" 400 (post ~program:" " "1");
+  check Alcotest.int "GET is 405" 405
+    (Server.handle t (request ~meth:"GET" "/streams/people/migrate"))
+      .Http.status
+
+let test_handler_migrate_evicted_409 () =
+  let t =
+    server ~cfg:{ Server.default_config with Server.history_limit = 1 } ()
+  in
+  push_people t;
+  let resp =
+    Server.handle t
+      (request ~query:[ ("since", "1") ] ~body:"y.Name"
+         "/streams/people/migrate")
+  in
+  check Alcotest.int "evicted version is 409" 409 resp.Http.status;
+  match body_field "oldest_retained" resp with
+  | Some (Dv.Int v) -> check Alcotest.int "oldest retained reported" 2 v
+  | _ -> Alcotest.fail "missing oldest_retained field"
+
+let test_handler_watch_immediate_and_timeout () =
+  let t = server () in
+  push_people t;
+  (* since behind the current version answers immediately *)
+  let resp =
+    Server.handle t
+      (request ~meth:"GET" ~query:[ ("since", "1") ] "/streams/people/watch")
+  in
+  check Alcotest.int "past since answers now" 200 resp.Http.status;
+  (match body_field "version" resp with
+  | Some (Dv.Int v) -> check Alcotest.int "current version" 2 v
+  | _ -> Alcotest.fail "missing version");
+  (* at the current version the poll parks and times out with 204 *)
+  let resp =
+    Server.handle t
+      (request ~meth:"GET"
+         ~query:[ ("timeout-ms", "40") ]
+         "/streams/people/watch")
+  in
+  check Alcotest.int "no bump in budget is 204" 204 resp.Http.status;
+  check Alcotest.int "unknown stream is 404" 404
+    (Server.handle t (request ~meth:"GET" "/streams/ghost/watch")).Http.status;
+  check Alcotest.int "bad since is 400" 400
+    (Server.handle t
+       (request ~meth:"GET" ~query:[ ("since", "x") ] "/streams/people/watch"))
+      .Http.status
+
+let test_handler_watch_sees_push () =
+  let t = server () in
+  push_people t;
+  let pusher =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        Server.handle t
+          (request ~body:"{\"name\": \"x\", \"tags\": [\"a\"]}"
+             "/streams/people/push"))
+  in
+  let resp =
+    Server.handle t
+      (request ~meth:"GET"
+         ~query:[ ("timeout-ms", "5000") ]
+         "/streams/people/watch")
+  in
+  let push_resp = Domain.join pusher in
+  check Alcotest.int "push ok" 200 push_resp.Http.status;
+  check Alcotest.int "watch woken by the bump" 200 resp.Http.status;
+  match body_field "version" resp with
+  | Some (Dv.Int v) -> check Alcotest.int "the bumped version" 3 v
+  | _ -> Alcotest.fail "missing version"
+
+let test_handler_watch_shed () =
+  let t =
+    server ~cfg:{ Server.default_config with Server.max_waiters = 1 } ()
+  in
+  push_people t;
+  let parked =
+    Domain.spawn (fun () ->
+        Server.handle t
+          (request ~meth:"GET"
+             ~query:[ ("timeout-ms", "600") ]
+             "/streams/people/watch"))
+  in
+  Unix.sleepf 0.15;
+  let resp =
+    Server.handle t
+      (request ~meth:"GET"
+         ~query:[ ("timeout-ms", "100") ]
+         "/streams/people/watch")
+  in
+  check Alcotest.int "watcher beyond the bound is shed" 503 resp.Http.status;
+  let first = Domain.join parked in
+  check Alcotest.int "parked watcher times out normally" 204 first.Http.status
+
+let test_handler_hooks_crud () =
+  let t = server () in
+  push_people t;
+  let url = "http://127.0.0.1:1/sink" in
+  let post =
+    Server.handle t (request ~query:[ ("url", url) ] "/streams/people/hooks")
+  in
+  check Alcotest.int "register ok" 200 post.Http.status;
+  (match body_field "hooks" post with
+  | Some (Dv.List [ Dv.Record (_, fields) ]) ->
+      check
+        (Alcotest.option Alcotest.string)
+        "url recorded" (Some url)
+        (match List.assoc_opt "url" fields with
+        | Some (Dv.String u) -> Some u
+        | _ -> None);
+      (match List.assoc_opt "delivered" fields with
+      | Some (Dv.Int d) -> check Alcotest.int "cursor starts at current" 2 d
+      | _ -> Alcotest.fail "missing delivered")
+  | _ -> Alcotest.fail "expected one hook");
+  (* re-registration is idempotent *)
+  let again =
+    Server.handle t (request ~query:[ ("url", url) ] "/streams/people/hooks")
+  in
+  (match body_field "hooks" again with
+  | Some (Dv.List [ _ ]) -> ()
+  | _ -> Alcotest.fail "duplicate registration added a hook");
+  let listed =
+    Server.handle t (request ~meth:"GET" "/streams/people/hooks")
+  in
+  check Alcotest.int "list ok" 200 listed.Http.status;
+  let deleted =
+    Server.handle t
+      (request ~meth:"DELETE" ~query:[ ("url", url) ] "/streams/people/hooks")
+  in
+  check Alcotest.int "delete ok" 200 deleted.Http.status;
+  (match body_field "hooks" deleted with
+  | Some (Dv.List []) -> ()
+  | _ -> Alcotest.fail "hook not removed");
+  check Alcotest.int "missing url is 400" 400
+    (Server.handle t (request "/streams/people/hooks")).Http.status;
+  check Alcotest.int "non-http url is 400" 400
+    (Server.handle t
+       (request ~query:[ ("url", "ftp://x/y") ] "/streams/people/hooks"))
+      .Http.status;
+  check Alcotest.int "unknown stream is 404" 404
+    (Server.handle t (request ~meth:"GET" "/streams/ghost/hooks")).Http.status
+
+(* ----- Accept negotiation on /infer ----- *)
+
+let corpus = "{\"name\": \"ada\", \"age\": 36}\n{\"name\": \"grace\"}\n"
+
+let test_infer_accept_negotiation () =
+  let t = server () in
+  let infer accept =
+    Server.handle t
+      (request ~headers:[ ("accept", accept) ] ~body:corpus "/infer")
+  in
+  let report = infer "application/json" in
+  check Alcotest.int "report ok" 200 report.Http.status;
+  check Alcotest.bool "report is the JSON body" true
+    (body_field "shape" report <> None);
+  let paper = infer "text/x-fsdata-shape" in
+  check Alcotest.int "paper ok" 200 paper.Http.status;
+  check Alcotest.string "bare paper notation"
+    "\xe2\x80\xa2 {name: string, age: nullable int}\n"
+    paper.Http.resp_body;
+  check Alcotest.string "text content type" "text/plain; charset=utf-8"
+    paper.Http.content_type;
+  let schema = infer "application/schema+json" in
+  check Alcotest.int "schema ok" 200 schema.Http.status;
+  check Alcotest.bool "a JSON Schema document" true
+    (Astring.String.is_infix ~affix:"json-schema.org" schema.Http.resp_body);
+  check Alcotest.string "schema content type" "application/schema+json"
+    schema.Http.content_type;
+  (* q-parameters are tolerated, the first supported type wins *)
+  let multi = infer "image/png, text/plain;q=0.8, application/json;q=0.2" in
+  check Alcotest.string "first supported wins" paper.Http.resp_body
+    multi.Http.resp_body;
+  (* unsatisfiable *)
+  check Alcotest.int "unsupported Accept is 406" 406
+    (infer "image/png").Http.status;
+  (* the representation rides in the cache key: a hit never crosses *)
+  let paper2 = infer "text/x-fsdata-shape" in
+  check
+    (Alcotest.option Alcotest.string)
+    "same accept hits" (Some "hit")
+    (List.assoc_opt "x-fsdata-cache" paper2.Http.resp_headers);
+  check Alcotest.string "hit is byte-identical" paper.Http.resp_body
+    paper2.Http.resp_body
+
+(* ----- durable hooks: WAL round-trip and crash recovery ----- *)
+
+let hook_obs (st : Registry.stream) =
+  List.map (fun h -> (h.Registry.url, h.Registry.delivered)) st.Registry.hooks
+
+let hooks_testable = Alcotest.(list (pair string int))
+
+let test_hooks_roundtrip () =
+  with_dir @@ fun dir ->
+  let t = Registry.open_ ~dir:(Some dir) () in
+  let _ = Registry.push t ~stream:"s" (sh "{a: int}") in
+  let _ = Registry.add_hook t ~stream:"s" ~url:"http://127.0.0.1:1/a" in
+  let _ = Registry.push t ~stream:"s" (sh "{a: int, b: string}") in
+  let _ = Registry.add_hook t ~stream:"s" ~url:"http://127.0.0.1:1/b" in
+  Registry.ack_delivery t ~stream:"s" ~url:"http://127.0.0.1:1/a" ~version:2;
+  let before = hook_obs (find_exn t "s") in
+  check hooks_testable "cursors as acked"
+    [ ("http://127.0.0.1:1/a", 2); ("http://127.0.0.1:1/b", 2) ]
+    before;
+  Registry.close t;
+  let t2 = Registry.open_ ~dir:(Some dir) () in
+  check hooks_testable "recovered byte-identically" before
+    (hook_obs (find_exn t2 "s"));
+  (* removal is durable too *)
+  let _ = Registry.remove_hook t2 ~stream:"s" ~url:"http://127.0.0.1:1/a" in
+  Registry.close t2;
+  let t3 = Registry.open_ ~dir:(Some dir) () in
+  check hooks_testable "removal survives reopen"
+    [ ("http://127.0.0.1:1/b", 2) ]
+    (hook_obs (find_exn t3 "s"));
+  Registry.close t3
+
+let test_hooks_survive_snapshot () =
+  with_dir @@ fun dir ->
+  (* snapshot_every 1 compacts after every append: hooks must ride the
+     snapshot codec, not just WAL replay *)
+  let t = Registry.open_ ~dir:(Some dir) ~snapshot_every:1 () in
+  let _ = Registry.push t ~stream:"s" (sh "{a: int}") in
+  let _ = Registry.add_hook t ~stream:"s" ~url:"http://127.0.0.1:1/a" in
+  Registry.ack_delivery t ~stream:"s" ~url:"http://127.0.0.1:1/a" ~version:1;
+  let _ = Registry.push t ~stream:"s" (sh "{a: int, b: string}") in
+  let before = hook_obs (find_exn t "s") in
+  Registry.close t;
+  let t2 = Registry.open_ ~dir:(Some dir) () in
+  check hooks_testable "hooks recovered through the snapshot" before
+    (hook_obs (find_exn t2 "s"));
+  Registry.close t2
+
+let test_hook_ack_monotonic () =
+  let t = Registry.open_ ~dir:None () in
+  let _ = Registry.push t ~stream:"s" (sh "{a: int}") in
+  let _ = Registry.add_hook t ~stream:"s" ~url:"http://127.0.0.1:1/a" in
+  Registry.ack_delivery t ~stream:"s" ~url:"http://127.0.0.1:1/a" ~version:5;
+  Registry.ack_delivery t ~stream:"s" ~url:"http://127.0.0.1:1/a" ~version:3;
+  check hooks_testable "cursor never moves backwards"
+    [ ("http://127.0.0.1:1/a", 5) ]
+    (hook_obs (find_exn t "s"))
+
+(* kill -9 between the hook-registration ack and the first delivery:
+   the registration (and the cursor it recorded) must recover exactly,
+   so post-recovery delivery starts at cursor+1 — no skipped version,
+   no replay from zero. *)
+let test_hook_kill_after_registration_ack () =
+  with_dir @@ fun dir ->
+  let fault = Fault_fs.create () in
+  let t = Registry.open_ ~fault ~dir:(Some dir) () in
+  let _ = Registry.push t ~stream:"s" (sh "{a: int}") in
+  let st = Registry.add_hook t ~stream:"s" ~url:"http://127.0.0.1:1/a" in
+  check hooks_testable "registration acked at version 1" [ ("http://127.0.0.1:1/a", 1) ]
+    (hook_obs st);
+  (* the process dies during the next push — after the registration
+     ack, before any delivery happened *)
+  Fault_fs.inject_fsync fault [ Fault_fs.Kill ];
+  (try
+     ignore (Registry.push t ~stream:"s" (sh "{a: int, b: string}"));
+     Alcotest.fail "push should have crashed"
+   with Fault_fs.Crash -> ());
+  Registry.close t;
+  let t2 = Registry.open_ ~dir:(Some dir) () in
+  let st = find_exn t2 "s" in
+  check hooks_testable "hook recovered with its registration cursor"
+    [ ("http://127.0.0.1:1/a", 1) ]
+    (hook_obs st);
+  (* drive the stream forward and check the first delivery due is
+     exactly cursor+1 for the recovered state *)
+  let st = Registry.push t2 ~stream:"s" (sh "{a: int, c: bool}") in
+  check Alcotest.bool "undelivered versions pending" true
+    ((List.hd st.Registry.hooks).Registry.delivered < st.Registry.version);
+  Registry.close t2
+
+(* ----- the delivery worker against a live sink ----- *)
+
+(* A minimal in-process HTTP sink: accepts one request per connection,
+   records the parsed {stream, version} notification, answers the next
+   queued status (default 200). *)
+type sink = {
+  port : int;
+  seen : (string * int) list ref;  (* newest first *)
+  statuses : int Queue.t;  (* pre-queued non-200 answers *)
+  lock : Mutex.t;
+  stop : bool Atomic.t;
+  domain : unit Domain.t;
+}
+
+let sink_read_request fd =
+  let buf = Bytes.create 4096 in
+  let acc = Buffer.create 512 in
+  let rec find_split () =
+    let text = Buffer.contents acc in
+    match Astring.String.find_sub ~sub:"\r\n\r\n" text with
+    | Some i -> Some (text, i)
+    | None -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> None
+        | n ->
+            Buffer.add_subbytes acc buf 0 n;
+            find_split ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> find_split ())
+  in
+  match find_split () with
+  | None -> None
+  | Some (text, split) ->
+      let head = String.sub text 0 split in
+      let content_length =
+        String.split_on_char '\n' head
+        |> List.find_map (fun line ->
+               match String.index_opt line ':' with
+               | Some i
+                 when String.lowercase_ascii (String.trim (String.sub line 0 i))
+                      = "content-length" ->
+                   int_of_string_opt
+                     (String.trim
+                        (String.sub line (i + 1) (String.length line - i - 1)))
+               | _ -> None)
+        |> Option.value ~default:0
+      in
+      let want = split + 4 + content_length in
+      let rec fill () =
+        if Buffer.length acc >= want then ()
+        else
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes acc buf 0 n;
+              fill ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ()
+      in
+      fill ();
+      let text = Buffer.contents acc in
+      Some (String.sub text (split + 4) (String.length text - split - 4))
+
+let start_sink () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen sock 16;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let seen = ref [] in
+  let statuses = Queue.create () in
+  let lock = Mutex.create () in
+  let stop = Atomic.make false in
+  let domain =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          match Unix.select [ sock ] [] [] 0.05 with
+          | [], _, _ -> ()
+          | _ -> (
+              match Unix.accept sock with
+              | fd, _ ->
+                  (try
+                     (match sink_read_request fd with
+                     | None -> ()
+                     | Some body ->
+                         let status =
+                           Mutex.protect lock (fun () ->
+                               let status =
+                                 match Queue.take_opt statuses with
+                                 | Some s -> s
+                                 | None -> 200
+                               in
+                               (if status / 100 = 2 then
+                                  match Json.parse_result body with
+                                  | Ok (Dv.Record (_, fields)) -> (
+                                      match
+                                        ( List.assoc_opt "stream" fields,
+                                          List.assoc_opt "version" fields )
+                                      with
+                                      | Some (Dv.String s), Some (Dv.Int v) ->
+                                          seen := (s, v) :: !seen
+                                      | _ -> ())
+                                  | _ -> ());
+                               status)
+                         in
+                         let resp =
+                           Printf.sprintf
+                             "HTTP/1.1 %d X\r\ncontent-length: 0\r\n\r\n"
+                             status
+                         in
+                         ignore
+                           (Unix.write_substring fd resp 0 (String.length resp)))
+                   with Unix.Unix_error _ -> ());
+                  (try Unix.close fd with Unix.Unix_error _ -> ())
+              | exception Unix.Unix_error _ -> ())
+          | exception Unix.Unix_error _ -> ()
+        done;
+        try Unix.close sock with Unix.Unix_error _ -> ())
+  in
+  { port; seen; statuses; lock; stop; domain }
+
+let stop_sink s =
+  Atomic.set s.stop true;
+  Domain.join s.domain
+
+let sink_seen s = Mutex.protect s.lock (fun () -> List.rev !(s.seen))
+
+let with_sink f =
+  let s = start_sink () in
+  Fun.protect ~finally:(fun () -> stop_sink s) (fun () -> f s)
+
+(* run delivery steps until idle (or the deadline passes) *)
+let drain_delivery ?cfg state reg ~seconds =
+  let deadline = Unix.gettimeofday () +. seconds in
+  let rec go () =
+    let next = Delivery.step ?cfg state reg in
+    if next = infinity || Unix.gettimeofday () > deadline then ()
+    else begin
+      if next > 0. then Unix.sleepf (Float.min next 0.02);
+      go ()
+    end
+  in
+  go ()
+
+let fast_cfg =
+  { Delivery.default_config with Delivery.base_backoff_ms = 1; timeout_s = 2. }
+
+let test_delivery_in_order () =
+  with_sink @@ fun sink ->
+  let reg = Registry.open_ ~dir:None () in
+  let _ = Registry.push reg ~stream:"s" (sh "{a: int}") in
+  let url = Printf.sprintf "http://127.0.0.1:%d/hook" sink.port in
+  let _ = Registry.add_hook reg ~stream:"s" ~url in
+  let _ = Registry.push reg ~stream:"s" (sh "{a: int, b: string}") in
+  let _ = Registry.push reg ~stream:"s" (sh "{a: int, b: string, c: bool}") in
+  let state = Delivery.state () in
+  drain_delivery ~cfg:fast_cfg state reg ~seconds:5.;
+  check
+    Alcotest.(list (pair string int))
+    "every bump since registration, in order, exactly once"
+    [ ("s", 2); ("s", 3) ]
+    (sink_seen sink);
+  check hooks_testable "cursor fully advanced" [ (url, 3) ]
+    (hook_obs (find_exn reg "s"))
+
+let test_delivery_retries_5xx_without_skip () =
+  with_sink @@ fun sink ->
+  let reg = Registry.open_ ~dir:None () in
+  let _ = Registry.push reg ~stream:"s" (sh "{a: int}") in
+  let url = Printf.sprintf "http://127.0.0.1:%d/hook" sink.port in
+  let _ = Registry.add_hook reg ~stream:"s" ~url in
+  (* the endpoint fails twice before accepting *)
+  Mutex.protect sink.lock (fun () ->
+      Queue.add 500 sink.statuses;
+      Queue.add 503 sink.statuses);
+  let _ = Registry.push reg ~stream:"s" (sh "{a: int, b: string}") in
+  let state = Delivery.state () in
+  drain_delivery ~cfg:fast_cfg state reg ~seconds:5.;
+  check
+    Alcotest.(list (pair string int))
+    "redelivered until acknowledged, never skipped"
+    [ ("s", 2) ]
+    (sink_seen sink);
+  check hooks_testable "cursor advanced only on the 2xx" [ (url, 2) ]
+    (hook_obs (find_exn reg "s"))
+
+let test_delivery_socket_reset_redelivers () =
+  with_sink @@ fun sink ->
+  let reg = Registry.open_ ~dir:None () in
+  let _ = Registry.push reg ~stream:"s" (sh "{a: int}") in
+  let url = Printf.sprintf "http://127.0.0.1:%d/hook" sink.port in
+  let _ = Registry.add_hook reg ~stream:"s" ~url in
+  let _ = Registry.push reg ~stream:"s" (sh "{a: int, b: string}") in
+  (* the wire resets mid-POST: first attempt dies writing, second dies
+     reading the response (the sink may or may not have processed it —
+     the worker must treat both as undelivered) *)
+  let fault = Fault_net.create () in
+  Fault_net.inject_write fault [ Fault_net.Error Unix.ECONNRESET ];
+  let io =
+    {
+      Client.read = Fault_net.read (Some fault);
+      Client.write = Fault_net.write_substring (Some fault);
+    }
+  in
+  let cfg = { fast_cfg with Delivery.io = Some io } in
+  let state = Delivery.state () in
+  drain_delivery ~cfg state reg ~seconds:5.;
+  (* at-least-once: the version arrived (possibly more than once), and
+     the cursor reached it with no version skipped *)
+  let seen = sink_seen sink in
+  check Alcotest.bool "the bump was delivered at least once" true
+    (List.mem ("s", 2) seen);
+  check Alcotest.bool "no version was skipped" true
+    (List.for_all (fun (_, v) -> v = 2) seen);
+  check hooks_testable "cursor reached the bump" [ (url, 2) ]
+    (hook_obs (find_exn reg "s"))
+
+let test_delivery_loop_wakes_on_push () =
+  with_sink @@ fun sink ->
+  let reg = Registry.open_ ~dir:None () in
+  let notify = Notify.create ~capacity:4 in
+  Registry.set_listener reg (fun st -> Notify.notify notify st.Registry.name);
+  let _ = Registry.push reg ~stream:"s" (sh "{a: int}") in
+  let url = Printf.sprintf "http://127.0.0.1:%d/hook" sink.port in
+  let _ = Registry.add_hook reg ~stream:"s" ~url in
+  let stop = Atomic.make false in
+  let worker =
+    Domain.spawn (fun () ->
+        Delivery.loop ~cfg:fast_cfg ~notify
+          ~stop:(fun () -> Atomic.get stop)
+          reg)
+  in
+  let _ = Registry.push reg ~stream:"s" (sh "{a: int, b: string}") in
+  (* the push's listener wakes the worker; the notification lands
+     without any polling interval elapsing *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec await () =
+    if List.mem ("s", 2) (sink_seen sink) then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "delivery did not happen"
+    else begin
+      Unix.sleepf 0.01;
+      await ()
+    end
+  in
+  await ();
+  Atomic.set stop true;
+  Notify.notify notify "s";
+  Domain.join worker
+
+(* ----- migration composes over registry history ----- *)
+
+let provide_shape s = Provide.provide ~format:`Json s
+
+let compose_check reg ~stream e =
+  let st = find_exn reg stream in
+  if st.Registry.version < 3 then true
+  else
+    let shape_at v =
+      match Registry.version_shape st v with
+      | Some s -> s
+      | None -> Alcotest.failf "version %d not retained" v
+    in
+    let p1 = provide_shape (shape_at 1) in
+    let p2 = provide_shape (shape_at 2) in
+    let p3 = provide_shape (shape_at st.Registry.version) in
+    let direct =
+      Service.migrate reg ~stream ~since:1
+        ~program:(Syntax.expr_to_string e)
+    in
+    let stepped =
+      match Migrate.migrate ~old_provided:p1 ~new_provided:p2 e with
+      | Error _ -> Error ()
+      | Ok e12 -> (
+          match Migrate.migrate ~old_provided:p2 ~new_provided:p3 e12 with
+          | Error _ -> Error ()
+          | Ok e123 -> Ok e123)
+    in
+    match (direct, stepped) with
+    | Ok d, Ok e123 ->
+        (* byte-identical composition *)
+        Syntax.expr_to_string d.Service.program = Syntax.expr_to_string e123
+        (* and the composed program checks against the current σ *)
+        && Result.is_ok
+             (TC.synth p3.Provide.classes
+                [ ("y", p3.Provide.root_ty) ]
+                e123)
+    | _ -> true
+
+let test_composition_deterministic () =
+  let reg = Registry.open_ ~dir:None () in
+  let _ = Registry.push reg ~stream:"s" (sh "{name: string}") in
+  let _ = Registry.push reg ~stream:"s" (sh "{name: string, age: int}") in
+  let _ =
+    Registry.push reg ~stream:"s"
+      (sh "{name: string, age: int, tags: [string]}")
+  in
+  let e = Fsdata_foo.Parser.parse_expr "y.Name = y.Name" in
+  check Alcotest.bool "v1->v3 = v1->v2;v2->v3, byte-identical" true
+    (compose_check reg ~stream:"s" e);
+  (* and the direct service answer really is a rewrite over 3 versions *)
+  match Service.migrate reg ~stream:"s" ~since:1 ~program:"y.Name" with
+  | Ok r ->
+      check Alcotest.int "to the current version" 3 r.Service.to_version
+  | Error e -> Alcotest.failf "direct migrate failed: %a" Service.pp_error e
+
+let composition_gen =
+  let open QCheck2.Gen in
+  let* s1 = QCheck2.Gen.list_size (int_range 1 2) Generators.gen_plain_data in
+  let* s2 = QCheck2.Gen.list_size (int_range 1 2) Generators.gen_plain_data in
+  let* s3 = Generators.gen_plain_data in
+  let shape_of samples = Infer.shape_of_samples ~mode:`Paper samples in
+  let sh1 = shape_of s1 in
+  let p1 = provide_shape sh1 in
+  let* e = Test_safety.gen_user_program p1.Provide.classes p1.Provide.root_ty in
+  return (sh1, shape_of (s1 @ s2), shape_of (s1 @ s2 @ [ s3 ]), e)
+
+let prop_composition =
+  QCheck2.Test.make
+    ~name:
+      "migration composes over registry history (v1->v3 = v1->v2;v2->v3)"
+    ~count:200
+    ~print:(fun (a, b, c, e) ->
+      Fmt.str "v1: %a@.v2: %a@.v3: %a@.program: %s" Shape.pp a Shape.pp b
+        Shape.pp c
+        (Syntax.expr_to_string e))
+    composition_gen
+    (fun (sh1, sh2, sh3, e) ->
+      let reg = Registry.open_ ~dir:None () in
+      ignore (Registry.push reg ~stream:"s" sh1);
+      ignore (Registry.push reg ~stream:"s" sh2);
+      ignore (Registry.push reg ~stream:"s" sh3);
+      compose_check reg ~stream:"s" e)
+
+let suite =
+  [
+    tc "notify: immediate poll" `Quick test_notify_immediate;
+    tc "notify: timeout" `Quick test_notify_timeout;
+    tc "notify: woken by key" `Quick test_notify_wakes_matching_key;
+    tc "notify: capacity bound" `Quick test_notify_capacity;
+    tc "notify: wildcard waiter" `Quick test_notify_wildcard_waiter;
+    tc "service: rewrites across versions" `Quick test_service_rewrites;
+    tc "service: error classes" `Quick test_service_errors;
+    tc "service: evicted version" `Quick test_service_evicted;
+    tc "handler: migrate 200 + cache" `Quick test_handler_migrate_ok;
+    tc "handler: migrate status mapping" `Quick test_handler_migrate_statuses;
+    tc "handler: migrate evicted is 409" `Quick
+      test_handler_migrate_evicted_409;
+    tc "handler: watch immediate / 204" `Quick
+      test_handler_watch_immediate_and_timeout;
+    tc "handler: watch sees a push" `Quick test_handler_watch_sees_push;
+    tc "handler: watch shed at capacity" `Quick test_handler_watch_shed;
+    tc "handler: hooks CRUD" `Quick test_handler_hooks_crud;
+    tc "infer: Accept negotiation" `Quick test_infer_accept_negotiation;
+    tc "hooks: durable round-trip" `Quick test_hooks_roundtrip;
+    tc "hooks: survive snapshot compaction" `Quick test_hooks_survive_snapshot;
+    tc "hooks: ack is monotonic" `Quick test_hook_ack_monotonic;
+    tc "hooks: kill -9 after registration ack" `Quick
+      test_hook_kill_after_registration_ack;
+    tc "delivery: in order, exactly the bumps" `Quick test_delivery_in_order;
+    tc "delivery: 5xx retries without skips" `Quick
+      test_delivery_retries_5xx_without_skip;
+    tc "delivery: socket reset redelivers" `Quick
+      test_delivery_socket_reset_redelivers;
+    tc "delivery: loop woken by push" `Quick test_delivery_loop_wakes_on_push;
+    tc "composition: deterministic 3-version chain" `Quick
+      test_composition_deterministic;
+    QCheck_alcotest.to_alcotest prop_composition;
+  ]
